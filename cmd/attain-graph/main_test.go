@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestRenderExamples(t *testing.T) {
+	cases := []struct {
+		example, kind string
+	}{
+		{"fig3", ""}, {"fig3", "nd"}, {"fig3", "summary"},
+		{"fig4", ""}, {"fig4", "nc"},
+		{"enterprise", "nd"}, {"enterprise", "nc"}, {"enterprise", "summary"},
+		{"trivial", ""}, {"suppression", ""}, {"interruption", ""},
+	}
+	for _, tc := range cases {
+		if err := renderExample(tc.example, tc.kind); err != nil {
+			t.Errorf("renderExample(%q, %q): %v", tc.example, tc.kind, err)
+		}
+	}
+	if err := renderExample("nope", ""); err == nil {
+		t.Error("unknown example accepted")
+	}
+	if err := renderExample("fig3", "bogus"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

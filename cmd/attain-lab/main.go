@@ -1,0 +1,183 @@
+// Command attain-lab reproduces the ATTAIN paper's evaluation (§VII) on the
+// simulated enterprise testbed: the flow modification suppression experiment
+// (Figure 11) and the connection interruption experiment (Table II), across
+// the Floodlight, POX, and Ryu controller profiles.
+//
+// Usage:
+//
+//	attain-lab -experiment fig11            # suppression, all controllers
+//	attain-lab -experiment table2           # interruption, all combinations
+//	attain-lab -experiment all              # both
+//	attain-lab -experiment fig11 -full      # paper-faithful trial counts
+//	attain-lab -scale 40                    # virtual-time speed-up
+//
+// By default a reduced timeline runs in under a minute; -full uses the
+// paper's 60 ping and 30 iperf trials (slower).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/dataplane"
+	"attain/internal/experiment"
+	"attain/internal/monitor"
+	"attain/internal/switchsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attain-lab:", err)
+		os.Exit(1)
+	}
+}
+
+var profiles = []controller.Profile{
+	controller.ProfileFloodlight,
+	controller.ProfilePOX,
+	controller.ProfileRyu,
+}
+
+func run() error {
+	experimentName := flag.String("experiment", "all", "fig11, table2, or all")
+	scale := flag.Int("scale", 20, "virtual time speed-up factor")
+	full := flag.Bool("full", false, "use the paper's full trial counts (60 ping / 30 iperf)")
+	csvPath := flag.String("csv", "", "also write per-trial results as CSV (fig11.csv / table2.csv under this prefix)")
+	flag.Parse()
+
+	switch *experimentName {
+	case "fig11":
+		return runFig11(*scale, *full, *csvPath)
+	case "table2":
+		return runTable2(*scale, *csvPath)
+	case "all":
+		if err := runFig11(*scale, *full, *csvPath); err != nil {
+			return err
+		}
+		fmt.Println()
+		return runTable2(*scale, *csvPath)
+	default:
+		return fmt.Errorf("unknown experiment %q", *experimentName)
+	}
+}
+
+// writeCSV writes one CSV artefact next to the given prefix.
+func writeCSV(prefix, name string, write func(w *os.File) error) error {
+	path := prefix + name
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func suppressionConfig(profile controller.Profile, attacked, full bool, scale int) experiment.SuppressionConfig {
+	cfg := experiment.SuppressionConfig{
+		Profile:   profile,
+		Attacked:  attacked,
+		TimeScale: scale,
+		Settle:    3 * time.Second,
+		Ping: monitor.PingConfig{
+			Trials: 12, Interval: time.Second, Timeout: 2 * time.Second,
+		},
+		Iperf: monitor.IperfMonitorConfig{
+			Trials: 4, Duration: 5 * time.Second, Gap: 2 * time.Second,
+			Client: dataplane.IperfConfig{
+				SegmentSize: 1400, Window: 16,
+				RTO: 1500 * time.Millisecond, ConnectTimeout: 4 * time.Second,
+			},
+		},
+	}
+	if full {
+		// The paper's timeline: 60 one-second ping trials, then 30
+		// ten-second iperf trials separated by ten-second gaps.
+		cfg.Ping = monitor.PingConfig{Trials: 60, Interval: time.Second, Timeout: 2 * time.Second}
+		cfg.Iperf = monitor.IperfMonitorConfig{
+			Trials: 30, Duration: 10 * time.Second, Gap: 10 * time.Second,
+			Client: dataplane.IperfConfig{
+				SegmentSize: 1400, Window: 16,
+				RTO: 1500 * time.Millisecond, ConnectTimeout: 4 * time.Second,
+			},
+		}
+	}
+	return cfg
+}
+
+func runFig11(scale int, full bool, csvPrefix string) error {
+	fmt.Println("== Experiment: flow modification suppression (paper §VII-B, Figure 10) ==")
+	var results []*experiment.SuppressionResult
+	byProfile := make(map[controller.Profile][2]*experiment.SuppressionResult)
+	for _, profile := range profiles {
+		var pair [2]*experiment.SuppressionResult
+		for i, attacked := range []bool{false, true} {
+			cond := "baseline"
+			if attacked {
+				cond = "attack"
+			}
+			fmt.Printf("running %s %s...\n", profile, cond)
+			res, err := experiment.RunSuppression(suppressionConfig(profile, attacked, full, scale))
+			if err != nil {
+				return fmt.Errorf("%s %s: %w", profile, cond, err)
+			}
+			results = append(results, res)
+			pair[i] = res
+		}
+		byProfile[profile] = pair
+	}
+	fmt.Println()
+	fmt.Print(experiment.RenderFigure11(results))
+	fmt.Println()
+	for _, profile := range profiles {
+		pair := byProfile[profile]
+		fmt.Print(experiment.RenderControlPlaneOverhead(pair[0], pair[1]))
+		fmt.Println()
+	}
+	if csvPrefix != "" {
+		return writeCSV(csvPrefix, "fig11.csv", func(w *os.File) error {
+			return experiment.WriteFigure11CSV(w, results)
+		})
+	}
+	return nil
+}
+
+func runTable2(scale int, csvPrefix string) error {
+	fmt.Println("== Experiment: connection interruption (paper §VII-C, Figure 12) ==")
+	var results []*experiment.InterruptionResult
+	for _, profile := range profiles {
+		for _, mode := range []switchsim.FailMode{switchsim.FailSafe, switchsim.FailSecure} {
+			fmt.Printf("running %s fail-%s...\n", profile, mode)
+			res, err := experiment.RunInterruption(experiment.InterruptionConfig{
+				Profile:         profile,
+				FailMode:        mode,
+				TimeScale:       scale,
+				Settle:          3 * time.Second,
+				AccessAttempts:  6,
+				AccessInterval:  time.Second,
+				TriggerWindow:   25 * time.Second,
+				PostTriggerWait: 35 * time.Second,
+				EchoInterval:    2 * time.Second,
+				EchoTimeout:     6 * time.Second,
+			})
+			if err != nil {
+				return fmt.Errorf("%s fail-%s: %w", profile, mode, err)
+			}
+			results = append(results, res)
+		}
+	}
+	fmt.Println()
+	fmt.Print(experiment.RenderTableII(results))
+	if csvPrefix != "" {
+		return writeCSV(csvPrefix, "table2.csv", func(w *os.File) error {
+			return experiment.WriteTableIICSV(w, results)
+		})
+	}
+	return nil
+}

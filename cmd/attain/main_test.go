@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"attain/internal/experiment"
+)
+
+func fixtureArgs(t *testing.T) (string, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	return write("system.attain", experiment.EnterpriseSystemDSL),
+		write("attacker.attain", experiment.NoTLSAttackerDSL),
+		write("attack.attain", experiment.InterruptionAttackDSL)
+}
+
+func TestValidateCommand(t *testing.T) {
+	sys, atk, att := fixtureArgs(t)
+	if err := run([]string{"validate", "-system", sys, "-attacker", atk, "-attack", att}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+}
+
+func TestDescribeCommand(t *testing.T) {
+	sys, atk, att := fixtureArgs(t)
+	if err := run([]string{"describe", "-system", sys, "-attacker", atk, "-attack", att}); err != nil {
+		t.Fatalf("describe: %v", err)
+	}
+}
+
+func TestRunRejectsBadUsage(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no-arg run accepted")
+	}
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"validate"}); err == nil {
+		t.Error("missing flags accepted")
+	}
+	sys, atk, _ := fixtureArgs(t)
+	if err := run([]string{"validate", "-system", sys, "-attacker", atk, "-attack", "/nope"}); err == nil {
+		t.Error("missing attack file accepted")
+	}
+}
+
+func TestValidateRejectsUnderprivileged(t *testing.T) {
+	dir := t.TempDir()
+	sys := filepath.Join(dir, "system.attain")
+	if err := os.WriteFile(sys, []byte(experiment.EnterpriseSystemDSL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	atk := filepath.Join(dir, "attacker.attain")
+	tlsGrants := `attacker {
+  grant (c1,s1) tls
+  grant (c1,s2) tls
+  grant (c1,s3) tls
+  grant (c1,s4) tls
+}`
+	if err := os.WriteFile(atk, []byte(tlsGrants), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	att := filepath.Join(dir, "attack.attain")
+	if err := os.WriteFile(att, []byte(experiment.SuppressionAttackDSL), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"validate", "-system", sys, "-attacker", atk, "-attack", att}); err == nil {
+		t.Error("payload-reading attack validated under TLS grants")
+	}
+}

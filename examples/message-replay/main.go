@@ -1,0 +1,134 @@
+// Message replay and reordering (paper §VIII-A): use deque storage to
+// capture control-plane messages and re-inject them later — FIFO replay
+// with APPEND/SHIFT, LIFO reversal with PREPEND/SHIFT. The example drives
+// the injector directly with hand-crafted OpenFlow messages so the replay
+// order is plainly visible.
+//
+// Run with: go run ./examples/message-replay
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/core/compile"
+	"attain/internal/core/inject"
+	"attain/internal/core/model"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+)
+
+// replayAttack captures every FLOW_MOD instead of delivering it, then
+// releases all captured messages in reverse (stack) order when a
+// BARRIER_REQUEST arrives.
+const replayAttack = `
+attack "reverse-replay" start capture {
+  state capture {
+    rule hold on (c1,s1) caps notls {
+      when msg.type = "FLOW_MOD"
+      do store q front; drop          # PREPEND: the deque becomes a stack
+    }
+    rule release on (c1,s1) caps notls {
+      when msg.type = "BARRIER_REQUEST"
+      do sendStored q front; sendStored q front; sendStored q front
+    }
+  }
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "message-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	sys := model.Figure3System()
+	attacker := model.NewAttackerModel()
+	for _, conn := range sys.ControlPlane {
+		attacker.Grant(conn, model.AllCapabilities)
+	}
+	attack, err := compile.CompileAttack(replayAttack, sys)
+	if err != nil {
+		return err
+	}
+
+	tr := netem.NewMemTransport()
+
+	// A bare-bones "controller" that just prints what it receives.
+	ln, err := tr.Listen("c1")
+	if err != nil {
+		return err
+	}
+	received := make(chan string, 16)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		for {
+			hdr, msg, err := openflow.ReadMessage(conn)
+			if err != nil {
+				return
+			}
+			desc := hdr.Type.String()
+			if fm, ok := msg.(*openflow.FlowMod); ok {
+				desc = fmt.Sprintf("%s(priority=%d)", hdr.Type, fm.Priority)
+			}
+			received <- desc
+		}
+	}()
+
+	inj, err := inject.New(inject.Config{
+		System: sys, Attacker: attacker, Attack: attack,
+		Transport: tr, Clock: clock.New(),
+	})
+	if err != nil {
+		return err
+	}
+	if err := inj.Start(); err != nil {
+		return err
+	}
+	defer inj.Stop()
+
+	// A bare-bones "switch" sends three flow mods, then a barrier.
+	conn := model.Conn{Controller: "c1", Switch: "s1"}
+	sw, err := tr.Dial(inj.ProxyAddrFor(conn))
+	if err != nil {
+		return err
+	}
+	defer sw.Close()
+	var _ net.Conn = sw
+
+	fmt.Println("switch sends: FLOW_MOD(1), FLOW_MOD(2), FLOW_MOD(3), BARRIER_REQUEST")
+	for prio := uint16(1); prio <= 3; prio++ {
+		fm := &openflow.FlowMod{
+			Match: openflow.MatchAll(), Priority: prio,
+			BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+		}
+		if err := openflow.WriteMessage(sw, uint32(prio), fm); err != nil {
+			return err
+		}
+	}
+	if err := openflow.WriteMessage(sw, 99, &openflow.BarrierRequest{}); err != nil {
+		return err
+	}
+
+	fmt.Println("controller receives (captured flow mods replayed in reverse):")
+	timeout := time.After(5 * time.Second)
+	for i := 0; i < 4; i++ {
+		select {
+		case desc := <-received:
+			fmt.Printf("  %d: %s\n", i+1, desc)
+		case <-timeout:
+			return fmt.Errorf("timed out after %d messages", i)
+		}
+	}
+	fmt.Println("\nthe deque acted as a stack (PREPEND + front SHIFT), reversing message order —")
+	fmt.Println("swap `store q front` for `store q end` to get FIFO replay instead")
+	return nil
+}

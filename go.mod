@@ -1,0 +1,3 @@
+module attain
+
+go 1.22

@@ -1,0 +1,184 @@
+// Package clock provides an injectable time source so that components which
+// sleep, time out, or timestamp events can be driven deterministically in
+// tests and run at scaled speed in experiments.
+//
+// Two implementations are provided: Real, a thin wrapper over package time
+// with an optional speed-up factor, and Mock, a manually advanced clock for
+// unit tests.
+package clock
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the time source abstraction used throughout ATTAIN.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks for at least d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the current time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed directly by the system clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// New returns an unscaled real clock.
+func New() Clock { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Scaled is a Clock whose virtual time runs scale times faster than wall
+// time: a 10 s virtual Sleep takes 10/scale wall seconds, and Now advances
+// scale virtual seconds per wall second. Because Now, Sleep, and After are
+// all scaled consistently, durations measured with a Scaled clock (RTTs,
+// throughput intervals) remain directly comparable to configured virtual
+// link latencies and experiment timelines. This is what lets the paper's
+// multi-minute GENI timelines replay in wall-clock seconds.
+type Scaled struct {
+	start time.Time
+	scale int
+}
+
+var _ Clock = (*Scaled)(nil)
+
+// NewScaled returns a clock running scale times faster than wall time.
+// Scales below 1 are treated as 1.
+func NewScaled(scale int) *Scaled {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Scaled{start: time.Now(), scale: scale}
+}
+
+// Scale returns the speed-up factor.
+func (s *Scaled) Scale() int { return s.scale }
+
+// Now implements Clock. It returns the virtual instant.
+func (s *Scaled) Now() time.Time {
+	return s.start.Add(time.Since(s.start) * time.Duration(s.scale))
+}
+
+// spinWindow is how much of the tail of a scaled wait is burned with a
+// scheduler-yield spin instead of time.Sleep. Go timers fire with
+// roughly millisecond jitter, which a scaled clock would amplify by the
+// scale factor; spinning the last stretch keeps virtual waits accurate to
+// tens of microseconds.
+const spinWindow = time.Millisecond
+
+// Sleep implements Clock. It blocks for d virtual time (d/scale wall
+// time), using a hybrid sleep+spin wait for precision.
+func (s *Scaled) Sleep(d time.Duration) {
+	real := d / time.Duration(s.scale)
+	deadline := time.Now().Add(real)
+	if real > spinWindow {
+		time.Sleep(real - spinWindow)
+	}
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}
+
+// After implements Clock. The delivered value is the virtual fire time.
+func (s *Scaled) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	go func() {
+		s.Sleep(d)
+		ch <- s.Now()
+	}()
+	return ch
+}
+
+// Mock is a Clock whose time only moves when Advance is called. Sleepers and
+// After timers fire when the mock time passes their deadline. The zero value
+// starts at the zero time and is ready to use.
+type Mock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+var _ Clock = (*Mock)(nil)
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewMock returns a Mock clock starting at start.
+func NewMock(start time.Time) *Mock {
+	return &Mock{now: start}
+}
+
+// Now implements Clock.
+func (m *Mock) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past the
+// deadline.
+func (m *Mock) Sleep(d time.Duration) {
+	<-m.After(d)
+}
+
+// After implements Clock.
+func (m *Mock) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	w := &waiter{deadline: m.now.Add(d), ch: make(chan time.Time, 1)}
+	if !w.deadline.After(m.now) {
+		w.ch <- m.now
+		return w.ch
+	}
+	m.waiters = append(m.waiters, w)
+	return w.ch
+}
+
+// Advance moves the mock clock forward by d, firing any timers whose
+// deadlines are reached in deadline order.
+func (m *Mock) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+
+	var fired []*waiter
+	remaining := m.waiters[:0]
+	for _, w := range m.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+
+	sort.Slice(fired, func(i, j int) bool { return fired[i].deadline.Before(fired[j].deadline) })
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Waiters reports how many Sleep/After calls are currently pending, which
+// lets tests synchronize before calling Advance.
+func (m *Mock) Waiters() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}

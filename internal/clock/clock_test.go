@@ -1,0 +1,154 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealNow(t *testing.T) {
+	c := New()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestScaledSleep(t *testing.T) {
+	c := NewScaled(100)
+	start := time.Now()
+	c.Sleep(500 * time.Millisecond) // should take ~5ms wall time
+	elapsed := time.Since(start)
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("scaled sleep took %v, want well under 250ms", elapsed)
+	}
+}
+
+func TestScaledNowRunsFast(t *testing.T) {
+	c := NewScaled(100)
+	v0 := c.Now()
+	time.Sleep(20 * time.Millisecond)
+	virtual := c.Now().Sub(v0)
+	// 20ms wall at 100x should read as ~2s virtual.
+	if virtual < 500*time.Millisecond {
+		t.Fatalf("virtual elapsed = %v, want >= 500ms", virtual)
+	}
+}
+
+func TestScaledMinimumScale(t *testing.T) {
+	if got := NewScaled(0).Scale(); got != 1 {
+		t.Fatalf("NewScaled(0).Scale() = %d, want 1", got)
+	}
+}
+
+func TestScaledAfterFires(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(time.Second):
+	case <-time.After(2 * time.Second):
+		t.Fatal("After never fired")
+	}
+}
+
+func TestScaledSleepConsistentWithNow(t *testing.T) {
+	c := NewScaled(50)
+	v0 := c.Now()
+	c.Sleep(time.Second)
+	virtual := c.Now().Sub(v0)
+	if virtual < 500*time.Millisecond || virtual > 10*time.Second {
+		t.Fatalf("virtual sleep measured as %v, want roughly 1s", virtual)
+	}
+}
+
+func TestMockNowAndAdvance(t *testing.T) {
+	start := time.Date(2017, 6, 26, 0, 0, 0, 0, time.UTC)
+	m := NewMock(start)
+	if got := m.Now(); !got.Equal(start) {
+		t.Fatalf("Now() = %v, want %v", got, start)
+	}
+	m.Advance(3 * time.Second)
+	if got := m.Now(); !got.Equal(start.Add(3 * time.Second)) {
+		t.Fatalf("Now() after advance = %v, want %v", got, start.Add(3*time.Second))
+	}
+}
+
+func TestMockAfterFiresOnAdvance(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+	m.Advance(time.Second)
+	select {
+	case ts := <-ch:
+		want := time.Unix(10, 0)
+		if !ts.Equal(want) {
+			t.Fatalf("fired at %v, want %v", ts, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire after advance past deadline")
+	}
+}
+
+func TestMockAfterZeroFiresImmediately(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("zero-duration After did not fire immediately")
+	}
+}
+
+func TestMockSleepUnblocks(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Wait for the sleeper to register.
+	for i := 0; m.Waiters() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if m.Waiters() != 1 {
+		t.Fatal("sleeper never registered")
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestMockMultipleWaitersFireInOrder(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	ch1 := m.After(1 * time.Second)
+	ch2 := m.After(2 * time.Second)
+	ch3 := m.After(30 * time.Second)
+	m.Advance(10 * time.Second)
+	for i, ch := range []<-chan time.Time{ch1, ch2} {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %d did not fire", i+1)
+		}
+	}
+	select {
+	case <-ch3:
+		t.Fatal("far-future waiter fired early")
+	default:
+	}
+	if m.Waiters() != 1 {
+		t.Fatalf("Waiters() = %d, want 1", m.Waiters())
+	}
+}

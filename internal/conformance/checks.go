@@ -1,0 +1,525 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+
+	"attain/internal/dataplane"
+	"attain/internal/openflow"
+)
+
+// checkHandshake performs HELLO exchange and FEATURES_REQUEST/REPLY.
+func (h *harness) checkHandshake() error {
+	if err := openflow.WriteMessage(h.cfg.Conn, h.nextXid(), &openflow.Hello{}); err != nil {
+		return err
+	}
+	if _, err := h.expectType(openflow.TypeHello); err != nil {
+		return fmt.Errorf("switch did not HELLO: %w", err)
+	}
+	xid, err := h.send(&openflow.FeaturesRequest{})
+	if err != nil {
+		return err
+	}
+	fr, err := h.expect("FEATURES_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeFeaturesReply && fr.hdr.Xid == xid
+	})
+	if err != nil {
+		return err
+	}
+	features := fr.msg.(*openflow.FeaturesReply)
+	if h.cfg.ExpectedDPID != 0 && features.DatapathID != h.cfg.ExpectedDPID {
+		return fmt.Errorf("dpid = %d, want %d", features.DatapathID, h.cfg.ExpectedDPID)
+	}
+	if len(features.Ports) == 0 {
+		return fmt.Errorf("FEATURES_REPLY lists no ports")
+	}
+	for tapped := range h.cfg.Ports {
+		found := false
+		for _, p := range features.Ports {
+			if p.PortNo == tapped {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("tapped port %d missing from FEATURES_REPLY", tapped)
+		}
+	}
+	h.features = features
+	return nil
+}
+
+// checkEcho verifies echo replies mirror payload and xid.
+func (h *harness) checkEcho() error {
+	payload := []byte("conformance-echo")
+	xid, err := h.send(&openflow.EchoRequest{Data: payload})
+	if err != nil {
+		return err
+	}
+	fr, err := h.expect("ECHO_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeEchoReply && fr.hdr.Xid == xid
+	})
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(fr.msg.(*openflow.EchoReply).Data, payload) {
+		return fmt.Errorf("echo payload not mirrored")
+	}
+	return nil
+}
+
+// checkBarrier verifies BARRIER_REPLY carries the request xid.
+func (h *harness) checkBarrier() error {
+	xid, err := h.send(&openflow.BarrierRequest{})
+	if err != nil {
+		return err
+	}
+	_, err = h.expect("BARRIER_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeBarrierReply && fr.hdr.Xid == xid
+	})
+	return err
+}
+
+// checkConfig verifies GET_CONFIG works and SET_CONFIG round-trips
+// miss_send_len.
+func (h *harness) checkConfig() error {
+	if _, err := h.send(&openflow.SetConfig{MissSendLen: 96}); err != nil {
+		return err
+	}
+	xid, err := h.send(&openflow.GetConfigRequest{})
+	if err != nil {
+		return err
+	}
+	fr, err := h.expect("GET_CONFIG_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeGetConfigReply && fr.hdr.Xid == xid
+	})
+	if err != nil {
+		return err
+	}
+	if got := fr.msg.(*openflow.GetConfigReply).MissSendLen; got != 96 {
+		return fmt.Errorf("miss_send_len = %d after SET_CONFIG 96", got)
+	}
+	// Restore a generous default for later checks.
+	_, err = h.send(&openflow.SetConfig{MissSendLen: 128})
+	return err
+}
+
+// checkPacketInOnMiss verifies a table miss produces a PACKET_IN with the
+// right in_port and (when buffered) truncated data.
+func (h *harness) checkPacketInOnMiss() error {
+	inPort, _, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	frame := testFrame(1)
+	h.cfg.Ports[inPort].Send(frame)
+	fr, err := h.expectType(openflow.TypePacketIn)
+	if err != nil {
+		return err
+	}
+	pi := fr.msg.(*openflow.PacketIn)
+	if pi.InPort != inPort {
+		return fmt.Errorf("packet-in in_port = %d, want %d", pi.InPort, inPort)
+	}
+	if pi.Reason != openflow.PacketInReasonNoMatch {
+		return fmt.Errorf("packet-in reason = %s, want NO_MATCH", pi.Reason)
+	}
+	if int(pi.TotalLen) != len(frame) {
+		return fmt.Errorf("packet-in total_len = %d, want %d", pi.TotalLen, len(frame))
+	}
+	if pi.BufferID != openflow.NoBuffer && len(pi.Data) > 128 {
+		return fmt.Errorf("buffered packet-in carries %d bytes, above miss_send_len", len(pi.Data))
+	}
+	if pi.BufferID == openflow.NoBuffer && !bytes.Equal(pi.Data, frame) {
+		return fmt.Errorf("unbuffered packet-in does not carry the full frame")
+	}
+	return nil
+}
+
+// checkPacketOutData verifies PACKET_OUT with inline data emits the frame.
+func (h *harness) checkPacketOutData() error {
+	_, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	frame := testFrame(2)
+	if _, err := h.send(&openflow.PacketOut{
+		BufferID: openflow.NoBuffer,
+		InPort:   openflow.PortNone,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
+		Data:     frame,
+	}); err != nil {
+		return err
+	}
+	got, err := h.expectFrame(outPort)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, frame) {
+		return fmt.Errorf("emitted frame differs from PACKET_OUT data")
+	}
+	return nil
+}
+
+// checkPacketOutBuffered verifies a buffered packet can be released by
+// buffer id, carrying the full original frame.
+func (h *harness) checkPacketOutBuffered() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	frame := testFrame(3)
+	h.cfg.Ports[inPort].Send(frame)
+	fr, err := h.expectType(openflow.TypePacketIn)
+	if err != nil {
+		return err
+	}
+	pi := fr.msg.(*openflow.PacketIn)
+	if pi.BufferID == openflow.NoBuffer {
+		// Bufferless switches legitimately pass this check vacuously.
+		return nil
+	}
+	if _, err := h.send(&openflow.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
+	}); err != nil {
+		return err
+	}
+	got, err := h.expectFrame(outPort)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, frame) {
+		return fmt.Errorf("released buffer differs from the original frame")
+	}
+	return nil
+}
+
+// installExact installs an exact-match flow for testFrame traffic from
+// inPort to outPort at the given priority and waits for a barrier.
+func (h *harness) installExact(inPort, outPort, priority uint16, opts func(*openflow.FlowMod)) error {
+	fields, err := dataplane.Fields(inPort, testFrame(0))
+	if err != nil {
+		return err
+	}
+	// ICMP seq lives in the payload, not the match, so one match covers
+	// all testFrame sequence numbers.
+	fm := &openflow.FlowMod{
+		Match:    openflow.ExactFrom(fields),
+		Command:  openflow.FlowModAdd,
+		Priority: priority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
+	}
+	if opts != nil {
+		opts(fm)
+	}
+	if _, err := h.send(fm); err != nil {
+		return err
+	}
+	xid, err := h.send(&openflow.BarrierRequest{})
+	if err != nil {
+		return err
+	}
+	_, err = h.expect("BARRIER_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeBarrierReply && fr.hdr.Xid == xid
+	})
+	return err
+}
+
+// checkFlowAddForwards verifies an installed flow forwards matching
+// packets in the data plane without consulting the controller.
+func (h *harness) checkFlowAddForwards() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 10, nil); err != nil {
+		return err
+	}
+	frame := testFrame(4)
+	h.cfg.Ports[inPort].Send(frame)
+	got, err := h.expectFrame(outPort)
+	if err != nil {
+		return fmt.Errorf("flow did not forward: %w", err)
+	}
+	if !bytes.Equal(got, frame) {
+		return fmt.Errorf("forwarded frame differs")
+	}
+	// No packet-in should have been raised.
+	select {
+	case fr := <-h.msgs:
+		if fr.hdr.Type == openflow.TypePacketIn {
+			return fmt.Errorf("matched packet still raised a PACKET_IN")
+		}
+	default:
+	}
+	return nil
+}
+
+// checkPriority verifies the higher-priority entry wins.
+func (h *harness) checkPriority() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	// Low-priority catch-all drops (no actions); high-priority exact
+	// match forwards.
+	if _, err := h.send(&openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FlowModAdd,
+		Priority: 1,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}); err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 100, nil); err != nil {
+		return err
+	}
+	frame := testFrame(5)
+	h.cfg.Ports[inPort].Send(frame)
+	if _, err := h.expectFrame(outPort); err != nil {
+		return fmt.Errorf("high-priority flow did not win: %w", err)
+	}
+	return nil
+}
+
+// checkDelete verifies non-strict DELETE removes subsumed flows.
+func (h *harness) checkDelete() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 10, nil); err != nil {
+		return err
+	}
+	if err := h.wipeFlows(); err != nil {
+		return err
+	}
+	frame := testFrame(6)
+	h.cfg.Ports[inPort].Send(frame)
+	// After deletion the packet must miss (packet-in), not forward.
+	if _, err := h.expectType(openflow.TypePacketIn); err != nil {
+		return fmt.Errorf("deleted flow still absorbing packets: %w", err)
+	}
+	return h.expectNoFrame(outPort, h.cfg.Timeout/4)
+}
+
+// checkDeleteStrict verifies DELETE_STRICT only removes exact matches.
+func (h *harness) checkDeleteStrict() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 10, nil); err != nil {
+		return err
+	}
+	// Strict-delete with a wildcard match must NOT remove the exact flow.
+	if _, err := h.send(&openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FlowModDeleteStrict,
+		Priority: 10,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}); err != nil {
+		return err
+	}
+	frame := testFrame(7)
+	h.cfg.Ports[inPort].Send(frame)
+	if _, err := h.expectFrame(outPort); err != nil {
+		return fmt.Errorf("strict delete with non-identical match removed the flow: %w", err)
+	}
+	return nil
+}
+
+// checkOverlap verifies CHECK_OVERLAP triggers an OVERLAP error.
+func (h *harness) checkOverlap() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if _, err := h.send(&openflow.FlowMod{
+		Match:    openflow.MatchAll(),
+		Command:  openflow.FlowModAdd,
+		Priority: 5,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+	}); err != nil {
+		return err
+	}
+	// Send the overlapping CHECK_OVERLAP add WITHOUT a trailing barrier:
+	// the error must arrive on its own, and a barrier wait would consume
+	// and discard it.
+	fields, err := dataplane.Fields(inPort, testFrame(0))
+	if err != nil {
+		return err
+	}
+	if _, err := h.send(&openflow.FlowMod{
+		Match:    openflow.ExactFrom(fields),
+		Command:  openflow.FlowModAdd,
+		Priority: 5,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Flags:    openflow.FlowModFlagCheckOverlap,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
+	}); err != nil {
+		return err
+	}
+	fr, err := h.expectType(openflow.TypeError)
+	if err != nil {
+		return fmt.Errorf("no error for overlapping CHECK_OVERLAP add: %w", err)
+	}
+	em := fr.msg.(*openflow.ErrorMsg)
+	if em.ErrType != openflow.ErrTypeFlowModFailed || em.Code != openflow.ErrCodeFlowModOverlap {
+		return fmt.Errorf("error type/code = %d/%d, want FLOW_MOD_FAILED/OVERLAP", em.ErrType, em.Code)
+	}
+	return nil
+}
+
+// checkModify verifies MODIFY updates an entry's actions in place.
+func (h *harness) checkModify() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 10, nil); err != nil {
+		return err
+	}
+	// Redirect the flow to drop (no actions) via non-strict MODIFY.
+	fields, err := dataplane.Fields(inPort, testFrame(0))
+	if err != nil {
+		return err
+	}
+	if _, err := h.send(&openflow.FlowMod{
+		Match:    openflow.ExactFrom(fields),
+		Command:  openflow.FlowModModify,
+		Priority: 10,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		// No actions: matching packets are dropped.
+	}); err != nil {
+		return err
+	}
+	xid, err := h.send(&openflow.BarrierRequest{})
+	if err != nil {
+		return err
+	}
+	if _, err := h.expect("BARRIER_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeBarrierReply && fr.hdr.Xid == xid
+	}); err != nil {
+		return err
+	}
+	h.cfg.Ports[inPort].Send(testFrame(20))
+	if err := h.expectNoFrame(outPort, h.cfg.Timeout/4); err != nil {
+		return fmt.Errorf("modified (drop) flow still forwards: %w", err)
+	}
+	return nil
+}
+
+// checkIdleExpiry verifies idle timeouts evict entries and raise
+// FLOW_REMOVED when OFPFF_SEND_FLOW_REM is set.
+func (h *harness) checkIdleExpiry() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 10, func(fm *openflow.FlowMod) {
+		fm.IdleTimeout = 1
+		fm.Flags |= openflow.FlowModFlagSendFlowRem
+		fm.Cookie = 0x1D7E
+	}); err != nil {
+		return err
+	}
+	// Do not send traffic: the entry must idle out within ~1s plus the
+	// switch's sweep interval.
+	fr, err := h.expect("FLOW_REMOVED", func(fr framed) bool {
+		if fr.hdr.Type != openflow.TypeFlowRemoved {
+			return false
+		}
+		return fr.msg.(*openflow.FlowRemoved).Cookie == 0x1D7E
+	})
+	if err != nil {
+		return fmt.Errorf("no FLOW_REMOVED after idle timeout: %w", err)
+	}
+	if reason := fr.msg.(*openflow.FlowRemoved).Reason; reason != openflow.FlowRemovedIdleTimeout {
+		return fmt.Errorf("removal reason = %s, want IDLE_TIMEOUT", reason)
+	}
+	// The flow must no longer forward.
+	h.cfg.Ports[inPort].Send(testFrame(21))
+	if err := h.expectNoFrame(outPort, h.cfg.Timeout/4); err != nil {
+		return fmt.Errorf("expired flow still forwards: %w", err)
+	}
+	return nil
+}
+
+// checkFlowStats verifies per-flow counters via STATS_REQUEST.
+func (h *harness) checkFlowStats() error {
+	inPort, outPort, err := h.twoPorts()
+	if err != nil {
+		return err
+	}
+	if err := h.installExact(inPort, outPort, 10, func(fm *openflow.FlowMod) {
+		fm.Cookie = 0xC0FFEE
+	}); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		h.cfg.Ports[inPort].Send(testFrame(uint16(10 + i)))
+		if _, err := h.expectFrame(outPort); err != nil {
+			return err
+		}
+	}
+	xid, err := h.send(&openflow.StatsRequest{Body: &openflow.FlowStatsRequest{
+		Match: openflow.MatchAll(), TableID: 0xff, OutPort: openflow.PortNone,
+	}})
+	if err != nil {
+		return err
+	}
+	fr, err := h.expect("flow STATS_REPLY", func(fr framed) bool {
+		return fr.hdr.Type == openflow.TypeStatsReply && fr.hdr.Xid == xid
+	})
+	if err != nil {
+		return err
+	}
+	reply, ok := fr.msg.(*openflow.StatsReply).Body.(*openflow.FlowStatsReply)
+	if !ok {
+		return fmt.Errorf("stats body is %T", fr.msg.(*openflow.StatsReply).Body)
+	}
+	for _, f := range reply.Flows {
+		if f.Cookie == 0xC0FFEE {
+			if f.PacketCount < 3 {
+				return fmt.Errorf("flow packet count = %d, want >= 3", f.PacketCount)
+			}
+			return nil
+		}
+	}
+	return fmt.Errorf("installed flow missing from stats reply (%d flows)", len(reply.Flows))
+}
+
+// checkMetaStats verifies desc, table, and port statistics replies.
+func (h *harness) checkMetaStats() error {
+	for _, body := range []openflow.StatsBody{
+		openflow.DescStatsRequest{},
+		openflow.TableStatsRequest{},
+		&openflow.PortStatsRequest{PortNo: openflow.PortNone},
+	} {
+		xid, err := h.send(&openflow.StatsRequest{Body: body})
+		if err != nil {
+			return err
+		}
+		fr, err := h.expect(fmt.Sprintf("stats reply type %d", body.StatsType()), func(fr framed) bool {
+			return fr.hdr.Type == openflow.TypeStatsReply && fr.hdr.Xid == xid
+		})
+		if err != nil {
+			return err
+		}
+		reply := fr.msg.(*openflow.StatsReply)
+		if reply.Body.StatsType() != body.StatsType() {
+			return fmt.Errorf("stats reply type = %d, want %d", reply.Body.StatsType(), body.StatsType())
+		}
+	}
+	return nil
+}

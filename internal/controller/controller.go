@@ -1,0 +1,374 @@
+// Package controller implements the SDN controller substrate: a connection
+// framework (listen, handshake, dispatch) and three learning-switch
+// application profiles that reproduce the behavioural differences among
+// Floodlight's Forwarding module, POX's forwarding.l2_learning, and Ryu's
+// simple_switch that drive the divergent attack outcomes in the ATTAIN
+// paper's evaluation.
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+)
+
+// App is a controller application receiving switch events.
+type App interface {
+	// Name identifies the application profile.
+	Name() string
+	// PacketIn handles one PACKET_IN from a connected switch.
+	PacketIn(sw *SwitchConn, pi *openflow.PacketIn)
+}
+
+// ConnHook is an optional App extension notified of switch connections.
+type ConnHook interface {
+	// SwitchUp fires after the handshake with a switch completes.
+	SwitchUp(sw *SwitchConn)
+	// SwitchDown fires when a switch connection is lost.
+	SwitchDown(sw *SwitchConn)
+}
+
+// Config describes a controller instance.
+type Config struct {
+	// Name is a human-readable identifier, e.g. "c1".
+	Name string
+	// ListenAddr is where switches connect.
+	ListenAddr string
+	// Transport supplies the control-plane network.
+	Transport netem.Transport
+	// App is the network application driving forwarding decisions.
+	App App
+	// ProcessingDelay models per-PACKET_IN controller compute time.
+	ProcessingDelay time.Duration
+	// SingleThreaded serializes all PACKET_IN handling across every switch
+	// connection, modelling single-event-loop controllers such as POX.
+	SingleThreaded bool
+	// HandshakeTimeout bounds the HELLO/FEATURES exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	Connections    uint64
+	PacketIns      uint64
+	FlowModsSent   uint64
+	PacketOutsSent uint64
+}
+
+// Controller accepts switch connections and dispatches OpenFlow events to
+// its App.
+type Controller struct {
+	cfg Config
+	clk clock.Clock
+
+	mu       sync.Mutex
+	ln       net.Listener
+	switches map[uint64]*SwitchConn
+	conns    map[*SwitchConn]struct{}
+	stats    Stats
+	started  bool
+
+	eventMu sync.Mutex // serializes PACKET_IN when SingleThreaded
+
+	xid  atomic.Uint32
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New creates a controller. Call Start to begin listening.
+func New(cfg Config, clk clock.Clock) *Controller {
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	return &Controller{
+		cfg:      cfg,
+		clk:      clk,
+		switches: make(map[uint64]*SwitchConn),
+		conns:    make(map[*SwitchConn]struct{}),
+		stop:     make(chan struct{}),
+	}
+}
+
+// Name returns the controller name.
+func (c *Controller) Name() string { return c.cfg.Name }
+
+// Addr returns the bound listen address (valid after Start).
+func (c *Controller) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ln == nil {
+		return c.cfg.ListenAddr
+	}
+	return c.ln.Addr().String()
+}
+
+// Stats returns a snapshot of the activity counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Switches returns the currently connected switches keyed by DPID.
+func (c *Controller) Switches() map[uint64]*SwitchConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[uint64]*SwitchConn, len(c.switches))
+	for k, v := range c.switches {
+		out[k] = v
+	}
+	return out
+}
+
+// Start begins accepting switch connections.
+func (c *Controller) Start() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return errors.New("controller: already started")
+	}
+	ln, err := c.cfg.Transport.Listen(c.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("controller listen: %w", err)
+	}
+	c.ln = ln
+	c.started = true
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.acceptLoop(ln)
+	}()
+	return nil
+}
+
+// Stop closes the listener and all switch connections and waits for the
+// controller's goroutines.
+func (c *Controller) Stop() {
+	c.mu.Lock()
+	if !c.started {
+		c.mu.Unlock()
+		return
+	}
+	select {
+	case <-c.stop:
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	default:
+	}
+	close(c.stop)
+	ln := c.ln
+	conns := make([]*SwitchConn, 0, len(c.conns))
+	for sw := range c.conns {
+		conns = append(conns, sw)
+	}
+	c.mu.Unlock()
+	if ln != nil {
+		_ = ln.Close()
+	}
+	for _, sw := range conns {
+		sw.close()
+	}
+	c.wg.Wait()
+}
+
+func (c *Controller) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serve(conn)
+		}()
+	}
+}
+
+// serve runs one switch session to completion.
+func (c *Controller) serve(conn net.Conn) {
+	sw := &SwitchConn{ctrl: c, conn: conn}
+	c.mu.Lock()
+	c.conns[sw] = struct{}{}
+	c.mu.Unlock()
+	defer func() {
+		sw.close()
+		c.mu.Lock()
+		delete(c.conns, sw)
+		c.mu.Unlock()
+	}()
+
+	if err := c.handshake(sw); err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.stats.Connections++
+	c.switches[sw.dpid] = sw
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		if c.switches[sw.dpid] == sw {
+			delete(c.switches, sw.dpid)
+		}
+		c.mu.Unlock()
+		if hook, ok := c.cfg.App.(ConnHook); ok {
+			hook.SwitchDown(sw)
+		}
+	}()
+	if hook, ok := c.cfg.App.(ConnHook); ok {
+		hook.SwitchUp(sw)
+	}
+
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		hdr, msg, err := openflow.ReadMessage(sw.conn)
+		if err != nil {
+			return
+		}
+		c.dispatch(sw, hdr, msg)
+	}
+}
+
+// handshake performs HELLO exchange followed by FEATURES_REQUEST/REPLY.
+func (c *Controller) handshake(sw *SwitchConn) error {
+	if err := sw.Send(&openflow.Hello{}); err != nil {
+		return err
+	}
+	deadline := c.clk.Now().Add(c.cfg.HandshakeTimeout)
+	sawHello := false
+	for {
+		if c.clk.Now().After(deadline) {
+			return errors.New("controller: handshake timeout")
+		}
+		_, msg, err := openflow.ReadMessage(sw.conn)
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *openflow.Hello:
+			if sawHello {
+				continue
+			}
+			sawHello = true
+			if err := sw.Send(&openflow.FeaturesRequest{}); err != nil {
+				return err
+			}
+		case *openflow.FeaturesReply:
+			if !sawHello {
+				return errors.New("controller: FEATURES_REPLY before HELLO")
+			}
+			sw.mu.Lock()
+			sw.dpid = m.DatapathID
+			sw.ports = append([]openflow.PhyPort(nil), m.Ports...)
+			sw.mu.Unlock()
+			return nil
+		case *openflow.EchoRequest:
+			if err := sw.Send(&openflow.EchoReply{Data: m.Data}); err != nil {
+				return err
+			}
+		default:
+			// Ignore anything else during handshake.
+		}
+	}
+}
+
+// dispatch handles one post-handshake message from a switch.
+func (c *Controller) dispatch(sw *SwitchConn, hdr openflow.Header, msg openflow.Message) {
+	switch m := msg.(type) {
+	case *openflow.EchoRequest:
+		_ = sw.sendXid(hdr.Xid, &openflow.EchoReply{Data: m.Data})
+	case *openflow.PacketIn:
+		c.mu.Lock()
+		c.stats.PacketIns++
+		c.mu.Unlock()
+		if c.cfg.SingleThreaded {
+			c.eventMu.Lock()
+		}
+		if c.cfg.ProcessingDelay > 0 {
+			c.clk.Sleep(c.cfg.ProcessingDelay)
+		}
+		c.cfg.App.PacketIn(sw, m)
+		if c.cfg.SingleThreaded {
+			c.eventMu.Unlock()
+		}
+	case *openflow.FlowRemoved, *openflow.PortStatus, *openflow.ErrorMsg,
+		*openflow.EchoReply, *openflow.BarrierReply, *openflow.StatsReply,
+		*openflow.GetConfigReply:
+		// Accepted and ignored by the base framework.
+	default:
+	}
+}
+
+// SwitchConn is the controller's view of one connected switch.
+type SwitchConn struct {
+	ctrl *Controller
+	conn net.Conn
+
+	mu      sync.Mutex
+	dpid    uint64
+	ports   []openflow.PhyPort
+	writeMu sync.Mutex
+	closed  bool
+}
+
+// DPID returns the switch datapath id (valid after handshake).
+func (sw *SwitchConn) DPID() uint64 {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.dpid
+}
+
+// Ports returns the switch's ports as reported in FEATURES_REPLY.
+func (sw *SwitchConn) Ports() []openflow.PhyPort {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return append([]openflow.PhyPort(nil), sw.ports...)
+}
+
+// Send writes one message with a fresh transaction id.
+func (sw *SwitchConn) Send(msg openflow.Message) error {
+	return sw.sendXid(sw.ctrl.xid.Add(1), msg)
+}
+
+func (sw *SwitchConn) sendXid(xid uint32, msg openflow.Message) error {
+	buf, err := openflow.Marshal(xid, msg)
+	if err != nil {
+		return err
+	}
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	if sw.closed {
+		return net.ErrClosed
+	}
+	_, err = sw.conn.Write(buf)
+	if err == nil {
+		sw.ctrl.mu.Lock()
+		switch msg.(type) {
+		case *openflow.FlowMod:
+			sw.ctrl.stats.FlowModsSent++
+		case *openflow.PacketOut:
+			sw.ctrl.stats.PacketOutsSent++
+		}
+		sw.ctrl.mu.Unlock()
+	}
+	return err
+}
+
+func (sw *SwitchConn) close() {
+	sw.writeMu.Lock()
+	sw.closed = true
+	sw.writeMu.Unlock()
+	_ = sw.conn.Close()
+}

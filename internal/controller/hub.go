@@ -1,0 +1,31 @@
+package controller
+
+import "attain/internal/openflow"
+
+// Hub is the simplest possible controller application: it floods every
+// packet out of every port and never installs flows, so all traffic
+// permanently detours through the controller. Useful as a worst-case
+// baseline (it behaves like a learning switch under permanent flow-mod
+// suppression) and as a minimal example of the App interface.
+type Hub struct{}
+
+var _ App = Hub{}
+
+// NewHub returns the hub application.
+func NewHub() Hub { return Hub{} }
+
+// Name implements App.
+func (Hub) Name() string { return "hub" }
+
+// PacketIn implements App by flooding the packet.
+func (Hub) PacketIn(sw *SwitchConn, pi *openflow.PacketIn) {
+	po := &openflow.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
+	}
+	if pi.BufferID == openflow.NoBuffer {
+		po.Data = pi.Data
+	}
+	_ = sw.Send(po)
+}

@@ -1,0 +1,62 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+)
+
+func TestHubFloodsEverything(t *testing.T) {
+	tr := netem.NewMemTransport()
+	ctrl := New(Config{Name: "c1", ListenAddr: "c1", Transport: tr, App: NewHub()}, clock.New())
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Stop)
+	fs := dialController(t, tr, "c1", 1)
+
+	// Even a packet to a previously seen destination floods.
+	for i := 0; i < 3; i++ {
+		fs.send(uint32(i+2), packetInFor(macA, macB, ipA, ipB, 1, uint32(100+i)))
+		msg := fs.expect(2 * time.Second)
+		po, ok := msg.(*openflow.PacketOut)
+		if !ok {
+			t.Fatalf("got %s, want PACKET_OUT", msg.Type())
+		}
+		if out := po.Actions[0].(openflow.ActionOutput); out.Port != openflow.PortFlood {
+			t.Errorf("hub output port = %d, want FLOOD", out.Port)
+		}
+		if po.BufferID != uint32(100+i) {
+			t.Errorf("buffer id = %d", po.BufferID)
+		}
+	}
+	// Never a flow mod.
+	fs.expectNone(100 * time.Millisecond)
+	if ctrl.Stats().FlowModsSent != 0 {
+		t.Errorf("hub sent %d flow mods", ctrl.Stats().FlowModsSent)
+	}
+}
+
+func TestHubEndToEndPing(t *testing.T) {
+	// A hub-controlled switch still provides connectivity, just slowly.
+	tr := netem.NewMemTransport()
+	clk := clock.New()
+	ctrl := New(Config{Name: "c1", ListenAddr: "c1", Transport: tr, App: NewHub()}, clk)
+	if err := ctrl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ctrl.Stop)
+	// Reuse the switchsim integration shape from the switchsim package is
+	// not possible here (import cycle), so drive the fake switch with a
+	// raw miss + verify the flood goes back out.
+	fs := dialController(t, tr, "c1", 9)
+	fs.send(5, packetInFor(macB, macA, ipB, ipA, 2, openflow.NoBuffer))
+	msg := fs.expect(2 * time.Second)
+	po, ok := msg.(*openflow.PacketOut)
+	if !ok || len(po.Data) == 0 {
+		t.Fatalf("unbuffered flood must carry data: %T", msg)
+	}
+}

@@ -1,0 +1,193 @@
+package controller
+
+import (
+	"sync"
+
+	"attain/internal/dataplane"
+	"attain/internal/netaddr"
+	"attain/internal/openflow"
+)
+
+// Profile selects one of the modelled controller implementations.
+type Profile int
+
+const (
+	// ProfileFloodlight models Floodlight's Forwarding module: exact
+	// L2-L4 match flows plus a separate PACKET_OUT per miss, idle
+	// timeout 5 s. Suppressing its FLOW_MODs degrades service (packets
+	// still flow one PACKET_IN/PACKET_OUT round trip at a time).
+	ProfileFloodlight Profile = iota + 1
+	// ProfilePOX models POX forwarding.l2_learning: exact-match flows
+	// whose FLOW_MOD carries the PACKET_IN buffer id — the buffered
+	// packet is released by the flow mod itself, with no separate
+	// PACKET_OUT. Suppressing its FLOW_MODs therefore black-holes the
+	// traffic entirely (the paper's denial-of-service asterisk). Idle
+	// timeout 10 s, hard timeout 30 s.
+	ProfilePOX
+	// ProfileRyu models Ryu simple_switch: flows match only in_port,
+	// dl_src, dl_dst (no network-layer fields), no timeouts, plus a
+	// separate PACKET_OUT. Its FLOW_MODs carry no nw_src, which is why
+	// the paper's connection-interruption rule never fires against Ryu.
+	ProfileRyu
+)
+
+// String returns the profile's controller name.
+func (p Profile) String() string {
+	switch p {
+	case ProfileFloodlight:
+		return "floodlight"
+	case ProfilePOX:
+		return "pox"
+	case ProfileRyu:
+		return "ryu"
+	default:
+		return "unknown"
+	}
+}
+
+// LearningSwitch is a controller application implementing per-switch MAC
+// learning with one of the three behavioural profiles.
+type LearningSwitch struct {
+	profile Profile
+
+	mu     sync.Mutex
+	tables map[uint64]map[netaddr.MAC]uint16 // dpid -> mac -> port
+}
+
+var _ App = (*LearningSwitch)(nil)
+var _ ConnHook = (*LearningSwitch)(nil)
+
+// NewLearningSwitch creates the application for the given profile.
+func NewLearningSwitch(profile Profile) *LearningSwitch {
+	return &LearningSwitch{
+		profile: profile,
+		tables:  make(map[uint64]map[netaddr.MAC]uint16),
+	}
+}
+
+// Name implements App.
+func (l *LearningSwitch) Name() string { return l.profile.String() + "-l2-learning" }
+
+// Profile returns the behavioural profile.
+func (l *LearningSwitch) Profile() Profile { return l.profile }
+
+// SwitchUp implements ConnHook: reset learned state for the datapath.
+func (l *LearningSwitch) SwitchUp(sw *SwitchConn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tables[sw.DPID()] = make(map[netaddr.MAC]uint16)
+}
+
+// SwitchDown implements ConnHook.
+func (l *LearningSwitch) SwitchDown(sw *SwitchConn) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.tables, sw.DPID())
+}
+
+// MACTable returns a copy of the learned table for a datapath (for tests).
+func (l *LearningSwitch) MACTable(dpid uint64) map[netaddr.MAC]uint16 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[netaddr.MAC]uint16, len(l.tables[dpid]))
+	for k, v := range l.tables[dpid] {
+		out[k] = v
+	}
+	return out
+}
+
+// PacketIn implements App: learn the source, then either flood (unknown
+// destination) or install a flow and forward, per the profile.
+func (l *LearningSwitch) PacketIn(sw *SwitchConn, pi *openflow.PacketIn) {
+	fields, err := dataplane.Fields(pi.InPort, pi.Data)
+	if err != nil {
+		return
+	}
+	dpid := sw.DPID()
+
+	l.mu.Lock()
+	table := l.tables[dpid]
+	if table == nil {
+		table = make(map[netaddr.MAC]uint16)
+		l.tables[dpid] = table
+	}
+	table[fields.DLSrc] = pi.InPort
+	outPort, known := table[fields.DLDst]
+	l.mu.Unlock()
+
+	if !known || fields.DLDst.IsMulticast() {
+		l.flood(sw, pi)
+		return
+	}
+	l.forward(sw, pi, fields, outPort)
+}
+
+// flood resends the packet out of every port except its ingress, without
+// installing a flow.
+func (l *LearningSwitch) flood(sw *SwitchConn, pi *openflow.PacketIn) {
+	po := &openflow.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: openflow.PortFlood}},
+	}
+	if pi.BufferID == openflow.NoBuffer {
+		po.Data = pi.Data
+	}
+	_ = sw.Send(po)
+}
+
+// forward installs a flow for the packet's destination and delivers the
+// triggering packet, with per-profile semantics.
+func (l *LearningSwitch) forward(sw *SwitchConn, pi *openflow.PacketIn, fields openflow.FieldView, outPort uint16) {
+	actions := []openflow.Action{openflow.ActionOutput{Port: outPort}}
+
+	fm := &openflow.FlowMod{
+		Command:  openflow.FlowModAdd,
+		Priority: 1,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Actions:  actions,
+	}
+
+	switch l.profile {
+	case ProfileFloodlight:
+		fm.Match = openflow.ExactFrom(fields)
+		fm.IdleTimeout = 5
+		fm.Flags = openflow.FlowModFlagSendFlowRem
+	case ProfilePOX:
+		fm.Match = openflow.ExactFrom(fields)
+		fm.IdleTimeout = 10
+		fm.HardTimeout = 30
+		// POX releases the buffered packet via the FLOW_MOD itself.
+		fm.BufferID = pi.BufferID
+	case ProfileRyu:
+		m := openflow.MatchAll()
+		m.Wildcards &^= openflow.WildcardInPort | openflow.WildcardDLSrc | openflow.WildcardDLDst
+		m.InPort = fields.InPort
+		m.DLSrc = fields.DLSrc
+		m.DLDst = fields.DLDst
+		fm.Match = m
+	}
+	_ = sw.Send(fm)
+
+	// Floodlight and Ryu deliver the packet with an explicit PACKET_OUT;
+	// POX relies on the flow mod's buffer release (or, for unbuffered
+	// packet-ins, a packet out).
+	needPacketOut := l.profile != ProfilePOX || pi.BufferID == openflow.NoBuffer
+	if !needPacketOut {
+		return
+	}
+	po := &openflow.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  []openflow.Action{openflow.ActionOutput{Port: outPort}},
+	}
+	if l.profile == ProfilePOX {
+		// Unbuffered POX path only.
+		po.BufferID = openflow.NoBuffer
+	}
+	if po.BufferID == openflow.NoBuffer {
+		po.Data = pi.Data
+	}
+	_ = sw.Send(po)
+}

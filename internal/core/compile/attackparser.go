@@ -1,0 +1,625 @@
+package compile
+
+import (
+	"strconv"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+// ---- Attack states DSL ----
+//
+//	attack "name" start sigma1 {
+//	  state sigma1 {
+//	    rule phi1 on (c1,s2) caps notls {
+//	      when msg.source = "s2" and msg.type = "HELLO"
+//	      do pass; goto sigma2
+//	    }
+//	  }
+//	  state sigma3 { }   # end state: no rules
+//	}
+//
+// Expressions may reference hosts via host(h2) (the host's IP string) and
+// hostmac(h2), resolved at compile time against the system model.
+
+// ParseAttack parses the attack states DSL. The system model resolves
+// host() references; pass nil to forbid them.
+func ParseAttack(src string, sys *model.System) (*lang.Attack, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	ap := &attackParser{parser: p, sys: sys}
+	return ap.parseAttack()
+}
+
+// ParseExprString parses a standalone conditional expression (used by the
+// XML loader, whose <when> elements carry DSL expression text).
+func ParseExprString(src string, sys *model.System) (lang.Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	ap := &attackParser{parser: p, sys: sys}
+	e, err := ap.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := ap.peek(); t.kind != tokEOF {
+		return nil, ap.errf(t, "trailing input %q after expression", t.text)
+	}
+	return e, nil
+}
+
+// ParseActionsString parses a standalone semicolon-separated action list
+// (used by the XML loader's <do> elements).
+func ParseActionsString(src string, sys *model.System) ([]lang.Action, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	ap := &attackParser{parser: p, sys: sys}
+	var actions []lang.Action
+	for {
+		act, err := ap.parseAction()
+		if err != nil {
+			return nil, err
+		}
+		actions = append(actions, act)
+		if !ap.acceptPunct(";") {
+			break
+		}
+	}
+	if t := ap.peek(); t.kind != tokEOF {
+		return nil, ap.errf(t, "trailing input %q after actions", t.text)
+	}
+	return actions, nil
+}
+
+type attackParser struct {
+	*parser
+	sys *model.System
+}
+
+func (ap *attackParser) parseAttack() (*lang.Attack, error) {
+	if err := ap.expectKeyword("attack"); err != nil {
+		return nil, err
+	}
+	name, err := ap.expectString()
+	if err != nil {
+		return nil, err
+	}
+	if err := ap.expectKeyword("start"); err != nil {
+		return nil, err
+	}
+	start, err := ap.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := ap.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	attack := lang.NewAttack(name, start)
+	for {
+		t := ap.advance()
+		if t.kind == tokPunct && t.text == "}" {
+			break
+		}
+		if t.kind != tokIdent || t.text != "state" {
+			return nil, ap.errf(t, "expected \"state\", got %q", t.text)
+		}
+		st, err := ap.parseState()
+		if err != nil {
+			return nil, err
+		}
+		attack.AddState(st)
+	}
+	return attack, nil
+}
+
+func (ap *attackParser) parseState() (*lang.State, error) {
+	name, err := ap.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := ap.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	st := &lang.State{Name: name}
+	for {
+		t := ap.advance()
+		if t.kind == tokPunct && t.text == "}" {
+			return st, nil
+		}
+		if t.kind != tokIdent || t.text != "rule" {
+			return nil, ap.errf(t, "expected \"rule\", got %q", t.text)
+		}
+		rule, err := ap.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		st.Rules = append(st.Rules, rule)
+	}
+}
+
+func (ap *attackParser) parseRule() (*lang.Rule, error) {
+	name, err := ap.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	rule := &lang.Rule{Name: name}
+
+	if err := ap.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	for {
+		conn, err := ap.parseConn()
+		if err != nil {
+			return nil, err
+		}
+		rule.Conns = append(rule.Conns, conn)
+		if !ap.acceptPunct(",") {
+			break
+		}
+	}
+
+	if err := ap.expectKeyword("caps"); err != nil {
+		return nil, err
+	}
+	capsTok := ap.advance()
+	if capsTok.kind != tokIdent {
+		return nil, ap.errf(capsTok, "expected capability set, got %q", capsTok.text)
+	}
+	capsText := capsTok.text
+	for ap.peek().kind == tokPunct && ap.peek().text == "," {
+		// Only continue if the next-next token is a capability name (not
+		// inside the rule body).
+		ap.advance()
+		next, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		capsText += "," + next
+	}
+	caps, err := model.ParseCapabilitySet(capsText)
+	if err != nil {
+		return nil, ap.errf(capsTok, "%v", err)
+	}
+	rule.Caps = caps
+
+	// Optional stochastic firing probability: `prob 0.25`.
+	if ap.acceptKeyword("prob") {
+		t := ap.advance()
+		// Decimal probabilities like "0.25" lex as identifiers (the dot
+		// rule that also serves IP literals); integers 0 and 1 lex as
+		// numbers.
+		if t.kind != tokIdent && t.kind != tokNumber {
+			return nil, ap.errf(t, "expected probability, got %q", t.text)
+		}
+		p, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, ap.errf(t, "invalid probability %q", t.text)
+		}
+		rule.Prob = p
+	}
+
+	if err := ap.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	if err := ap.expectKeyword("when"); err != nil {
+		return nil, err
+	}
+	cond, err := ap.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	rule.Cond = cond
+
+	// The action list is optional: a rule may only observe (its match is
+	// still logged as a rule notification).
+	if ap.acceptKeyword("do") {
+		for {
+			act, err := ap.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			rule.Actions = append(rule.Actions, act)
+			if !ap.acceptPunct(";") {
+				break
+			}
+		}
+	}
+	if err := ap.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	return rule, nil
+}
+
+// ---- Actions ----
+
+func (ap *attackParser) parseAction() (lang.Action, error) {
+	t := ap.advance()
+	if t.kind != tokIdent {
+		return nil, ap.errf(t, "expected action, got %q", t.text)
+	}
+	switch t.text {
+	case "drop":
+		return lang.DropMessage{}, nil
+	case "pass":
+		return lang.PassMessage{}, nil
+	case "duplicate":
+		return lang.DuplicateMessage{}, nil
+	case "fuzz":
+		if ap.peek().kind == tokNumber {
+			n, err := ap.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			return lang.FuzzMessage{Seed: n}, nil
+		}
+		return lang.FuzzMessage{}, nil
+	case "delay":
+		d, err := ap.expectDuration()
+		if err != nil {
+			return nil, err
+		}
+		return lang.DelayMessage{D: d}, nil
+	case "goto":
+		state, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return lang.GotoState{State: state}, nil
+	case "sleep":
+		d, err := ap.expectDuration()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Sleep{D: d}, nil
+	case "syscmd":
+		host, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		cmd, err := ap.expectString()
+		if err != nil {
+			return nil, err
+		}
+		return lang.SysCmd{Host: model.NodeID(host), Cmd: cmd}, nil
+	case "store":
+		deque, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		front := false
+		if ap.acceptKeyword("front") {
+			front = true
+		} else {
+			ap.acceptKeyword("end")
+		}
+		return lang.StoreMessage{Deque: deque, Front: front}, nil
+	case "sendStored", "sendstored":
+		deque, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		fromEnd := false
+		if ap.acceptKeyword("end") {
+			fromEnd = true
+		} else {
+			ap.acceptKeyword("front")
+		}
+		return lang.SendStored{Deque: deque, FromEnd: fromEnd}, nil
+	case "prepend", "append":
+		if err := ap.expectPunct("("); err != nil {
+			return nil, err
+		}
+		deque, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := ap.expectPunct(","); err != nil {
+			return nil, err
+		}
+		val, err := ap.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		if err := ap.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return lang.DequePush{Deque: deque, Front: t.text == "prepend", Value: val}, nil
+	case "shift", "pop":
+		if err := ap.expectPunct("("); err != nil {
+			return nil, err
+		}
+		deque, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := ap.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return lang.DequeDiscard{Deque: deque, FromEnd: t.text == "pop"}, nil
+	case "modify":
+		field, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !lang.KnownProperty(field) {
+			return nil, ap.errf(t, "unknown message property %q", field)
+		}
+		if err := ap.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := ap.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return lang.ModifyField{Field: field, Value: val}, nil
+	case "inject":
+		template, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		dir := lang.ControllerToSwitch
+		if ap.acceptKeyword("s2c") {
+			dir = lang.SwitchToController
+		} else {
+			ap.acceptKeyword("c2s")
+		}
+		return lang.InjectMessage{Template: template, Direction: dir}, nil
+	default:
+		return nil, ap.errf(t, "unknown action %q", t.text)
+	}
+}
+
+// ---- Expressions ----
+//
+//	expr    := and ("or" and)*
+//	and     := unary ("and" unary)*
+//	unary   := "not" unary | cmp
+//	cmp     := operand ( ("="|"!="|"<"|"<="|">"|">=") operand
+//	                   | "in" "{" operand ("," operand)* "}" )?
+//	operand := term (("+"|"-") term)*
+//	term    := "(" expr ")" | literal | property | function call
+
+func (ap *attackParser) parseExpr() (lang.Expr, error) {
+	left, err := ap.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []lang.Expr{left}
+	for ap.acceptKeyword("or") {
+		right, err := ap.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, right)
+	}
+	if len(exprs) == 1 {
+		return left, nil
+	}
+	return lang.Or{Exprs: exprs}, nil
+}
+
+func (ap *attackParser) parseAnd() (lang.Expr, error) {
+	left, err := ap.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []lang.Expr{left}
+	for ap.acceptKeyword("and") {
+		right, err := ap.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, right)
+	}
+	if len(exprs) == 1 {
+		return left, nil
+	}
+	return lang.And{Exprs: exprs}, nil
+}
+
+func (ap *attackParser) parseUnary() (lang.Expr, error) {
+	if ap.acceptKeyword("not") {
+		inner, err := ap.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Not{Expr: inner}, nil
+	}
+	return ap.parseCmp()
+}
+
+func (ap *attackParser) parseCmp() (lang.Expr, error) {
+	left, err := ap.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	// Set membership.
+	if ap.acceptKeyword("in") {
+		if err := ap.expectPunct("{"); err != nil {
+			return nil, err
+		}
+		var set []lang.Expr
+		for {
+			v, err := ap.parseOperand()
+			if err != nil {
+				return nil, err
+			}
+			set = append(set, v)
+			if !ap.acceptPunct(",") {
+				break
+			}
+		}
+		if err := ap.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return lang.In{L: left, Set: set}, nil
+	}
+	t := ap.peek()
+	if t.kind == tokPunct {
+		var op lang.CmpOp
+		switch t.text {
+		case "=":
+			op = lang.OpEq
+		case "!=":
+			op = lang.OpNe
+		case "<":
+			op = lang.OpLt
+		case "<=":
+			op = lang.OpLe
+		case ">":
+			op = lang.OpGt
+		case ">=":
+			op = lang.OpGe
+		default:
+			return left, nil
+		}
+		ap.advance()
+		right, err := ap.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return lang.Cmp{Op: op, L: left, R: right}, nil
+	}
+	return left, nil
+}
+
+func (ap *attackParser) parseOperand() (lang.Expr, error) {
+	left, err := ap.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := ap.peek()
+		if t.kind != tokPunct || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		ap.advance()
+		right, err := ap.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := lang.OpAdd
+		if t.text == "-" {
+			op = lang.OpSub
+		}
+		left = lang.Arith{Op: op, L: left, R: right}
+	}
+}
+
+func (ap *attackParser) parseTerm() (lang.Expr, error) {
+	t := ap.advance()
+	switch t.kind {
+	case tokPunct:
+		switch t.text {
+		case "(":
+			inner, err := ap.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := ap.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return inner, nil
+		case "-":
+			// Negative literal.
+			n, err := ap.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			return lang.Lit{Value: -n}, nil
+		}
+		return nil, ap.errf(t, "unexpected %q in expression", t.text)
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return nil, ap.errf(t, "invalid number %q", t.text)
+		}
+		return lang.Lit{Value: n}, nil
+	case tokString:
+		return lang.Lit{Value: t.text}, nil
+	case tokIdent:
+		return ap.parseIdentTerm(t)
+	default:
+		return nil, ap.errf(t, "unexpected %s in expression", t.kind)
+	}
+}
+
+// parseIdentTerm handles properties, keywords, and function-style terms.
+func (ap *attackParser) parseIdentTerm(t token) (lang.Expr, error) {
+	switch t.text {
+	case "true":
+		return lang.Lit{Value: true}, nil
+	case "false":
+		return lang.Lit{Value: false}, nil
+	case "host", "hostmac":
+		if err := ap.expectPunct("("); err != nil {
+			return nil, err
+		}
+		id, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := ap.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if ap.sys == nil {
+			return nil, ap.errf(t, "%s() requires a system model", t.text)
+		}
+		h, ok := ap.sys.HostByID(model.NodeID(id))
+		if !ok {
+			return nil, ap.errf(t, "unknown host %q", id)
+		}
+		if t.text == "host" {
+			return lang.Lit{Value: h.IP.String()}, nil
+		}
+		return lang.Lit{Value: h.MAC.String()}, nil
+	case "examineFront", "examinefront", "examineEnd", "examineend":
+		if err := ap.expectPunct("("); err != nil {
+			return nil, err
+		}
+		deque, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := ap.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		end := t.text == "examineEnd" || t.text == "examineend"
+		return lang.DequeRead{Deque: deque, End: end}, nil
+	case "shift", "pop":
+		// Value-position shift/pop: removes and yields the element (the
+		// paper's counter idiom). Valid only inside action values;
+		// validation rejects side effects in conditionals.
+		if err := ap.expectPunct("("); err != nil {
+			return nil, err
+		}
+		deque, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := ap.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return lang.DequeTake{Deque: deque, End: t.text == "pop"}, nil
+	}
+	if lang.KnownProperty(t.text) {
+		return lang.Prop{Name: t.text}, nil
+	}
+	// Bare component names (s2, c1, h3) read as their id strings, so
+	// conditions like `msg.source = s2` mirror the paper's notation.
+	if ap.sys != nil {
+		id := model.NodeID(t.text)
+		if _, ok := ap.sys.SwitchByID(id); ok {
+			return lang.Lit{Value: t.text}, nil
+		}
+		if _, ok := ap.sys.ControllerByID(id); ok {
+			return lang.Lit{Value: t.text}, nil
+		}
+	}
+	return nil, ap.errf(t, "unknown identifier %q in expression (message properties start with \"msg.\")", t.text)
+}

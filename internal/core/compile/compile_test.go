@@ -1,0 +1,239 @@
+package compile
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+const systemDSL = `
+# Small enterprise-style test system.
+system "test" {
+  controller c1 addr "127.0.0.1:6653"
+  switch s1 dpid 1 ports 1 2 3
+  switch s2 dpid 2 ports 1 2
+  host h1 mac 0a:00:00:00:00:01 ip 10.0.0.1
+  host h2 mac 0a:00:00:00:00:02 ip 10.0.0.2
+  host h3 mac 0a:00:00:00:00:03 ip 10.0.0.3
+  link h1 -- s1:1
+  link h2 -- s1:2
+  link s1:3 -- s2:1
+  link h3 -- s2:2
+  conn c1 s1
+  conn c1 s2
+}
+`
+
+const attackerDSL = `
+attacker {
+  grant (c1,s1) notls
+  grant (c1,s2) tls
+}
+`
+
+const attackDSL = `
+# Figure 12-style connection interruption.
+attack "connection-interruption" start sigma1 {
+  state sigma1 {
+    rule phi1 on (c1,s1) caps notls {
+      when msg.source = s1 and msg.type = "HELLO"
+      do pass; goto sigma2
+    }
+  }
+  state sigma2 {
+    rule phi2 on (c1,s1) caps notls {
+      when msg.type = "FLOW_MOD" and msg.match.nw_src = host(h2) and msg.match.nw_dst in { host(h3), host(h1) }
+      do drop; goto sigma3
+    }
+  }
+  state sigma3 {
+    rule phi3 on (c1,s1) caps notls {
+      when true
+      do drop
+    }
+  }
+}
+`
+
+func TestParseSystemDSL(t *testing.T) {
+	sys, err := ParseSystem(systemDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Controllers) != 1 || len(sys.Switches) != 2 || len(sys.Hosts) != 3 {
+		t.Fatalf("components = %d/%d/%d", len(sys.Controllers), len(sys.Switches), len(sys.Hosts))
+	}
+	if len(sys.DataPlane) != 4 || len(sys.ControlPlane) != 2 {
+		t.Fatalf("edges=%d conns=%d", len(sys.DataPlane), len(sys.ControlPlane))
+	}
+	sw, _ := sys.SwitchByID("s1")
+	if sw.DPID != 1 || len(sw.Ports) != 3 {
+		t.Errorf("s1 = %+v", sw)
+	}
+	h, _ := sys.HostByID("h2")
+	if h.IP.String() != "10.0.0.2" || h.MAC.String() != "0a:00:00:00:00:02" {
+		t.Errorf("h2 = %+v", h)
+	}
+	// Inter-switch link has ports on both ends.
+	var found bool
+	for _, e := range sys.DataPlane {
+		if e.A == "s1" && e.B == "s2" {
+			found = true
+			if e.APort != 3 || e.BPort != 1 {
+				t.Errorf("s1-s2 ports = %d,%d", e.APort, e.BPort)
+			}
+		}
+	}
+	if !found {
+		t.Error("s1-s2 link missing")
+	}
+}
+
+func TestParseAttackerDSL(t *testing.T) {
+	sys, err := ParseSystem(systemDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, err := ParseAttacker(attackerDSL, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := am.CapsFor(model.Conn{Controller: "c1", Switch: "s1"}); got != model.AllCapabilities {
+		t.Errorf("(c1,s1) caps = %s", got)
+	}
+	if got := am.CapsFor(model.Conn{Controller: "c1", Switch: "s2"}); got != model.TLSCapabilities {
+		t.Errorf("(c1,s2) caps = %s", got)
+	}
+}
+
+func TestParseAttackerCapabilityList(t *testing.T) {
+	sys, _ := ParseSystem(systemDSL)
+	am, err := ParseAttacker(`attacker { grant (c1,s1) DROPMESSAGE,PASSMESSAGE }`, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := model.Caps(model.CapDropMessage, model.CapPassMessage)
+	if got := am.CapsFor(model.Conn{Controller: "c1", Switch: "s1"}); got != want {
+		t.Errorf("caps = %s, want %s", got, want)
+	}
+}
+
+func TestParseAttackDSL(t *testing.T) {
+	sys, err := ParseSystem(systemDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack, err := ParseAttack(attackDSL, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attack.Name != "connection-interruption" || attack.Start != "sigma1" {
+		t.Errorf("attack = %s start %s", attack.Name, attack.Start)
+	}
+	if len(attack.States) != 3 {
+		t.Fatalf("states = %v", attack.StateNames())
+	}
+	phi2 := attack.States["sigma2"].Rules[0]
+	// host(h2) resolved to its IP literal.
+	if !strings.Contains(phi2.Cond.String(), "10.0.0.2") {
+		t.Errorf("phi2 cond = %s, host(h2) not resolved", phi2.Cond)
+	}
+	if !strings.Contains(phi2.Cond.String(), "in {") {
+		t.Errorf("phi2 cond = %s, set membership missing", phi2.Cond)
+	}
+	// Action sequences parsed in order.
+	phi1 := attack.States["sigma1"].Rules[0]
+	if len(phi1.Actions) != 2 {
+		t.Fatalf("phi1 actions = %v", phi1.Actions)
+	}
+	if _, ok := phi1.Actions[0].(lang.PassMessage); !ok {
+		t.Errorf("phi1 action 0 = %T", phi1.Actions[0])
+	}
+	if g, ok := phi1.Actions[1].(lang.GotoState); !ok || g.State != "sigma2" {
+		t.Errorf("phi1 action 1 = %v", phi1.Actions[1])
+	}
+}
+
+func TestCompileCrossValidates(t *testing.T) {
+	prog, err := Compile(systemDSL, attackerDSL, attackDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Attack == nil || prog.System == nil || prog.Attacker == nil {
+		t.Fatal("incomplete program")
+	}
+}
+
+func TestCompileRejectsUnderprivilegedAttack(t *testing.T) {
+	// The attack drops payload-matched messages on (c1,s2), but the
+	// attacker model grants only TLS capabilities there.
+	attack := `
+attack "x" start s0 {
+  state s0 {
+    rule r on (c1,s2) caps notls {
+      when msg.type = "FLOW_MOD"
+      do drop
+    }
+  }
+}
+`
+	_, err := Compile(systemDSL, attackerDSL, attack)
+	if err == nil || !strings.Contains(err.Error(), "attacker model grants only") {
+		t.Errorf("underprivileged attack compiled: %v", err)
+	}
+}
+
+func TestParseActionVarieties(t *testing.T) {
+	sys, _ := ParseSystem(systemDSL)
+	src := `
+attack "acts" start s0 {
+  state s0 {
+    rule r on (c1,s1) caps notls {
+      when msg.length > 8
+      do delay 500ms; duplicate; fuzz 42; store msgs front; sendStored msgs end;
+         prepend(counter, examineFront(counter) + 1); shift(counter);
+         modify msg.flowmod.idle_timeout = 0; inject echo_request s2c;
+         sleep 2s; syscmd h1 "iperf -s"
+    }
+  }
+}
+`
+	attack, err := ParseAttack(src, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := attack.States["s0"].Rules[0].Actions
+	wantTypes := []string{
+		"lang.DelayMessage", "lang.DuplicateMessage", "lang.FuzzMessage",
+		"lang.StoreMessage", "lang.SendStored", "lang.DequePush",
+		"lang.DequeDiscard", "lang.ModifyField", "lang.InjectMessage",
+		"lang.Sleep", "lang.SysCmd",
+	}
+	if len(acts) != len(wantTypes) {
+		t.Fatalf("got %d actions: %v", len(acts), acts)
+	}
+	for i, a := range acts {
+		if got := fmt.Sprintf("%T", a); got != wantTypes[i] {
+			t.Errorf("action %d = %s, want %s", i, got, wantTypes[i])
+		}
+	}
+	if d := acts[0].(lang.DelayMessage); d.D != 500*time.Millisecond {
+		t.Errorf("delay = %v", d.D)
+	}
+	if f := acts[2].(lang.FuzzMessage); f.Seed != 42 {
+		t.Errorf("fuzz seed = %d", f.Seed)
+	}
+	if s := acts[3].(lang.StoreMessage); !s.Front || s.Deque != "msgs" {
+		t.Errorf("store = %+v", s)
+	}
+	if s := acts[4].(lang.SendStored); !s.FromEnd {
+		t.Errorf("sendStored = %+v", s)
+	}
+	if sc := acts[10].(lang.SysCmd); sc.Host != "h1" || sc.Cmd != "iperf -s" {
+		t.Errorf("syscmd = %+v", sc)
+	}
+}

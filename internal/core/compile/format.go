@@ -1,0 +1,122 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+// The formatters render compiled models back into the textual DSL, so
+// attacks built programmatically (or loaded from XML) can be exported as
+// shareable, re-compilable description files — the reuse workflow the
+// paper emphasizes.
+
+// FormatSystem renders a system model as DSL source that ParseSystem
+// accepts and that compiles back to an equivalent model.
+func FormatSystem(sys *model.System, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system %q {\n", name)
+	for _, c := range sys.Controllers {
+		fmt.Fprintf(&b, "  controller %s addr %q\n", c.ID, c.ListenAddr)
+	}
+	for _, sw := range sys.Switches {
+		ports := make([]string, len(sw.Ports))
+		for i, p := range sw.Ports {
+			ports[i] = fmt.Sprintf("%d", p)
+		}
+		fmt.Fprintf(&b, "  switch %s dpid %d ports %s\n", sw.ID, sw.DPID, strings.Join(ports, " "))
+	}
+	for _, h := range sys.Hosts {
+		fmt.Fprintf(&b, "  host %s mac %s ip %s\n", h.ID, h.MAC, h.IP)
+	}
+	endpoint := func(id model.NodeID, port uint16) string {
+		if port == model.NilPort {
+			return string(id)
+		}
+		return fmt.Sprintf("%s:%d", id, port)
+	}
+	for _, e := range sys.DataPlane {
+		fmt.Fprintf(&b, "  link %s -- %s\n", endpoint(e.A, e.APort), endpoint(e.B, e.BPort))
+	}
+	for _, c := range sys.ControlPlane {
+		fmt.Fprintf(&b, "  conn %s %s\n", c.Controller, c.Switch)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatAttacker renders an attacker model as DSL source.
+func FormatAttacker(am *model.AttackerModel) string {
+	var b strings.Builder
+	b.WriteString("attacker {\n")
+	lines := make([]string, 0, len(am.Grants))
+	for conn, caps := range am.Grants {
+		lines = append(lines, fmt.Sprintf("  grant (%s,%s) %s\n", conn.Controller, conn.Switch, formatCaps(caps)))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func formatCaps(caps model.CapabilitySet) string {
+	switch caps {
+	case model.AllCapabilities:
+		return "notls"
+	case model.TLSCapabilities:
+		return "tls"
+	case model.NoCapabilities:
+		return "none"
+	default:
+		names := make([]string, 0, 10)
+		for _, c := range caps.List() {
+			names = append(names, c.String())
+		}
+		return strings.Join(names, ",")
+	}
+}
+
+// FormatAttack renders an attack as DSL source that ParseAttack accepts
+// and that compiles back to an equivalent attack. Expression and action
+// String methods already emit DSL syntax, so this is mostly structure.
+func FormatAttack(a *lang.Attack) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attack %q start %s {\n", a.Name, a.Start)
+	for _, name := range a.StateNames() {
+		st := a.States[name]
+		fmt.Fprintf(&b, "  state %s {\n", name)
+		for _, rule := range st.Rules {
+			conns := make([]string, len(rule.Conns))
+			for i, c := range rule.Conns {
+				conns[i] = fmt.Sprintf("(%s,%s)", c.Controller, c.Switch)
+			}
+			fmt.Fprintf(&b, "    rule %s on %s caps %s", rule.Name, strings.Join(conns, ", "), formatCaps(rule.Caps))
+			if rule.Prob > 0 && rule.Prob < 1 {
+				fmt.Fprintf(&b, " prob %g", rule.Prob)
+			}
+			b.WriteString(" {\n")
+			fmt.Fprintf(&b, "      when %s\n", rule.Cond)
+			if len(rule.Actions) > 0 {
+				acts := make([]string, len(rule.Actions))
+				for i, act := range rule.Actions {
+					acts[i] = act.String()
+				}
+				fmt.Fprintf(&b, "      do %s\n", strings.Join(acts, "; "))
+			}
+			b.WriteString("    }\n")
+		}
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FormatProgram renders all three inputs of a compiled program.
+func FormatProgram(p *Program, systemName string) (system, attacker, attack string) {
+	return FormatSystem(p.System, systemName), FormatAttacker(p.Attacker), FormatAttack(p.Attack)
+}

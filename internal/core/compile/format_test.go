@@ -1,0 +1,138 @@
+package compile
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/experiment"
+)
+
+// roundTripProgram compiles, formats, recompiles, and compares.
+func roundTripProgram(t *testing.T, systemSrc, attackerSrc, attackSrc string) {
+	t.Helper()
+	p1, err := Compile(systemSrc, attackerSrc, attackSrc)
+	if err != nil {
+		t.Fatalf("first compile: %v", err)
+	}
+	sysOut, atkOut, attOut := FormatProgram(p1, "roundtrip")
+	p2, err := Compile(sysOut, atkOut, attOut)
+	if err != nil {
+		t.Fatalf("recompile of formatted output: %v\n--- system ---\n%s\n--- attacker ---\n%s\n--- attack ---\n%s",
+			err, sysOut, atkOut, attOut)
+	}
+	if !reflect.DeepEqual(p1.System, p2.System) {
+		t.Errorf("system differs after round trip:\n%s\nvs\n%s", p1.System.Summary(), p2.System.Summary())
+	}
+	if !reflect.DeepEqual(p1.Attacker.Grants, p2.Attacker.Grants) {
+		t.Errorf("attacker differs after round trip:\n%v\nvs\n%v", p1.Attacker, p2.Attacker)
+	}
+	if p1.Attack.Describe() != p2.Attack.Describe() {
+		t.Errorf("attack differs after round trip:\n%s\nvs\n%s", p1.Attack.Describe(), p2.Attack.Describe())
+	}
+}
+
+func TestFormatRoundTripInterruption(t *testing.T) {
+	roundTripProgram(t, systemDSL, attackerDSL, attackDSL)
+}
+
+func TestFormatRoundTripFixtures(t *testing.T) {
+	roundTripProgram(t,
+		experiment.EnterpriseSystemDSL,
+		experiment.NoTLSAttackerDSL,
+		experiment.SuppressionAttackDSL)
+	roundTripProgram(t,
+		experiment.EnterpriseSystemDSL,
+		experiment.NoTLSAttackerDSL,
+		experiment.InterruptionAttackDSL)
+}
+
+func TestFormatRoundTripRichActions(t *testing.T) {
+	attack := `
+attack "rich" start s0 {
+  state s0 {
+    rule r1 on (c1,s1) caps notls prob 0.25 {
+      when msg.length > 8 and not msg.source = s2
+      do delay 500ms; duplicate; fuzz 42; store msgs front;
+         sendStored msgs end; prepend(counter, shift(counter) + 1);
+         modify msg.flowmod.idle_timeout = 0; inject echo_request s2c;
+         sleep 2s; syscmd h1 "iperf -s"; goto s1
+    }
+    rule watchOnly on (c1,s2) caps tls {
+      when msg.direction = "s2c"
+    }
+  }
+  state s1 { }
+}
+`
+	roundTripProgram(t, systemDSL, attackerDSL, attack)
+}
+
+func TestParseProbVariants(t *testing.T) {
+	sys, _ := ParseSystem(systemDSL)
+	a, err := ParseAttack(`attack "p" start s0 {
+  state s0 {
+    rule r on (c1,s1) caps notls prob 0.5 { when true do drop }
+  }
+}`, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.States["s0"].Rules[0].Prob; got != 0.5 {
+		t.Errorf("prob = %v", got)
+	}
+	// Integer probabilities parse too.
+	a, err = ParseAttack(`attack "p" start s0 {
+  state s0 {
+    rule r on (c1,s1) caps notls prob 1 { when true do drop }
+  }
+}`, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.States["s0"].Rules[0].Prob; got != 1 {
+		t.Errorf("prob = %v", got)
+	}
+	if _, err := ParseAttack(`attack "p" start s0 {
+  state s0 { rule r on (c1,s1) caps notls prob bogus { when true do drop } }
+}`, sys); err == nil {
+		t.Error("bogus probability accepted")
+	}
+}
+
+func TestValidateRejectsBadProb(t *testing.T) {
+	sys := model.Figure3System()
+	a := lang.NewAttack("p", "s0")
+	a.AddState(&lang.State{
+		Name: "s0",
+		Rules: []*lang.Rule{{
+			Name:  "r",
+			Conns: []model.Conn{{Controller: "c1", Switch: "s1"}},
+			Caps:  model.AllCapabilities,
+			Cond:  lang.True,
+			Prob:  1.5,
+		}},
+	})
+	if err := a.Validate(sys, nil); err == nil || !strings.Contains(err.Error(), "probability") {
+		t.Errorf("prob 1.5 accepted: %v", err)
+	}
+}
+
+func TestXMLProbAttr(t *testing.T) {
+	sys, _ := ParseSystem(systemDSL)
+	a, err := ParseAttackXML(`<attack name="p" start="s0">
+  <state name="s0">
+    <rule name="r" conns="(c1,s1)" caps="NOTLS" prob="0.3">
+      <when>true</when><do>drop</do>
+    </rule>
+  </state>
+</attack>`, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.States["s0"].Rules[0].Prob; got != 0.3 {
+		t.Errorf("prob = %v", got)
+	}
+}

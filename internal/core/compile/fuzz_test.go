@@ -1,0 +1,59 @@
+package compile
+
+import (
+	"testing"
+)
+
+// FuzzParseSystem feeds arbitrary text through the system DSL parser; it
+// must never panic or loop.
+func FuzzParseSystem(f *testing.F) {
+	f.Add(systemDSL)
+	f.Add(`system "x" {`)
+	f.Add(`system "x" { switch s1 dpid 0x10 ports 1 }`)
+	f.Add("system \"x\" {\n# comment\n}")
+	f.Add(`"unclosed`)
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseSystem(src)
+	})
+}
+
+// FuzzParseAttack feeds arbitrary text through the attack DSL parser.
+func FuzzParseAttack(f *testing.F) {
+	f.Add(attackDSL)
+	f.Add(`attack "a" start s0 { state s0 { rule r on (c1,s1) caps tls prob 0.5 { when true do drop } } }`)
+	f.Add(`attack "a" start s0 { state s0 { rule r on (c1,s1) caps notls { when msg.length + 1 > 2 or not true } } }`)
+	f.Add(`attack`)
+	sys, err := ParseSystem(systemDSL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		attack, err := ParseAttack(src, sys)
+		if err != nil || attack == nil {
+			return
+		}
+		// Whatever parses must format and re-parse to the same structure.
+		out := FormatAttack(attack)
+		attack2, err := ParseAttack(out, sys)
+		if err != nil {
+			t.Fatalf("formatted attack does not re-parse: %v\n%s", err, out)
+		}
+		if attack.Describe() != attack2.Describe() {
+			t.Fatalf("format round trip drift:\n%s\nvs\n%s", attack.Describe(), attack2.Describe())
+		}
+	})
+}
+
+// FuzzParseExpr feeds arbitrary text through the expression grammar.
+func FuzzParseExpr(f *testing.F) {
+	f.Add(`msg.type = "FLOW_MOD" and (msg.length > 8 or not msg.source = s1)`)
+	f.Add(`examineFront(d) + shift(d) - 3 in { 1, 2, 3 }`)
+	f.Add(`((((true))))`)
+	sys, err := ParseSystem(systemDSL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = ParseExprString(src, sys)
+	})
+}

@@ -1,0 +1,366 @@
+package compile
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"attain/internal/core/model"
+	"attain/internal/netaddr"
+)
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func newParser(src string) (*parser, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	return &parser{toks: toks}, nil
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...interface{}) error {
+	return fmt.Errorf("line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+// expectPunct consumes the given punctuation or fails.
+func (p *parser) expectPunct(text string) error {
+	t := p.advance()
+	if t.kind != tokPunct || t.text != text {
+		return p.errf(t, "expected %q, got %q", text, t.text)
+	}
+	return nil
+}
+
+// expectIdent consumes an identifier or fails.
+func (p *parser) expectIdent() (string, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected identifier, got %s %q", t.kind, t.text)
+	}
+	return t.text, nil
+}
+
+// expectKeyword consumes a specific identifier.
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if t.kind != tokIdent || t.text != kw {
+		return p.errf(t, "expected %q, got %q", kw, t.text)
+	}
+	return nil
+}
+
+// acceptPunct consumes the punctuation if present.
+func (p *parser) acceptPunct(text string) bool {
+	if p.peek().kind == tokPunct && p.peek().text == text {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// acceptKeyword consumes the identifier if present.
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.peek().kind == tokIdent && p.peek().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expectString consumes a string literal.
+func (p *parser) expectString() (string, error) {
+	t := p.advance()
+	if t.kind != tokString {
+		return "", p.errf(t, "expected string, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+// expectNumber consumes a number and parses it as int64 (decimal or hex).
+func (p *parser) expectNumber() (int64, error) {
+	t := p.advance()
+	if t.kind != tokNumber {
+		return 0, p.errf(t, "expected number, got %q", t.text)
+	}
+	n, err := strconv.ParseInt(t.text, 0, 64)
+	if err != nil {
+		return 0, p.errf(t, "invalid number %q", t.text)
+	}
+	return n, nil
+}
+
+// expectDuration consumes a duration token (e.g. 5s, 200ms) or a bare
+// number treated as seconds.
+func (p *parser) expectDuration() (time.Duration, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokDuration:
+		d, err := time.ParseDuration(t.text)
+		if err != nil {
+			return 0, p.errf(t, "invalid duration %q", t.text)
+		}
+		return d, nil
+	case tokNumber:
+		n, err := strconv.ParseInt(t.text, 0, 64)
+		if err != nil {
+			return 0, p.errf(t, "invalid duration %q", t.text)
+		}
+		return time.Duration(n) * time.Second, nil
+	default:
+		return 0, p.errf(t, "expected duration, got %q", t.text)
+	}
+}
+
+// ---- System model DSL ----
+//
+//	system "name" {
+//	  controller c1 addr "127.0.0.1:6653"
+//	  switch s1 dpid 1 ports 1 2 3
+//	  host h1 mac 0a:00:00:00:00:01 ip 10.0.0.1
+//	  link h1 -- s1:1
+//	  link s1:3 -- s2:1
+//	  conn c1 s1
+//	}
+
+// ParseSystem parses the system model DSL.
+func ParseSystem(src string) (*model.System, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("system"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expectString(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	sys := &model.System{}
+	for {
+		t := p.advance()
+		if t.kind == tokPunct && t.text == "}" {
+			break
+		}
+		if t.kind != tokIdent {
+			return nil, p.errf(t, "expected declaration, got %q", t.text)
+		}
+		switch t.text {
+		case "controller":
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("addr"); err != nil {
+				return nil, err
+			}
+			addr, err := p.expectString()
+			if err != nil {
+				return nil, err
+			}
+			sys.Controllers = append(sys.Controllers, model.Controller{ID: model.NodeID(id), ListenAddr: addr})
+		case "switch":
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("dpid"); err != nil {
+				return nil, err
+			}
+			dpid, err := p.expectNumber()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ports"); err != nil {
+				return nil, err
+			}
+			var ports []uint16
+			for p.peek().kind == tokNumber {
+				n, err := p.expectNumber()
+				if err != nil {
+					return nil, err
+				}
+				ports = append(ports, uint16(n))
+			}
+			if len(ports) == 0 {
+				return nil, p.errf(p.peek(), "switch %s declares no ports", id)
+			}
+			sys.Switches = append(sys.Switches, model.Switch{ID: model.NodeID(id), DPID: uint64(dpid), Ports: ports})
+		case "host":
+			id, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("mac"); err != nil {
+				return nil, err
+			}
+			macTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			mac, err := netaddr.ParseMAC(macTok)
+			if err != nil {
+				return nil, p.errf(t, "%v", err)
+			}
+			if err := p.expectKeyword("ip"); err != nil {
+				return nil, err
+			}
+			ipTok, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			ip, err := netaddr.ParseIPv4(ipTok)
+			if err != nil {
+				return nil, p.errf(t, "%v", err)
+			}
+			sys.Hosts = append(sys.Hosts, model.Host{ID: model.NodeID(id), MAC: mac, IP: ip})
+		case "link":
+			a, aport, err := p.parseEndpoint()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("--"); err != nil {
+				return nil, err
+			}
+			b, bport, err := p.parseEndpoint()
+			if err != nil {
+				return nil, err
+			}
+			sys.DataPlane = append(sys.DataPlane, model.Edge{A: a, APort: aport, B: b, BPort: bport})
+		case "conn":
+			ctrl, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sw, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sys.ControlPlane = append(sys.ControlPlane, model.Conn{
+				Controller: model.NodeID(ctrl), Switch: model.NodeID(sw),
+			})
+		default:
+			return nil, p.errf(t, "unknown declaration %q", t.text)
+		}
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// parseEndpoint parses "h1" or "s1:3" into a node id and port.
+func (p *parser) parseEndpoint() (model.NodeID, uint16, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return "", 0, p.errf(t, "expected link endpoint, got %q", t.text)
+	}
+	if idx := strings.IndexByte(t.text, ':'); idx >= 0 {
+		id := t.text[:idx]
+		port, err := strconv.ParseUint(t.text[idx+1:], 10, 16)
+		if err != nil {
+			return "", 0, p.errf(t, "invalid port in endpoint %q", t.text)
+		}
+		return model.NodeID(id), uint16(port), nil
+	}
+	return model.NodeID(t.text), model.NilPort, nil
+}
+
+// ---- Attacker model DSL ----
+//
+//	attacker {
+//	  grant (c1,s1) notls
+//	  grant (c1,s2) tls
+//	  grant (c1,s3) DROPMESSAGE,PASSMESSAGE
+//	}
+
+// ParseAttacker parses the attack model DSL.
+func ParseAttacker(src string, sys *model.System) (*model.AttackerModel, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("attacker"); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	am := model.NewAttackerModel()
+	for {
+		t := p.advance()
+		if t.kind == tokPunct && t.text == "}" {
+			break
+		}
+		if t.kind != tokIdent || t.text != "grant" {
+			return nil, p.errf(t, "expected \"grant\", got %q", t.text)
+		}
+		conn, err := p.parseConn()
+		if err != nil {
+			return nil, err
+		}
+		capsTok := p.advance()
+		if capsTok.kind != tokIdent {
+			return nil, p.errf(capsTok, "expected capability set, got %q", capsTok.text)
+		}
+		capsText := capsTok.text
+		// Allow comma-separated capability lists.
+		for p.acceptPunct(",") {
+			next, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			capsText += "," + next
+		}
+		caps, err := model.ParseCapabilitySet(capsText)
+		if err != nil {
+			return nil, p.errf(capsTok, "%v", err)
+		}
+		am.Grant(conn, caps)
+	}
+	if sys != nil {
+		if err := am.Validate(sys); err != nil {
+			return nil, err
+		}
+	}
+	return am, nil
+}
+
+// parseConn parses "(c1,s2)" or "(c1, s2)".
+func (p *parser) parseConn() (model.Conn, error) {
+	if err := p.expectPunct("("); err != nil {
+		return model.Conn{}, err
+	}
+	ctrl, err := p.expectIdent()
+	if err != nil {
+		return model.Conn{}, err
+	}
+	if err := p.expectPunct(","); err != nil {
+		return model.Conn{}, err
+	}
+	sw, err := p.expectIdent()
+	if err != nil {
+		return model.Conn{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return model.Conn{}, err
+	}
+	return model.Conn{Controller: model.NodeID(ctrl), Switch: model.NodeID(sw)}, nil
+}

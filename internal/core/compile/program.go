@@ -1,0 +1,91 @@
+package compile
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+// Program is the compiler's output: the three validated models ready for
+// the runtime injector (the role of the paper's executable code file).
+type Program struct {
+	System   *model.System
+	Attacker *model.AttackerModel
+	Attack   *lang.Attack
+}
+
+// looksLikeXML detects the input format.
+func looksLikeXML(src string) bool {
+	return strings.HasPrefix(strings.TrimSpace(src), "<")
+}
+
+// CompileSystem parses a system model in either format.
+func CompileSystem(src string) (*model.System, error) {
+	if looksLikeXML(src) {
+		return ParseSystemXML(src)
+	}
+	return ParseSystem(src)
+}
+
+// CompileAttacker parses an attack model in either format.
+func CompileAttacker(src string, sys *model.System) (*model.AttackerModel, error) {
+	if looksLikeXML(src) {
+		return ParseAttackerXML(src, sys)
+	}
+	return ParseAttacker(src, sys)
+}
+
+// CompileAttack parses an attack states description in either format.
+func CompileAttack(src string, sys *model.System) (*lang.Attack, error) {
+	if looksLikeXML(src) {
+		return ParseAttackXML(src, sys)
+	}
+	return ParseAttack(src, sys)
+}
+
+// Compile parses and cross-validates the three inputs.
+func Compile(systemSrc, attackerSrc, attackSrc string) (*Program, error) {
+	sys, err := CompileSystem(systemSrc)
+	if err != nil {
+		return nil, fmt.Errorf("system model: %w", err)
+	}
+	attacker, err := CompileAttacker(attackerSrc, sys)
+	if err != nil {
+		return nil, fmt.Errorf("attack model: %w", err)
+	}
+	attack, err := CompileAttack(attackSrc, sys)
+	if err != nil {
+		return nil, fmt.Errorf("attack states: %w", err)
+	}
+	if err := attack.Validate(sys, attacker); err != nil {
+		return nil, fmt.Errorf("attack states: %w", err)
+	}
+	return &Program{System: sys, Attacker: attacker, Attack: attack}, nil
+}
+
+// CompileFiles reads and compiles the three input files.
+func CompileFiles(systemPath, attackerPath, attackPath string) (*Program, error) {
+	read := func(path string) (string, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		return string(data), nil
+	}
+	systemSrc, err := read(systemPath)
+	if err != nil {
+		return nil, err
+	}
+	attackerSrc, err := read(attackerPath)
+	if err != nil {
+		return nil, err
+	}
+	attackSrc, err := read(attackPath)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(systemSrc, attackerSrc, attackSrc)
+}

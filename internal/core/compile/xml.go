@@ -1,0 +1,239 @@
+package compile
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netaddr"
+)
+
+// The XML schemas mirror the paper's implementation (§VI-C), which fed the
+// compiler three XML files. Conditional expressions and action lists inside
+// <when> and <do> elements use the same grammar as the textual DSL, so both
+// formats share one language definition.
+
+type xmlSystem struct {
+	XMLName     xml.Name        `xml:"system"`
+	Name        string          `xml:"name,attr"`
+	Controllers []xmlController `xml:"controller"`
+	Switches    []xmlSwitch     `xml:"switch"`
+	Hosts       []xmlHost       `xml:"host"`
+	Links       []xmlLink       `xml:"link"`
+	Conns       []xmlConn       `xml:"conn"`
+}
+
+type xmlController struct {
+	ID   string `xml:"id,attr"`
+	Addr string `xml:"addr,attr"`
+}
+
+type xmlSwitch struct {
+	ID    string `xml:"id,attr"`
+	DPID  uint64 `xml:"dpid,attr"`
+	Ports string `xml:"ports,attr"`
+}
+
+type xmlHost struct {
+	ID  string `xml:"id,attr"`
+	MAC string `xml:"mac,attr"`
+	IP  string `xml:"ip,attr"`
+}
+
+type xmlLink struct {
+	A     string `xml:"a,attr"`
+	APort string `xml:"aport,attr"`
+	B     string `xml:"b,attr"`
+	BPort string `xml:"bport,attr"`
+}
+
+type xmlConn struct {
+	Controller string `xml:"controller,attr"`
+	Switch     string `xml:"switch,attr"`
+}
+
+// ParseSystemXML parses the system model XML schema.
+func ParseSystemXML(src string) (*model.System, error) {
+	var doc xmlSystem
+	if err := xml.Unmarshal([]byte(src), &doc); err != nil {
+		return nil, fmt.Errorf("compile: system xml: %w", err)
+	}
+	sys := &model.System{}
+	for _, c := range doc.Controllers {
+		sys.Controllers = append(sys.Controllers, model.Controller{
+			ID: model.NodeID(c.ID), ListenAddr: c.Addr,
+		})
+	}
+	for _, s := range doc.Switches {
+		var ports []uint16
+		for _, f := range strings.Fields(s.Ports) {
+			n, err := strconv.ParseUint(f, 10, 16)
+			if err != nil {
+				return nil, fmt.Errorf("compile: switch %s: invalid port %q", s.ID, f)
+			}
+			ports = append(ports, uint16(n))
+		}
+		sys.Switches = append(sys.Switches, model.Switch{
+			ID: model.NodeID(s.ID), DPID: s.DPID, Ports: ports,
+		})
+	}
+	for _, h := range doc.Hosts {
+		mac, err := netaddr.ParseMAC(h.MAC)
+		if err != nil {
+			return nil, fmt.Errorf("compile: host %s: %w", h.ID, err)
+		}
+		ip, err := netaddr.ParseIPv4(h.IP)
+		if err != nil {
+			return nil, fmt.Errorf("compile: host %s: %w", h.ID, err)
+		}
+		sys.Hosts = append(sys.Hosts, model.Host{ID: model.NodeID(h.ID), MAC: mac, IP: ip})
+	}
+	parsePort := func(s string) (uint16, error) {
+		if s == "" || strings.EqualFold(s, "null") {
+			return model.NilPort, nil
+		}
+		n, err := strconv.ParseUint(s, 10, 16)
+		return uint16(n), err
+	}
+	for _, l := range doc.Links {
+		ap, err := parsePort(l.APort)
+		if err != nil {
+			return nil, fmt.Errorf("compile: link %s-%s: invalid aport %q", l.A, l.B, l.APort)
+		}
+		bp, err := parsePort(l.BPort)
+		if err != nil {
+			return nil, fmt.Errorf("compile: link %s-%s: invalid bport %q", l.A, l.B, l.BPort)
+		}
+		sys.DataPlane = append(sys.DataPlane, model.Edge{
+			A: model.NodeID(l.A), APort: ap, B: model.NodeID(l.B), BPort: bp,
+		})
+	}
+	for _, c := range doc.Conns {
+		sys.ControlPlane = append(sys.ControlPlane, model.Conn{
+			Controller: model.NodeID(c.Controller), Switch: model.NodeID(c.Switch),
+		})
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+type xmlAttacker struct {
+	XMLName xml.Name   `xml:"attacker"`
+	Grants  []xmlGrant `xml:"grant"`
+}
+
+type xmlGrant struct {
+	Controller string `xml:"controller,attr"`
+	Switch     string `xml:"switch,attr"`
+	Caps       string `xml:"caps,attr"`
+}
+
+// ParseAttackerXML parses the attack model XML schema.
+func ParseAttackerXML(src string, sys *model.System) (*model.AttackerModel, error) {
+	var doc xmlAttacker
+	if err := xml.Unmarshal([]byte(src), &doc); err != nil {
+		return nil, fmt.Errorf("compile: attacker xml: %w", err)
+	}
+	am := model.NewAttackerModel()
+	for _, g := range doc.Grants {
+		caps, err := model.ParseCapabilitySet(g.Caps)
+		if err != nil {
+			return nil, fmt.Errorf("compile: grant (%s,%s): %w", g.Controller, g.Switch, err)
+		}
+		am.Grant(model.Conn{
+			Controller: model.NodeID(g.Controller), Switch: model.NodeID(g.Switch),
+		}, caps)
+	}
+	if sys != nil {
+		if err := am.Validate(sys); err != nil {
+			return nil, err
+		}
+	}
+	return am, nil
+}
+
+type xmlAttack struct {
+	XMLName xml.Name   `xml:"attack"`
+	Name    string     `xml:"name,attr"`
+	Start   string     `xml:"start,attr"`
+	States  []xmlState `xml:"state"`
+}
+
+type xmlState struct {
+	Name  string    `xml:"name,attr"`
+	Rules []xmlRule `xml:"rule"`
+}
+
+type xmlRule struct {
+	Name  string  `xml:"name,attr"`
+	Conns string  `xml:"conns,attr"`
+	Caps  string  `xml:"caps,attr"`
+	Prob  float64 `xml:"prob,attr"`
+	When  string  `xml:"when"`
+	Do    string  `xml:"do"`
+}
+
+// ParseAttackXML parses the attack states XML schema.
+func ParseAttackXML(src string, sys *model.System) (*lang.Attack, error) {
+	var doc xmlAttack
+	if err := xml.Unmarshal([]byte(src), &doc); err != nil {
+		return nil, fmt.Errorf("compile: attack xml: %w", err)
+	}
+	attack := lang.NewAttack(doc.Name, doc.Start)
+	for _, xs := range doc.States {
+		st := &lang.State{Name: xs.Name}
+		for _, xr := range xs.Rules {
+			rule := &lang.Rule{Name: xr.Name}
+			conns, err := parseConnList(xr.Conns)
+			if err != nil {
+				return nil, fmt.Errorf("compile: rule %s: %w", xr.Name, err)
+			}
+			rule.Conns = conns
+			caps, err := model.ParseCapabilitySet(xr.Caps)
+			if err != nil {
+				return nil, fmt.Errorf("compile: rule %s: %w", xr.Name, err)
+			}
+			rule.Caps = caps
+			rule.Prob = xr.Prob
+			cond, err := ParseExprString(strings.TrimSpace(xr.When), sys)
+			if err != nil {
+				return nil, fmt.Errorf("compile: rule %s <when>: %w", xr.Name, err)
+			}
+			rule.Cond = cond
+			actions, err := ParseActionsString(strings.TrimSpace(xr.Do), sys)
+			if err != nil {
+				return nil, fmt.Errorf("compile: rule %s <do>: %w", xr.Name, err)
+			}
+			rule.Actions = actions
+			st.Rules = append(st.Rules, rule)
+		}
+		attack.AddState(st)
+	}
+	return attack, nil
+}
+
+// parseConnList parses "(c1,s1) (c1,s2)".
+func parseConnList(s string) ([]model.Conn, error) {
+	var conns []model.Conn
+	for _, part := range strings.Fields(s) {
+		part = strings.TrimPrefix(part, "(")
+		part = strings.TrimSuffix(part, ")")
+		halves := strings.Split(part, ",")
+		if len(halves) != 2 {
+			return nil, fmt.Errorf("invalid connection %q", part)
+		}
+		conns = append(conns, model.Conn{
+			Controller: model.NodeID(strings.TrimSpace(halves[0])),
+			Switch:     model.NodeID(strings.TrimSpace(halves[1])),
+		})
+	}
+	if len(conns) == 0 {
+		return nil, fmt.Errorf("empty connection list")
+	}
+	return conns, nil
+}

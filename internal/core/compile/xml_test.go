@@ -1,0 +1,202 @@
+package compile
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+const systemXML = `<?xml version="1.0"?>
+<system name="test">
+  <controller id="c1" addr="127.0.0.1:6653"/>
+  <switch id="s1" dpid="1" ports="1 2 3"/>
+  <switch id="s2" dpid="2" ports="1 2"/>
+  <host id="h1" mac="0a:00:00:00:00:01" ip="10.0.0.1"/>
+  <host id="h2" mac="0a:00:00:00:00:02" ip="10.0.0.2"/>
+  <host id="h3" mac="0a:00:00:00:00:03" ip="10.0.0.3"/>
+  <link a="h1" aport="null" b="s1" bport="1"/>
+  <link a="h2" aport="null" b="s1" bport="2"/>
+  <link a="s1" aport="3" b="s2" bport="1"/>
+  <link a="h3" aport="null" b="s2" bport="2"/>
+  <conn controller="c1" switch="s1"/>
+  <conn controller="c1" switch="s2"/>
+</system>`
+
+const attackerXML = `<attacker>
+  <grant controller="c1" switch="s1" caps="NOTLS"/>
+  <grant controller="c1" switch="s2" caps="TLS"/>
+</attacker>`
+
+const attackXML = `<attack name="suppress" start="sigma1">
+  <state name="sigma1">
+    <rule name="phi1" conns="(c1,s1) (c1,s2)" caps="NOTLS">
+      <when>msg.type = "FLOW_MOD"</when>
+      <do>drop</do>
+    </rule>
+  </state>
+</attack>`
+
+func TestParseSystemXML(t *testing.T) {
+	sys, err := ParseSystemXML(systemXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Switches) != 2 || len(sys.Hosts) != 3 || len(sys.DataPlane) != 4 {
+		t.Fatalf("system = %+v", sys)
+	}
+	// Equivalent to the DSL form.
+	dslSys, err := ParseSystem(systemDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Summary() != dslSys.Summary() {
+		t.Errorf("XML and DSL systems differ:\n%s\nvs\n%s", sys.Summary(), dslSys.Summary())
+	}
+}
+
+func TestParseAttackerXML(t *testing.T) {
+	sys, _ := ParseSystemXML(systemXML)
+	am, err := ParseAttackerXML(attackerXML, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am.CapsFor(model.Conn{Controller: "c1", Switch: "s2"}) != model.TLSCapabilities {
+		t.Error("TLS grant wrong")
+	}
+}
+
+func TestParseAttackXML(t *testing.T) {
+	sys, _ := ParseSystemXML(systemXML)
+	attack, err := ParseAttackXML(attackXML, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attack.Name != "suppress" || attack.Start != "sigma1" {
+		t.Errorf("attack header = %s/%s", attack.Name, attack.Start)
+	}
+	rule := attack.States["sigma1"].Rules[0]
+	if len(rule.Conns) != 2 {
+		t.Errorf("conns = %v", rule.Conns)
+	}
+	if _, ok := rule.Actions[0].(lang.DropMessage); !ok {
+		t.Errorf("action = %T", rule.Actions[0])
+	}
+	if !strings.Contains(rule.Cond.String(), "FLOW_MOD") {
+		t.Errorf("cond = %s", rule.Cond)
+	}
+}
+
+func TestCompileAutoDetectsXML(t *testing.T) {
+	// XML system + DSL attacker + XML attack all in one program. The
+	// XML attack watches (c1,s2) with payload reads, which the DSL
+	// attacker grants only TLS caps — use NoTLS on both to pass.
+	attacker := `attacker {
+  grant (c1,s1) notls
+  grant (c1,s2) notls
+}`
+	prog, err := Compile(systemXML, attacker, attackXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Attack.Name != "suppress" {
+		t.Errorf("attack = %s", prog.Attack.Name)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	if _, err := ParseSystemXML("<system><switch id='s1' dpid='1' ports='x'/></system>"); err == nil {
+		t.Error("bad port accepted")
+	}
+	if _, err := ParseSystemXML("not xml at all <"); err == nil {
+		t.Error("garbage accepted")
+	}
+	sys, _ := ParseSystemXML(systemXML)
+	if _, err := ParseAttackerXML(`<attacker><grant controller="c1" switch="s1" caps="BOGUS"/></attacker>`, sys); err == nil {
+		t.Error("bogus caps accepted")
+	}
+	if _, err := ParseAttackXML(`<attack name="x" start="s0"><state name="s0"><rule name="r" conns="" caps="NOTLS"><when>true</when><do>drop</do></rule></state></attack>`, sys); err == nil {
+		t.Error("empty conns accepted")
+	}
+	if _, err := ParseAttackXML(`<attack name="x" start="s0"><state name="s0"><rule name="r" conns="(c1,s1)" caps="NOTLS"><when>this is not valid</when><do>drop</do></rule></state></attack>`, sys); err == nil {
+		t.Error("invalid when expression accepted")
+	}
+}
+
+func TestParseDSLErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"missing system keyword", `network "x" {}`},
+		{"switch without ports", `system "x" { switch s1 dpid 1 ports }`},
+		{"bad mac", `system "x" { host h1 mac zz:00 ip 10.0.0.1 }`},
+		{"unterminated", `system "x" { controller c1 addr "a"`},
+		{"bad decl", `system "x" { gadget g1 }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSystem(tc.src); err == nil {
+				t.Error("accepted")
+			}
+		})
+	}
+	if _, err := ParseAttack(`attack "x" start s0 { state s0 { rule r on (c1,s1) caps notls { when msg.bogus = 1 do drop } } }`, nil); err == nil {
+		t.Error("unknown property accepted")
+	}
+	if _, err := ParseAttack(`attack "x" start s0 { state s0 { rule r on (c1,s1) caps notls { when true do explode } } }`, nil); err == nil {
+		t.Error("unknown action accepted")
+	}
+}
+
+func TestParseExprAndActionsString(t *testing.T) {
+	sys, _ := ParseSystem(systemDSL)
+	e, err := ParseExprString(`msg.match.nw_src = host(h2) or msg.length > 100`, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.String(), "10.0.0.2") {
+		t.Errorf("expr = %s", e)
+	}
+	if _, err := ParseExprString(`msg.length > 100 garbage`, sys); err == nil {
+		t.Error("trailing input accepted")
+	}
+	acts, err := ParseActionsString(`drop; goto s2`, sys)
+	if err != nil || len(acts) != 2 {
+		t.Fatalf("actions = %v, %v", acts, err)
+	}
+	if _, err := ParseActionsString(`drop extra`, sys); err == nil {
+		t.Error("trailing action input accepted")
+	}
+}
+
+func TestCompileFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		path := dir + "/" + name
+		if err := writeFile(path, content); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	sp := write("system.attain", systemDSL)
+	ap := write("attacker.attain", attackerDSL)
+	kp := write("attack.attain", attackDSL)
+	prog, err := CompileFiles(sp, ap, kp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Attack.Name != "connection-interruption" {
+		t.Errorf("attack = %s", prog.Attack.Name)
+	}
+	if _, err := CompileFiles(dir+"/missing", ap, kp); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+// writeFile is a test helper wrapping os.WriteFile.
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

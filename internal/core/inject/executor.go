@@ -1,0 +1,487 @@
+package inject
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+// executor implements Algorithm 1: a single goroutine consuming all
+// control-plane events in arrival order (total ordering, §VI-C), matching
+// them against the current state's rules, and actuating the resulting
+// actions through the message modifier.
+type executor struct {
+	inj *Injector
+	// state holds σ and Δ — private by default, shareable across
+	// injector instances for distributed injection (§VIII-C).
+	state   StateStore
+	storage *lang.Storage
+	// rng drives stochastic rules (Rule.Prob); seeded deterministically
+	// so runs are reproducible. Only the executor goroutine touches it.
+	rng *rand.Rand
+}
+
+func newExecutor(inj *Injector) *executor {
+	state := inj.cfg.State
+	if state == nil {
+		state = newLocalState(inj.cfg.Attack.Start)
+	}
+	return &executor{
+		inj:     inj,
+		state:   state,
+		storage: state.Storage(),
+		rng:     rand.New(rand.NewSource(inj.cfg.StochasticSeed)),
+	}
+}
+
+func (ex *executor) currentState() string { return ex.state.CurrentState() }
+
+func (ex *executor) setState(next string) { ex.state.SetState(next) }
+
+// outMsg is one entry of the outgoing message list of Algorithm 1.
+type outMsg struct {
+	conn model.Conn
+	dir  lang.Direction
+	raw  []byte
+	// delay accumulates DELAYMESSAGE time applied before delivery.
+	delay time.Duration
+	// fromCurrent marks entries derived from the in-flight message (the
+	// original and its duplicates), the targets of DROP/MODIFY/etc.
+	fromCurrent bool
+}
+
+// run consumes events until the injector stops.
+func (ex *executor) run() {
+	for {
+		select {
+		case <-ex.inj.stop:
+			return
+		case ev := <-ex.inj.events:
+			if ev.kind == EventMessage {
+				ex.process(ev)
+			}
+			if ev.done != nil {
+				close(ev.done)
+			}
+		}
+	}
+}
+
+// process handles one message event per Algorithm 1 (lines 4-21).
+func (ex *executor) process(ev *event) {
+	granted := ex.inj.cfg.Attacker.CapsFor(ev.conn)
+	view := ex.makeView(ev, granted)
+	ex.inj.log.Count(ev.conn, func(s *Stats) { s.Seen++ })
+	ex.inj.log.Add(Event{
+		At: view.Timestamp, Kind: EventMessage, Conn: ev.conn,
+		Direction: ev.dir.String(), MsgType: ex.typeName(view),
+		Detail: fmt.Sprintf("len=%d id=%d", view.Length, view.ID),
+	})
+
+	// msg_out <- [msg_in] (line 5).
+	out := []outMsg{{conn: ev.conn, dir: ev.dir, raw: ev.raw, fromCurrent: true}}
+
+	// σ_previous <- σ_current (line 6): rules evaluate against the state
+	// at message arrival even if an action transitions mid-message.
+	prev := ex.currentState()
+	state := ex.inj.cfg.Attack.States[prev]
+	env := &lang.Env{View: view, Storage: ex.storage, System: ex.inj.cfg.System}
+
+	if state != nil {
+		for _, rule := range state.Rules {
+			if !rule.AppliesTo(ev.conn) {
+				continue
+			}
+			matched, err := ex.evalCond(rule.Cond, env)
+			if err != nil {
+				ex.inj.log.Add(Event{
+					At: ex.inj.clk.Now(), Kind: EventError, Conn: ev.conn,
+					Detail: fmt.Sprintf("rule %s conditional: %v", rule.Name, err),
+				})
+				continue
+			}
+			if !matched {
+				continue
+			}
+			// Stochastic rules (§VIII-A extension) fire with probability
+			// Prob on each matching message.
+			if rule.Prob > 0 && rule.Prob < 1 && ex.rng.Float64() >= rule.Prob {
+				continue
+			}
+			ex.inj.log.Count(ev.conn, func(s *Stats) { s.RuleFires++ })
+			ex.inj.log.Add(Event{
+				At: ex.inj.clk.Now(), Kind: EventRule, Conn: ev.conn,
+				MsgType: ex.typeName(view),
+				Detail:  fmt.Sprintf("state %s rule %s matched", prev, rule.Name),
+			})
+			for _, act := range rule.Actions {
+				if g, ok := act.(lang.GotoState); ok {
+					ex.setState(g.State)
+					ex.inj.log.Add(Event{
+						At: ex.inj.clk.Now(), Kind: EventState, Conn: ev.conn,
+						Detail: fmt.Sprintf("%s -> %s (rule %s)", prev, g.State, rule.Name),
+					})
+					continue
+				}
+				out = ex.modify(act, ev, view, env, out)
+			}
+		}
+	}
+
+	// Deliver the outgoing message list (lines 19-21).
+	for _, m := range out {
+		if m.delay > 0 {
+			ex.inj.log.Count(m.conn, func(s *Stats) { s.Delayed++ })
+			if ex.inj.cfg.AsyncDelays {
+				// Ablation mode: schedule the delivery and move on.
+				// Later messages can overtake this one.
+				m := m
+				ex.inj.wg.Add(1)
+				go func() {
+					defer ex.inj.wg.Done()
+					select {
+					case <-ex.inj.stop:
+						return
+					case <-ex.inj.clk.After(m.delay):
+					}
+					ex.deliver(ev, m)
+				}()
+				continue
+			}
+			// The single-threaded injector blocks on delays, preserving
+			// total order at the cost of head-of-line blocking — exactly
+			// the centralized design the paper describes.
+			ex.inj.clk.Sleep(m.delay)
+		}
+		ex.deliver(ev, m)
+	}
+}
+
+// deliver writes one outgoing message to its session.
+func (ex *executor) deliver(ev *event, m outMsg) {
+	sess := ev.sess
+	if m.conn != ev.conn || sess == nil {
+		sess = ex.inj.sessionFor(m.conn)
+	}
+	if sess == nil {
+		ex.inj.log.Add(Event{
+			At: ex.inj.clk.Now(), Kind: EventError, Conn: m.conn,
+			Detail: "no live session for outgoing message",
+		})
+		return
+	}
+	if err := sess.write(m.dir, m.raw); err != nil {
+		ex.inj.log.Add(Event{
+			At: ex.inj.clk.Now(), Kind: EventError, Conn: m.conn,
+			Detail: fmt.Sprintf("deliver: %v", err),
+		})
+		return
+	}
+	ex.inj.log.Count(m.conn, func(s *Stats) { s.Delivered++ })
+}
+
+// makeView builds the message property view, decoding the payload only
+// when READMESSAGE is granted on the connection.
+func (ex *executor) makeView(ev *event, granted model.CapabilitySet) *lang.MessageView {
+	view := &lang.MessageView{
+		Conn:      ev.conn,
+		Direction: ev.dir,
+		Timestamp: ex.inj.clk.Now(),
+		Length:    len(ev.raw),
+		ID:        ex.inj.nextMsgID(),
+	}
+	if ev.dir == lang.SwitchToController {
+		view.Source = ev.conn.Switch
+		view.Destination = ev.conn.Controller
+	} else {
+		view.Source = ev.conn.Controller
+		view.Destination = ev.conn.Switch
+	}
+	if granted.Has(model.CapReadMessage) {
+		if hdr, msg, err := openflow.Unmarshal(ev.raw); err == nil {
+			view.Header = hdr
+			view.Msg = msg
+		}
+	}
+	return view
+}
+
+func (ex *executor) typeName(view *lang.MessageView) string {
+	if view.Msg == nil {
+		return "OPAQUE"
+	}
+	return view.Msg.Type().String()
+}
+
+func (ex *executor) evalCond(cond lang.Expr, env *lang.Env) (bool, error) {
+	v, err := cond.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("conditional is not boolean")
+	}
+	return b, nil
+}
+
+// modify implements the MESSAGEMODIFIER function of Algorithm 1 (line 14):
+// it interprets one action against the outgoing message list.
+func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, env *lang.Env, out []outMsg) []outMsg {
+	logErr := func(format string, args ...interface{}) {
+		ex.inj.log.Add(Event{
+			At: ex.inj.clk.Now(), Kind: EventError, Conn: ev.conn,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	switch a := act.(type) {
+	case lang.PassMessage:
+		return out
+	case lang.DropMessage:
+		kept := out[:0]
+		for _, m := range out {
+			if m.fromCurrent {
+				ex.inj.log.Count(ev.conn, func(s *Stats) { s.Dropped++ })
+				continue
+			}
+			kept = append(kept, m)
+		}
+		return kept
+	case lang.DuplicateMessage:
+		for _, m := range out {
+			if m.fromCurrent {
+				dup := m
+				dup.raw = append([]byte(nil), m.raw...)
+				ex.inj.log.Count(ev.conn, func(s *Stats) { s.Duplicated++ })
+				return append(out, dup)
+			}
+		}
+		return out
+	case lang.DelayMessage:
+		for i := range out {
+			if out[i].fromCurrent {
+				out[i].delay += a.D
+			}
+		}
+		return out
+	case lang.FuzzMessage:
+		seed := a.Seed
+		if seed == 0 {
+			seed = int64(view.ID)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := range out {
+			if !out[i].fromCurrent {
+				continue
+			}
+			fuzzed := append([]byte(nil), out[i].raw...)
+			// Preserve the length field (bytes 2-3) so stream framing
+			// survives; everything else is fair game, including version,
+			// type, xid, and body.
+			for j := range fuzzed {
+				if j == 2 || j == 3 {
+					continue
+				}
+				if rng.Intn(4) == 0 {
+					fuzzed[j] ^= byte(rng.Intn(255) + 1)
+				}
+			}
+			out[i].raw = fuzzed
+			ex.inj.log.Count(ev.conn, func(s *Stats) { s.Fuzzed++ })
+		}
+		return out
+	case lang.ModifyField:
+		val, err := a.Value.Eval(env)
+		if err != nil {
+			logErr("modify %s: %v", a.Field, err)
+			return out
+		}
+		for i := range out {
+			if !out[i].fromCurrent {
+				continue
+			}
+			raw, err := rewritePayload(out[i].raw, a.Field, val)
+			if err != nil {
+				logErr("modify %s: %v", a.Field, err)
+				continue
+			}
+			out[i].raw = raw
+			ex.inj.log.Count(ev.conn, func(s *Stats) { s.Modified++ })
+		}
+		return out
+	case lang.ModifyMetadata:
+		// Metadata such as L2-L4 headers has no observable effect inside
+		// the proxied stream; record the actuation for completeness.
+		ex.inj.log.Add(Event{
+			At: ex.inj.clk.Now(), Kind: EventMessage, Conn: ev.conn,
+			MsgType: ex.typeName(view),
+			Detail:  fmt.Sprintf("metadata modified: %s", a.Field),
+		})
+		return out
+	case lang.InjectMessage:
+		msg, err := buildTemplate(a.Template)
+		if err != nil {
+			logErr("%v", err)
+			return out
+		}
+		raw, err := openflow.Marshal(uint32(ex.inj.nextMsgID()), msg)
+		if err != nil {
+			logErr("inject %s: %v", a.Template, err)
+			return out
+		}
+		ex.inj.log.Count(ev.conn, func(s *Stats) { s.Injected++ })
+		return append(out, outMsg{conn: ev.conn, dir: a.Direction, raw: raw})
+	case lang.StoreMessage:
+		captured := &lang.Captured{Raw: append([]byte(nil), ev.raw...), View: *view}
+		d := ex.storage.Deque(a.Deque)
+		if a.Front {
+			d.Prepend(captured)
+		} else {
+			d.Append(captured)
+		}
+		return out
+	case lang.SendStored:
+		d := ex.storage.Deque(a.Deque)
+		var (
+			v   lang.Value
+			err error
+		)
+		if a.FromEnd {
+			v, err = d.Pop()
+		} else {
+			v, err = d.Shift()
+		}
+		if err != nil {
+			logErr("sendStored %s: %v", a.Deque, err)
+			return out
+		}
+		captured, ok := v.(*lang.Captured)
+		if !ok {
+			logErr("sendStored %s: element is not a captured message", a.Deque)
+			return out
+		}
+		ex.inj.log.Count(captured.View.Conn, func(s *Stats) { s.Injected++ })
+		return append(out, outMsg{conn: captured.View.Conn, dir: captured.View.Direction, raw: captured.Raw})
+	case lang.DequePush:
+		val, err := a.Value.Eval(env)
+		if err != nil {
+			logErr("deque push %s: %v", a.Deque, err)
+			return out
+		}
+		d := ex.storage.Deque(a.Deque)
+		if a.Front {
+			d.Prepend(val)
+		} else {
+			d.Append(val)
+		}
+		return out
+	case lang.DequeDiscard:
+		d := ex.storage.Deque(a.Deque)
+		if a.FromEnd {
+			_, _ = d.Pop()
+		} else {
+			_, _ = d.Shift()
+		}
+		return out
+	case lang.Sleep:
+		// SLEEP halts attack state execution (§V-D); the centralized
+		// executor blocks, stalling all proxied connections.
+		ex.inj.clk.Sleep(a.D)
+		return out
+	case lang.SysCmd:
+		fn := ex.inj.syscmdFor(a.Host)
+		ex.inj.log.Add(Event{
+			At: ex.inj.clk.Now(), Kind: EventSysCmd, Conn: ev.conn,
+			Detail: fmt.Sprintf("host %s: %s", a.Host, a.Cmd),
+		})
+		if fn == nil {
+			logErr("syscmd: no runner registered for host %s", a.Host)
+			return out
+		}
+		// Commands represent external monitor actuation (iperf, tcpdump)
+		// and run asynchronously so the proxy pipeline is not stalled.
+		ex.inj.wg.Add(1)
+		go func() {
+			defer ex.inj.wg.Done()
+			if err := fn(a.Cmd); err != nil {
+				logErr("syscmd on %s: %v", a.Host, err)
+			}
+		}()
+		return out
+	default:
+		logErr("unknown action %T", act)
+		return out
+	}
+}
+
+// rewritePayload decodes a framed message, modifies one property, and
+// re-encodes it with the original xid.
+func rewritePayload(raw []byte, field string, val lang.Value) ([]byte, error) {
+	hdr, msg, err := openflow.Unmarshal(raw)
+	if err != nil {
+		return nil, fmt.Errorf("payload not decodable: %w", err)
+	}
+	toInt := func() (int64, bool) {
+		switch n := val.(type) {
+		case int64:
+			return n, true
+		case int:
+			return int64(n), true
+		default:
+			return 0, false
+		}
+	}
+	switch m := msg.(type) {
+	case *openflow.FlowMod:
+		n, ok := toInt()
+		switch field {
+		case lang.PropFMIdle:
+			if !ok {
+				return nil, fmt.Errorf("idle_timeout needs an integer")
+			}
+			m.IdleTimeout = uint16(n)
+		case lang.PropFMHard:
+			if !ok {
+				return nil, fmt.Errorf("hard_timeout needs an integer")
+			}
+			m.HardTimeout = uint16(n)
+		case lang.PropFMPriority:
+			if !ok {
+				return nil, fmt.Errorf("priority needs an integer")
+			}
+			m.Priority = uint16(n)
+		case lang.PropFMBufferID:
+			if !ok {
+				return nil, fmt.Errorf("buffer_id needs an integer")
+			}
+			m.BufferID = uint32(n)
+		case lang.PropMatchInPort:
+			if !ok {
+				return nil, fmt.Errorf("in_port needs an integer")
+			}
+			m.Match.InPort = uint16(n)
+			m.Match.Wildcards &^= openflow.WildcardInPort
+		default:
+			return nil, fmt.Errorf("unsupported FLOW_MOD field %q", field)
+		}
+	case *openflow.PacketOut:
+		n, ok := toInt()
+		if field != lang.PropPOInPort || !ok {
+			return nil, fmt.Errorf("unsupported PACKET_OUT field %q", field)
+		}
+		m.InPort = uint16(n)
+	case *openflow.PacketIn:
+		n, ok := toInt()
+		if field != lang.PropPIInPort || !ok {
+			return nil, fmt.Errorf("unsupported PACKET_IN field %q", field)
+		}
+		m.InPort = uint16(n)
+	default:
+		return nil, fmt.Errorf("message type %s does not support field modification", msg.Type())
+	}
+	return openflow.Marshal(hdr.Xid, msg)
+}

@@ -1,0 +1,401 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"attain/internal/clock"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+)
+
+// Config describes a runtime injector instance.
+type Config struct {
+	// System, Attacker, and Attack are the compiled models.
+	System   *model.System
+	Attacker *model.AttackerModel
+	Attack   *lang.Attack
+	// Transport supplies the control-plane network.
+	Transport netem.Transport
+	// Clock drives delays, sleeps, and timestamps.
+	Clock clock.Clock
+	// ProxyAddr maps each control-plane connection to the address the
+	// injector listens on for that connection's switch. Defaults to
+	// DefaultProxyAddr.
+	ProxyAddr func(model.Conn) string
+	// EventBuffer sizes the executor's inbound queue (default 4096).
+	EventBuffer int
+	// LogWriter optionally streams log lines.
+	LogWriter io.Writer
+	// LogLimit bounds retained in-memory events (default 100k).
+	LogLimit int
+	// StochasticSeed seeds the generator behind probabilistic rules
+	// (Rule.Prob), keeping stochastic attacks reproducible. 0 uses a
+	// fixed default.
+	StochasticSeed int64
+	// Connections restricts this instance to proxying a subset of the
+	// system's control-plane connections. Nil proxies all of them. Used
+	// for distributed injection (§VIII-C): several instances with
+	// disjoint subsets share a SharedState via State.
+	Connections []model.Conn
+	// State shares σ and Δ among injector instances; nil uses a private
+	// store (the centralized design).
+	State StateStore
+	// AsyncDelays schedules DELAYMESSAGE deliveries on timers instead of
+	// blocking the executor. The default (false) is the paper's
+	// centralized semantics: a delay stalls the whole pipeline,
+	// preserving total order. Async delays trade that ordering away —
+	// later messages can overtake a delayed one — for pipeline liveness,
+	// the §VIII-C consistency/latency trade-off in miniature.
+	AsyncDelays bool
+}
+
+// DefaultProxyAddr names proxy listen addresses for in-memory transports.
+func DefaultProxyAddr(conn model.Conn) string {
+	return fmt.Sprintf("attain-proxy:%s:%s", conn.Controller, conn.Switch)
+}
+
+// Injector is the runtime injector: one proxy listener per control-plane
+// connection, feeding a single-threaded attack executor.
+type Injector struct {
+	cfg  Config
+	clk  clock.Clock
+	log  *Log
+	exec *executor
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	sessions  map[model.Conn]*session
+	syscmd    map[model.NodeID]func(cmd string) error
+	started   bool
+
+	msgID  atomic.Uint64
+	events chan *event
+	stop   chan struct{}
+	wg     sync.WaitGroup
+}
+
+// event is one unit of work for the executor: a proxied message or a
+// session-control notification.
+type event struct {
+	kind    EventKind // EventMessage or EventConn
+	conn    model.Conn
+	dir     lang.Direction
+	raw     []byte
+	sess    *session
+	closing bool
+	// done, when non-nil, is closed once the executor has fully
+	// processed the event (used by tests for synchronization).
+	done chan struct{}
+}
+
+// session is one live proxied control-plane connection: the accepted
+// switch-side conn and the dialed controller-side conn. Outbound bytes go
+// through buffered per-direction write pumps so the single-threaded
+// executor never head-of-line blocks on a slow peer — the role the OS
+// socket buffers played for the paper's Python injector.
+type session struct {
+	conn       model.Conn
+	switchSide net.Conn
+	ctrlSide   net.Conn
+	toSwitch   chan []byte
+	toCtrl     chan []byte
+	closeOnce  sync.Once
+	closed     chan struct{}
+}
+
+func newSession(conn model.Conn, swConn, ctrlConn net.Conn) *session {
+	s := &session{
+		conn:       conn,
+		switchSide: swConn,
+		ctrlSide:   ctrlConn,
+		toSwitch:   make(chan []byte, 4096),
+		toCtrl:     make(chan []byte, 4096),
+		closed:     make(chan struct{}),
+	}
+	go s.pumpOut(s.toSwitch, swConn)
+	go s.pumpOut(s.toCtrl, ctrlConn)
+	return s
+}
+
+func (s *session) pumpOut(ch chan []byte, dst net.Conn) {
+	for {
+		select {
+		case <-s.closed:
+			return
+		case buf := <-ch:
+			if _, err := dst.Write(buf); err != nil {
+				s.close()
+				return
+			}
+		}
+	}
+}
+
+func (s *session) close() {
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		_ = s.switchSide.Close()
+		_ = s.ctrlSide.Close()
+	})
+}
+
+// write queues raw bytes toward the given direction's destination,
+// blocking only if the 4096-message buffer is full.
+func (s *session) write(dir lang.Direction, raw []byte) error {
+	ch := s.toSwitch
+	if dir == lang.SwitchToController {
+		ch = s.toCtrl
+	}
+	select {
+	case ch <- raw:
+		return nil
+	case <-s.closed:
+		return net.ErrClosed
+	}
+}
+
+// New creates an injector. Call Start to begin proxying.
+func New(cfg Config) (*Injector, error) {
+	if cfg.System == nil || cfg.Attack == nil {
+		return nil, errors.New("inject: system and attack are required")
+	}
+	if cfg.Attacker == nil {
+		cfg.Attacker = model.NewAttackerModel()
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("inject: transport is required")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
+	if cfg.ProxyAddr == nil {
+		cfg.ProxyAddr = DefaultProxyAddr
+	}
+	if cfg.EventBuffer <= 0 {
+		cfg.EventBuffer = 4096
+	}
+	if err := cfg.Attack.Validate(cfg.System, cfg.Attacker); err != nil {
+		return nil, err
+	}
+	inj := &Injector{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		log:      NewLog(cfg.LogLimit, cfg.LogWriter),
+		sessions: make(map[model.Conn]*session),
+		syscmd:   make(map[model.NodeID]func(string) error),
+		events:   make(chan *event, cfg.EventBuffer),
+		stop:     make(chan struct{}),
+	}
+	inj.exec = newExecutor(inj)
+	return inj, nil
+}
+
+// Log exposes the injector's event log.
+func (inj *Injector) Log() *Log { return inj.log }
+
+// CurrentState returns the executor's current attack state name.
+func (inj *Injector) CurrentState() string { return inj.exec.currentState() }
+
+// Storage exposes the attack's deque storage Δ (for monitors and tests).
+func (inj *Injector) Storage() *lang.Storage { return inj.exec.storage }
+
+// ProxyAddrFor returns the address switches should dial for conn.
+func (inj *Injector) ProxyAddrFor(conn model.Conn) string {
+	return inj.cfg.ProxyAddr(conn)
+}
+
+// RegisterSysCmd installs the runner invoked by SYSCMD(host, cmd) actions.
+func (inj *Injector) RegisterSysCmd(host model.NodeID, fn func(cmd string) error) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.syscmd[host] = fn
+}
+
+// Start opens one proxy listener per control-plane connection and launches
+// the executor.
+func (inj *Injector) Start() error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.started {
+		return errors.New("inject: already started")
+	}
+	for _, conn := range inj.proxiedConns() {
+		addr := inj.cfg.ProxyAddr(conn)
+		ln, err := inj.cfg.Transport.Listen(addr)
+		if err != nil {
+			for _, l := range inj.listeners {
+				_ = l.Close()
+			}
+			inj.listeners = nil
+			return fmt.Errorf("inject: listen %s for %s: %w", addr, conn, err)
+		}
+		inj.listeners = append(inj.listeners, ln)
+		conn := conn
+		inj.wg.Add(1)
+		go func() {
+			defer inj.wg.Done()
+			inj.acceptLoop(conn, ln)
+		}()
+	}
+	inj.wg.Add(1)
+	go func() {
+		defer inj.wg.Done()
+		inj.exec.run()
+	}()
+	inj.started = true
+	return nil
+}
+
+// Stop closes all listeners and sessions and waits for the injector's
+// goroutines to exit.
+func (inj *Injector) Stop() {
+	inj.mu.Lock()
+	if !inj.started {
+		inj.mu.Unlock()
+		return
+	}
+	select {
+	case <-inj.stop:
+		inj.mu.Unlock()
+		inj.wg.Wait()
+		return
+	default:
+	}
+	close(inj.stop)
+	listeners := inj.listeners
+	sessions := make([]*session, 0, len(inj.sessions))
+	for _, s := range inj.sessions {
+		sessions = append(sessions, s)
+	}
+	inj.mu.Unlock()
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	for _, s := range sessions {
+		s.close()
+	}
+	inj.wg.Wait()
+}
+
+// acceptLoop serves successive switch connections for one control-plane
+// connection.
+func (inj *Injector) acceptLoop(conn model.Conn, ln net.Listener) {
+	for {
+		swConn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		sess, err := inj.openSession(conn, swConn)
+		if err != nil {
+			inj.log.Add(Event{
+				At: inj.clk.Now(), Kind: EventError, Conn: conn,
+				Detail: fmt.Sprintf("dial controller: %v", err),
+			})
+			_ = swConn.Close()
+			continue
+		}
+		// Serve this session to completion before accepting the switch's
+		// next reconnect (a switch has one control channel at a time).
+		inj.serveSession(sess)
+	}
+}
+
+// openSession dials the real controller and registers the session.
+func (inj *Injector) openSession(conn model.Conn, swConn net.Conn) (*session, error) {
+	ctrl, ok := inj.cfg.System.ControllerByID(conn.Controller)
+	if !ok {
+		return nil, fmt.Errorf("unknown controller %s", conn.Controller)
+	}
+	ctrlConn, err := inj.cfg.Transport.Dial(ctrl.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	sess := newSession(conn, swConn, ctrlConn)
+	inj.mu.Lock()
+	inj.sessions[conn] = sess
+	inj.mu.Unlock()
+	inj.log.Add(Event{At: inj.clk.Now(), Kind: EventConn, Conn: conn, Detail: "session open"})
+	return sess, nil
+}
+
+// serveSession pumps both directions into the executor until either side
+// closes.
+func (inj *Injector) serveSession(sess *session) {
+	var wg sync.WaitGroup
+	pump := func(src net.Conn, dir lang.Direction) {
+		defer wg.Done()
+		for {
+			raw, err := openflow.ReadRaw(src)
+			if err != nil {
+				sess.close()
+				return
+			}
+			ev := &event{kind: EventMessage, conn: sess.conn, dir: dir, raw: raw, sess: sess}
+			select {
+			case inj.events <- ev:
+			case <-inj.stop:
+				sess.close()
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go pump(sess.switchSide, lang.SwitchToController)
+	go pump(sess.ctrlSide, lang.ControllerToSwitch)
+	wg.Wait()
+
+	inj.mu.Lock()
+	if inj.sessions[sess.conn] == sess {
+		delete(inj.sessions, sess.conn)
+	}
+	inj.mu.Unlock()
+	inj.log.Add(Event{At: inj.clk.Now(), Kind: EventConn, Conn: sess.conn, Detail: "session closed"})
+}
+
+// sessionFor returns the live session for conn, if any.
+func (inj *Injector) sessionFor(conn model.Conn) *session {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.sessions[conn]
+}
+
+// syscmdFor returns the registered SYSCMD runner for host.
+func (inj *Injector) syscmdFor(host model.NodeID) func(string) error {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.syscmd[host]
+}
+
+// nextMsgID issues unique message ids.
+func (inj *Injector) nextMsgID() uint64 { return inj.msgID.Add(1) }
+
+// proxiedConns returns the connections this instance proxies.
+func (inj *Injector) proxiedConns() []model.Conn {
+	if len(inj.cfg.Connections) > 0 {
+		return inj.cfg.Connections
+	}
+	return inj.cfg.System.ControlPlane
+}
+
+// Barrier enqueues a no-op event and waits until the executor has drained
+// everything enqueued before it — a test synchronization aid. Note that
+// it does NOT order against frames still being read by the per-session
+// pump goroutines: a message written to a proxied connection may be
+// enqueued after a Barrier issued later. Callers needing to observe the
+// effects of specific messages should poll on the observable effect.
+func (inj *Injector) Barrier() {
+	done := make(chan struct{})
+	ev := &event{kind: EventConn, done: done}
+	select {
+	case inj.events <- ev:
+		<-done
+	case <-inj.stop:
+	}
+}

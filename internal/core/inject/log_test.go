@@ -1,0 +1,120 @@
+package inject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+func TestLogRetentionLimit(t *testing.T) {
+	l := NewLog(3, nil)
+	for i := 0; i < 10; i++ {
+		l.Add(Event{Kind: EventMessage, MsgType: "HELLO"})
+	}
+	if l.Len() != 3 {
+		t.Errorf("retained %d events, want 3", l.Len())
+	}
+	// Counters keep counting past the retention limit.
+	if got := l.MessageTypeCounts()["HELLO"]; got != 10 {
+		t.Errorf("HELLO count = %d, want 10", got)
+	}
+}
+
+func TestLogStreamsToWriter(t *testing.T) {
+	var sb strings.Builder
+	l := NewLog(10, &sb)
+	conn := model.Conn{Controller: "c1", Switch: "s1"}
+	l.Add(Event{At: time.Unix(0, 0), Kind: EventRule, Conn: conn, Detail: "phi1 matched"})
+	out := sb.String()
+	for _, want := range []string{"RULE", "(c1,s1)", "phi1 matched"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stream %q missing %q", out, want)
+		}
+	}
+}
+
+func TestLogEventsFilter(t *testing.T) {
+	l := NewLog(10, nil)
+	l.Add(Event{Kind: EventMessage})
+	l.Add(Event{Kind: EventRule})
+	l.Add(Event{Kind: EventRule})
+	l.Add(Event{Kind: EventState})
+	if got := len(l.Events(EventRule)); got != 2 {
+		t.Errorf("rule events = %d", got)
+	}
+	if got := len(l.Events(0)); got != 4 {
+		t.Errorf("all events = %d", got)
+	}
+}
+
+func TestLogStatsPerConnAndTotal(t *testing.T) {
+	l := NewLog(10, nil)
+	c1 := model.Conn{Controller: "c1", Switch: "s1"}
+	c2 := model.Conn{Controller: "c1", Switch: "s2"}
+	l.Count(c1, func(s *Stats) { s.Seen += 3; s.Dropped++ })
+	l.Count(c2, func(s *Stats) { s.Seen += 2 })
+	if st := l.Stats(c1); st.Seen != 3 || st.Dropped != 1 {
+		t.Errorf("c1 stats = %+v", st)
+	}
+	if st := l.Stats(model.Conn{Controller: "cX", Switch: "sX"}); st.Seen != 0 {
+		t.Errorf("unknown conn stats = %+v", st)
+	}
+	total := l.TotalStats()
+	if total.Seen != 5 || total.Dropped != 1 {
+		t.Errorf("total = %+v", total)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := map[EventKind]string{
+		EventMessage: "MSG", EventRule: "RULE", EventState: "STATE",
+		EventConn: "CONN", EventSysCmd: "SYSCMD", EventError: "ERROR",
+		EventKind(99): "?",
+	}
+	for k, want := range kinds {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestTemplates(t *testing.T) {
+	names := TemplateNames()
+	if len(names) < 5 {
+		t.Fatalf("templates = %v", names)
+	}
+	for _, name := range names {
+		msg, err := buildTemplate(name)
+		if err != nil || msg == nil {
+			t.Errorf("template %q: %v", name, err)
+			continue
+		}
+		// Every template must marshal to a valid frame.
+		if _, err := openflow.Marshal(1, msg); err != nil {
+			t.Errorf("template %q does not marshal: %v", name, err)
+		}
+	}
+	if _, err := buildTemplate("not-a-template"); err == nil {
+		t.Error("unknown template accepted")
+	}
+	// flow_mod_delete_all must actually be a table wipe.
+	msg, _ := buildTemplate("flow_mod_delete_all")
+	fm := msg.(*openflow.FlowMod)
+	if fm.Command != openflow.FlowModDelete || fm.Match.Wildcards != openflow.WildcardAll {
+		t.Errorf("delete-all template = %+v", fm)
+	}
+}
+
+func TestInjectorRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	sys := model.Figure3System()
+	a := trivialAttack()
+	if _, err := New(Config{System: sys, Attack: a}); err == nil {
+		t.Error("missing transport accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package inject
+
+import (
+	"sync"
+
+	"attain/internal/core/lang"
+)
+
+// StateStore holds the attack's global state σ and storage Δ. The default
+// (one injector, private store) gives the paper's centralized design with
+// total ordering. A SharedState passed to several injector instances — each
+// proxying a disjoint subset of N_C — realizes the distributed runtime
+// injector sketched in §VIII-C: σ and Δ stay consistent across instances
+// (sequential consistency via a single lock), while event ordering is total
+// only per instance, exactly the trade-off the paper discusses.
+type StateStore interface {
+	// CurrentState returns σ.
+	CurrentState() string
+	// SetState replaces σ.
+	SetState(state string)
+	// Storage returns Δ.
+	Storage() *lang.Storage
+}
+
+// localState is the default single-instance store.
+type localState struct {
+	mu      sync.Mutex
+	current string
+	storage *lang.Storage
+}
+
+var _ StateStore = (*localState)(nil)
+
+func newLocalState(start string) *localState {
+	return &localState{current: start, storage: lang.NewStorage()}
+}
+
+func (s *localState) CurrentState() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.current
+}
+
+func (s *localState) SetState(state string) {
+	s.mu.Lock()
+	s.current = state
+	s.mu.Unlock()
+}
+
+func (s *localState) Storage() *lang.Storage { return s.storage }
+
+// SharedState is a StateStore safe to hand to multiple injector instances.
+type SharedState struct {
+	localState
+}
+
+// NewSharedState creates a store starting in the given attack state. Every
+// participating injector must be configured with an attack whose start
+// state matches.
+func NewSharedState(start string) *SharedState {
+	return &SharedState{localState{current: start, storage: lang.NewStorage()}}
+}

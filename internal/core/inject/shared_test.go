@@ -1,0 +1,201 @@
+package inject
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+)
+
+// distRig builds the §VIII-C distributed deployment: two injector
+// instances, each proxying one of the Figure 3 system's two connections,
+// sharing σ and Δ through a SharedState.
+type distRig struct {
+	injA, injB *Injector
+	swA, swB   *fakePeer // fake switches on (c1,s1) and (c1,s2)
+	ctrlA      *fakePeer // controller side of (c1,s1)
+	ctrlB      *fakePeer // controller side of (c1,s2)
+	shared     *SharedState
+}
+
+func newDistRig(t *testing.T, attack *lang.Attack) *distRig {
+	t.Helper()
+	sys := model.Figure3System()
+	tr := netem.NewMemTransport()
+	am := model.NewAttackerModel()
+	for _, conn := range sys.ControlPlane {
+		am.Grant(conn, model.AllCapabilities)
+	}
+	ln, err := tr.Listen("c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	acceptCh := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			acceptCh <- c
+		}
+	}()
+
+	shared := NewSharedState(attack.Start)
+	conn1 := model.Conn{Controller: "c1", Switch: "s1"}
+	conn2 := model.Conn{Controller: "c1", Switch: "s2"}
+
+	mk := func(conns []model.Conn) *Injector {
+		inj, err := New(Config{
+			System: sys, Attacker: am, Attack: attack,
+			Transport: tr, Clock: clock.New(),
+			Connections: conns,
+			State:       shared,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := inj.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(inj.Stop)
+		return inj
+	}
+	injA := mk([]model.Conn{conn1})
+	injB := mk([]model.Conn{conn2})
+
+	dial := func(inj *Injector, conn model.Conn) (*fakePeer, *fakePeer) {
+		swConn, err := tr.Dial(inj.ProxyAddrFor(conn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case c := <-acceptCh:
+			return newFakePeer(swConn), newFakePeer(c)
+		case <-time.After(2 * time.Second):
+			t.Fatal("controller never accepted")
+			return nil, nil
+		}
+	}
+	swA, ctrlA := dial(injA, conn1)
+	swB, ctrlB := dial(injB, conn2)
+	return &distRig{injA: injA, injB: injB, swA: swA, swB: swB, ctrlA: ctrlA, ctrlB: ctrlB, shared: shared}
+}
+
+// TestDistributedSharedStateTransition verifies a state transition
+// triggered through one instance changes behaviour on the other: instance
+// A sees a HELLO on (c1,s1) and arms a drop-all state that instance B then
+// enforces on (c1,s2).
+func TestDistributedSharedStateTransition(t *testing.T) {
+	conn1 := model.Conn{Controller: "c1", Switch: "s1"}
+	conn2 := model.Conn{Controller: "c1", Switch: "s2"}
+	a := lang.NewAttack("dist", "watch")
+	a.AddState(&lang.State{
+		Name: "watch",
+		Rules: []*lang.Rule{{
+			Name: "arm", Conns: []model.Conn{conn1}, Caps: model.AllCapabilities,
+			Cond:    isType("HELLO"),
+			Actions: []lang.Action{lang.PassMessage{}, lang.GotoState{State: "armed"}},
+		}},
+	})
+	a.AddState(&lang.State{
+		Name: "armed",
+		Rules: []*lang.Rule{{
+			Name: "dropS2", Conns: []model.Conn{conn2}, Caps: model.AllCapabilities,
+			Cond:    lang.True,
+			Actions: []lang.Action{lang.DropMessage{}},
+		}},
+	})
+	r := newDistRig(t, a)
+
+	// Before arming, (c1,s2) passes.
+	r.swB.send(t, 1, &openflow.EchoRequest{})
+	if hd, _ := r.ctrlB.expect(t); hd.Type != openflow.TypeEchoRequest {
+		t.Fatalf("pre-arm: controller B got %s", hd.Type)
+	}
+
+	// Arm through instance A.
+	r.swA.send(t, 2, &openflow.Hello{})
+	if hd, _ := r.ctrlA.expect(t); hd.Type != openflow.TypeHello {
+		t.Fatalf("arm: controller A got %s", hd.Type)
+	}
+	r.injA.Barrier()
+	if got := r.injB.CurrentState(); got != "armed" {
+		t.Fatalf("instance B state = %s, want armed (shared σ)", got)
+	}
+
+	// (c1,s2) is now dropped by instance B.
+	r.swB.send(t, 3, &openflow.EchoRequest{})
+	r.ctrlB.expectNone(t, 100*time.Millisecond)
+	r.injB.Barrier()
+	if st := r.injB.Log().Stats(conn2); st.Dropped != 1 {
+		t.Errorf("instance B dropped = %d, want 1", st.Dropped)
+	}
+}
+
+// TestDistributedSharedStorage verifies Δ is shared: both instances
+// increment one counter, and the total reflects messages from both
+// connections.
+func TestDistributedSharedStorage(t *testing.T) {
+	conn1 := model.Conn{Controller: "c1", Switch: "s1"}
+	conn2 := model.Conn{Controller: "c1", Switch: "s2"}
+	incr := lang.DequePush{
+		Deque: "n", Front: true,
+		Value: lang.Arith{Op: lang.OpAdd, L: lang.DequeTake{Deque: "n"}, R: lang.Lit{Value: int64(1)}},
+	}
+	a := lang.NewAttack("dist-count", "s0")
+	a.AddState(&lang.State{
+		Name: "s0",
+		Rules: []*lang.Rule{{
+			Name: "count", Conns: []model.Conn{conn1, conn2}, Caps: model.AllCapabilities,
+			Cond:    isType("ECHO_REQUEST"),
+			Actions: []lang.Action{incr},
+		}},
+	})
+	r := newDistRig(t, a)
+
+	for i := 0; i < 3; i++ {
+		r.swA.send(t, uint32(i), &openflow.EchoRequest{})
+		r.ctrlA.expect(t)
+	}
+	for i := 0; i < 2; i++ {
+		r.swB.send(t, uint32(i), &openflow.EchoRequest{})
+		r.ctrlB.expect(t)
+	}
+	r.injA.Barrier()
+	r.injB.Barrier()
+
+	v, err := r.shared.Storage().Deque("n").ExamineFront()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := v.(int64); n != 5 {
+		t.Errorf("shared counter = %v, want 5", v)
+	}
+}
+
+// TestDistributedConnectionsFilter verifies each instance only proxies its
+// assigned subset.
+func TestDistributedConnectionsFilter(t *testing.T) {
+	a := trivialAttack()
+	r := newDistRig(t, a)
+	conn2 := model.Conn{Controller: "c1", Switch: "s2"}
+	// Instance A must not be listening for (c1,s2): its proxy address is
+	// owned by instance B, so A never saw any s2 traffic.
+	r.swB.send(t, 1, &openflow.EchoRequest{})
+	r.ctrlB.expect(t)
+	r.injA.Barrier()
+	r.injB.Barrier()
+	if st := r.injA.Log().Stats(conn2); st.Seen != 0 {
+		t.Errorf("instance A saw %d messages on (c1,s2)", st.Seen)
+	}
+	if st := r.injB.Log().Stats(conn2); st.Seen != 1 {
+		t.Errorf("instance B saw %d messages on (c1,s2), want 1", st.Seen)
+	}
+}

@@ -1,0 +1,48 @@
+package inject
+
+import (
+	"fmt"
+
+	"attain/internal/openflow"
+)
+
+// messageTemplates names the semantically valid messages an
+// INJECTNEWMESSAGE action can fabricate (§V-D). Each call builds a fresh
+// message.
+var messageTemplates = map[string]func() openflow.Message{
+	"hello":            func() openflow.Message { return &openflow.Hello{} },
+	"echo_request":     func() openflow.Message { return &openflow.EchoRequest{Data: []byte("attain")} },
+	"echo_reply":       func() openflow.Message { return &openflow.EchoReply{Data: []byte("attain")} },
+	"barrier_request":  func() openflow.Message { return &openflow.BarrierRequest{} },
+	"features_request": func() openflow.Message { return &openflow.FeaturesRequest{} },
+	"flow_mod_delete_all": func() openflow.Message {
+		return &openflow.FlowMod{
+			Match:    openflow.MatchAll(),
+			Command:  openflow.FlowModDelete,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortNone,
+		}
+	},
+	"port_stats_request": func() openflow.Message {
+		return &openflow.StatsRequest{Body: &openflow.PortStatsRequest{PortNo: openflow.PortNone}}
+	},
+}
+
+// buildTemplate constructs a named template message.
+func buildTemplate(name string) (openflow.Message, error) {
+	fn, ok := messageTemplates[name]
+	if !ok {
+		return nil, fmt.Errorf("inject: unknown message template %q", name)
+	}
+	return fn(), nil
+}
+
+// TemplateNames lists the known injection templates (for documentation and
+// validation tooling).
+func TemplateNames() []string {
+	names := make([]string, 0, len(messageTemplates))
+	for n := range messageTemplates {
+		names = append(names, n)
+	}
+	return names
+}

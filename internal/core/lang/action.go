@@ -1,0 +1,222 @@
+package lang
+
+import (
+	"fmt"
+	"time"
+
+	"attain/internal/core/model"
+)
+
+// Action is one element of a rule's ordered action set α (§V-D). Actions
+// are pure data; the inject package's executor interprets them against the
+// in-flight message.
+type Action interface {
+	// RequiredCaps returns the attacker capabilities the action actuates.
+	// Deque, state, and testing-framework actions need none.
+	RequiredCaps() model.CapabilitySet
+	// String renders the action in the textual DSL syntax.
+	String() string
+}
+
+// ---- Capability actions (Table I) ----
+
+// DropMessage removes the message from the outgoing list.
+type DropMessage struct{}
+
+// PassMessage explicitly allows the message through (the default when no
+// rule drops it; present for faithful attack descriptions).
+type PassMessage struct{}
+
+// DelayMessage delays delivery of the message.
+type DelayMessage struct{ D time.Duration }
+
+// DuplicateMessage appends a replica of the message to the outgoing list.
+type DuplicateMessage struct{}
+
+// FuzzMessage randomizes payload bits of the outgoing message. Seed makes
+// test runs reproducible; 0 derives a seed from the message id.
+type FuzzMessage struct{ Seed int64 }
+
+// ModifyField rewrites one payload property of the outgoing message. Field
+// uses the same names as Prop; Value is evaluated in the rule's
+// environment.
+type ModifyField struct {
+	Field string
+	Value Expr
+}
+
+// ModifyMetadata rewrites message metadata. The simulator models one
+// mutable metadata field: the destination connection endpoint is fixed, so
+// this action is limited to annotating the view; it exists for language
+// completeness and capability accounting.
+type ModifyMetadata struct {
+	Field string
+	Value Expr
+}
+
+// InjectMessage injects a new, semantically valid message into the
+// connection. The message is built by the injector from a template name
+// with arguments (e.g. "echo_request", "flow_mod_delete_all").
+type InjectMessage struct {
+	// Template names a message constructor known to the injector.
+	Template string
+	// Direction selects which way the new message travels.
+	Direction Direction
+}
+
+// SendStored re-injects a message previously captured into a deque
+// (message replay / reorder, §VIII-A). FromEnd selects POP instead of
+// SHIFT.
+type SendStored struct {
+	Deque   string
+	FromEnd bool
+}
+
+// StoreMessage captures the current message into a deque. Front selects
+// PREPEND instead of APPEND.
+type StoreMessage struct {
+	Deque string
+	Front bool
+}
+
+// ---- Deque actions ----
+
+// DequePush evaluates Value and pushes it onto a deque. Front selects
+// PREPEND; otherwise APPEND.
+type DequePush struct {
+	Deque string
+	Front bool
+	Value Expr
+}
+
+// DequeDiscard removes an element from a deque. FromEnd selects POP;
+// otherwise SHIFT.
+type DequeDiscard struct {
+	Deque   string
+	FromEnd bool
+}
+
+// ---- State and framework actions ----
+
+// GotoState transitions the attack to another state.
+type GotoState struct{ State string }
+
+// Sleep halts attack state execution for a duration (SLEEP(t)).
+type Sleep struct{ D time.Duration }
+
+// SysCmd remotely executes a command on a host (SYSCMD(host, cmd)). The
+// injector dispatches it to a registered command runner (monitor
+// actuation).
+type SysCmd struct {
+	Host model.NodeID
+	Cmd  string
+}
+
+// RequiredCaps implementations.
+func (DropMessage) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapDropMessage)
+}
+func (PassMessage) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapPassMessage)
+}
+func (DelayMessage) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapDelayMessage)
+}
+func (DuplicateMessage) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapDuplicateMessage)
+}
+func (FuzzMessage) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapFuzzMessage)
+}
+func (m ModifyField) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapModifyMessage) | m.Value.RequiredCaps()
+}
+func (m ModifyMetadata) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapModifyMessageMetadata) | m.Value.RequiredCaps()
+}
+func (InjectMessage) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapInjectNewMessage)
+}
+func (SendStored) RequiredCaps() model.CapabilitySet {
+	return model.Caps(model.CapInjectNewMessage)
+}
+func (StoreMessage) RequiredCaps() model.CapabilitySet {
+	// Storing the full message implies reading it.
+	return model.Caps(model.CapReadMessage)
+}
+func (p DequePush) RequiredCaps() model.CapabilitySet  { return p.Value.RequiredCaps() }
+func (DequeDiscard) RequiredCaps() model.CapabilitySet { return model.NoCapabilities }
+func (GotoState) RequiredCaps() model.CapabilitySet    { return model.NoCapabilities }
+func (Sleep) RequiredCaps() model.CapabilitySet        { return model.NoCapabilities }
+func (SysCmd) RequiredCaps() model.CapabilitySet       { return model.NoCapabilities }
+
+// String implementations (textual DSL syntax).
+func (DropMessage) String() string      { return "drop" }
+func (PassMessage) String() string      { return "pass" }
+func (a DelayMessage) String() string   { return fmt.Sprintf("delay %s", a.D) }
+func (DuplicateMessage) String() string { return "duplicate" }
+func (a FuzzMessage) String() string {
+	if a.Seed == 0 {
+		return "fuzz"
+	}
+	return fmt.Sprintf("fuzz %d", a.Seed)
+}
+func (a ModifyField) String() string {
+	return fmt.Sprintf("modify %s = %s", a.Field, a.Value)
+}
+func (a ModifyMetadata) String() string {
+	return fmt.Sprintf("modifyMetadata %s = %s", a.Field, a.Value)
+}
+func (a InjectMessage) String() string {
+	return fmt.Sprintf("inject %s %s", a.Template, a.Direction)
+}
+func (a SendStored) String() string {
+	end := "front"
+	if a.FromEnd {
+		end = "end"
+	}
+	return fmt.Sprintf("sendStored %s %s", a.Deque, end)
+}
+func (a StoreMessage) String() string {
+	pos := "end"
+	if a.Front {
+		pos = "front"
+	}
+	return fmt.Sprintf("store %s %s", a.Deque, pos)
+}
+func (a DequePush) String() string {
+	op := "append"
+	if a.Front {
+		op = "prepend"
+	}
+	return fmt.Sprintf("%s(%s, %s)", op, a.Deque, a.Value)
+}
+func (a DequeDiscard) String() string {
+	op := "shift"
+	if a.FromEnd {
+		op = "pop"
+	}
+	return fmt.Sprintf("%s(%s)", op, a.Deque)
+}
+func (a GotoState) String() string { return fmt.Sprintf("goto %s", a.State) }
+func (a Sleep) String() string     { return fmt.Sprintf("sleep %s", a.D) }
+func (a SysCmd) String() string    { return fmt.Sprintf("syscmd %s %q", a.Host, a.Cmd) }
+
+// Compile-time interface checks.
+var (
+	_ Action = DropMessage{}
+	_ Action = PassMessage{}
+	_ Action = DelayMessage{}
+	_ Action = DuplicateMessage{}
+	_ Action = FuzzMessage{}
+	_ Action = ModifyField{}
+	_ Action = ModifyMetadata{}
+	_ Action = InjectMessage{}
+	_ Action = SendStored{}
+	_ Action = StoreMessage{}
+	_ Action = DequePush{}
+	_ Action = DequeDiscard{}
+	_ Action = GotoState{}
+	_ Action = Sleep{}
+	_ Action = SysCmd{}
+)

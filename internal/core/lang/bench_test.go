@@ -1,0 +1,71 @@
+package lang
+
+import (
+	"testing"
+
+	"attain/internal/core/model"
+)
+
+func BenchmarkEvalSimpleConditional(b *testing.B) {
+	e := env(flowModView())
+	cond := Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := cond.Eval(e)
+		if err != nil || v != true {
+			b.Fatal(v, err)
+		}
+	}
+}
+
+func BenchmarkEvalFigure12Conditional(b *testing.B) {
+	// The φ2 shape: type ∧ nw_src ∧ nw_dst ∈ {4 hosts}.
+	e := env(flowModView())
+	cond := And{Exprs: []Expr{
+		Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}},
+		Cmp{Op: OpEq, L: Prop{Name: PropMatchNWSrc}, R: Lit{Value: "10.0.0.2"}},
+		In{L: Prop{Name: PropMatchNWDst}, Set: []Expr{
+			Lit{Value: "10.0.0.3"}, Lit{Value: "10.0.0.4"},
+			Lit{Value: "10.0.0.5"}, Lit{Value: "10.0.0.6"},
+		}},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := cond.Eval(e)
+		if err != nil || v != true {
+			b.Fatal(v, err)
+		}
+	}
+}
+
+func BenchmarkDequeCounterIncrement(b *testing.B) {
+	st := NewStorage()
+	e := &Env{Storage: st}
+	take := DequeTake{Deque: "n"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v, err := (Arith{Op: OpAdd, L: take, R: Lit{Value: int64(1)}}).Eval(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st.Deque("n").Prepend(v)
+	}
+}
+
+func BenchmarkRuleRequiredCaps(b *testing.B) {
+	r := &Rule{
+		Name: "phi",
+		Cond: And{Exprs: []Expr{
+			Cmp{Op: OpEq, L: Prop{Name: PropSource}, R: Lit{Value: "s2"}},
+			Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}},
+		}},
+		Actions: []Action{DropMessage{}, GotoState{State: "x"}},
+	}
+	want := model.Caps(model.CapReadMessageMetadata, model.CapReadMessage, model.CapDropMessage)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := r.RequiredCaps(); got != want {
+			b.Fatal(got)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package lang
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"attain/internal/core/model"
+	"attain/internal/netaddr"
+	"attain/internal/openflow"
+)
+
+func flowModView() *MessageView {
+	fields := openflow.FieldView{
+		InPort: 1,
+		DLSrc:  netaddr.MustParseMAC("0a:00:00:00:00:02"),
+		DLDst:  netaddr.MustParseMAC("0a:00:00:00:00:03"),
+		DLType: 0x0800, NWProto: 1,
+		NWSrc: netaddr.MustParseIPv4("10.0.0.2"),
+		NWDst: netaddr.MustParseIPv4("10.0.0.3"),
+	}
+	fm := &openflow.FlowMod{
+		Match: openflow.ExactFrom(fields), Command: openflow.FlowModAdd,
+		Priority: 1, IdleTimeout: 5, BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+	}
+	return &MessageView{
+		Conn:        model.Conn{Controller: "c1", Switch: "s2"},
+		Direction:   ControllerToSwitch,
+		Source:      "c1",
+		Destination: "s2",
+		Timestamp:   time.Unix(100, 0),
+		Length:      72,
+		ID:          7,
+		Header:      openflow.Header{Version: 1, Type: openflow.TypeFlowMod, Xid: 99},
+		Msg:         fm,
+	}
+}
+
+func env(view *MessageView) *Env {
+	return &Env{View: view, Storage: NewStorage(), System: model.Figure3System()}
+}
+
+func evalBool(t *testing.T, e Expr, env *Env) bool {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	b, ok := v.(bool)
+	if !ok {
+		t.Fatalf("Eval(%s) = %v, not bool", e, v)
+	}
+	return b
+}
+
+func TestMetadataProperties(t *testing.T) {
+	e := env(flowModView())
+	tests := []struct {
+		prop string
+		want Value
+	}{
+		{PropSource, "c1"},
+		{PropDestination, "s2"},
+		{PropLength, int64(72)},
+		{PropID, int64(7)},
+		{PropDirection, "c2s"},
+		{PropTimestamp, time.Unix(100, 0).UnixNano()},
+	}
+	for _, tc := range tests {
+		got, err := (Prop{Name: tc.prop}).Eval(e)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prop, err)
+		}
+		if !equalValues(got, tc.want) {
+			t.Errorf("%s = %v, want %v", tc.prop, got, tc.want)
+		}
+	}
+}
+
+func TestPayloadProperties(t *testing.T) {
+	e := env(flowModView())
+	tests := []struct {
+		prop string
+		want Value
+	}{
+		{PropType, "FLOW_MOD"},
+		{PropXid, int64(99)},
+		{PropFMCommand, "ADD"},
+		{PropFMPriority, int64(1)},
+		{PropFMIdle, int64(5)},
+		{PropMatchNWSrc, "10.0.0.2"},
+		{PropMatchNWDst, "10.0.0.3"},
+		{PropMatchDLType, int64(0x0800)},
+		{PropMatchInPort, int64(1)},
+	}
+	for _, tc := range tests {
+		got, err := (Prop{Name: tc.prop}).Eval(e)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prop, err)
+		}
+		if !equalValues(got, tc.want) {
+			t.Errorf("%s = %v, want %v", tc.prop, got, tc.want)
+		}
+	}
+}
+
+func TestPayloadPropertiesOpaqueMessage(t *testing.T) {
+	// Without READMESSAGE the injector leaves Msg nil; payload reads
+	// yield inert values that never equal real ones.
+	view := flowModView()
+	view.Msg = nil
+	e := env(view)
+	got, err := (Prop{Name: PropType}).Eval(e)
+	if err != nil || got != "" {
+		t.Errorf("type of opaque message = %v, %v; want \"\"", got, err)
+	}
+	cond := Cmp{Op: OpEq, L: Prop{Name: PropMatchNWSrc}, R: Lit{Value: "10.0.0.2"}}
+	if evalBool(t, cond, e) {
+		t.Error("opaque payload compared equal to a concrete address")
+	}
+}
+
+func TestWildcardedMatchFieldsInert(t *testing.T) {
+	view := flowModView()
+	fm := view.Msg.(*openflow.FlowMod)
+	fm.Match = openflow.MatchAll()
+	e := env(view)
+	got, _ := (Prop{Name: PropMatchNWSrc}).Eval(e)
+	if got != "" {
+		t.Errorf("wildcarded nw_src = %v, want \"\"", got)
+	}
+	got, _ = (Prop{Name: PropMatchInPort}).Eval(e)
+	if !equalValues(got, int64(-1)) {
+		t.Errorf("wildcarded in_port = %v, want -1", got)
+	}
+}
+
+func TestLogicalConnectives(t *testing.T) {
+	e := env(flowModView())
+	isFM := Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}}
+	fromC1 := Cmp{Op: OpEq, L: Prop{Name: PropSource}, R: Lit{Value: "c1"}}
+	fromS1 := Cmp{Op: OpEq, L: Prop{Name: PropSource}, R: Lit{Value: "s1"}}
+
+	if !evalBool(t, And{Exprs: []Expr{isFM, fromC1}}, e) {
+		t.Error("AND of true conjuncts is false")
+	}
+	if evalBool(t, And{Exprs: []Expr{isFM, fromS1}}, e) {
+		t.Error("AND with false conjunct is true")
+	}
+	if !evalBool(t, Or{Exprs: []Expr{fromS1, fromC1}}, e) {
+		t.Error("OR with true disjunct is false")
+	}
+	if evalBool(t, Not{Expr: isFM}, e) {
+		t.Error("NOT of true is true")
+	}
+	if !evalBool(t, And{}, e) {
+		t.Error("empty AND should be true")
+	}
+	if evalBool(t, Or{}, e) {
+		t.Error("empty OR should be false")
+	}
+}
+
+func TestSetMembership(t *testing.T) {
+	e := env(flowModView())
+	// match.nw_dst ∈ {internal hosts} — the φ2 shape from Figure 12.
+	internal := In{
+		L: Prop{Name: PropMatchNWDst},
+		Set: []Expr{
+			Lit{Value: "10.0.0.3"}, Lit{Value: "10.0.0.4"},
+			Lit{Value: "10.0.0.5"}, Lit{Value: "10.0.0.6"},
+		},
+	}
+	if !evalBool(t, internal, e) {
+		t.Error("nw_dst=10.0.0.3 not in internal set")
+	}
+	external := In{L: Prop{Name: PropMatchNWDst}, Set: []Expr{Lit{Value: "10.0.0.1"}}}
+	if evalBool(t, external, e) {
+		t.Error("nw_dst matched wrong set")
+	}
+}
+
+func TestOrderedComparisonAndArith(t *testing.T) {
+	e := env(flowModView())
+	if !evalBool(t, Cmp{Op: OpGt, L: Prop{Name: PropLength}, R: Lit{Value: int64(50)}}, e) {
+		t.Error("72 > 50 false")
+	}
+	if !evalBool(t, Cmp{Op: OpLe, L: Lit{Value: int64(3)}, R: Lit{Value: int64(3)}}, e) {
+		t.Error("3 <= 3 false")
+	}
+	v, err := (Arith{Op: OpAdd, L: Lit{Value: int64(2)}, R: Lit{Value: int64(40)}}).Eval(e)
+	if err != nil || !equalValues(v, int64(42)) {
+		t.Errorf("2+40 = %v, %v", v, err)
+	}
+	if _, err := (Arith{Op: OpAdd, L: Lit{Value: "x"}, R: Lit{Value: int64(1)}}).Eval(e); err == nil {
+		t.Error("string arithmetic accepted")
+	}
+	if _, err := (Cmp{Op: OpLt, L: Lit{Value: "a"}, R: Lit{Value: "b"}}).Eval(e); err == nil {
+		t.Error("ordered string comparison accepted")
+	}
+}
+
+func TestRequiredCapsOfExpressions(t *testing.T) {
+	meta := Cmp{Op: OpEq, L: Prop{Name: PropSource}, R: Lit{Value: "s2"}}
+	if got := meta.RequiredCaps(); got != model.Caps(model.CapReadMessageMetadata) {
+		t.Errorf("metadata conditional caps = %s", got)
+	}
+	payload := Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}}
+	if got := payload.RequiredCaps(); got != model.Caps(model.CapReadMessage) {
+		t.Errorf("payload conditional caps = %s", got)
+	}
+	both := And{Exprs: []Expr{meta, payload}}
+	want := model.Caps(model.CapReadMessageMetadata, model.CapReadMessage)
+	if got := both.RequiredCaps(); got != want {
+		t.Errorf("combined caps = %s, want %s", got, want)
+	}
+}
+
+func TestDequeOperations(t *testing.T) {
+	var d Deque
+	if _, err := d.Shift(); !errors.Is(err, ErrEmptyDeque) {
+		t.Errorf("Shift on empty = %v", err)
+	}
+	d.Append(int64(1))
+	d.Append(int64(2))
+	d.Prepend(int64(0))
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	if v, _ := d.ExamineFront(); !equalValues(v, int64(0)) {
+		t.Errorf("front = %v", v)
+	}
+	if v, _ := d.ExamineEnd(); !equalValues(v, int64(2)) {
+		t.Errorf("end = %v", v)
+	}
+	if v, _ := d.Shift(); !equalValues(v, int64(0)) {
+		t.Errorf("shift = %v", v)
+	}
+	if v, _ := d.Pop(); !equalValues(v, int64(2)) {
+		t.Errorf("pop = %v", v)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len after removes = %d", d.Len())
+	}
+}
+
+// TestQuickDequeStackQueue property-tests that a deque used with
+// Append/Shift behaves as a FIFO queue and with Prepend/Shift as a LIFO
+// stack (the paper's reorder/replay building blocks, §VIII-A).
+func TestQuickDequeStackQueue(t *testing.T) {
+	fifo := func(values []int64) bool {
+		var d Deque
+		for _, v := range values {
+			d.Append(v)
+		}
+		for _, want := range values {
+			got, err := d.Shift()
+			if err != nil || !equalValues(got, want) {
+				return false
+			}
+		}
+		return d.Len() == 0
+	}
+	lifo := func(values []int64) bool {
+		var d Deque
+		for _, v := range values {
+			d.Prepend(v)
+		}
+		for i := len(values) - 1; i >= 0; i-- {
+			got, err := d.Shift()
+			if err != nil || !equalValues(got, values[i]) {
+				return false
+			}
+		}
+		return d.Len() == 0
+	}
+	if err := quick.Check(fifo, nil); err != nil {
+		t.Errorf("FIFO: %v", err)
+	}
+	if err := quick.Check(lifo, nil); err != nil {
+		t.Errorf("LIFO: %v", err)
+	}
+}
+
+func TestStorageCounterIdiom(t *testing.T) {
+	// §VIII-B: PREPEND(δ, SHIFT(δ)+1) increments a counter in O(1) state.
+	st := NewStorage()
+	for i := 1; i <= 5; i++ {
+		err := st.WithDeque("counter", func(d *Deque) error {
+			cur, err := d.Shift()
+			if err != nil {
+				cur = int64(0)
+			}
+			n, _ := asInt(cur)
+			d.Prepend(n + 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := &Env{Storage: st}
+	check := Cmp{Op: OpEq, L: DequeRead{Deque: "counter"}, R: Lit{Value: int64(5)}}
+	if !evalBool(t, check, e) {
+		v, _ := st.Deque("counter").ExamineFront()
+		t.Errorf("counter = %v, want 5", v)
+	}
+}
+
+func TestDequeReadEmptyIsZero(t *testing.T) {
+	e := &Env{Storage: NewStorage()}
+	v, err := (DequeRead{Deque: "never-written"}).Eval(e)
+	if err != nil || !equalValues(v, int64(0)) {
+		t.Errorf("empty deque read = %v, %v; want 0", v, err)
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And{Exprs: []Expr{
+		Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}},
+		Not{Expr: In{L: Prop{Name: PropSource}, Set: []Expr{Lit{Value: "s1"}}}},
+	}}
+	s := e.String()
+	for _, want := range []string{"msg.type", "FLOW_MOD", "not", "in {", "and"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestKnownProperty(t *testing.T) {
+	if !KnownProperty(PropMatchNWSrc) {
+		t.Error("known property not recognized")
+	}
+	if KnownProperty("msg.bogus") {
+		t.Error("bogus property recognized")
+	}
+}

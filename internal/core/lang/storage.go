@@ -1,0 +1,141 @@
+package lang
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ErrEmptyDeque is returned by read/remove operations on an empty deque.
+var ErrEmptyDeque = fmt.Errorf("lang: deque is empty")
+
+// Deque is one double-ended queue δ ∈ Δ (§V-C). It can serve as a queue, a
+// stack, or a general-purpose variable cell. Individual operations are
+// safe for concurrent use (the executor owns Δ, but monitors and tests
+// inspect it concurrently); read-modify-write sequences that must be
+// atomic go through Storage.WithDeque or the DequeTake expression.
+type Deque struct {
+	mu    sync.Mutex
+	items []Value
+}
+
+// Len returns the number of stored elements.
+func (d *Deque) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// Prepend adds value to the front (PREPEND).
+func (d *Deque) Prepend(v Value) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.items = append([]Value{v}, d.items...)
+}
+
+// Append adds value to the end (APPEND).
+func (d *Deque) Append(v Value) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.items = append(d.items, v)
+}
+
+// ExamineFront reads the front element without removing it.
+func (d *Deque) ExamineFront() (Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, ErrEmptyDeque
+	}
+	return d.items[0], nil
+}
+
+// ExamineEnd reads the end element without removing it.
+func (d *Deque) ExamineEnd() (Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, ErrEmptyDeque
+	}
+	return d.items[len(d.items)-1], nil
+}
+
+// Shift removes and returns the front element (SHIFT).
+func (d *Deque) Shift() (Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, ErrEmptyDeque
+	}
+	v := d.items[0]
+	d.items = d.items[1:]
+	return v, nil
+}
+
+// Pop removes and returns the end element (POP).
+func (d *Deque) Pop() (Value, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil, ErrEmptyDeque
+	}
+	v := d.items[len(d.items)-1]
+	d.items = d.items[:len(d.items)-1]
+	return v, nil
+}
+
+// Snapshot returns a copy of the contents, front first.
+func (d *Deque) Snapshot() []Value {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Value(nil), d.items...)
+}
+
+// Storage is the attack's deque set Δ. Deques are created on first use.
+// Storage is safe for concurrent use, although the single-threaded executor
+// imposes a total order in practice (§VI-C).
+type Storage struct {
+	mu     sync.Mutex
+	deques map[string]*Deque
+}
+
+// NewStorage returns an empty Δ.
+func NewStorage() *Storage {
+	return &Storage{deques: make(map[string]*Deque)}
+}
+
+// Deque returns the named deque, creating it if needed.
+func (s *Storage) Deque(name string) *Deque {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.deques[name]
+	if !ok {
+		d = &Deque{}
+		s.deques[name] = d
+	}
+	return d
+}
+
+// Names returns the names of all existing deques.
+func (s *Storage) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.deques))
+	for name := range s.deques {
+		out = append(out, name)
+	}
+	return out
+}
+
+// WithDeque runs fn with the named deque under the storage lock, so a
+// read-modify-write (e.g. the counter idiom PREPEND(δ, SHIFT(δ)+1)) is
+// atomic.
+func (s *Storage) WithDeque(name string, fn func(*Deque) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.deques[name]
+	if !ok {
+		d = &Deque{}
+		s.deques[name] = d
+	}
+	return fn(d)
+}

@@ -1,0 +1,182 @@
+// Package model implements the ATTAIN attack model (paper §IV): the system
+// model of controllers, switches, hosts, the data-plane graph N_D and the
+// control-plane relation N_C; the attacker capabilities Γ of Table I with
+// the Γ_NoTLS and Γ_TLS capability classes; and the attacker capabilities
+// map Γ_NC from control-plane connections to granted capability sets.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Capability is one attacker capability from Table I of the paper.
+type Capability uint16
+
+// The ten attacker capabilities Γ (Table I).
+const (
+	// CapDropMessage drops the message so it is never delivered.
+	CapDropMessage Capability = 1 << iota
+	// CapPassMessage allows the message through.
+	CapPassMessage
+	// CapDelayMessage delays delivery by some amount of time.
+	CapDelayMessage
+	// CapDuplicateMessage sends a replica of the message.
+	CapDuplicateMessage
+	// CapReadMessageMetadata reads L2-L4 header information and
+	// timestamps, but not the payload.
+	CapReadMessageMetadata
+	// CapModifyMessageMetadata adds, modifies, or deletes message
+	// metadata, excluding the payload.
+	CapModifyMessageMetadata
+	// CapFuzzMessage modifies metadata or payload bits randomly, possibly
+	// semantically invalidly.
+	CapFuzzMessage
+	// CapReadMessage reads the payload in a semantically meaningful,
+	// OpenFlow-conformant way.
+	CapReadMessage
+	// CapModifyMessage modifies the payload in a semantically valid,
+	// OpenFlow-conformant way.
+	CapModifyMessage
+	// CapInjectNewMessage injects a new, semantically valid message into
+	// the connection.
+	CapInjectNewMessage
+
+	capSentinel
+)
+
+var capNames = map[Capability]string{
+	CapDropMessage:           "DROPMESSAGE",
+	CapPassMessage:           "PASSMESSAGE",
+	CapDelayMessage:          "DELAYMESSAGE",
+	CapDuplicateMessage:      "DUPLICATEMESSAGE",
+	CapReadMessageMetadata:   "READMESSAGEMETADATA",
+	CapModifyMessageMetadata: "MODIFYMESSAGEMETADATA",
+	CapFuzzMessage:           "FUZZMESSAGE",
+	CapReadMessage:           "READMESSAGE",
+	CapModifyMessage:         "MODIFYMESSAGE",
+	CapInjectNewMessage:      "INJECTNEWMESSAGE",
+}
+
+// String returns the paper's name for the capability.
+func (c Capability) String() string {
+	if s, ok := capNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("UNKNOWN_CAPABILITY(%d)", uint16(c))
+}
+
+// ParseCapability resolves a Table I capability name.
+func ParseCapability(s string) (Capability, error) {
+	for c, name := range capNames {
+		if name == strings.ToUpper(s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown capability %q", s)
+}
+
+// CapabilitySet is a set of attacker capabilities (an element of P(Γ)).
+type CapabilitySet uint16
+
+// The paper's two capability classes.
+var (
+	// AllCapabilities is Γ: every capability (Γ_NoTLS, §IV-C1).
+	AllCapabilities = CapabilitySet(capSentinel - 1)
+	// TLSCapabilities is Γ_TLS (§IV-C2): the attacker can act on
+	// intercepted messages and read metadata, but cannot understand or
+	// forge payloads, nor modify metadata undetected.
+	TLSCapabilities = AllCapabilities.Without(
+		CapReadMessage, CapModifyMessage, CapFuzzMessage,
+		CapInjectNewMessage, CapModifyMessageMetadata,
+	)
+	// NoCapabilities is the empty set.
+	NoCapabilities CapabilitySet
+)
+
+// Caps builds a set from individual capabilities.
+func Caps(caps ...Capability) CapabilitySet {
+	var s CapabilitySet
+	for _, c := range caps {
+		s |= CapabilitySet(c)
+	}
+	return s
+}
+
+// Has reports whether every capability in need is present.
+func (s CapabilitySet) Has(need ...Capability) bool {
+	for _, c := range need {
+		if s&CapabilitySet(c) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasAll reports whether other is a subset of s.
+func (s CapabilitySet) HasAll(other CapabilitySet) bool {
+	return s&other == other
+}
+
+// With returns s plus the given capabilities.
+func (s CapabilitySet) With(caps ...Capability) CapabilitySet {
+	return s | Caps(caps...)
+}
+
+// Without returns s minus the given capabilities.
+func (s CapabilitySet) Without(caps ...Capability) CapabilitySet {
+	return s &^ Caps(caps...)
+}
+
+// List returns the capabilities in s in a stable order.
+func (s CapabilitySet) List() []Capability {
+	var out []Capability
+	for c := CapDropMessage; c < capSentinel; c <<= 1 {
+		if s&CapabilitySet(c) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the set as "{DROPMESSAGE, PASSMESSAGE, ...}".
+func (s CapabilitySet) String() string {
+	if s == 0 {
+		return "{}"
+	}
+	if s == AllCapabilities {
+		return "Γ_NoTLS"
+	}
+	if s == TLSCapabilities {
+		return "Γ_TLS"
+	}
+	names := make([]string, 0, 10)
+	for _, c := range s.List() {
+		names = append(names, c.String())
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ", ") + "}"
+}
+
+// ParseCapabilitySet parses either a class name ("NOTLS"/"TLS"/"NONE") or a
+// comma-separated capability list.
+func ParseCapabilitySet(s string) (CapabilitySet, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "NOTLS", "ALL", "Γ_NOTLS", "GAMMA_NOTLS":
+		return AllCapabilities, nil
+	case "TLS", "Γ_TLS", "GAMMA_TLS":
+		return TLSCapabilities, nil
+	case "NONE", "", "{}":
+		return NoCapabilities, nil
+	}
+	var set CapabilitySet
+	for _, part := range strings.Split(s, ",") {
+		c, err := ParseCapability(strings.TrimSpace(part))
+		if err != nil {
+			return 0, err
+		}
+		set |= CapabilitySet(c)
+	}
+	return set, nil
+}

@@ -1,0 +1,149 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DataPlaneDOT renders N_D as a Graphviz graph with ingress/egress port
+// labels, in the style of the paper's Figures 3 and 8.
+func (s *System) DataPlaneDOT() string {
+	var b strings.Builder
+	b.WriteString("graph N_D {\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	for _, h := range s.Hosts {
+		fmt.Fprintf(&b, "  %q [shape=circle];\n", h.ID)
+	}
+	for _, sw := range s.Switches {
+		fmt.Fprintf(&b, "  %q [shape=box];\n", sw.ID)
+	}
+	for _, e := range s.DataPlane {
+		label := func(port uint16) string {
+			if port == NilPort {
+				return "NULL"
+			}
+			return fmt.Sprintf("p%d", port)
+		}
+		fmt.Fprintf(&b, "  %q -- %q [taillabel=%q, headlabel=%q];\n",
+			e.A, e.B, label(e.APort), label(e.BPort))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// ControlPlaneDOT renders N_C as a Graphviz graph, in the style of the
+// paper's Figures 4 and 9.
+func (s *System) ControlPlaneDOT() string {
+	var b strings.Builder
+	b.WriteString("graph N_C {\n")
+	b.WriteString("  node [fontname=\"Helvetica\"];\n")
+	for _, c := range s.Controllers {
+		fmt.Fprintf(&b, "  %q [shape=doublecircle];\n", c.ID)
+	}
+	for _, sw := range s.Switches {
+		fmt.Fprintf(&b, "  %q [shape=box];\n", sw.ID)
+	}
+	for _, conn := range s.ControlPlane {
+		fmt.Fprintf(&b, "  %q -- %q;\n", conn.Controller, conn.Switch)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary renders a one-line-per-component text description of the system.
+func (s *System) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "controllers (%d):\n", len(s.Controllers))
+	for _, c := range s.Controllers {
+		fmt.Fprintf(&b, "  %s addr=%s\n", c.ID, c.ListenAddr)
+	}
+	fmt.Fprintf(&b, "switches (%d):\n", len(s.Switches))
+	for _, sw := range s.Switches {
+		ports := make([]string, len(sw.Ports))
+		for i, p := range sw.Ports {
+			ports[i] = fmt.Sprintf("p%d", p)
+		}
+		fmt.Fprintf(&b, "  %s dpid=%d ports=[%s]\n", sw.ID, sw.DPID, strings.Join(ports, ","))
+	}
+	fmt.Fprintf(&b, "hosts (%d):\n", len(s.Hosts))
+	for _, h := range s.Hosts {
+		fmt.Fprintf(&b, "  %s mac=%s ip=%s\n", h.ID, h.MAC, h.IP)
+	}
+	fmt.Fprintf(&b, "data plane edges (%d):\n", len(s.DataPlane))
+	for _, e := range s.DataPlane {
+		p := func(port uint16) string {
+			if port == NilPort {
+				return "NULL"
+			}
+			return fmt.Sprintf("p%d", port)
+		}
+		fmt.Fprintf(&b, "  %s[%s] -- %s[%s]\n", e.A, p(e.APort), e.B, p(e.BPort))
+	}
+	conns := make([]string, len(s.ControlPlane))
+	for i, c := range s.ControlPlane {
+		conns[i] = c.String()
+	}
+	sort.Strings(conns)
+	fmt.Fprintf(&b, "control plane N_C (%d): %s\n", len(s.ControlPlane), strings.Join(conns, " "))
+	return b.String()
+}
+
+// Figure3System reproduces the example data-plane graph of the paper's
+// Figure 3: three hosts and two switches.
+func Figure3System() *System {
+	return &System{
+		Controllers: []Controller{{ID: "c1", ListenAddr: "c1"}},
+		Switches: []Switch{
+			{ID: "s1", DPID: 1, Ports: []uint16{1, 2, 3}},
+			{ID: "s2", DPID: 2, Ports: []uint16{1, 2}},
+		},
+		Hosts: []Host{
+			{ID: "h1", MAC: mustMAC("0a:00:00:00:00:01"), IP: mustIP("10.0.0.1")},
+			{ID: "h2", MAC: mustMAC("0a:00:00:00:00:02"), IP: mustIP("10.0.0.2")},
+			{ID: "h3", MAC: mustMAC("0a:00:00:00:00:03"), IP: mustIP("10.0.0.3")},
+		},
+		DataPlane: []Edge{
+			{A: "h1", APort: NilPort, B: "s1", BPort: 1},
+			{A: "h2", APort: NilPort, B: "s1", BPort: 2},
+			{A: "s1", APort: 3, B: "s2", BPort: 1},
+			{A: "h3", APort: NilPort, B: "s2", BPort: 2},
+		},
+		ControlPlane: []Conn{
+			{Controller: "c1", Switch: "s1"},
+			{Controller: "c1", Switch: "s2"},
+		},
+	}
+}
+
+// Figure4System reproduces the example control-plane relation of the
+// paper's Figure 4: two controllers and four switches, where c1 connects to
+// all switches and c2 to s3 and s4.
+func Figure4System() *System {
+	sys := &System{
+		Controllers: []Controller{
+			{ID: "c1", ListenAddr: "c1"},
+			{ID: "c2", ListenAddr: "c2"},
+		},
+		Hosts: []Host{
+			{ID: "h1", MAC: mustMAC("0a:00:00:00:00:01"), IP: mustIP("10.0.0.1")},
+			{ID: "h2", MAC: mustMAC("0a:00:00:00:00:02"), IP: mustIP("10.0.0.2")},
+		},
+	}
+	for i := 1; i <= 4; i++ {
+		sys.Switches = append(sys.Switches, Switch{
+			ID: NodeID(fmt.Sprintf("s%d", i)), DPID: uint64(i), Ports: []uint16{1, 2},
+		})
+		sys.ControlPlane = append(sys.ControlPlane, Conn{Controller: "c1", Switch: NodeID(fmt.Sprintf("s%d", i))})
+	}
+	sys.ControlPlane = append(sys.ControlPlane,
+		Conn{Controller: "c2", Switch: "s3"},
+		Conn{Controller: "c2", Switch: "s4"},
+	)
+	// Minimal data plane so the system validates.
+	sys.DataPlane = []Edge{
+		{A: "h1", APort: NilPort, B: "s1", BPort: 1},
+		{A: "h2", APort: NilPort, B: "s2", BPort: 1},
+	}
+	return sys
+}

@@ -1,0 +1,274 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapabilityNamesRoundTrip(t *testing.T) {
+	for c, name := range capNames {
+		got, err := ParseCapability(name)
+		if err != nil || got != c {
+			t.Errorf("ParseCapability(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseCapability("NOT_A_CAP"); err == nil {
+		t.Error("bogus capability parsed")
+	}
+}
+
+func TestCapabilityClassesMatchPaper(t *testing.T) {
+	// Γ_NoTLS = Γ: all ten capabilities.
+	if got := len(AllCapabilities.List()); got != 10 {
+		t.Errorf("|Γ| = %d, want 10", got)
+	}
+	// Γ_TLS = Γ \ {READMESSAGE, MODIFYMESSAGE, FUZZMESSAGE,
+	// INJECTNEWMESSAGE, MODIFYMESSAGEMETADATA} (§IV-C2).
+	if got := len(TLSCapabilities.List()); got != 5 {
+		t.Errorf("|Γ_TLS| = %d, want 5", got)
+	}
+	for _, denied := range []Capability{
+		CapReadMessage, CapModifyMessage, CapFuzzMessage,
+		CapInjectNewMessage, CapModifyMessageMetadata,
+	} {
+		if TLSCapabilities.Has(denied) {
+			t.Errorf("Γ_TLS contains %s", denied)
+		}
+	}
+	for _, allowed := range []Capability{
+		CapDropMessage, CapPassMessage, CapDelayMessage,
+		CapDuplicateMessage, CapReadMessageMetadata,
+	} {
+		if !TLSCapabilities.Has(allowed) {
+			t.Errorf("Γ_TLS missing %s", allowed)
+		}
+	}
+}
+
+func TestCapabilitySetOps(t *testing.T) {
+	s := Caps(CapDropMessage, CapPassMessage)
+	if !s.Has(CapDropMessage, CapPassMessage) {
+		t.Error("Has failed on members")
+	}
+	if s.Has(CapReadMessage) {
+		t.Error("Has true for non-member")
+	}
+	s2 := s.With(CapReadMessage).Without(CapDropMessage)
+	if s2.Has(CapDropMessage) || !s2.Has(CapReadMessage) {
+		t.Errorf("With/Without wrong: %s", s2)
+	}
+	if !AllCapabilities.HasAll(TLSCapabilities) {
+		t.Error("Γ does not contain Γ_TLS")
+	}
+	if TLSCapabilities.HasAll(AllCapabilities) {
+		t.Error("Γ_TLS contains Γ")
+	}
+}
+
+func TestParseCapabilitySet(t *testing.T) {
+	tests := []struct {
+		in   string
+		want CapabilitySet
+	}{
+		{"NOTLS", AllCapabilities},
+		{"tls", TLSCapabilities},
+		{"none", NoCapabilities},
+		{"DROPMESSAGE,PASSMESSAGE", Caps(CapDropMessage, CapPassMessage)},
+		{" DROPMESSAGE , readmessage ", Caps(CapDropMessage, CapReadMessage)},
+	}
+	for _, tc := range tests {
+		got, err := ParseCapabilitySet(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseCapabilitySet(%q) = %v, %v, want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseCapabilitySet("DROPMESSAGE,BOGUS"); err == nil {
+		t.Error("bogus list parsed")
+	}
+}
+
+// TestQuickSetOps property-tests basic set algebra.
+func TestQuickSetOps(t *testing.T) {
+	f := func(a, b uint16) bool {
+		sa := CapabilitySet(a) & AllCapabilities
+		sb := CapabilitySet(b) & AllCapabilities
+		union := sa | sb
+		if !union.HasAll(sa) || !union.HasAll(sb) {
+			return false
+		}
+		// Without then With restores membership.
+		for _, c := range sa.List() {
+			if sa.Without(c).Has(c) {
+				return false
+			}
+			if !sa.Without(c).With(c).Has(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFigureSystemsValidate(t *testing.T) {
+	if err := Figure3System().Validate(); err != nil {
+		t.Errorf("Figure 3 system: %v", err)
+	}
+	if err := Figure4System().Validate(); err != nil {
+		t.Errorf("Figure 4 system: %v", err)
+	}
+}
+
+func TestFigure4ControlPlaneShape(t *testing.T) {
+	sys := Figure4System()
+	// Paper: N_C = {(c1,s1),(c1,s2),(c1,s3),(c1,s4),(c2,s3),(c2,s4)}.
+	if len(sys.ControlPlane) != 6 {
+		t.Fatalf("|N_C| = %d, want 6", len(sys.ControlPlane))
+	}
+	want := map[Conn]bool{
+		{Controller: "c1", Switch: "s1"}: true,
+		{Controller: "c1", Switch: "s2"}: true,
+		{Controller: "c1", Switch: "s3"}: true,
+		{Controller: "c1", Switch: "s4"}: true,
+		{Controller: "c2", Switch: "s3"}: true,
+		{Controller: "c2", Switch: "s4"}: true,
+	}
+	for _, c := range sys.ControlPlane {
+		if !want[c] {
+			t.Errorf("unexpected connection %s", c)
+		}
+	}
+}
+
+func brokenCopy(mutate func(*System)) *System {
+	sys := Figure3System()
+	mutate(sys)
+	return sys
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*System)
+		want   string
+	}{
+		{"no controllers", func(s *System) { s.Controllers = nil }, "at least 1 controller"},
+		{"no switches", func(s *System) { s.Switches = nil }, "at least 1 switch"},
+		{"one host", func(s *System) { s.Hosts = s.Hosts[:1] }, "at least 2 hosts"},
+		{"duplicate id", func(s *System) { s.Hosts[1].ID = "h1" }, "declared as both"},
+		{"duplicate IP", func(s *System) { s.Hosts[1].IP = s.Hosts[0].IP }, "share IP"},
+		{"duplicate MAC", func(s *System) { s.Hosts[1].MAC = s.Hosts[0].MAC }, "share MAC"},
+		{"edge to unknown", func(s *System) { s.DataPlane[0].A = "hX" }, "undeclared node"},
+		{"edge to controller", func(s *System) { s.DataPlane[0].A = "c1" }, "not data-plane vertices"},
+		{"switch endpoint without port", func(s *System) { s.DataPlane[0].BPort = NilPort }, "needs a port"},
+		{"host endpoint with port", func(s *System) { s.DataPlane[0].APort = 1 }, "must use NilPort"},
+		{"nonexistent switch port", func(s *System) { s.DataPlane[0].BPort = 99 }, "has no port"},
+		{"port reuse", func(s *System) {
+			s.DataPlane = append(s.DataPlane, Edge{A: "h3", APort: NilPort, B: "s1", BPort: 1})
+			s.Hosts = append(s.Hosts, Host{ID: "h4", MAC: mustMAC("0a:00:00:00:00:04"), IP: mustIP("10.0.0.4")})
+			s.DataPlane[len(s.DataPlane)-1].A = "h4"
+		}, "used by multiple edges"},
+		{"conn to unknown controller", func(s *System) { s.ControlPlane[0].Controller = "cX" }, "is not a controller"},
+		{"conn to unknown switch", func(s *System) { s.ControlPlane[0].Switch = "sX" }, "is not a switch"},
+		{"duplicate conn", func(s *System) { s.ControlPlane = append(s.ControlPlane, s.ControlPlane[0]) }, "duplicate connection"},
+		{"duplicate switch port decl", func(s *System) { s.Switches[0].Ports = []uint16{1, 1, 2, 3} }, "port 1 twice"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := brokenCopy(tc.mutate).Validate()
+			if err == nil {
+				t.Fatal("Validate accepted broken system")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestAttackerModelValidate(t *testing.T) {
+	sys := Figure3System()
+	am := NewAttackerModel()
+	am.Grant(Conn{Controller: "c1", Switch: "s1"}, TLSCapabilities)
+	if err := am.Validate(sys); err != nil {
+		t.Errorf("valid grant rejected: %v", err)
+	}
+	am.Grant(Conn{Controller: "c1", Switch: "sX"}, AllCapabilities)
+	if err := am.Validate(sys); err == nil {
+		t.Error("grant on unknown connection accepted")
+	}
+}
+
+func TestAttackerModelCapsFor(t *testing.T) {
+	am := NewAttackerModel()
+	conn := Conn{Controller: "c1", Switch: "s1"}
+	if am.CapsFor(conn) != NoCapabilities {
+		t.Error("ungranted connection has capabilities")
+	}
+	am.Grant(conn, AllCapabilities)
+	if am.CapsFor(conn) != AllCapabilities {
+		t.Error("granted capabilities not returned")
+	}
+}
+
+func TestLookupsByID(t *testing.T) {
+	sys := Figure3System()
+	if _, ok := sys.ControllerByID("c1"); !ok {
+		t.Error("c1 not found")
+	}
+	if _, ok := sys.SwitchByID("s2"); !ok {
+		t.Error("s2 not found")
+	}
+	h, ok := sys.HostByID("h3")
+	if !ok || h.IP.String() != "10.0.0.3" {
+		t.Errorf("h3 = %+v, %v", h, ok)
+	}
+	if _, ok := sys.HostByID("nope"); ok {
+		t.Error("phantom host found")
+	}
+	ids := sys.HostIDs()
+	if len(ids) != 3 || ids[0] != "h1" {
+		t.Errorf("HostIDs = %v", ids)
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	sys := Figure3System()
+	nd := sys.DataPlaneDOT()
+	for _, want := range []string{"graph N_D", `"h1" -- "s1"`, `headlabel="p1"`, `taillabel="NULL"`} {
+		if !strings.Contains(nd, want) {
+			t.Errorf("DataPlaneDOT missing %q:\n%s", want, nd)
+		}
+	}
+	nc := sys.ControlPlaneDOT()
+	for _, want := range []string{"graph N_C", `"c1" -- "s1"`, `"c1" -- "s2"`} {
+		if !strings.Contains(nc, want) {
+			t.Errorf("ControlPlaneDOT missing %q:\n%s", want, nc)
+		}
+	}
+	sum := sys.Summary()
+	for _, want := range []string{"controllers (1)", "switches (2)", "hosts (3)", "(c1,s1) (c1,s2)"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary missing %q", want)
+		}
+	}
+}
+
+func TestCapabilitySetString(t *testing.T) {
+	if got := NoCapabilities.String(); got != "{}" {
+		t.Errorf("empty set = %q", got)
+	}
+	if got := AllCapabilities.String(); got != "Γ_NoTLS" {
+		t.Errorf("all = %q", got)
+	}
+	if got := TLSCapabilities.String(); got != "Γ_TLS" {
+		t.Errorf("tls = %q", got)
+	}
+	s := Caps(CapDropMessage).String()
+	if !strings.Contains(s, "DROPMESSAGE") {
+		t.Errorf("singleton = %q", s)
+	}
+}

@@ -1,0 +1,289 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"attain/internal/netaddr"
+)
+
+// NodeID names a system component, e.g. "c1", "s2", "h3".
+type NodeID string
+
+// Controller is one SDN controller c_i ∈ C.
+type Controller struct {
+	// ID is the component name, e.g. "c1".
+	ID NodeID
+	// ListenAddr is the control-plane address switches (or the injector)
+	// dial to reach the real controller.
+	ListenAddr string
+}
+
+// Switch is one OpenFlow switch s_i ∈ S with its port set P_i.
+type Switch struct {
+	// ID is the component name, e.g. "s1".
+	ID NodeID
+	// DPID is the OpenFlow datapath id.
+	DPID uint64
+	// Ports lists the switch's data-plane port numbers.
+	Ports []uint16
+}
+
+// Host is one end host h_i ∈ H.
+type Host struct {
+	// ID is the component name, e.g. "h1".
+	ID NodeID
+	// MAC is the host interface hardware address.
+	MAC netaddr.MAC
+	// IP is the host IPv4 address; conditionals in attack descriptions
+	// resolve host names to this address.
+	IP netaddr.IPv4
+}
+
+// NilPort marks an undefined (NULL) ingress/egress port attribute on a
+// data-plane edge, per §IV-A4.
+const NilPort uint16 = 0xffff
+
+// Edge is one undirected data-plane link in E_{N_D} with its port
+// attributes A_{N_D}. APort/BPort are NilPort for host endpoints.
+type Edge struct {
+	A     NodeID
+	B     NodeID
+	APort uint16
+	BPort uint16
+}
+
+// Conn is one control-plane connection (c, s) ∈ N_C.
+type Conn struct {
+	Controller NodeID
+	Switch     NodeID
+}
+
+// String renders "(c1,s2)".
+func (c Conn) String() string {
+	return fmt.Sprintf("(%s,%s)", c.Controller, c.Switch)
+}
+
+// System is the complete system model of §IV-A: components, the data-plane
+// graph N_D, and the control-plane relation N_C.
+type System struct {
+	Controllers []Controller
+	Switches    []Switch
+	Hosts       []Host
+	// DataPlane is E_{N_D} with port attributes.
+	DataPlane []Edge
+	// ControlPlane is N_C ⊆ C × S.
+	ControlPlane []Conn
+}
+
+// ControllerByID finds a controller.
+func (s *System) ControllerByID(id NodeID) (Controller, bool) {
+	for _, c := range s.Controllers {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return Controller{}, false
+}
+
+// SwitchByID finds a switch.
+func (s *System) SwitchByID(id NodeID) (Switch, bool) {
+	for _, sw := range s.Switches {
+		if sw.ID == id {
+			return sw, true
+		}
+	}
+	return Switch{}, false
+}
+
+// HostByID finds a host.
+func (s *System) HostByID(id NodeID) (Host, bool) {
+	for _, h := range s.Hosts {
+		if h.ID == id {
+			return h, true
+		}
+	}
+	return Host{}, false
+}
+
+// HostIDs returns all host ids in declaration order.
+func (s *System) HostIDs() []NodeID {
+	out := make([]NodeID, len(s.Hosts))
+	for i, h := range s.Hosts {
+		out[i] = h.ID
+	}
+	return out
+}
+
+// Validate checks the structural assumptions of §IV-A: |C| ≥ 1, |S| ≥ 1,
+// |H| ≥ 2, unique ids, edges between declared vertices with ports that
+// exist on their switches, and control-plane connections over declared
+// components.
+func (s *System) Validate() error {
+	if len(s.Controllers) < 1 {
+		return fmt.Errorf("model: need at least 1 controller, have %d", len(s.Controllers))
+	}
+	if len(s.Switches) < 1 {
+		return fmt.Errorf("model: need at least 1 switch, have %d", len(s.Switches))
+	}
+	if len(s.Hosts) < 2 {
+		return fmt.Errorf("model: need at least 2 hosts, have %d", len(s.Hosts))
+	}
+
+	seen := make(map[NodeID]string)
+	declare := func(id NodeID, kind string) error {
+		if id == "" {
+			return fmt.Errorf("model: empty %s id", kind)
+		}
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("model: id %q declared as both %s and %s", id, prev, kind)
+		}
+		seen[id] = kind
+		return nil
+	}
+	for _, c := range s.Controllers {
+		if err := declare(c.ID, "controller"); err != nil {
+			return err
+		}
+	}
+	switchPorts := make(map[NodeID]map[uint16]bool, len(s.Switches))
+	for _, sw := range s.Switches {
+		if err := declare(sw.ID, "switch"); err != nil {
+			return err
+		}
+		ports := make(map[uint16]bool, len(sw.Ports))
+		for _, p := range sw.Ports {
+			if ports[p] {
+				return fmt.Errorf("model: switch %s declares port %d twice", sw.ID, p)
+			}
+			ports[p] = true
+		}
+		switchPorts[sw.ID] = ports
+	}
+	hostIPs := make(map[netaddr.IPv4]NodeID, len(s.Hosts))
+	hostMACs := make(map[netaddr.MAC]NodeID, len(s.Hosts))
+	for _, h := range s.Hosts {
+		if err := declare(h.ID, "host"); err != nil {
+			return err
+		}
+		if prev, dup := hostIPs[h.IP]; dup {
+			return fmt.Errorf("model: hosts %s and %s share IP %s", prev, h.ID, h.IP)
+		}
+		if prev, dup := hostMACs[h.MAC]; dup {
+			return fmt.Errorf("model: hosts %s and %s share MAC %s", prev, h.ID, h.MAC)
+		}
+		hostIPs[h.IP] = h.ID
+		hostMACs[h.MAC] = h.ID
+	}
+
+	checkEndpoint := func(e Edge, id NodeID, port uint16) error {
+		switch seen[id] {
+		case "switch":
+			if port == NilPort {
+				return fmt.Errorf("model: edge %s-%s: switch endpoint %s needs a port", e.A, e.B, id)
+			}
+			if !switchPorts[id][port] {
+				return fmt.Errorf("model: edge %s-%s: switch %s has no port %d", e.A, e.B, id, port)
+			}
+		case "host":
+			if port != NilPort {
+				return fmt.Errorf("model: edge %s-%s: host endpoint %s must use NilPort", e.A, e.B, id)
+			}
+		case "controller":
+			return fmt.Errorf("model: edge %s-%s: controllers are not data-plane vertices", e.A, e.B)
+		default:
+			return fmt.Errorf("model: edge %s-%s references undeclared node %q", e.A, e.B, id)
+		}
+		return nil
+	}
+	usedPorts := make(map[NodeID]map[uint16]bool)
+	markPort := func(id NodeID, port uint16) error {
+		if seen[id] != "switch" {
+			return nil
+		}
+		if usedPorts[id] == nil {
+			usedPorts[id] = make(map[uint16]bool)
+		}
+		if usedPorts[id][port] {
+			return fmt.Errorf("model: switch %s port %d used by multiple edges", id, port)
+		}
+		usedPorts[id][port] = true
+		return nil
+	}
+	for _, e := range s.DataPlane {
+		if err := checkEndpoint(e, e.A, e.APort); err != nil {
+			return err
+		}
+		if err := checkEndpoint(e, e.B, e.BPort); err != nil {
+			return err
+		}
+		if err := markPort(e.A, e.APort); err != nil {
+			return err
+		}
+		if err := markPort(e.B, e.BPort); err != nil {
+			return err
+		}
+	}
+
+	connSeen := make(map[Conn]bool, len(s.ControlPlane))
+	for _, c := range s.ControlPlane {
+		if seen[c.Controller] != "controller" {
+			return fmt.Errorf("model: connection %s: %q is not a controller", c, c.Controller)
+		}
+		if seen[c.Switch] != "switch" {
+			return fmt.Errorf("model: connection %s: %q is not a switch", c, c.Switch)
+		}
+		if connSeen[c] {
+			return fmt.Errorf("model: duplicate connection %s", c)
+		}
+		connSeen[c] = true
+	}
+	return nil
+}
+
+// AttackerModel is Γ_NC: the capabilities granted to the attacker on each
+// control-plane connection (§IV-C). Connections absent from the map grant
+// no capabilities.
+type AttackerModel struct {
+	Grants map[Conn]CapabilitySet
+}
+
+// NewAttackerModel returns an empty model.
+func NewAttackerModel() *AttackerModel {
+	return &AttackerModel{Grants: make(map[Conn]CapabilitySet)}
+}
+
+// Grant assigns a capability set to a connection.
+func (a *AttackerModel) Grant(conn Conn, caps CapabilitySet) {
+	a.Grants[conn] = caps
+}
+
+// CapsFor returns the capabilities granted on conn.
+func (a *AttackerModel) CapsFor(conn Conn) CapabilitySet {
+	return a.Grants[conn]
+}
+
+// Validate checks that every granted connection exists in the system's N_C.
+func (a *AttackerModel) Validate(sys *System) error {
+	valid := make(map[Conn]bool, len(sys.ControlPlane))
+	for _, c := range sys.ControlPlane {
+		valid[c] = true
+	}
+	for conn := range a.Grants {
+		if !valid[conn] {
+			return fmt.Errorf("model: attacker grant on %s, which is not in N_C", conn)
+		}
+	}
+	return nil
+}
+
+// String lists the grants deterministically.
+func (a *AttackerModel) String() string {
+	lines := make([]string, 0, len(a.Grants))
+	for conn, caps := range a.Grants {
+		lines = append(lines, fmt.Sprintf("γ%s = %s", conn, caps))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

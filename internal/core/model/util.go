@@ -1,0 +1,9 @@
+package model
+
+import "attain/internal/netaddr"
+
+// mustMAC and mustIP back the fixture builders; inputs are compile-time
+// constants.
+func mustMAC(s string) netaddr.MAC { return netaddr.MustParseMAC(s) }
+
+func mustIP(s string) netaddr.IPv4 { return netaddr.MustParseIPv4(s) }

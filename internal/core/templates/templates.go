@@ -1,0 +1,164 @@
+// Package templates implements the attack-description abstractions the
+// paper's conclusion names as future work: "predefined attack state graph
+// templates to generate larger and more complex attack descriptions
+// without having to manually generate many of the lower-level details."
+//
+// Each template generates states (or whole attacks) from a few high-level
+// parameters; generated attacks are ordinary lang.Attack values that
+// validate, lint, format, and run like hand-written ones.
+package templates
+
+import (
+	"fmt"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+// Scope fixes the connection set and capability grant shared by a
+// template's generated rules.
+type Scope struct {
+	Conns []model.Conn
+	Caps  model.CapabilitySet
+}
+
+func (s Scope) rule(name string, cond lang.Expr, actions ...lang.Action) *lang.Rule {
+	return &lang.Rule{
+		Name:    name,
+		Conns:   append([]model.Conn(nil), s.Conns...),
+		Caps:    s.Caps,
+		Cond:    cond,
+		Actions: actions,
+	}
+}
+
+// PassUntil generates a state that passes everything and transitions to
+// next when cond first holds — the σ1 shape of Figure 12.
+func PassUntil(name string, scope Scope, cond lang.Expr, next string) *lang.State {
+	return &lang.State{
+		Name: name,
+		Rules: []*lang.Rule{
+			scope.rule(name+"_trigger", cond, lang.PassMessage{}, lang.GotoState{State: next}),
+		},
+	}
+}
+
+// DropAll generates the absorbing drop state of Figure 12's σ3.
+func DropAll(name string, scope Scope) *lang.State {
+	return &lang.State{
+		Name: name,
+		Rules: []*lang.Rule{
+			scope.rule(name+"_drop", lang.True, lang.DropMessage{}),
+		},
+	}
+}
+
+// DropMatching generates an absorbing state that drops messages satisfying
+// cond and passes the rest — the Figure 10 suppression shape.
+func DropMatching(name string, scope Scope, cond lang.Expr) *lang.State {
+	return &lang.State{
+		Name: name,
+		Rules: []*lang.Rule{
+			scope.rule(name+"_drop", cond, lang.DropMessage{}),
+		},
+	}
+}
+
+// End generates a rule-less end state.
+func End(name string) *lang.State {
+	return &lang.State{Name: name}
+}
+
+// CountTrigger generates ONE state that waits for n messages satisfying
+// cond before transitioning to next, using the §VIII-B deque-counter idiom
+// so the whole wait costs O(1) states instead of O(n).
+func CountTrigger(name string, scope Scope, cond lang.Expr, n int, next string) *lang.State {
+	counter := name + "_count"
+	incr := lang.DequePush{
+		Deque: counter,
+		Front: true,
+		Value: lang.Arith{
+			Op: lang.OpAdd,
+			L:  lang.DequeTake{Deque: counter},
+			R:  lang.Lit{Value: int64(1)},
+		},
+	}
+	// Two rules over the same conditional: the first counts, the second
+	// fires the transition once the count (including this message)
+	// reaches n. Rule order within a state is evaluation order, and the
+	// counter rule precedes the check, so the check sees the updated
+	// value via EXAMINEFRONT.
+	return &lang.State{
+		Name: name,
+		Rules: []*lang.Rule{
+			scope.rule(name+"_tally", cond, incr),
+			scope.rule(name+"_fire",
+				lang.And{Exprs: []lang.Expr{
+					cond,
+					lang.Cmp{Op: lang.OpGe, L: lang.DequeRead{Deque: counter}, R: lang.Lit{Value: int64(n)}},
+				}},
+				lang.GotoState{State: next}),
+		},
+	}
+}
+
+// Step is one stage of a Chain: wait for Cond, perform Actions, advance.
+type Step struct {
+	// Name labels the generated state; empty derives "stage<i>".
+	Name string
+	// Cond triggers the stage's actions and the transition.
+	Cond lang.Expr
+	// Actions run on the triggering message (GOTOSTATE is appended
+	// automatically).
+	Actions []lang.Action
+	// Count > 1 waits for that many matching messages (via CountTrigger)
+	// instead of one. Count-triggered stages ignore Actions other than
+	// the transition.
+	Count int
+}
+
+// Chain generates a complete attack: a linear trigger sequence ending in a
+// final state (e.g. DropAll or End). This captures the "staged attack"
+// pattern of Figures 6 and 12 without hand-writing each state.
+func Chain(attackName string, scope Scope, steps []Step, final *lang.State) (*lang.Attack, error) {
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("templates: chain needs at least one step")
+	}
+	if final == nil {
+		return nil, fmt.Errorf("templates: chain needs a final state")
+	}
+	names := make([]string, len(steps)+1)
+	for i, step := range steps {
+		names[i] = step.Name
+		if names[i] == "" {
+			names[i] = fmt.Sprintf("stage%d", i+1)
+		}
+	}
+	names[len(steps)] = final.Name
+
+	attack := lang.NewAttack(attackName, names[0])
+	for i, step := range steps {
+		next := names[i+1]
+		if step.Count > 1 {
+			attack.AddState(CountTrigger(names[i], scope, step.Cond, step.Count, next))
+			continue
+		}
+		actions := append(append([]lang.Action(nil), step.Actions...), lang.GotoState{State: next})
+		attack.AddState(&lang.State{
+			Name:  names[i],
+			Rules: []*lang.Rule{scope.rule(names[i]+"_trigger", step.Cond, actions...)},
+		})
+	}
+	attack.AddState(final)
+	return attack, nil
+}
+
+// TypeIs is shorthand for the ubiquitous `msg.type = "<T>"` conditional.
+func TypeIs(msgType string) lang.Expr {
+	return lang.Cmp{Op: lang.OpEq, L: lang.Prop{Name: lang.PropType}, R: lang.Lit{Value: msgType}}
+}
+
+// FromSource is shorthand for `msg.source = <id>`.
+func FromSource(id model.NodeID) lang.Expr {
+	return lang.Cmp{Op: lang.OpEq, L: lang.Prop{Name: lang.PropSource}, R: lang.Lit{Value: string(id)}}
+}

@@ -1,0 +1,197 @@
+package templates
+
+import (
+	"strings"
+	"testing"
+
+	"attain/internal/core/compile"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+func testScope() Scope {
+	return Scope{
+		Conns: []model.Conn{{Controller: "c1", Switch: "s1"}},
+		Caps:  model.AllCapabilities,
+	}
+}
+
+func TestChainReproducesFigure12Shape(t *testing.T) {
+	sys := model.Figure3System()
+	scope := Scope{
+		Conns: []model.Conn{{Controller: "c1", Switch: "s2"}},
+		Caps:  model.AllCapabilities,
+	}
+	attack, err := Chain("connection-interruption", scope,
+		[]Step{
+			{Name: "sigma1", Cond: lang.And{Exprs: []lang.Expr{FromSource("s2"), TypeIs("HELLO")}},
+				Actions: []lang.Action{lang.PassMessage{}}},
+			{Name: "sigma2", Cond: TypeIs("FLOW_MOD"),
+				Actions: []lang.Action{lang.DropMessage{}}},
+		},
+		DropAll("sigma3", scope),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	am := model.NewAttackerModel()
+	am.Grant(model.Conn{Controller: "c1", Switch: "s2"}, model.AllCapabilities)
+	if err := attack.Validate(sys, am); err != nil {
+		t.Fatalf("generated attack invalid: %v", err)
+	}
+	if warnings := attack.Lint(); len(warnings) != 0 {
+		t.Errorf("generated attack lints: %v", warnings)
+	}
+	g := attack.Graph()
+	if len(g.Edges) != 2 || g.Edges[0].From != "sigma1" || g.Edges[1].To != "sigma3" {
+		t.Errorf("graph shape = %+v", g.Edges)
+	}
+	if abs := g.Absorbing(); len(abs) != 1 || abs[0] != "sigma3" {
+		t.Errorf("absorbing = %v", abs)
+	}
+	// Generated attacks format to parseable DSL like hand-written ones.
+	out := compile.FormatAttack(attack)
+	if _, err := compile.CompileAttack(out, sys); err != nil {
+		t.Fatalf("generated attack does not round-trip: %v\n%s", err, out)
+	}
+}
+
+// stepMessages simulates Algorithm 1's per-message rule loop so template
+// semantics can be tested without a full injector.
+func stepMessages(t *testing.T, attack *lang.Attack, sys *model.System, views []*lang.MessageView) string {
+	t.Helper()
+	storage := lang.NewStorage()
+	current := attack.Start
+	for i, view := range views {
+		env := &lang.Env{View: view, Storage: storage, System: sys}
+		prev := current
+		state := attack.States[prev]
+		for _, rule := range state.Rules {
+			if !rule.AppliesTo(view.Conn) {
+				continue
+			}
+			v, err := rule.Cond.Eval(env)
+			if err != nil {
+				t.Fatalf("message %d rule %s: %v", i, rule.Name, err)
+			}
+			if v != true {
+				continue
+			}
+			for _, act := range rule.Actions {
+				switch a := act.(type) {
+				case lang.GotoState:
+					current = a.State
+				case lang.DequePush:
+					val, err := a.Value.Eval(env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					d := storage.Deque(a.Deque)
+					if a.Front {
+						d.Prepend(val)
+					} else {
+						d.Append(val)
+					}
+				}
+			}
+		}
+	}
+	return current
+}
+
+func helloView() *lang.MessageView {
+	return &lang.MessageView{
+		Conn:      model.Conn{Controller: "c1", Switch: "s1"},
+		Direction: lang.SwitchToController,
+		Source:    "s1", Destination: "c1",
+		Msg: helloMsg(),
+	}
+}
+
+func TestCountTriggerFiresAtN(t *testing.T) {
+	sys := model.Figure3System()
+	scope := testScope()
+	attack := lang.NewAttack("count", "wait")
+	attack.AddState(CountTrigger("wait", scope, TypeIs("HELLO"), 3, "fired"))
+	attack.AddState(End("fired"))
+	if err := attack.Validate(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two hellos: still waiting.
+	state := stepMessages(t, attack, sys, []*lang.MessageView{helloView(), helloView()})
+	if state != "wait" {
+		t.Fatalf("after 2 messages state = %s", state)
+	}
+	// Third fires.
+	state = stepMessages(t, attack, sys, []*lang.MessageView{helloView(), helloView(), helloView()})
+	if state != "fired" {
+		t.Fatalf("after 3 messages state = %s", state)
+	}
+	// Non-matching messages don't count.
+	other := helloView()
+	other.Msg = barrierMsg()
+	state = stepMessages(t, attack, sys, []*lang.MessageView{helloView(), other, helloView(), other})
+	if state != "wait" {
+		t.Fatalf("after 2 matching of 4 state = %s", state)
+	}
+}
+
+func TestChainWithCountStep(t *testing.T) {
+	sys := model.Figure3System()
+	scope := testScope()
+	attack, err := Chain("count-chain", scope,
+		[]Step{{Name: "warmup", Cond: TypeIs("HELLO"), Count: 2}},
+		DropMatching("suppress", scope, TypeIs("FLOW_MOD")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := attack.Validate(sys, nil); err != nil {
+		t.Fatal(err)
+	}
+	state := stepMessages(t, attack, sys, []*lang.MessageView{helloView()})
+	if state != "warmup" {
+		t.Fatalf("after 1 hello: %s", state)
+	}
+	state = stepMessages(t, attack, sys, []*lang.MessageView{helloView(), helloView()})
+	if state != "suppress" {
+		t.Fatalf("after 2 hellos: %s", state)
+	}
+}
+
+func TestChainErrors(t *testing.T) {
+	scope := testScope()
+	if _, err := Chain("x", scope, nil, End("end")); err == nil {
+		t.Error("empty chain accepted")
+	}
+	if _, err := Chain("x", scope, []Step{{Cond: lang.True}}, nil); err == nil {
+		t.Error("nil final state accepted")
+	}
+}
+
+func TestPassUntilAndDropAllShapes(t *testing.T) {
+	scope := testScope()
+	st := PassUntil("s0", scope, TypeIs("HELLO"), "s1")
+	if len(st.Rules) != 1 || len(st.Rules[0].Actions) != 2 {
+		t.Errorf("PassUntil shape: %+v", st.Rules)
+	}
+	drop := DropAll("s1", scope)
+	if len(drop.Rules) != 1 {
+		t.Errorf("DropAll shape: %+v", drop.Rules)
+	}
+	if _, ok := drop.Rules[0].Actions[0].(lang.DropMessage); !ok {
+		t.Errorf("DropAll action = %T", drop.Rules[0].Actions[0])
+	}
+	if !End("e").IsEnd() {
+		t.Error("End state has rules")
+	}
+	if !strings.Contains(FromSource("s2").String(), "s2") {
+		t.Error("FromSource shorthand wrong")
+	}
+}
+
+// helloMsg and barrierMsg build decoded messages for views.
+func helloMsg() openflow.Message   { return &openflow.Hello{} }
+func barrierMsg() openflow.Message { return &openflow.BarrierRequest{} }

@@ -1,0 +1,75 @@
+package dataplane
+
+import (
+	"encoding/binary"
+
+	"attain/internal/openflow"
+)
+
+// OFPVLANNone is the OpenFlow 1.0 dl_vlan value for untagged frames.
+const OFPVLANNone uint16 = 0xffff
+
+// Fields parses a raw Ethernet frame into the OpenFlow 1.0 header-field
+// view used for flow matching, per the spec's packet parsing rules:
+// dl_vlan is OFPVLANNone for untagged frames; for ICMP, tp_src/tp_dst carry
+// the ICMP type and code.
+func Fields(inPort uint16, frame []byte) (openflow.FieldView, error) {
+	var f openflow.FieldView
+	f.InPort = inPort
+	f.DLVLAN = OFPVLANNone
+
+	eth, err := UnmarshalEthernet(frame)
+	if err != nil {
+		return f, err
+	}
+	f.DLSrc = eth.Src
+	f.DLDst = eth.Dst
+	f.DLType = eth.EtherType
+	if eth.Tagged {
+		f.DLVLAN = eth.VLAN
+		f.DLVLANPCP = eth.Priority
+	}
+
+	switch eth.EtherType {
+	case EtherTypeARP:
+		arp, err := UnmarshalARP(eth.Payload)
+		if err != nil {
+			return f, err
+		}
+		// OF 1.0 reuses nw_src/nw_dst/nw_proto for ARP SPA/TPA/opcode.
+		f.NWSrc = arp.SenderIP
+		f.NWDst = arp.TargetIP
+		f.NWProto = uint8(arp.Op)
+	case EtherTypeIPv4:
+		// Parse headers leniently: PACKET_IN payloads are truncated to
+		// miss_send_len, so the packet body (and hence the IP total
+		// length) may extend past the available bytes. Only the headers
+		// are needed for matching.
+		ip := eth.Payload
+		if len(ip) < ipv4HeaderLen || ip[0]>>4 != 4 {
+			return f, ErrShortPacket
+		}
+		ihl := int(ip[0]&0x0f) * 4
+		if ihl < ipv4HeaderLen || len(ip) < ihl {
+			return f, ErrShortPacket
+		}
+		f.NWTOS = ip[1]
+		f.NWProto = ip[9]
+		copy(f.NWSrc[:], ip[12:16])
+		copy(f.NWDst[:], ip[16:20])
+		l4 := ip[ihl:]
+		switch f.NWProto {
+		case ProtoTCP, ProtoUDP:
+			if len(l4) >= 4 {
+				f.TPSrc = binary.BigEndian.Uint16(l4[0:2])
+				f.TPDst = binary.BigEndian.Uint16(l4[2:4])
+			}
+		case ProtoICMP:
+			if len(l4) >= 2 {
+				f.TPSrc = uint16(l4[0]) // ICMP type
+				f.TPDst = uint16(l4[1]) // ICMP code
+			}
+		}
+	}
+	return f, nil
+}

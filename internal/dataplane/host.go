@@ -1,0 +1,389 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/netaddr"
+)
+
+// DefaultARPTimeout bounds how long a send waits for ARP resolution.
+const DefaultARPTimeout = 2 * time.Second
+
+// ErrARPTimeout is returned when address resolution fails.
+var ErrARPTimeout = errors.New("dataplane: ARP resolution timed out")
+
+// ErrPingTimeout is returned when an ICMP echo reply does not arrive.
+var ErrPingTimeout = errors.New("dataplane: ping timed out")
+
+// UDPHandler consumes an inbound UDP datagram.
+type UDPHandler func(src netaddr.IPv4, dgram *UDP)
+
+// TCPHandler consumes an inbound TCP segment.
+type TCPHandler func(src netaddr.IPv4, seg *TCP)
+
+// HostStats counts host interface activity.
+type HostStats struct {
+	TxFrames  uint64
+	RxFrames  uint64
+	TxBytes   uint64
+	RxBytes   uint64
+	RxDropped uint64
+}
+
+// Host is a simulated end host with a single interface. It resolves IPv4
+// next hops via ARP, answers ICMP echo, and demultiplexes UDP and TCP to
+// registered handlers. Frames leave through the transmit function installed
+// with AttachOutput and arrive via Input.
+type Host struct {
+	name string
+	mac  netaddr.MAC
+	ip   netaddr.IPv4
+	clk  clock.Clock
+
+	// ARPTimeout bounds address resolution; set before first use.
+	ARPTimeout time.Duration
+
+	mu       sync.Mutex
+	out      func([]byte)
+	arpTable map[netaddr.IPv4]netaddr.MAC
+	arpWait  map[netaddr.IPv4][]chan netaddr.MAC
+	pingWait map[uint32]chan struct{}
+	udp      map[uint16]UDPHandler
+	tcp      map[uint16]TCPHandler
+	ident    uint16
+	pingSeq  uint16
+	ipID     uint16
+	stats    HostStats
+}
+
+// NewHost creates a host named name with the given addresses.
+func NewHost(name string, mac netaddr.MAC, ip netaddr.IPv4, clk clock.Clock) *Host {
+	return &Host{
+		name:       name,
+		mac:        mac,
+		ip:         ip,
+		clk:        clk,
+		ARPTimeout: DefaultARPTimeout,
+		arpTable:   make(map[netaddr.IPv4]netaddr.MAC),
+		arpWait:    make(map[netaddr.IPv4][]chan netaddr.MAC),
+		pingWait:   make(map[uint32]chan struct{}),
+		udp:        make(map[uint16]UDPHandler),
+		tcp:        make(map[uint16]TCPHandler),
+		ident:      uint16(mac[4])<<8 | uint16(mac[5]),
+	}
+}
+
+// Name returns the host's name.
+func (h *Host) Name() string { return h.name }
+
+// MAC returns the host's hardware address.
+func (h *Host) MAC() netaddr.MAC { return h.mac }
+
+// IP returns the host's IPv4 address.
+func (h *Host) IP() netaddr.IPv4 { return h.ip }
+
+// Stats returns a snapshot of the interface counters.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.stats
+}
+
+// AttachOutput installs the frame transmit function. The function must not
+// block indefinitely.
+func (h *Host) AttachOutput(out func([]byte)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.out = out
+}
+
+// HandleUDP registers a handler for datagrams to the given port.
+func (h *Host) HandleUDP(port uint16, fn UDPHandler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.udp[port] = fn
+}
+
+// HandleTCP registers a handler for segments to the given port.
+func (h *Host) HandleTCP(port uint16, fn TCPHandler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.tcp[port] = fn
+}
+
+// UnhandleTCP removes a TCP port handler.
+func (h *Host) UnhandleTCP(port uint16) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.tcp, port)
+}
+
+// transmit sends a raw frame, counting it.
+func (h *Host) transmit(frame []byte) {
+	h.mu.Lock()
+	out := h.out
+	h.stats.TxFrames++
+	h.stats.TxBytes += uint64(len(frame))
+	h.mu.Unlock()
+	if out != nil {
+		out(frame)
+	}
+}
+
+// Input delivers a received frame to the host stack. It is safe to call
+// from any goroutine.
+func (h *Host) Input(frame []byte) {
+	h.mu.Lock()
+	h.stats.RxFrames++
+	h.stats.RxBytes += uint64(len(frame))
+	h.mu.Unlock()
+
+	eth, err := UnmarshalEthernet(frame)
+	if err != nil {
+		h.drop()
+		return
+	}
+	if eth.Dst != h.mac && !eth.Dst.IsBroadcast() {
+		h.drop()
+		return
+	}
+	switch eth.EtherType {
+	case EtherTypeARP:
+		h.inputARP(eth)
+	case EtherTypeIPv4:
+		h.inputIPv4(eth)
+	default:
+		h.drop()
+	}
+}
+
+func (h *Host) drop() {
+	h.mu.Lock()
+	h.stats.RxDropped++
+	h.mu.Unlock()
+}
+
+func (h *Host) inputARP(eth *Ethernet) {
+	arp, err := UnmarshalARP(eth.Payload)
+	if err != nil {
+		h.drop()
+		return
+	}
+	// Learn the sender mapping opportunistically and wake waiters.
+	h.mu.Lock()
+	h.arpTable[arp.SenderIP] = arp.SenderMAC
+	waiters := h.arpWait[arp.SenderIP]
+	delete(h.arpWait, arp.SenderIP)
+	h.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- arp.SenderMAC
+	}
+
+	if arp.Op == ARPOpRequest && arp.TargetIP == h.ip {
+		reply := &ARP{
+			Op:        ARPOpReply,
+			SenderMAC: h.mac,
+			SenderIP:  h.ip,
+			TargetMAC: arp.SenderMAC,
+			TargetIP:  arp.SenderIP,
+		}
+		h.transmit((&Ethernet{
+			Dst: arp.SenderMAC, Src: h.mac,
+			EtherType: EtherTypeARP, Payload: reply.Marshal(),
+		}).Marshal())
+	}
+}
+
+func (h *Host) inputIPv4(eth *Ethernet) {
+	ip, err := UnmarshalIPv4(eth.Payload)
+	if err != nil || ip.Dst != h.ip {
+		h.drop()
+		return
+	}
+	switch ip.Protocol {
+	case ProtoICMP:
+		h.inputICMP(ip)
+	case ProtoUDP:
+		dgram, err := UnmarshalUDP(ip.Src, ip.Dst, ip.Payload)
+		if err != nil {
+			h.drop()
+			return
+		}
+		h.mu.Lock()
+		fn := h.udp[dgram.DstPort]
+		h.mu.Unlock()
+		if fn == nil {
+			h.drop()
+			return
+		}
+		fn(ip.Src, dgram)
+	case ProtoTCP:
+		seg, err := UnmarshalTCP(ip.Src, ip.Dst, ip.Payload)
+		if err != nil {
+			h.drop()
+			return
+		}
+		h.mu.Lock()
+		fn := h.tcp[seg.DstPort]
+		h.mu.Unlock()
+		if fn == nil {
+			h.drop()
+			return
+		}
+		fn(ip.Src, seg)
+	default:
+		h.drop()
+	}
+}
+
+func (h *Host) inputICMP(ip *IPv4) {
+	echo, err := UnmarshalICMPEcho(ip.Payload)
+	if err != nil {
+		h.drop()
+		return
+	}
+	if echo.IsRequest {
+		reply := &ICMPEcho{Ident: echo.Ident, Seq: echo.Seq, Payload: echo.Payload}
+		// Best effort: the requester's MAC is in our ARP table from the
+		// request's trip, or resolvable; avoid blocking the input path.
+		h.mu.Lock()
+		dstMAC, ok := h.arpTable[ip.Src]
+		h.mu.Unlock()
+		if !ok {
+			// Fall back to resolving in a goroutine so input never blocks.
+			go func() {
+				if err := h.sendIPv4(ip.Src, ProtoICMP, reply.Marshal()); err != nil {
+					h.drop()
+				}
+			}()
+			return
+		}
+		h.transmitIPv4To(dstMAC, ip.Src, ProtoICMP, reply.Marshal())
+		return
+	}
+	// Echo reply: wake the matching pinger.
+	key := uint32(echo.Ident)<<16 | uint32(echo.Seq)
+	h.mu.Lock()
+	ch := h.pingWait[key]
+	delete(h.pingWait, key)
+	h.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// Resolve returns the MAC address for ip, performing ARP if necessary.
+func (h *Host) Resolve(ip netaddr.IPv4) (netaddr.MAC, error) {
+	h.mu.Lock()
+	if mac, ok := h.arpTable[ip]; ok {
+		h.mu.Unlock()
+		return mac, nil
+	}
+	ch := make(chan netaddr.MAC, 1)
+	h.arpWait[ip] = append(h.arpWait[ip], ch)
+	timeout := h.ARPTimeout
+	h.mu.Unlock()
+
+	req := &ARP{
+		Op:        ARPOpRequest,
+		SenderMAC: h.mac,
+		SenderIP:  h.ip,
+		TargetIP:  ip,
+	}
+	h.transmit((&Ethernet{
+		Dst: netaddr.Broadcast, Src: h.mac,
+		EtherType: EtherTypeARP, Payload: req.Marshal(),
+	}).Marshal())
+
+	select {
+	case mac := <-ch:
+		return mac, nil
+	case <-h.clk.After(timeout):
+		h.mu.Lock()
+		waiters := h.arpWait[ip]
+		for i, w := range waiters {
+			if w == ch {
+				h.arpWait[ip] = append(waiters[:i], waiters[i+1:]...)
+				break
+			}
+		}
+		h.mu.Unlock()
+		// A reply may have raced the timeout.
+		select {
+		case mac := <-ch:
+			return mac, nil
+		default:
+		}
+		return netaddr.MAC{}, fmt.Errorf("%w (host %s resolving %s)", ErrARPTimeout, h.name, ip)
+	}
+}
+
+// transmitIPv4To sends an IPv4 packet to a known next-hop MAC.
+func (h *Host) transmitIPv4To(dstMAC netaddr.MAC, dst netaddr.IPv4, proto uint8, payload []byte) {
+	h.mu.Lock()
+	h.ipID++
+	id := h.ipID
+	h.mu.Unlock()
+	pkt := &IPv4{ID: id, TTL: 64, Protocol: proto, Src: h.ip, Dst: dst, Payload: payload}
+	h.transmit((&Ethernet{
+		Dst: dstMAC, Src: h.mac,
+		EtherType: EtherTypeIPv4, Payload: pkt.Marshal(),
+	}).Marshal())
+}
+
+// sendIPv4 resolves dst and transmits an IPv4 packet.
+func (h *Host) sendIPv4(dst netaddr.IPv4, proto uint8, payload []byte) error {
+	mac, err := h.Resolve(dst)
+	if err != nil {
+		return err
+	}
+	h.transmitIPv4To(mac, dst, proto, payload)
+	return nil
+}
+
+// SendUDP sends one UDP datagram to dst.
+func (h *Host) SendUDP(dst netaddr.IPv4, srcPort, dstPort uint16, payload []byte) error {
+	dgram := &UDP{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	return h.sendIPv4(dst, ProtoUDP, dgram.Marshal(h.ip, dst))
+}
+
+// SendTCP sends one TCP segment to dst.
+func (h *Host) SendTCP(dst netaddr.IPv4, seg *TCP) error {
+	return h.sendIPv4(dst, ProtoTCP, seg.Marshal(h.ip, dst))
+}
+
+// Ping sends one ICMP echo request to dst and waits up to timeout for the
+// reply, returning the round-trip time.
+func (h *Host) Ping(dst netaddr.IPv4, timeout time.Duration) (time.Duration, error) {
+	h.mu.Lock()
+	h.pingSeq++
+	seq := h.pingSeq
+	key := uint32(h.ident)<<16 | uint32(seq)
+	ch := make(chan struct{})
+	h.pingWait[key] = ch
+	h.mu.Unlock()
+
+	cleanup := func() {
+		h.mu.Lock()
+		delete(h.pingWait, key)
+		h.mu.Unlock()
+	}
+
+	start := h.clk.Now()
+	echo := &ICMPEcho{IsRequest: true, Ident: h.ident, Seq: seq, Payload: []byte("attain-ping")}
+	if err := h.sendIPv4(dst, ProtoICMP, echo.Marshal()); err != nil {
+		cleanup()
+		return 0, err
+	}
+	select {
+	case <-ch:
+		return h.clk.Now().Sub(start), nil
+	case <-h.clk.After(timeout):
+		cleanup()
+		return 0, fmt.Errorf("%w (host %s pinging %s seq %d)", ErrPingTimeout, h.name, dst, seq)
+	}
+}

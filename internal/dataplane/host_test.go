@@ -1,0 +1,312 @@
+package dataplane
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/netaddr"
+)
+
+// wireHosts connects two hosts back-to-back.
+func wireHosts(a, b *Host) {
+	a.AttachOutput(b.Input)
+	b.AttachOutput(a.Input)
+}
+
+func newHostPair(t *testing.T) (*Host, *Host) {
+	t.Helper()
+	clk := clock.New()
+	a := NewHost("hA", macA, ipA, clk)
+	b := NewHost("hB", macB, ipB, clk)
+	wireHosts(a, b)
+	return a, b
+}
+
+func TestARPResolution(t *testing.T) {
+	a, _ := newHostPair(t)
+	mac, err := a.Resolve(ipB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mac != macB {
+		t.Errorf("resolved %s, want %s", mac, macB)
+	}
+	// Second resolution hits the cache (works even if B goes deaf).
+	a.AttachOutput(func([]byte) {})
+	mac, err = a.Resolve(ipB)
+	if err != nil || mac != macB {
+		t.Errorf("cached resolve = %s, %v", mac, err)
+	}
+}
+
+func TestARPTimeout(t *testing.T) {
+	clk := clock.New()
+	a := NewHost("hA", macA, ipA, clk)
+	a.ARPTimeout = 20 * time.Millisecond
+	a.AttachOutput(func([]byte) {}) // black hole
+	if _, err := a.Resolve(ipB); !errors.Is(err, ErrARPTimeout) {
+		t.Errorf("Resolve into black hole = %v, want ErrARPTimeout", err)
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	a, _ := newHostPair(t)
+	rtt, err := a.Ping(ipB, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtt < 0 || rtt > time.Second {
+		t.Errorf("rtt = %v", rtt)
+	}
+}
+
+func TestPingTimeout(t *testing.T) {
+	a, b := newHostPair(t)
+	// Let ARP succeed, then make the path one-way.
+	if _, err := a.Resolve(ipB); err != nil {
+		t.Fatal(err)
+	}
+	b.AttachOutput(func([]byte) {}) // B's replies vanish
+	if _, err := a.Ping(ipB, 30*time.Millisecond); !errors.Is(err, ErrPingTimeout) {
+		t.Errorf("Ping with black-holed replies = %v, want ErrPingTimeout", err)
+	}
+}
+
+func TestPingConcurrentSequences(t *testing.T) {
+	a, _ := newHostPair(t)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = a.Ping(ipB, time.Second)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("ping %d: %v", i, err)
+		}
+	}
+}
+
+func TestUDPDelivery(t *testing.T) {
+	a, b := newHostPair(t)
+	got := make(chan string, 1)
+	b.HandleUDP(9999, func(src netaddr.IPv4, dgram *UDP) {
+		if src == ipA && dgram.SrcPort == 1111 {
+			got <- string(dgram.Payload)
+		}
+	})
+	if err := a.SendUDP(ipB, 1111, 9999, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg != "hello" {
+			t.Errorf("payload = %q", msg)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("datagram never delivered")
+	}
+}
+
+func TestUDPUnboundPortDropped(t *testing.T) {
+	a, b := newHostPair(t)
+	if err := a.SendUDP(ipB, 1, 4242, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if b.Stats().RxDropped == 0 {
+		t.Error("datagram to unbound port was not counted as dropped")
+	}
+}
+
+func TestHostIgnoresForeignFrames(t *testing.T) {
+	clk := clock.New()
+	b := NewHost("hB", macB, ipB, clk)
+	other := netaddr.MustParseMAC("0a:00:00:00:00:99")
+	frame := (&Ethernet{Dst: other, Src: macA, EtherType: EtherTypeIPv4}).Marshal()
+	b.Input(frame)
+	st := b.Stats()
+	if st.RxDropped != 1 || st.RxFrames != 1 {
+		t.Errorf("stats = %+v, want 1 dropped of 1", st)
+	}
+}
+
+func TestHostStatsCount(t *testing.T) {
+	a, b := newHostPair(t)
+	if _, err := a.Ping(ipB, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sa, sb := a.Stats(), b.Stats()
+	if sa.TxFrames == 0 || sa.RxFrames == 0 || sb.TxFrames == 0 || sb.RxFrames == 0 {
+		t.Errorf("counters not advancing: a=%+v b=%+v", sa, sb)
+	}
+}
+
+func TestICMPReplyWithoutARPCacheEntry(t *testing.T) {
+	// A host receiving an echo request from a peer it has never ARPed
+	// resolves the sender asynchronously and still replies.
+	clk := clock.New()
+	a := NewHost("hA", macA, ipA, clk)
+	b := NewHost("hB", macB, ipB, clk)
+	a.AttachOutput(b.Input)
+	b.AttachOutput(a.Input)
+
+	// Hand-deliver an echo request to B without any prior ARP exchange,
+	// so B's ARP table has no entry for A.
+	echo := &ICMPEcho{IsRequest: true, Ident: 9, Seq: 1}
+	ip := &IPv4{TTL: 64, Protocol: ProtoICMP, Src: ipA, Dst: ipB, Payload: echo.Marshal()}
+	frame := (&Ethernet{Dst: macB, Src: macA, EtherType: EtherTypeIPv4, Payload: ip.Marshal()}).Marshal()
+	b.Input(frame)
+
+	// B must ARP for A and deliver the reply; A's stack answers the ARP.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.Stats().RxFrames >= 2 { // ARP request + echo reply
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("echo reply never arrived: a stats %+v", a.Stats())
+}
+
+func TestUDPZeroChecksumAccepted(t *testing.T) {
+	// RFC 768: checksum 0 means "no checksum"; receivers must accept.
+	u := &UDP{SrcPort: 1, DstPort: 2, Payload: []byte("x")}
+	wire := u.Marshal(ipA, ipB)
+	wire[6], wire[7] = 0, 0 // clear the checksum
+	got, err := UnmarshalUDP(ipA, ipB, wire)
+	if err != nil {
+		t.Fatalf("zero-checksum datagram rejected: %v", err)
+	}
+	if string(got.Payload) != "x" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestIperfServerIgnoresUnknownConnections(t *testing.T) {
+	a, b := newHostPair(t)
+	srv := NewIperfServer(b, IperfPort)
+	defer srv.Close()
+	// A data segment for a connection that never SYN'd is ignored.
+	seg := &TCP{SrcPort: 50000, DstPort: IperfPort, Seq: 5, Flags: TCPAck | TCPPsh, Payload: []byte("stray")}
+	if err := a.SendTCP(ipB, seg); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if srv.BytesReceived() != 0 {
+		t.Errorf("server counted %d bytes from an unknown connection", srv.BytesReceived())
+	}
+}
+
+func TestIperfDuplicateSegmentsNotDoubleCounted(t *testing.T) {
+	a, b := newHostPair(t)
+	srv := NewIperfServer(b, IperfPort)
+	defer srv.Close()
+	res, err := RunIperfClient(a, ipB, IperfPort, 50*time.Millisecond, IperfConfig{
+		SegmentSize: 100, Window: 2, RTO: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicates from RTO retransmissions must not be double counted: the
+	// server's in-order byte count can exceed the client's acked count
+	// only by data still in flight at the deadline (at most one window).
+	window := uint64(2 * 100)
+	if srv.BytesReceived() < res.BytesAcked || srv.BytesReceived() > res.BytesAcked+window {
+		t.Errorf("server %d outside [acked %d, acked+window %d] (duplicates double-counted?)",
+			srv.BytesReceived(), res.BytesAcked, res.BytesAcked+window)
+	}
+}
+
+func TestIperfBackToBack(t *testing.T) {
+	a, b := newHostPair(t)
+	srv := NewIperfServer(b, IperfPort)
+	defer srv.Close()
+
+	res, err := RunIperfClient(a, ipB, IperfPort, 100*time.Millisecond, IperfConfig{
+		SegmentSize: 1000,
+		Window:      8,
+		RTO:         20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Connected {
+		t.Fatal("client reports not connected")
+	}
+	if res.BytesAcked == 0 {
+		t.Fatal("no bytes acked")
+	}
+	if srv.BytesReceived() < res.BytesAcked {
+		t.Errorf("server received %d < client acked %d", srv.BytesReceived(), res.BytesAcked)
+	}
+	if res.ThroughputMbps() <= 0 {
+		t.Errorf("throughput = %v", res.ThroughputMbps())
+	}
+}
+
+func TestIperfConnectTimeout(t *testing.T) {
+	clk := clock.New()
+	a := NewHost("hA", macA, ipA, clk)
+	a.ARPTimeout = 10 * time.Millisecond
+	a.AttachOutput(func([]byte) {}) // nothing ever answers
+	res, err := RunIperfClient(a, ipB, IperfPort, 50*time.Millisecond, IperfConfig{
+		ConnectTimeout: 10 * time.Millisecond,
+		ConnectRetries: 2,
+	})
+	if !errors.Is(err, ErrIperfConnect) {
+		t.Fatalf("err = %v, want ErrIperfConnect", err)
+	}
+	if res.Connected || res.BytesAcked != 0 || res.ThroughputMbps() != 0 {
+		t.Errorf("result = %+v, want zeroes", res)
+	}
+}
+
+func TestIperfSurvivesLoss(t *testing.T) {
+	clk := clock.New()
+	a := NewHost("hA", macA, ipA, clk)
+	b := NewHost("hB", macB, ipB, clk)
+	// Drop every 5th frame in each direction.
+	var na, nb int
+	var muA, muB sync.Mutex
+	a.AttachOutput(func(f []byte) {
+		muA.Lock()
+		na++
+		drop := na%5 == 0
+		muA.Unlock()
+		if !drop {
+			b.Input(f)
+		}
+	})
+	b.AttachOutput(func(f []byte) {
+		muB.Lock()
+		nb++
+		drop := nb%5 == 0
+		muB.Unlock()
+		if !drop {
+			a.Input(f)
+		}
+	})
+	srv := NewIperfServer(b, IperfPort)
+	defer srv.Close()
+	res, err := RunIperfClient(a, ipB, IperfPort, 200*time.Millisecond, IperfConfig{
+		SegmentSize: 500,
+		Window:      4,
+		RTO:         10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesAcked == 0 {
+		t.Error("no progress under 20% loss")
+	}
+	if res.Retransmits == 0 {
+		t.Error("expected retransmissions under loss")
+	}
+}

@@ -1,0 +1,310 @@
+package dataplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"attain/internal/netaddr"
+)
+
+// IperfPort is the default iperf server port.
+const IperfPort uint16 = 5001
+
+// ErrIperfConnect is returned when the client handshake never completes,
+// i.e. the path is fully denied (the paper's "throughput is zero" case).
+var ErrIperfConnect = errors.New("dataplane: iperf connect timed out")
+
+// IperfConfig tunes the iperf-like workload generator.
+type IperfConfig struct {
+	// SegmentSize is the payload bytes per segment (default 1400).
+	SegmentSize int
+	// Window is the go-back-N window in segments (default 32).
+	Window int
+	// RTO is the retransmission timeout (default 200 ms).
+	RTO time.Duration
+	// ConnectTimeout bounds each SYN attempt (default 1 s).
+	ConnectTimeout time.Duration
+	// ConnectRetries is the number of SYN attempts (default 3).
+	ConnectRetries int
+}
+
+func (c *IperfConfig) setDefaults() {
+	if c.SegmentSize <= 0 {
+		c.SegmentSize = 1400
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.RTO <= 0 {
+		c.RTO = 200 * time.Millisecond
+	}
+	if c.ConnectTimeout <= 0 {
+		c.ConnectTimeout = time.Second
+	}
+	if c.ConnectRetries <= 0 {
+		c.ConnectRetries = 3
+	}
+}
+
+// IperfResult summarizes one client trial.
+type IperfResult struct {
+	// Connected reports whether the handshake completed.
+	Connected bool
+	// BytesAcked is the number of payload bytes acknowledged.
+	BytesAcked uint64
+	// Elapsed is the measured (virtual) transfer interval.
+	Elapsed time.Duration
+	// Retransmits counts go-back-N window rollbacks.
+	Retransmits int
+}
+
+// ThroughputMbps returns the achieved goodput in megabits per second.
+func (r IperfResult) ThroughputMbps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.BytesAcked) * 8 / r.Elapsed.Seconds() / 1e6
+}
+
+// IperfServer accepts iperf connections on a host and counts received
+// bytes. Segments are processed on a dedicated goroutine so the host input
+// path never blocks on ARP resolution for ACK replies.
+type IperfServer struct {
+	host *Host
+	port uint16
+
+	mu    sync.Mutex
+	conns map[string]*iperfSrvConn
+	bytes uint64
+
+	segCh chan srvSegment
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+type srvSegment struct {
+	src netaddr.IPv4
+	seg *TCP
+}
+
+type iperfSrvConn struct {
+	nextSeq uint32
+	isn     uint32
+}
+
+// NewIperfServer starts an iperf server on h listening on port.
+func NewIperfServer(h *Host, port uint16) *IperfServer {
+	s := &IperfServer{
+		host:  h,
+		port:  port,
+		conns: make(map[string]*iperfSrvConn),
+		segCh: make(chan srvSegment, 4096),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	h.HandleTCP(port, func(src netaddr.IPv4, seg *TCP) {
+		select {
+		case s.segCh <- srvSegment{src: src, seg: cloneTCP(seg)}:
+		default:
+			// Input overrun: drop; the client's go-back-N recovers.
+		}
+	})
+	go s.run()
+	return s
+}
+
+// cloneTCP copies a segment whose payload aliases a network buffer.
+func cloneTCP(seg *TCP) *TCP {
+	c := *seg
+	c.Payload = append([]byte(nil), seg.Payload...)
+	return &c
+}
+
+// BytesReceived returns the total in-order payload bytes received across
+// all connections.
+func (s *IperfServer) BytesReceived() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Close stops the server and unregisters its port handler.
+func (s *IperfServer) Close() {
+	s.host.UnhandleTCP(s.port)
+	close(s.stop)
+	<-s.done
+}
+
+func (s *IperfServer) run() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case in := <-s.segCh:
+			s.handle(in.src, in.seg)
+		}
+	}
+}
+
+func (s *IperfServer) handle(src netaddr.IPv4, seg *TCP) {
+	key := fmt.Sprintf("%s:%d", src, seg.SrcPort)
+	s.mu.Lock()
+	conn := s.conns[key]
+	s.mu.Unlock()
+
+	switch {
+	case seg.Flags&TCPSyn != 0:
+		conn = &iperfSrvConn{nextSeq: seg.Seq + 1, isn: 1000}
+		s.mu.Lock()
+		s.conns[key] = conn
+		s.mu.Unlock()
+		s.reply(src, seg.SrcPort, &TCP{
+			Seq: conn.isn, Ack: conn.nextSeq,
+			Flags: TCPSyn | TCPAck, Window: 0xffff,
+		})
+	case conn == nil:
+		// Segment for an unknown connection: ignore.
+	case len(seg.Payload) > 0:
+		if seg.Seq == conn.nextSeq {
+			conn.nextSeq += uint32(len(seg.Payload))
+			s.mu.Lock()
+			s.bytes += uint64(len(seg.Payload))
+			s.mu.Unlock()
+		}
+		// Cumulative ACK (re-ack on duplicate or gap).
+		s.reply(src, seg.SrcPort, &TCP{
+			Seq: conn.isn + 1, Ack: conn.nextSeq,
+			Flags: TCPAck, Window: 0xffff,
+		})
+	}
+}
+
+func (s *IperfServer) reply(dst netaddr.IPv4, dstPort uint16, seg *TCP) {
+	seg.SrcPort = s.port
+	seg.DstPort = dstPort
+	// SendTCP may block on first-contact ARP; acceptable here because we
+	// are on the server's dedicated goroutine, not the host input path.
+	_ = s.host.SendTCP(dst, seg)
+}
+
+// iperfClientPortBase seeds ephemeral port allocation.
+var iperfClientPort struct {
+	mu   sync.Mutex
+	next uint16
+}
+
+func nextClientPort() uint16 {
+	iperfClientPort.mu.Lock()
+	defer iperfClientPort.mu.Unlock()
+	if iperfClientPort.next < 40000 || iperfClientPort.next > 60000 {
+		iperfClientPort.next = 40000
+	}
+	iperfClientPort.next++
+	return iperfClientPort.next
+}
+
+// RunIperfClient runs one iperf trial from h to the server at addr:port,
+// transferring for the given (virtual) duration, and reports the result.
+// A handshake failure returns ErrIperfConnect with a zero-throughput result,
+// matching the paper's denial-of-service outcome.
+func RunIperfClient(h *Host, addr netaddr.IPv4, port uint16, duration time.Duration, cfg IperfConfig) (IperfResult, error) {
+	cfg.setDefaults()
+	srcPort := nextClientPort()
+
+	segCh := make(chan *TCP, 1024)
+	h.HandleTCP(srcPort, func(_ netaddr.IPv4, seg *TCP) {
+		select {
+		case segCh <- cloneTCP(seg):
+		default:
+		}
+	})
+	defer h.UnhandleTCP(srcPort)
+
+	send := func(seg *TCP) error {
+		seg.SrcPort = srcPort
+		seg.DstPort = port
+		return h.SendTCP(addr, seg)
+	}
+
+	// Three-way handshake with retries.
+	const isn = 100
+	connected := false
+handshake:
+	for attempt := 0; attempt < cfg.ConnectRetries; attempt++ {
+		if err := send(&TCP{Seq: isn, Flags: TCPSyn, Window: 0xffff}); err != nil {
+			continue // e.g. ARP timeout: retry
+		}
+		timeout := h.clk.After(cfg.ConnectTimeout)
+		for {
+			select {
+			case seg := <-segCh:
+				if seg.Flags&(TCPSyn|TCPAck) == TCPSyn|TCPAck && seg.Ack == isn+1 {
+					connected = true
+					_ = send(&TCP{Seq: isn + 1, Ack: seg.Seq + 1, Flags: TCPAck, Window: 0xffff})
+					break handshake
+				}
+			case <-timeout:
+				continue handshake
+			}
+		}
+	}
+	if !connected {
+		return IperfResult{}, fmt.Errorf("%w (host %s to %s:%d)", ErrIperfConnect, h.Name(), addr, port)
+	}
+
+	// Go-back-N transfer. Sequence numbers are payload byte offsets from
+	// isn+1.
+	payload := make([]byte, cfg.SegmentSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var (
+		base        = uint32(isn + 1)
+		next        = uint32(isn + 1)
+		result      IperfResult
+		windowBytes = uint32(cfg.Window * cfg.SegmentSize)
+	)
+	result.Connected = true
+	start := h.clk.Now()
+	deadline := start.Add(duration)
+
+	for {
+		now := h.clk.Now()
+		if !now.Before(deadline) {
+			break
+		}
+		// Fill the window.
+		for next-base < windowBytes {
+			if err := send(&TCP{Seq: next, Ack: 0, Flags: TCPAck | TCPPsh, Window: 0xffff, Payload: payload}); err != nil {
+				break
+			}
+			next += uint32(len(payload))
+		}
+		remaining := deadline.Sub(h.clk.Now())
+		if remaining <= 0 {
+			break
+		}
+		rto := cfg.RTO
+		if rto > remaining {
+			rto = remaining
+		}
+		select {
+		case seg := <-segCh:
+			if seg.Flags&TCPAck != 0 && seg.Ack > base {
+				base = seg.Ack
+			}
+		case <-h.clk.After(rto):
+			if base < next {
+				// Timeout: roll the window back (go-back-N).
+				next = base
+				result.Retransmits++
+			}
+		}
+	}
+	result.BytesAcked = uint64(base - (isn + 1))
+	result.Elapsed = h.clk.Now().Sub(start)
+	return result, nil
+}

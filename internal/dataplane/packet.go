@@ -1,0 +1,249 @@
+// Package dataplane implements the data-plane substrate of the ATTAIN
+// simulator: Ethernet/ARP/IPv4/ICMP/UDP/TCP packet codecs, an end-host
+// network stack with ARP resolution and ICMP echo, and the ping and iperf
+// workload applications used by the paper's evaluation.
+//
+// The package deliberately has no dependency on the network fabric: hosts
+// emit frames through an injected transmit function and receive frames via
+// Input, so the netem package (or a test) can wire them to anything.
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"attain/internal/netaddr"
+)
+
+// EtherType values used by the simulator.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeVLAN uint16 = 0x8100
+)
+
+// IP protocol numbers.
+const (
+	ProtoICMP uint8 = 1
+	ProtoTCP  uint8 = 6
+	ProtoUDP  uint8 = 17
+)
+
+// ethHeaderLen is the untagged Ethernet header size.
+const ethHeaderLen = 14
+
+// ErrShortPacket is returned when a packet is too short to decode.
+var ErrShortPacket = errors.New("dataplane: short packet")
+
+// Ethernet is a decoded Ethernet frame. VLANTag is nil for untagged frames.
+type Ethernet struct {
+	Dst       netaddr.MAC
+	Src       netaddr.MAC
+	VLAN      uint16 // 12-bit VLAN id; valid only if Tagged
+	Priority  uint8  // 3-bit 802.1p priority; valid only if Tagged
+	Tagged    bool
+	EtherType uint16
+	Payload   []byte
+}
+
+// Marshal encodes the frame.
+func (e *Ethernet) Marshal() []byte {
+	size := ethHeaderLen + len(e.Payload)
+	if e.Tagged {
+		size += 4
+	}
+	b := make([]byte, 0, size)
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	if e.Tagged {
+		b = binary.BigEndian.AppendUint16(b, EtherTypeVLAN)
+		tci := uint16(e.Priority)<<13 | e.VLAN&0x0fff
+		b = binary.BigEndian.AppendUint16(b, tci)
+	}
+	b = binary.BigEndian.AppendUint16(b, e.EtherType)
+	b = append(b, e.Payload...)
+	return b
+}
+
+// UnmarshalEthernet decodes an Ethernet frame, handling one optional 802.1Q
+// tag. The returned Payload aliases data.
+func UnmarshalEthernet(data []byte) (*Ethernet, error) {
+	if len(data) < ethHeaderLen {
+		return nil, ErrShortPacket
+	}
+	var e Ethernet
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	et := binary.BigEndian.Uint16(data[12:14])
+	rest := data[14:]
+	if et == EtherTypeVLAN {
+		if len(rest) < 4 {
+			return nil, ErrShortPacket
+		}
+		tci := binary.BigEndian.Uint16(rest[0:2])
+		e.Tagged = true
+		e.Priority = uint8(tci >> 13)
+		e.VLAN = tci & 0x0fff
+		et = binary.BigEndian.Uint16(rest[2:4])
+		rest = rest[4:]
+	}
+	e.EtherType = et
+	e.Payload = rest
+	return &e, nil
+}
+
+// ARP opcodes.
+const (
+	ARPOpRequest uint16 = 1
+	ARPOpReply   uint16 = 2
+)
+
+// arpLen is the size of an Ethernet/IPv4 ARP packet.
+const arpLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet.
+type ARP struct {
+	Op        uint16
+	SenderMAC netaddr.MAC
+	SenderIP  netaddr.IPv4
+	TargetMAC netaddr.MAC
+	TargetIP  netaddr.IPv4
+}
+
+// Marshal encodes the ARP packet.
+func (a *ARP) Marshal() []byte {
+	b := make([]byte, 0, arpLen)
+	b = binary.BigEndian.AppendUint16(b, 1) // hardware type: Ethernet
+	b = binary.BigEndian.AppendUint16(b, EtherTypeIPv4)
+	b = append(b, 6, 4) // address lengths
+	b = binary.BigEndian.AppendUint16(b, a.Op)
+	b = append(b, a.SenderMAC[:]...)
+	b = append(b, a.SenderIP[:]...)
+	b = append(b, a.TargetMAC[:]...)
+	b = append(b, a.TargetIP[:]...)
+	return b
+}
+
+// UnmarshalARP decodes an ARP packet.
+func UnmarshalARP(data []byte) (*ARP, error) {
+	if len(data) < arpLen {
+		return nil, ErrShortPacket
+	}
+	var a ARP
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderMAC[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetMAC[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return &a, nil
+}
+
+// ipv4HeaderLen is the size of an IPv4 header without options.
+const ipv4HeaderLen = 20
+
+// IPv4 is a decoded IPv4 packet (no options).
+type IPv4 struct {
+	TOS      uint8
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Src      netaddr.IPv4
+	Dst      netaddr.IPv4
+	Payload  []byte
+}
+
+// Marshal encodes the packet with a correct header checksum.
+func (p *IPv4) Marshal() []byte {
+	totalLen := ipv4HeaderLen + len(p.Payload)
+	b := make([]byte, ipv4HeaderLen, totalLen)
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = p.TOS
+	binary.BigEndian.PutUint16(b[2:4], uint16(totalLen))
+	binary.BigEndian.PutUint16(b[4:6], p.ID)
+	// no flags/fragmentation
+	b[8] = p.TTL
+	b[9] = p.Protocol
+	copy(b[12:16], p.Src[:])
+	copy(b[16:20], p.Dst[:])
+	binary.BigEndian.PutUint16(b[10:12], Checksum(b))
+	return append(b, p.Payload...)
+}
+
+// UnmarshalIPv4 decodes an IPv4 packet and verifies the header checksum.
+// The returned Payload aliases data.
+func UnmarshalIPv4(data []byte) (*IPv4, error) {
+	if len(data) < ipv4HeaderLen {
+		return nil, ErrShortPacket
+	}
+	if data[0]>>4 != 4 {
+		return nil, fmt.Errorf("dataplane: not IPv4 (version %d)", data[0]>>4)
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < ipv4HeaderLen || len(data) < ihl {
+		return nil, ErrShortPacket
+	}
+	if Checksum(data[:ihl]) != 0 {
+		return nil, errors.New("dataplane: bad IPv4 header checksum")
+	}
+	totalLen := int(binary.BigEndian.Uint16(data[2:4]))
+	if totalLen < ihl || totalLen > len(data) {
+		return nil, ErrShortPacket
+	}
+	var p IPv4
+	p.TOS = data[1]
+	p.ID = binary.BigEndian.Uint16(data[4:6])
+	p.TTL = data[8]
+	p.Protocol = data[9]
+	copy(p.Src[:], data[12:16])
+	copy(p.Dst[:], data[16:20])
+	p.Payload = data[ihl:totalLen]
+	return &p, nil
+}
+
+// Checksum computes the RFC 1071 internet checksum of data. A buffer whose
+// checksum field is filled in correctly sums to zero.
+func Checksum(data []byte) uint16 {
+	var sum uint32
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderChecksum seeds the transport checksum with the IPv4
+// pseudo-header.
+func pseudoHeaderChecksum(src, dst netaddr.IPv4, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// transportChecksum computes the UDP/TCP checksum over the pseudo-header and
+// segment. The segment's checksum field must be zeroed by the caller.
+func transportChecksum(src, dst netaddr.IPv4, proto uint8, segment []byte) uint16 {
+	sum := pseudoHeaderChecksum(src, dst, proto, len(segment))
+	for len(segment) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(segment))
+		segment = segment[2:]
+	}
+	if len(segment) == 1 {
+		sum += uint32(segment[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

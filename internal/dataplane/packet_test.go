@@ -1,0 +1,245 @@
+package dataplane
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"attain/internal/netaddr"
+	"attain/internal/openflow"
+)
+
+var (
+	macA = netaddr.MustParseMAC("0a:00:00:00:00:01")
+	macB = netaddr.MustParseMAC("0a:00:00:00:00:02")
+	ipA  = netaddr.MustParseIPv4("10.0.0.1")
+	ipB  = netaddr.MustParseIPv4("10.0.0.2")
+)
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := &Ethernet{Dst: macB, Src: macA, EtherType: EtherTypeIPv4, Payload: []byte{1, 2, 3}}
+	got, err := UnmarshalEthernet(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dst != macB || got.Src != macA || got.EtherType != EtherTypeIPv4 || !bytes.Equal(got.Payload, []byte{1, 2, 3}) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Tagged {
+		t.Error("untagged frame decoded as tagged")
+	}
+}
+
+func TestEthernetVLANRoundTrip(t *testing.T) {
+	e := &Ethernet{Dst: macB, Src: macA, Tagged: true, VLAN: 42, Priority: 5, EtherType: EtherTypeARP, Payload: []byte{9}}
+	got, err := UnmarshalEthernet(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Tagged || got.VLAN != 42 || got.Priority != 5 || got.EtherType != EtherTypeARP {
+		t.Errorf("VLAN round trip mismatch: %+v", got)
+	}
+}
+
+func TestEthernetShort(t *testing.T) {
+	if _, err := UnmarshalEthernet(make([]byte, 13)); err == nil {
+		t.Error("short frame decoded")
+	}
+	// Tagged frame with truncated tag.
+	e := &Ethernet{Dst: macB, Src: macA, Tagged: true, EtherType: EtherTypeIPv4}
+	if _, err := UnmarshalEthernet(e.Marshal()[:15]); err == nil {
+		t.Error("truncated VLAN tag decoded")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := &ARP{Op: ARPOpRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: ipB}
+	got, err := UnmarshalARP(a.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Errorf("got %+v, want %+v", got, a)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	p := &IPv4{TOS: 0x10, ID: 7, TTL: 64, Protocol: ProtoICMP, Src: ipA, Dst: ipB, Payload: []byte{1, 2, 3, 4}}
+	wire := p.Marshal()
+	got, err := UnmarshalIPv4(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TOS != p.TOS || got.ID != p.ID || got.TTL != p.TTL || got.Protocol != p.Protocol ||
+		got.Src != p.Src || got.Dst != p.Dst || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	// Corrupt one byte: checksum must catch it.
+	wire[16] ^= 0xff
+	if _, err := UnmarshalIPv4(wire); err == nil {
+		t.Error("corrupted header decoded without error")
+	}
+}
+
+func TestIPv4Malformed(t *testing.T) {
+	p := &IPv4{TTL: 64, Protocol: ProtoUDP, Src: ipA, Dst: ipB}
+	wire := p.Marshal()
+
+	short := wire[:10]
+	if _, err := UnmarshalIPv4(short); err == nil {
+		t.Error("short packet decoded")
+	}
+	v6 := append([]byte(nil), wire...)
+	v6[0] = 0x65
+	if _, err := UnmarshalIPv4(v6); err == nil {
+		t.Error("IPv6 version decoded as IPv4")
+	}
+}
+
+func TestUDPRoundTripAndChecksum(t *testing.T) {
+	u := &UDP{SrcPort: 1234, DstPort: 53, Payload: []byte("query")}
+	wire := u.Marshal(ipA, ipB)
+	got, err := UnmarshalUDP(ipA, ipB, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 1234 || got.DstPort != 53 || !bytes.Equal(got.Payload, []byte("query")) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	wire[9] ^= 0x01
+	if _, err := UnmarshalUDP(ipA, ipB, wire); err == nil {
+		t.Error("corrupted datagram decoded")
+	}
+	// Wrong pseudo-header (different dst IP) must also fail.
+	wire[9] ^= 0x01
+	if _, err := UnmarshalUDP(ipA, ipA, wire); err == nil {
+		t.Error("datagram decoded with wrong pseudo-header")
+	}
+}
+
+func TestTCPRoundTripAndChecksum(t *testing.T) {
+	seg := &TCP{SrcPort: 40001, DstPort: IperfPort, Seq: 1000, Ack: 2000,
+		Flags: TCPAck | TCPPsh, Window: 0xffff, Payload: []byte("data!")}
+	wire := seg.Marshal(ipA, ipB)
+	got, err := UnmarshalTCP(ipA, ipB, wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != seg.SrcPort || got.DstPort != seg.DstPort || got.Seq != seg.Seq ||
+		got.Ack != seg.Ack || got.Flags != seg.Flags || !bytes.Equal(got.Payload, seg.Payload) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	wire[len(wire)-1] ^= 0xff
+	if _, err := UnmarshalTCP(ipA, ipB, wire); err == nil {
+		t.Error("corrupted segment decoded")
+	}
+}
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	for _, isReq := range []bool{true, false} {
+		m := &ICMPEcho{IsRequest: isReq, Ident: 7, Seq: 9, Payload: []byte("hi")}
+		got, err := UnmarshalICMPEcho(m.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.IsRequest != isReq || got.Ident != 7 || got.Seq != 9 || !bytes.Equal(got.Payload, []byte("hi")) {
+			t.Errorf("round trip mismatch: %+v", got)
+		}
+	}
+	// Non-echo type rejected.
+	bad := (&ICMPEcho{IsRequest: true}).Marshal()
+	bad[0] = 3 // destination unreachable
+	// Fix checksum for the new type byte.
+	bad[2], bad[3] = 0, 0
+	cs := Checksum(bad)
+	bad[2], bad[3] = byte(cs>>8), byte(cs)
+	if _, err := UnmarshalICMPEcho(bad); err == nil {
+		t.Error("non-echo ICMP decoded")
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	// Verifying a buffer with its checksum in place yields zero.
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		buf := append([]byte(nil), data...)
+		buf[0], buf[1] = 0, 0
+		cs := Checksum(buf)
+		buf[0], buf[1] = byte(cs>>8), byte(cs)
+		return Checksum(buf) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func buildFrame(t *testing.T, proto uint8, payload []byte) []byte {
+	t.Helper()
+	ip := &IPv4{TTL: 64, Protocol: proto, Src: ipA, Dst: ipB, Payload: payload}
+	return (&Ethernet{Dst: macB, Src: macA, EtherType: EtherTypeIPv4, Payload: ip.Marshal()}).Marshal()
+}
+
+func TestFieldsTCP(t *testing.T) {
+	seg := &TCP{SrcPort: 40000, DstPort: 5001, Flags: TCPSyn, Window: 100}
+	frame := buildFrame(t, ProtoTCP, seg.Marshal(ipA, ipB))
+	f, err := Fields(3, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := openflow.FieldView{
+		InPort: 3, DLSrc: macA, DLDst: macB, DLVLAN: OFPVLANNone,
+		DLType: EtherTypeIPv4, NWProto: ProtoTCP, NWSrc: ipA, NWDst: ipB,
+		TPSrc: 40000, TPDst: 5001,
+	}
+	if f != want {
+		t.Errorf("Fields = %+v, want %+v", f, want)
+	}
+}
+
+func TestFieldsICMP(t *testing.T) {
+	echo := &ICMPEcho{IsRequest: true, Ident: 1, Seq: 2}
+	frame := buildFrame(t, ProtoICMP, echo.Marshal())
+	f, err := Fields(1, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NWProto != ProtoICMP || f.TPSrc != uint16(ICMPTypeEchoRequest) || f.TPDst != 0 {
+		t.Errorf("ICMP fields wrong: %+v", f)
+	}
+}
+
+func TestFieldsARP(t *testing.T) {
+	arp := &ARP{Op: ARPOpRequest, SenderMAC: macA, SenderIP: ipA, TargetIP: ipB}
+	frame := (&Ethernet{Dst: netaddr.Broadcast, Src: macA, EtherType: EtherTypeARP, Payload: arp.Marshal()}).Marshal()
+	f, err := Fields(2, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DLType != EtherTypeARP || f.NWSrc != ipA || f.NWDst != ipB || f.NWProto != uint8(ARPOpRequest) {
+		t.Errorf("ARP fields wrong: %+v", f)
+	}
+	if !f.DLDst.IsBroadcast() {
+		t.Error("ARP request dl_dst not broadcast")
+	}
+}
+
+func TestFieldsVLAN(t *testing.T) {
+	eth := &Ethernet{Dst: macB, Src: macA, Tagged: true, VLAN: 7, Priority: 2, EtherType: EtherTypeIPv4,
+		Payload: (&IPv4{TTL: 64, Protocol: ProtoUDP, Src: ipA, Dst: ipB,
+			Payload: (&UDP{SrcPort: 1, DstPort: 2}).Marshal(ipA, ipB)}).Marshal()}
+	f, err := Fields(1, eth.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DLVLAN != 7 || f.DLVLANPCP != 2 {
+		t.Errorf("VLAN fields wrong: %+v", f)
+	}
+}
+
+func TestFieldsErrors(t *testing.T) {
+	if _, err := Fields(1, []byte{1, 2, 3}); err == nil {
+		t.Error("short frame produced fields")
+	}
+}

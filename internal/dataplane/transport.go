@@ -1,0 +1,175 @@
+package dataplane
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"attain/internal/netaddr"
+)
+
+// udpHeaderLen is the UDP header size.
+const udpHeaderLen = 8
+
+// UDP is a decoded UDP datagram.
+type UDP struct {
+	SrcPort uint16
+	DstPort uint16
+	Payload []byte
+}
+
+// Marshal encodes the datagram, computing the checksum over the
+// pseudo-header for the given IP endpoints.
+func (u *UDP) Marshal(src, dst netaddr.IPv4) []byte {
+	length := udpHeaderLen + len(u.Payload)
+	b := make([]byte, udpHeaderLen, length)
+	binary.BigEndian.PutUint16(b[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], uint16(length))
+	b = append(b, u.Payload...)
+	cs := transportChecksum(src, dst, ProtoUDP, b)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	binary.BigEndian.PutUint16(b[6:8], cs)
+	return b
+}
+
+// UnmarshalUDP decodes a UDP datagram, verifying the checksum when present.
+func UnmarshalUDP(src, dst netaddr.IPv4, data []byte) (*UDP, error) {
+	if len(data) < udpHeaderLen {
+		return nil, ErrShortPacket
+	}
+	length := int(binary.BigEndian.Uint16(data[4:6]))
+	if length < udpHeaderLen || length > len(data) {
+		return nil, ErrShortPacket
+	}
+	data = data[:length]
+	if binary.BigEndian.Uint16(data[6:8]) != 0 {
+		if transportChecksum(src, dst, ProtoUDP, data) != 0 {
+			return nil, errors.New("dataplane: bad UDP checksum")
+		}
+	}
+	var u UDP
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Payload = data[udpHeaderLen:]
+	return &u, nil
+}
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << 0
+	TCPSyn uint8 = 1 << 1
+	TCPRst uint8 = 1 << 2
+	TCPPsh uint8 = 1 << 3
+	TCPAck uint8 = 1 << 4
+)
+
+// tcpHeaderLen is the TCP header size without options.
+const tcpHeaderLen = 20
+
+// TCP is a decoded TCP segment (no options).
+type TCP struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   uint8
+	Window  uint16
+	Payload []byte
+}
+
+// Marshal encodes the segment, computing the checksum over the
+// pseudo-header for the given IP endpoints.
+func (t *TCP) Marshal(src, dst netaddr.IPv4) []byte {
+	b := make([]byte, tcpHeaderLen, tcpHeaderLen+len(t.Payload))
+	binary.BigEndian.PutUint16(b[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], t.Seq)
+	binary.BigEndian.PutUint32(b[8:12], t.Ack)
+	b[12] = 5 << 4 // data offset: 5 words
+	b[13] = t.Flags
+	binary.BigEndian.PutUint16(b[14:16], t.Window)
+	b = append(b, t.Payload...)
+	binary.BigEndian.PutUint16(b[16:18], transportChecksum(src, dst, ProtoTCP, b))
+	return b
+}
+
+// UnmarshalTCP decodes a TCP segment, verifying the checksum.
+func UnmarshalTCP(src, dst netaddr.IPv4, data []byte) (*TCP, error) {
+	if len(data) < tcpHeaderLen {
+		return nil, ErrShortPacket
+	}
+	offset := int(data[12]>>4) * 4
+	if offset < tcpHeaderLen || len(data) < offset {
+		return nil, ErrShortPacket
+	}
+	if transportChecksum(src, dst, ProtoTCP, data) != 0 {
+		return nil, errors.New("dataplane: bad TCP checksum")
+	}
+	var t TCP
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13]
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Payload = data[offset:]
+	return &t, nil
+}
+
+// ICMP types used by the simulator.
+const (
+	ICMPTypeEchoReply   uint8 = 0
+	ICMPTypeEchoRequest uint8 = 8
+)
+
+// icmpHeaderLen is the ICMP echo header size.
+const icmpHeaderLen = 8
+
+// ICMPEcho is an ICMP echo request or reply.
+type ICMPEcho struct {
+	IsRequest bool
+	Ident     uint16
+	Seq       uint16
+	Payload   []byte
+}
+
+// Marshal encodes the message with a correct checksum.
+func (m *ICMPEcho) Marshal() []byte {
+	b := make([]byte, icmpHeaderLen, icmpHeaderLen+len(m.Payload))
+	if m.IsRequest {
+		b[0] = ICMPTypeEchoRequest
+	} else {
+		b[0] = ICMPTypeEchoReply
+	}
+	binary.BigEndian.PutUint16(b[4:6], m.Ident)
+	binary.BigEndian.PutUint16(b[6:8], m.Seq)
+	b = append(b, m.Payload...)
+	binary.BigEndian.PutUint16(b[2:4], Checksum(b))
+	return b
+}
+
+// UnmarshalICMPEcho decodes an ICMP echo message, verifying the checksum.
+// Non-echo ICMP types return an error.
+func UnmarshalICMPEcho(data []byte) (*ICMPEcho, error) {
+	if len(data) < icmpHeaderLen {
+		return nil, ErrShortPacket
+	}
+	if Checksum(data) != 0 {
+		return nil, errors.New("dataplane: bad ICMP checksum")
+	}
+	var m ICMPEcho
+	switch data[0] {
+	case ICMPTypeEchoRequest:
+		m.IsRequest = true
+	case ICMPTypeEchoReply:
+		m.IsRequest = false
+	default:
+		return nil, errors.New("dataplane: unsupported ICMP type")
+	}
+	m.Ident = binary.BigEndian.Uint16(data[4:6])
+	m.Seq = binary.BigEndian.Uint16(data[6:8])
+	m.Payload = data[icmpHeaderLen:]
+	return &m, nil
+}

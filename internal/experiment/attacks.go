@@ -1,0 +1,237 @@
+package experiment
+
+import (
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+// TrivialAttack is the Figure 5 "attack": one rule-less end state that
+// passes all messages, modelling normal control-plane operation. It serves
+// as the experiments' baseline.
+func TrivialAttack(sys *model.System) *lang.Attack {
+	a := lang.NewAttack("trivial-pass-all", "sigma1")
+	a.AddState(&lang.State{Name: "sigma1"})
+	return a
+}
+
+// SuppressionAttack is the Figure 10 flow modification suppression attack:
+// a single absorbing state whose rule φ1 drops every FLOW_MOD on every
+// control-plane connection.
+func SuppressionAttack(sys *model.System) *lang.Attack {
+	a := lang.NewAttack("flowmod-suppression", "sigma1")
+	a.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: append([]model.Conn(nil), sys.ControlPlane...),
+			Caps:  model.AllCapabilities,
+			Cond: lang.Cmp{
+				Op: lang.OpEq,
+				L:  lang.Prop{Name: lang.PropType},
+				R:  lang.Lit{Value: "FLOW_MOD"},
+			},
+			Actions: []lang.Action{lang.DropMessage{}},
+		}},
+	})
+	return a
+}
+
+// InterruptionAttack is the Figure 12 connection interruption attack
+// against the DMZ firewall switch s2:
+//
+//	σ1 waits for s2's connection setup (HELLO) and moves to σ2;
+//	σ2 waits for a FLOW_MOD for traffic from the gateway h2 to an
+//	   internal host, drops it, and moves to σ3;
+//	σ3 drops every (c1,s2) message, severing the control channel.
+func InterruptionAttack(sys *model.System) *lang.Attack {
+	conn := model.Conn{Controller: "c1", Switch: "s2"}
+	gateway, _ := sys.HostByID("h2")
+
+	var internal []lang.Expr
+	for _, id := range InternalHosts() {
+		h, ok := sys.HostByID(id)
+		if !ok {
+			continue
+		}
+		internal = append(internal, lang.Lit{Value: h.IP.String()})
+	}
+
+	a := lang.NewAttack("connection-interruption", "sigma1")
+	a.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: []model.Conn{conn},
+			Caps:  model.AllCapabilities,
+			Cond: lang.And{Exprs: []lang.Expr{
+				lang.Cmp{Op: lang.OpEq, L: lang.Prop{Name: lang.PropSource}, R: lang.Lit{Value: "s2"}},
+				lang.Cmp{Op: lang.OpEq, L: lang.Prop{Name: lang.PropType}, R: lang.Lit{Value: "HELLO"}},
+			}},
+			Actions: []lang.Action{lang.PassMessage{}, lang.GotoState{State: "sigma2"}},
+		}},
+	})
+	a.AddState(&lang.State{
+		Name: "sigma2",
+		Rules: []*lang.Rule{{
+			Name:  "phi2",
+			Conns: []model.Conn{conn},
+			Caps:  model.AllCapabilities,
+			Cond: lang.And{Exprs: []lang.Expr{
+				lang.Cmp{Op: lang.OpEq, L: lang.Prop{Name: lang.PropType}, R: lang.Lit{Value: "FLOW_MOD"}},
+				lang.Cmp{Op: lang.OpEq, L: lang.Prop{Name: lang.PropMatchNWSrc}, R: lang.Lit{Value: gateway.IP.String()}},
+				lang.In{L: lang.Prop{Name: lang.PropMatchNWDst}, Set: internal},
+			}},
+			Actions: []lang.Action{lang.DropMessage{}, lang.GotoState{State: "sigma3"}},
+		}},
+	})
+	a.AddState(&lang.State{
+		Name: "sigma3",
+		Rules: []*lang.Rule{{
+			Name:    "phi3",
+			Conns:   []model.Conn{conn},
+			Caps:    model.AllCapabilities,
+			Cond:    lang.True,
+			Actions: []lang.Action{lang.DropMessage{}},
+		}},
+	})
+	return a
+}
+
+// DelayAttack delays every FLOW_MOD on every connection by d, a milder
+// sibling of the suppression attack: flow setup latency inflates while
+// established flows are untouched. Demonstrates the DELAYMESSAGE
+// capability (Table I).
+func DelayAttack(sys *model.System, d time.Duration) *lang.Attack {
+	a := lang.NewAttack("flowmod-delay", "sigma1")
+	a.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: append([]model.Conn(nil), sys.ControlPlane...),
+			Caps:  model.AllCapabilities,
+			Cond: lang.Cmp{
+				Op: lang.OpEq,
+				L:  lang.Prop{Name: lang.PropType},
+				R:  lang.Lit{Value: "FLOW_MOD"},
+			},
+			Actions: []lang.Action{lang.DelayMessage{D: d}},
+		}},
+	})
+	return a
+}
+
+// FuzzAttack randomly corrupts a fraction of controller-to-switch
+// messages, the paper's FUZZMESSAGE capability in the style of DELTA's
+// fuzz testing (§IX). Prob makes it stochastic (§VIII-A extension).
+func FuzzAttack(sys *model.System, prob float64) *lang.Attack {
+	a := lang.NewAttack("control-fuzz", "sigma1")
+	a.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: append([]model.Conn(nil), sys.ControlPlane...),
+			Caps:  model.AllCapabilities,
+			Cond: lang.Cmp{
+				Op: lang.OpEq,
+				L:  lang.Prop{Name: lang.PropDirection},
+				R:  lang.Lit{Value: "c2s"},
+			},
+			Prob:    prob,
+			Actions: []lang.Action{lang.FuzzMessage{Seed: 0}},
+		}},
+	})
+	return a
+}
+
+// TLSAttackerModel grants only Γ_TLS on every connection (§IV-C2),
+// modelling a deployment with TLS-protected control channels.
+func TLSAttackerModel(sys *model.System) *model.AttackerModel {
+	am := model.NewAttackerModel()
+	for _, conn := range sys.ControlPlane {
+		am.Grant(conn, model.TLSCapabilities)
+	}
+	return am
+}
+
+// The same attacks in the textual DSL, used by the examples, the CLI
+// fixtures, and the documentation. They compile (against
+// EnterpriseSystemDSL) to the same structures the builders above produce.
+const (
+	// EnterpriseSystemDSL is the Figure 8/9 system model in DSL form.
+	EnterpriseSystemDSL = `# ATTAIN case study (paper Figures 8 and 9): small enterprise network.
+system "enterprise" {
+  controller c1 addr "ctrl:c1"
+  switch s1 dpid 1 ports 1 2 3   # external network switch
+  switch s2 dpid 2 ports 1 2 3   # DMZ firewall switch
+  switch s3 dpid 3 ports 1 2 3   # intranet switch
+  switch s4 dpid 4 ports 1 2 3   # intranet switch
+  host h1 mac 0a:00:00:00:00:01 ip 10.0.0.1   # external-facing web server
+  host h2 mac 0a:00:00:00:00:02 ip 10.0.0.2   # gateway to the Internet
+  host h3 mac 0a:00:00:00:00:03 ip 10.0.0.3   # internal server
+  host h4 mac 0a:00:00:00:00:04 ip 10.0.0.4   # internal server
+  host h5 mac 0a:00:00:00:00:05 ip 10.0.0.5   # workstation
+  host h6 mac 0a:00:00:00:00:06 ip 10.0.0.6   # workstation
+  link h1 -- s1:1
+  link h2 -- s1:2
+  link s1:3 -- s2:1
+  link s2:2 -- s3:1
+  link s2:3 -- s4:1
+  link h3 -- s3:2
+  link h4 -- s3:3
+  link h5 -- s4:2
+  link h6 -- s4:3
+  conn c1 s1
+  conn c1 s2
+  conn c1 s3
+  conn c1 s4
+}
+`
+
+	// NoTLSAttackerDSL grants Γ_NoTLS on every connection (§IV-C1).
+	NoTLSAttackerDSL = `attacker {
+  grant (c1,s1) notls
+  grant (c1,s2) notls
+  grant (c1,s3) notls
+  grant (c1,s4) notls
+}
+`
+
+	// SuppressionAttackDSL is Figure 10 in DSL form.
+	SuppressionAttackDSL = `# Figure 10: flow modification suppression.
+attack "flowmod-suppression" start sigma1 {
+  state sigma1 {
+    rule phi1 on (c1,s1), (c1,s2), (c1,s3), (c1,s4) caps notls {
+      when msg.type = "FLOW_MOD"
+      do drop
+    }
+  }
+}
+`
+
+	// InterruptionAttackDSL is Figure 12 in DSL form.
+	InterruptionAttackDSL = `# Figure 12: connection interruption against the DMZ firewall switch s2.
+attack "connection-interruption" start sigma1 {
+  state sigma1 {
+    rule phi1 on (c1,s2) caps notls {
+      when msg.source = s2 and msg.type = "HELLO"
+      do pass; goto sigma2
+    }
+  }
+  state sigma2 {
+    rule phi2 on (c1,s2) caps notls {
+      when msg.type = "FLOW_MOD" and msg.match.nw_src = host(h2)
+           and msg.match.nw_dst in { host(h3), host(h4), host(h5), host(h6) }
+      do drop; goto sigma3
+    }
+  }
+  state sigma3 {
+    rule phi3 on (c1,s2) caps notls {
+      when true
+      do drop
+    }
+  }
+}
+`
+)

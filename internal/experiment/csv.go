@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteFigure11CSV emits the per-trial series behind Figure 11 so external
+// tooling can plot the actual distributions (the figure shows per-trial
+// points, not just summaries). One row per trial:
+//
+//	controller,condition,metric,trial,value
+//
+// Latency rows carry RTT milliseconds (lost trials emit "inf"); throughput
+// rows carry Mbps.
+func WriteFigure11CSV(w io.Writer, results []*SuppressionResult) error {
+	if _, err := fmt.Fprintln(w, "controller,condition,metric,trial,value"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		cond := "baseline"
+		if r.Attacked {
+			cond = "attack"
+		}
+		for _, trial := range r.Ping.Trials {
+			val := "inf"
+			if trial.OK {
+				val = fmt.Sprintf("%.3f", float64(trial.RTT.Microseconds())/1000)
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,latency_ms,%d,%s\n", r.Profile, cond, trial.Seq, val); err != nil {
+				return err
+			}
+		}
+		for i, trial := range r.Iperf.Trials {
+			if _, err := fmt.Fprintf(w, "%s,%s,throughput_mbps,%d,%.3f\n",
+				r.Profile, cond, i+1, trial.ThroughputMbps()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTableIICSV emits Table II as CSV, one row per (controller, fail
+// mode) with the four access-check booleans.
+func WriteTableIICSV(w io.Writer, results []*InterruptionResult) error {
+	if _, err := fmt.Fprintln(w, "controller,fail_mode,ext_to_ext_t30,int_to_ext_t30,ext_to_int_t50,int_to_ext_t95,final_state"); err != nil {
+		return err
+	}
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%s,%s,%s\n",
+			r.Profile, r.FailMode,
+			yn(r.ExtToExtBefore), yn(r.IntToExtBefore), yn(r.ExtToInt), yn(r.IntToExtAfter),
+			r.FinalState); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/controller"
+	"attain/internal/core/compile"
+	"attain/internal/dataplane"
+	"attain/internal/monitor"
+	"attain/internal/switchsim"
+)
+
+func TestEnterpriseSystemValidates(t *testing.T) {
+	sys := EnterpriseSystem()
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Hosts) != 6 || len(sys.Switches) != 4 || len(sys.ControlPlane) != 4 {
+		t.Errorf("shape = %d hosts, %d switches, %d conns",
+			len(sys.Hosts), len(sys.Switches), len(sys.ControlPlane))
+	}
+}
+
+func TestDSLFixturesCompile(t *testing.T) {
+	prog, err := compile.Compile(EnterpriseSystemDSL, NoTLSAttackerDSL, SuppressionAttackDSL)
+	if err != nil {
+		t.Fatalf("suppression fixture: %v", err)
+	}
+	if prog.Attack.Name != "flowmod-suppression" {
+		t.Errorf("attack = %s", prog.Attack.Name)
+	}
+	prog, err = compile.Compile(EnterpriseSystemDSL, NoTLSAttackerDSL, InterruptionAttackDSL)
+	if err != nil {
+		t.Fatalf("interruption fixture: %v", err)
+	}
+	if len(prog.Attack.States) != 3 {
+		t.Errorf("states = %v", prog.Attack.StateNames())
+	}
+	// The DSL fixture and the programmatic builder agree structurally.
+	built := InterruptionAttack(EnterpriseSystem())
+	if len(built.States) != len(prog.Attack.States) || built.Start != prog.Attack.Start {
+		t.Error("DSL and builder attacks diverge")
+	}
+}
+
+func TestAttackBuildersValidate(t *testing.T) {
+	sys := EnterpriseSystem()
+	if err := TrivialAttack(sys).Validate(sys, nil); err != nil {
+		t.Errorf("trivial: %v", err)
+	}
+	if err := SuppressionAttack(sys).Validate(sys, nil); err != nil {
+		t.Errorf("suppression: %v", err)
+	}
+	if err := InterruptionAttack(sys).Validate(sys, nil); err != nil {
+		t.Errorf("interruption: %v", err)
+	}
+}
+
+func TestTestbedBaselinePing(t *testing.T) {
+	for _, profile := range []controller.Profile{
+		controller.ProfileFloodlight, controller.ProfilePOX, controller.ProfileRyu,
+	} {
+		t.Run(profile.String(), func(t *testing.T) {
+			clk := clock.NewScaled(50)
+			tb, err := NewTestbed(TestbedConfig{Profile: profile, Clock: clk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tb.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer tb.Stop()
+			if err := tb.WaitConnected(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			// h1 (external web server) to h6 (workstation) spans s1,s2,s4.
+			rtt, err := tb.Host("h1").Ping(tb.IPOf("h6"), 20*time.Second)
+			if err != nil {
+				t.Fatalf("ping h1->h6: %v", err)
+			}
+			if rtt <= 0 {
+				t.Errorf("rtt = %v", rtt)
+			}
+		})
+	}
+}
+
+// suppressionTestConfig compresses the §VII-B timeline for CI. The time
+// scale is kept moderate (25x): real goroutine-scheduling latencies do not
+// scale with the virtual clock, so compressing too hard makes wall-clock
+// overheads dominate virtual deadlines.
+func suppressionTestConfig(profile controller.Profile, attacked bool) SuppressionConfig {
+	return SuppressionConfig{
+		Profile:   profile,
+		Attacked:  attacked,
+		TimeScale: 15,
+		Settle:    2 * time.Second,
+		Ping: monitor.PingConfig{
+			Trials: 5, Interval: time.Second, Timeout: 2 * time.Second,
+		},
+		Iperf: monitor.IperfMonitorConfig{
+			Trials: 2, Duration: 5 * time.Second, Gap: time.Second,
+			Client: dataplane.IperfConfig{
+				SegmentSize: 1400, Window: 16,
+				RTO: 1500 * time.Millisecond, ConnectTimeout: 4 * time.Second,
+			},
+		},
+	}
+}
+
+func TestSuppressionDegradesFloodlightAndRyu(t *testing.T) {
+	for _, profile := range []controller.Profile{controller.ProfileFloodlight, controller.ProfileRyu} {
+		t.Run(profile.String(), func(t *testing.T) {
+			base, err := RunSuppression(suppressionTestConfig(profile, false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			attacked, err := RunSuppression(suppressionTestConfig(profile, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Baseline healthy.
+			if base.Ping.LossPct() > 20 {
+				t.Errorf("baseline loss = %v%%", base.Ping.LossPct())
+			}
+			baseTput := monitor.Summarize(base.Iperf.Throughputs()).Mean
+			if baseTput <= 0 {
+				t.Fatalf("baseline throughput = %v", baseTput)
+			}
+			// Attack degrades but does not kill (separate PACKET_OUT).
+			if attacked.DoS() {
+				t.Fatalf("%s suppressed run is a full DoS; expected degradation", profile)
+			}
+			if attacked.Ping.Received() == 0 {
+				t.Fatalf("%s pings all lost under suppression", profile)
+			}
+			atkTput := monitor.Summarize(attacked.Iperf.Throughputs()).Mean
+			if atkTput <= 0 {
+				t.Fatalf("attacked throughput = %v", atkTput)
+			}
+			if atkTput > baseTput/2 {
+				t.Errorf("throughput under attack %.2f Mbps vs baseline %.2f Mbps: degradation too small",
+					atkTput, baseTput)
+			}
+			// Flow mods were actually suppressed.
+			if attacked.FlowModsDropped == 0 {
+				t.Error("no flow mods dropped")
+			}
+		})
+	}
+}
+
+func TestSuppressionDoSesPOX(t *testing.T) {
+	attacked, err := RunSuppression(suppressionTestConfig(controller.ProfilePOX, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// POX releases buffered packets via the FLOW_MOD itself, so
+	// suppression black-holes the data plane entirely: the Figure 11
+	// asterisk.
+	if !attacked.Ping.AllLost() {
+		t.Errorf("POX pings under suppression: %d/%d succeeded, want 0",
+			attacked.Ping.Received(), attacked.Ping.Sent())
+	}
+	if !attacked.Iperf.AllZero() {
+		t.Errorf("POX iperf moved %v bytes, want 0", attacked.Iperf.Trials)
+	}
+	if !attacked.DoS() {
+		t.Error("DoS() = false")
+	}
+	// Sanity: POX baseline works.
+	base, err := RunSuppression(suppressionTestConfig(controller.ProfilePOX, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.DoS() {
+		t.Error("POX baseline is broken")
+	}
+}
+
+// interruptionTestConfig compresses the §VII-C timeline for CI.
+func interruptionTestConfig(profile controller.Profile, mode switchsim.FailMode) InterruptionConfig {
+	return InterruptionConfig{
+		Profile:         profile,
+		FailMode:        mode,
+		TimeScale:       50,
+		Settle:          2 * time.Second,
+		AccessAttempts:  5,
+		AccessInterval:  time.Second,
+		TriggerWindow:   20 * time.Second,
+		PostTriggerWait: 35 * time.Second, // > POX's 30 s hard timeout
+		EchoInterval:    time.Second,
+		EchoTimeout:     3 * time.Second,
+	}
+}
+
+func TestInterruptionTableII(t *testing.T) {
+	type expectation struct {
+		extToInt      bool
+		intToExtAfter bool
+		reachesSigma3 bool
+	}
+	cases := []struct {
+		profile controller.Profile
+		mode    switchsim.FailMode
+		want    expectation
+	}{
+		{controller.ProfileFloodlight, switchsim.FailSafe, expectation{true, true, true}},
+		{controller.ProfileFloodlight, switchsim.FailSecure, expectation{false, false, true}},
+		{controller.ProfilePOX, switchsim.FailSafe, expectation{true, true, true}},
+		{controller.ProfilePOX, switchsim.FailSecure, expectation{false, false, true}},
+		// Ryu's FLOW_MODs carry no nw_src, so φ2 never fires: normal
+		// operation in both fail modes.
+		{controller.ProfileRyu, switchsim.FailSafe, expectation{true, true, false}},
+		{controller.ProfileRyu, switchsim.FailSecure, expectation{true, true, false}},
+	}
+	var results []*InterruptionResult
+	for _, tc := range cases {
+		tc := tc
+		name := tc.profile.String() + "-" + tc.mode.String()
+		t.Run(name, func(t *testing.T) {
+			res, err := RunInterruption(interruptionTestConfig(tc.profile, tc.mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+			if !res.ExtToExtBefore || !res.IntToExtBefore {
+				t.Errorf("pre-attack access broken: extToExt=%v intToExt=%v",
+					res.ExtToExtBefore, res.IntToExtBefore)
+			}
+			if res.ExtToInt != tc.want.extToInt {
+				t.Errorf("ext->int = %v, want %v", res.ExtToInt, tc.want.extToInt)
+			}
+			if res.IntToExtAfter != tc.want.intToExtAfter {
+				t.Errorf("int->ext after = %v, want %v", res.IntToExtAfter, tc.want.intToExtAfter)
+			}
+			gotSigma3 := res.FinalState == "sigma3"
+			if gotSigma3 != tc.want.reachesSigma3 {
+				t.Errorf("final state = %s, want sigma3=%v", res.FinalState, tc.want.reachesSigma3)
+			}
+			if tc.want.reachesSigma3 && !res.S2Disconnected {
+				t.Error("s2 still connected after σ3")
+			}
+		})
+	}
+	if len(results) == 6 {
+		table := RenderTableII(results)
+		for _, want := range []string{"Table II", "floodlight", "ryu", "t=95s"} {
+			if !strings.Contains(table, want) {
+				t.Errorf("table missing %q:\n%s", want, table)
+			}
+		}
+		t.Log("\n" + table)
+	}
+}
+
+func TestRenderFigure11(t *testing.T) {
+	results := []*SuppressionResult{
+		{
+			Profile: controller.ProfileFloodlight,
+			Ping: monitor.PingReport{Trials: []monitor.PingTrial{
+				{Seq: 1, OK: true, RTT: 5 * time.Millisecond},
+			}},
+			Iperf: monitor.IperfReport{Trials: []dataplane.IperfResult{
+				{Connected: true, BytesAcked: 1_000_000, Elapsed: time.Second},
+			}},
+		},
+		{
+			Profile: controller.ProfilePOX, Attacked: true,
+			Ping:  monitor.PingReport{Trials: []monitor.PingTrial{{Seq: 1}}},
+			Iperf: monitor.IperfReport{Trials: []dataplane.IperfResult{{}}},
+		},
+	}
+	out := RenderFigure11(results)
+	for _, want := range []string{"Figure 11", "floodlight", "baseline", "pox", "attack", "inf *", "0 *"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCSVWriters(t *testing.T) {
+	var sb strings.Builder
+	results := []*SuppressionResult{{
+		Profile: controller.ProfileFloodlight,
+		Ping: monitor.PingReport{Trials: []monitor.PingTrial{
+			{Seq: 1, OK: true, RTT: 5 * time.Millisecond},
+			{Seq: 2},
+		}},
+		Iperf: monitor.IperfReport{Trials: []dataplane.IperfResult{
+			{Connected: true, BytesAcked: 1_000_000, Elapsed: time.Second},
+		}},
+	}}
+	if err := WriteFigure11CSV(&sb, results); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"controller,condition,metric,trial,value",
+		"floodlight,baseline,latency_ms,1,5.000",
+		"floodlight,baseline,latency_ms,2,inf",
+		"floodlight,baseline,throughput_mbps,1,8.000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig11 csv missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	interruptions := []*InterruptionResult{{
+		Profile: controller.ProfileRyu, FailMode: switchsim.FailSecure,
+		ExtToExtBefore: true, IntToExtBefore: true, ExtToInt: true, IntToExtAfter: true,
+		FinalState: "sigma2",
+	}}
+	if err := WriteTableIICSV(&sb, interruptions); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ryu,secure,yes,yes,yes,yes,sigma2") {
+		t.Errorf("table2 csv:\n%s", sb.String())
+	}
+}
+
+func TestRenderControlPlaneOverhead(t *testing.T) {
+	base := &SuppressionResult{
+		Profile:       controller.ProfileFloodlight,
+		CtrlMsgCounts: map[string]uint64{"PACKET_IN": 10, "FLOW_MOD": 8},
+	}
+	atk := &SuppressionResult{
+		Profile:       controller.ProfileFloodlight,
+		Attacked:      true,
+		CtrlMsgCounts: map[string]uint64{"PACKET_IN": 500, "FLOW_MOD": 490},
+	}
+	out := RenderControlPlaneOverhead(base, atk)
+	for _, want := range []string{"PACKET_IN", "FLOW_MOD", "500", "10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overhead table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/controller"
+	"attain/internal/dataplane"
+	"attain/internal/monitor"
+	"attain/internal/switchsim"
+)
+
+// SuppressionConfig parameterizes one §VII-B run (one controller, baseline
+// or attack).
+type SuppressionConfig struct {
+	// Profile selects the controller implementation.
+	Profile controller.Profile
+	// Attacked selects the Figure 10 attack (true) or the trivial
+	// baseline (false).
+	Attacked bool
+	// TimeScale speeds up the virtual timeline (0 = paper real time).
+	TimeScale int
+	// Ping tunes the 60-trial ping phase; zero values use the paper's
+	// parameters.
+	Ping monitor.PingConfig
+	// Iperf tunes the 30-trial iperf phase; zero values use the paper's
+	// parameters.
+	Iperf monitor.IperfMonitorConfig
+	// Settle is the virtual time between injector start and the first
+	// workload (paper: t=5 s to t=30 s).
+	Settle time.Duration
+}
+
+func (c *SuppressionConfig) setDefaults() {
+	if c.Settle <= 0 {
+		c.Settle = 2 * time.Second
+	}
+	// The monitor configs apply their own paper defaults.
+}
+
+// SuppressionResult is one cell group of Figure 11.
+type SuppressionResult struct {
+	Profile  controller.Profile
+	Attacked bool
+	// Ping carries the latency metric (Figure 11b).
+	Ping monitor.PingReport
+	// Iperf carries the throughput metric (Figure 11a).
+	Iperf monitor.IperfReport
+	// CtrlMsgCounts counts control-plane messages by type seen at the
+	// injector (the control-plane traffic overhead of §VII-B).
+	CtrlMsgCounts map[string]uint64
+	// FlowModsDropped counts suppressed flow mods.
+	FlowModsDropped uint64
+}
+
+// DoS reports the paper's asterisk condition: zero throughput and infinite
+// latency.
+func (r SuppressionResult) DoS() bool {
+	return r.Ping.AllLost() && r.Iperf.AllZero()
+}
+
+// RunSuppression executes the §VII-B experiment for one controller and one
+// condition, following the paper's timeline: initialize the controller and
+// injector, wait for the network to settle, run 60 ping trials h1→h6, then
+// 30 iperf trials h1→h6.
+func RunSuppression(cfg SuppressionConfig) (*SuppressionResult, error) {
+	cfg.setDefaults()
+	var clk clock.Clock = clock.New()
+	if cfg.TimeScale > 1 {
+		clk = clock.NewScaled(cfg.TimeScale)
+	}
+
+	tbCfg := TestbedConfig{
+		Profile:  cfg.Profile,
+		FailMode: switchsim.FailSecure,
+		Clock:    clk,
+	}
+	if cfg.Attacked {
+		tbCfg.Attack = SuppressionAttack(EnterpriseSystem())
+	}
+	tb, err := NewTestbed(tbCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Start(); err != nil {
+		return nil, err
+	}
+	defer tb.Stop()
+	if err := tb.WaitConnected(30 * time.Second); err != nil {
+		return nil, err
+	}
+	clk.Sleep(cfg.Settle)
+
+	h1 := tb.Host("h1")
+	h6 := tb.Host("h6")
+	result := &SuppressionResult{Profile: cfg.Profile, Attacked: cfg.Attacked}
+
+	// t = 30 s: ping h1 -> h6.
+	result.Ping = monitor.RunPing(clk, h1, tb.IPOf("h6"), cfg.Ping)
+
+	// t = 95 s: iperf server on h6, client on h1.
+	srv := dataplane.NewIperfServer(h6, dataplane.IperfPort)
+	defer srv.Close()
+	result.Iperf = monitor.RunIperf(clk, h1, tb.IPOf("h6"), dataplane.IperfPort, cfg.Iperf)
+
+	result.CtrlMsgCounts = tb.Injector.Log().MessageTypeCounts()
+	result.FlowModsDropped = tb.Injector.Log().TotalStats().Dropped
+	return result, nil
+}
+
+// RenderFigure11 prints the Figure 11 table: per-controller throughput (a)
+// and latency (b) under baseline and attack, with the paper's asterisk for
+// denial of service.
+func RenderFigure11(results []*SuppressionResult) string {
+	var b strings.Builder
+	b.WriteString("Figure 11: flow modification suppression results (h1 <-> h6)\n")
+	b.WriteString("(a) iperf throughput, Mbps          (b) ping latency, ms\n")
+	fmt.Fprintf(&b, "%-12s %-9s %12s %12s %12s %12s %8s\n",
+		"controller", "condition", "tput-mean", "tput-median", "lat-mean", "lat-p95", "loss%")
+
+	for _, r := range results {
+		cond := "baseline"
+		if r.Attacked {
+			cond = "attack"
+		}
+		if r.DoS() {
+			fmt.Fprintf(&b, "%-12s %-9s %12s %12s %12s %12s %8s\n",
+				r.Profile, cond, "0 *", "0 *", "inf *", "inf *", "100")
+			continue
+		}
+		tput := monitor.Summarize(r.Iperf.Throughputs())
+		lat := monitor.Summarize(monitor.DurationsToMillis(r.Ping.RTTs()))
+		fmt.Fprintf(&b, "%-12s %-9s %12.2f %12.2f %12.2f %12.2f %8.1f\n",
+			r.Profile, cond, tput.Mean, tput.Median, lat.Mean, lat.P95, r.Ping.LossPct())
+	}
+	b.WriteString("(*) denial of service: throughput is zero and latency is infinite\n")
+	return b.String()
+}
+
+// RenderControlPlaneOverhead prints the per-type control message counts
+// for a pair of runs (baseline vs attack), showing the §VII-B observation
+// that suppression inflates control-plane traffic.
+func RenderControlPlaneOverhead(baseline, attacked *SuppressionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Control-plane message counts (%s): baseline vs attack\n", baseline.Profile)
+	types := map[string]bool{}
+	for t := range baseline.CtrlMsgCounts {
+		types[t] = true
+	}
+	for t := range attacked.CtrlMsgCounts {
+		types[t] = true
+	}
+	names := make([]string, 0, len(types))
+	for t := range types {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&b, "%-22s %12s %12s\n", "message type", "baseline", "attack")
+	for _, t := range names {
+		fmt.Fprintf(&b, "%-22s %12d %12d\n", t, baseline.CtrlMsgCounts[t], attacked.CtrlMsgCounts[t])
+	}
+	return b.String()
+}

@@ -1,0 +1,354 @@
+// Package experiment implements the ATTAIN paper's evaluation (§VII): the
+// small-enterprise case-study testbed of Figures 8 and 9, the flow
+// modification suppression experiment (§VII-B, Figure 11), the connection
+// interruption experiment (§VII-C, Table II), and renderers that print the
+// paper's figures and tables from measured results.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/controller"
+	"attain/internal/core/inject"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/dataplane"
+	"attain/internal/netaddr"
+	"attain/internal/netem"
+	"attain/internal/switchsim"
+)
+
+// EnterpriseSystem builds the case-study system model (§VII-A1): an
+// external-facing web server h1, a gateway h2, internal servers h3 and h4,
+// workstations h5 and h6, the external switch s1, the DMZ firewall switch
+// s2, intranet switches s3 and s4, and one controller c1 connected to every
+// switch.
+func EnterpriseSystem() *model.System {
+	host := func(n int) model.Host {
+		return model.Host{
+			ID:  model.NodeID(fmt.Sprintf("h%d", n)),
+			MAC: netaddr.MAC{0x0a, 0, 0, 0, 0, byte(n)},
+			IP:  netaddr.IPv4{10, 0, 0, byte(n)},
+		}
+	}
+	sys := &model.System{
+		Controllers: []model.Controller{{ID: "c1", ListenAddr: "ctrl:c1"}},
+		Switches: []model.Switch{
+			{ID: "s1", DPID: 1, Ports: []uint16{1, 2, 3}},
+			{ID: "s2", DPID: 2, Ports: []uint16{1, 2, 3}},
+			{ID: "s3", DPID: 3, Ports: []uint16{1, 2, 3}},
+			{ID: "s4", DPID: 4, Ports: []uint16{1, 2, 3}},
+		},
+		Hosts: []model.Host{host(1), host(2), host(3), host(4), host(5), host(6)},
+		DataPlane: []model.Edge{
+			{A: "h1", APort: model.NilPort, B: "s1", BPort: 1},
+			{A: "h2", APort: model.NilPort, B: "s1", BPort: 2},
+			{A: "s1", APort: 3, B: "s2", BPort: 1},
+			{A: "s2", APort: 2, B: "s3", BPort: 1},
+			{A: "s2", APort: 3, B: "s4", BPort: 1},
+			{A: "h3", APort: model.NilPort, B: "s3", BPort: 2},
+			{A: "h4", APort: model.NilPort, B: "s3", BPort: 3},
+			{A: "h5", APort: model.NilPort, B: "s4", BPort: 2},
+			{A: "h6", APort: model.NilPort, B: "s4", BPort: 3},
+		},
+		ControlPlane: []model.Conn{
+			{Controller: "c1", Switch: "s1"},
+			{Controller: "c1", Switch: "s2"},
+			{Controller: "c1", Switch: "s3"},
+			{Controller: "c1", Switch: "s4"},
+		},
+	}
+	return sys
+}
+
+// InternalHosts are the case study's protected hosts (everything behind
+// the DMZ: h3..h6).
+func InternalHosts() []model.NodeID {
+	return []model.NodeID{"h3", "h4", "h5", "h6"}
+}
+
+// TestbedConfig parameterizes a full simulated deployment of the case
+// study.
+type TestbedConfig struct {
+	// Profile selects the controller implementation under test.
+	Profile controller.Profile
+	// FailMode sets every switch's disconnected behaviour.
+	FailMode switchsim.FailMode
+	// Attack is the compiled attack to inject; nil runs the trivial
+	// pass-all attack (baseline).
+	Attack *lang.Attack
+	// Attacker grants capabilities; nil grants Γ_NoTLS everywhere.
+	Attacker *model.AttackerModel
+	// Clock drives the whole testbed; nil uses an unscaled real clock.
+	Clock clock.Clock
+	// LinkBandwidthMbps is the data-plane link rate (paper: 100 Mbps).
+	LinkBandwidthMbps int64
+	// LinkLatency is the per-link one-way delay (default 1 ms).
+	LinkLatency time.Duration
+	// LinkLossProb drops data-plane frames independently with this
+	// probability on every link (0 = lossless, the paper's setting).
+	LinkLossProb float64
+	// ProcessingDelay overrides the controller's per-PACKET_IN compute
+	// time; 0 uses a per-profile default (Floodlight 1 ms, POX 3 ms,
+	// Ryu 2 ms).
+	ProcessingDelay time.Duration
+	// EchoInterval / EchoTimeout tune switch liveness probing (defaults
+	// 2 s / 6 s, as in the connection-interruption timeline).
+	EchoInterval time.Duration
+	EchoTimeout  time.Duration
+	// ReconnectInterval paces switch redials (default 2 s).
+	ReconnectInterval time.Duration
+	// LogWriter optionally streams injector log lines.
+	LogWriter io.Writer
+	// Transport carries the control plane; nil uses in-memory pipes.
+	// netem.TCPTransport with TCPAddrBase runs it over real loopback TCP.
+	Transport netem.Transport
+	// TCPAddrBase assigns loopback listen addresses when Transport is
+	// TCP: controller on port N, proxies on N+1... (e.g. 26653).
+	TCPAddrBase int
+}
+
+func (c *TestbedConfig) setDefaults() {
+	if c.Profile == 0 {
+		c.Profile = controller.ProfileFloodlight
+	}
+	if c.FailMode == 0 {
+		c.FailMode = switchsim.FailSecure
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if c.LinkBandwidthMbps <= 0 {
+		c.LinkBandwidthMbps = 100
+	}
+	if c.LinkLatency <= 0 {
+		c.LinkLatency = time.Millisecond
+	}
+	if c.ProcessingDelay <= 0 {
+		switch c.Profile {
+		case controller.ProfilePOX:
+			c.ProcessingDelay = 3 * time.Millisecond
+		case controller.ProfileRyu:
+			c.ProcessingDelay = 2 * time.Millisecond
+		default:
+			c.ProcessingDelay = time.Millisecond
+		}
+	}
+	if c.EchoInterval <= 0 {
+		c.EchoInterval = 2 * time.Second
+	}
+	if c.EchoTimeout <= 0 {
+		c.EchoTimeout = 6 * time.Second
+	}
+	if c.ReconnectInterval <= 0 {
+		c.ReconnectInterval = 2 * time.Second
+	}
+}
+
+// Testbed is a running instance of the case study: hosts, switches, links,
+// the controller under test, and the injector interposed on every control
+// connection.
+type Testbed struct {
+	Config   TestbedConfig
+	Clock    clock.Clock
+	System   *model.System
+	Ctrl     *controller.Controller
+	App      *controller.LearningSwitch
+	Injector *inject.Injector
+	Switches map[model.NodeID]*switchsim.Switch
+	Hosts    map[model.NodeID]*dataplane.Host
+	Links    []*netem.Link
+
+	transport netem.Transport
+	started   bool
+}
+
+// NewTestbed constructs (but does not start) the full deployment.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	cfg.setDefaults()
+	sys := EnterpriseSystem()
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	clk := cfg.Clock
+
+	attack := cfg.Attack
+	if attack == nil {
+		attack = TrivialAttack(sys)
+	}
+	attacker := cfg.Attacker
+	if attacker == nil {
+		attacker = model.NewAttackerModel()
+		for _, conn := range sys.ControlPlane {
+			attacker.Grant(conn, model.AllCapabilities)
+		}
+	}
+
+	tb := &Testbed{
+		Config:   cfg,
+		Clock:    clk,
+		System:   sys,
+		Switches: make(map[model.NodeID]*switchsim.Switch),
+		Hosts:    make(map[model.NodeID]*dataplane.Host),
+	}
+	tb.transport = cfg.Transport
+	if tb.transport == nil {
+		tb.transport = netem.NewMemTransport()
+	}
+	// Over real TCP, "ctrl:c1" is not a dialable address: rewrite the
+	// controller and proxy addresses onto loopback ports.
+	proxyAddr := inject.DefaultProxyAddr
+	if cfg.TCPAddrBase > 0 {
+		sys.Controllers[0].ListenAddr = fmt.Sprintf("127.0.0.1:%d", cfg.TCPAddrBase)
+		ports := make(map[model.Conn]string, len(sys.ControlPlane))
+		for i, conn := range sys.ControlPlane {
+			ports[conn] = fmt.Sprintf("127.0.0.1:%d", cfg.TCPAddrBase+1+i)
+		}
+		proxyAddr = func(conn model.Conn) string { return ports[conn] }
+	}
+
+	// Controller under test.
+	tb.App = controller.NewLearningSwitch(cfg.Profile)
+	tb.Ctrl = controller.New(controller.Config{
+		Name:            "c1",
+		ListenAddr:      sys.Controllers[0].ListenAddr,
+		Transport:       tb.transport,
+		App:             tb.App,
+		ProcessingDelay: cfg.ProcessingDelay,
+		SingleThreaded:  cfg.Profile == controller.ProfilePOX,
+	}, clk)
+
+	// Injector interposed on every control-plane connection.
+	inj, err := inject.New(inject.Config{
+		System:    sys,
+		Attacker:  attacker,
+		Attack:    attack,
+		Transport: tb.transport,
+		Clock:     clk,
+		LogWriter: cfg.LogWriter,
+		ProxyAddr: proxyAddr,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.Injector = inj
+
+	// Switches dial the proxy, not the controller.
+	for _, sw := range sys.Switches {
+		conn := model.Conn{Controller: "c1", Switch: sw.ID}
+		tb.Switches[sw.ID] = switchsim.New(switchsim.Config{
+			Name:              string(sw.ID),
+			DPID:              sw.DPID,
+			ControllerAddr:    inj.ProxyAddrFor(conn),
+			Transport:         tb.transport,
+			FailMode:          cfg.FailMode,
+			EchoInterval:      cfg.EchoInterval,
+			EchoTimeout:       cfg.EchoTimeout,
+			ReconnectInterval: cfg.ReconnectInterval,
+			ExpiryInterval:    500 * time.Millisecond,
+		}, clk)
+	}
+
+	// Hosts. ARP waits are bounded at one virtual second so black-holed
+	// paths fail trials promptly instead of stretching the timeline.
+	for _, h := range sys.Hosts {
+		host := dataplane.NewHost(string(h.ID), h.MAC, h.IP, clk)
+		host.ARPTimeout = time.Second
+		tb.Hosts[h.ID] = host
+	}
+
+	// Data-plane links per the topology.
+	linkCfg := netem.LinkConfig{
+		BandwidthBps: netem.Mbps(cfg.LinkBandwidthMbps),
+		Latency:      cfg.LinkLatency,
+		LossProb:     cfg.LinkLossProb,
+	}
+	for i, edge := range sys.DataPlane {
+		linkCfg.LossSeed = int64(i + 1)
+		link := netem.NewLink(clk, linkCfg)
+		tb.Links = append(tb.Links, link)
+		tb.attach(edge.A, edge.APort, link.A())
+		tb.attach(edge.B, edge.BPort, link.B())
+	}
+	return tb, nil
+}
+
+// attach wires one link endpoint to a host or switch port.
+func (tb *Testbed) attach(id model.NodeID, port uint16, end *netem.Port) {
+	if h, ok := tb.Hosts[id]; ok {
+		h.AttachOutput(end.Send)
+		end.SetReceiver(h.Input)
+		return
+	}
+	sw := tb.Switches[id]
+	in := sw.AttachPort(port, fmt.Sprintf("%s-eth%d", id, port), end.Send)
+	end.SetReceiver(in)
+}
+
+// Start launches the controller, injector, and switches.
+func (tb *Testbed) Start() error {
+	if tb.started {
+		return errors.New("experiment: testbed already started")
+	}
+	if err := tb.Ctrl.Start(); err != nil {
+		return err
+	}
+	if err := tb.Injector.Start(); err != nil {
+		tb.Ctrl.Stop()
+		return err
+	}
+	for _, sw := range tb.Switches {
+		sw.Start()
+	}
+	tb.started = true
+	return nil
+}
+
+// Stop tears the whole testbed down.
+func (tb *Testbed) Stop() {
+	if !tb.started {
+		return
+	}
+	for _, sw := range tb.Switches {
+		sw.Stop()
+	}
+	tb.Injector.Stop()
+	tb.Ctrl.Stop()
+	for _, l := range tb.Links {
+		l.Close()
+	}
+	tb.started = false
+}
+
+// WaitConnected blocks until every switch's control channel is up, or
+// returns an error after the wall-clock timeout.
+func (tb *Testbed) WaitConnected(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, sw := range tb.Switches {
+			if !sw.Connected() {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("experiment: switches did not all connect in time")
+}
+
+// Host returns a host by id, or nil.
+func (tb *Testbed) Host(id model.NodeID) *dataplane.Host { return tb.Hosts[id] }
+
+// IPOf returns a host's IP address.
+func (tb *Testbed) IPOf(id model.NodeID) netaddr.IPv4 {
+	h, _ := tb.System.HostByID(id)
+	return h.IP
+}

@@ -1,0 +1,297 @@
+// Package monitor implements the testing-framework monitors of the ATTAIN
+// paper (§VI-B3): ping and iperf workload drivers that record per-trial
+// security and performance metrics, summary statistics, and a command
+// registry so SYSCMD actions in attack descriptions can actuate monitors on
+// hosts.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/dataplane"
+	"attain/internal/netaddr"
+)
+
+// PingTrial is one ICMP echo trial.
+type PingTrial struct {
+	Seq int
+	// OK reports whether the reply arrived within the timeout.
+	OK bool
+	// RTT is valid only when OK.
+	RTT time.Duration
+}
+
+// PingReport aggregates ping trials between one host pair.
+type PingReport struct {
+	From, To string
+	Trials   []PingTrial
+}
+
+// Sent returns the number of trials.
+func (r PingReport) Sent() int { return len(r.Trials) }
+
+// Received returns the number of successful trials.
+func (r PingReport) Received() int {
+	n := 0
+	for _, tr := range r.Trials {
+		if tr.OK {
+			n++
+		}
+	}
+	return n
+}
+
+// LossPct returns the percentage of lost trials.
+func (r PingReport) LossPct() float64 {
+	if len(r.Trials) == 0 {
+		return 0
+	}
+	return 100 * float64(r.Sent()-r.Received()) / float64(r.Sent())
+}
+
+// RTTs returns the successful round-trip times.
+func (r PingReport) RTTs() []time.Duration {
+	var out []time.Duration
+	for _, tr := range r.Trials {
+		if tr.OK {
+			out = append(out, tr.RTT)
+		}
+	}
+	return out
+}
+
+// AllLost reports whether every trial timed out — the paper's "latency is
+// infinite" outcome (the asterisk in Figure 11).
+func (r PingReport) AllLost() bool { return len(r.Trials) > 0 && r.Received() == 0 }
+
+// PingConfig parameterizes a ping monitor run.
+type PingConfig struct {
+	// Trials is the number of echo requests (paper: 60).
+	Trials int
+	// Interval separates trial starts (paper: ~1 s).
+	Interval time.Duration
+	// Timeout bounds each trial's wait for a reply.
+	Timeout time.Duration
+}
+
+func (c *PingConfig) setDefaults() {
+	if c.Trials <= 0 {
+		c.Trials = 60
+	}
+	if c.Interval <= 0 {
+		c.Interval = time.Second
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+}
+
+// RunPing executes ping trials from host to dst, pacing them with clk.
+func RunPing(clk clock.Clock, host *dataplane.Host, dst netaddr.IPv4, cfg PingConfig) PingReport {
+	cfg.setDefaults()
+	report := PingReport{From: host.Name(), To: dst.String()}
+	for i := 0; i < cfg.Trials; i++ {
+		start := clk.Now()
+		rtt, err := host.Ping(dst, cfg.Timeout)
+		report.Trials = append(report.Trials, PingTrial{Seq: i + 1, OK: err == nil, RTT: rtt})
+		// Keep the trial cadence: wait out the remainder of the interval.
+		if rest := cfg.Interval - clk.Now().Sub(start); rest > 0 {
+			clk.Sleep(rest)
+		}
+	}
+	return report
+}
+
+// IperfReport aggregates iperf trials between one host pair.
+type IperfReport struct {
+	From, To string
+	Trials   []dataplane.IperfResult
+}
+
+// Throughputs returns the per-trial goodputs in Mbps (failed connections
+// contribute 0).
+func (r IperfReport) Throughputs() []float64 {
+	out := make([]float64, len(r.Trials))
+	for i, tr := range r.Trials {
+		out[i] = tr.ThroughputMbps()
+	}
+	return out
+}
+
+// AllZero reports whether no trial moved any data — the paper's
+// "throughput is zero" outcome.
+func (r IperfReport) AllZero() bool {
+	if len(r.Trials) == 0 {
+		return false
+	}
+	for _, tr := range r.Trials {
+		if tr.BytesAcked > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IperfMonitorConfig parameterizes an iperf monitor run.
+type IperfMonitorConfig struct {
+	// Trials is the number of client runs (paper: 30).
+	Trials int
+	// Duration is each trial's transfer time (paper: 10 s).
+	Duration time.Duration
+	// Gap separates trials (paper: 10 s).
+	Gap time.Duration
+	// Client tunes the transfer itself.
+	Client dataplane.IperfConfig
+}
+
+func (c *IperfMonitorConfig) setDefaults() {
+	if c.Trials <= 0 {
+		c.Trials = 30
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.Gap <= 0 {
+		c.Gap = 10 * time.Second
+	}
+}
+
+// RunIperf executes iperf trials from client toward a server already
+// listening on serverIP.
+func RunIperf(clk clock.Clock, client *dataplane.Host, serverIP netaddr.IPv4, port uint16, cfg IperfMonitorConfig) IperfReport {
+	cfg.setDefaults()
+	report := IperfReport{From: client.Name(), To: serverIP.String()}
+	for i := 0; i < cfg.Trials; i++ {
+		res, err := dataplane.RunIperfClient(client, serverIP, port, cfg.Duration, cfg.Client)
+		if err != nil {
+			res = dataplane.IperfResult{} // connection failure: zero trial
+		}
+		report.Trials = append(report.Trials, res)
+		if i < cfg.Trials-1 {
+			clk.Sleep(cfg.Gap)
+		}
+	}
+	return report
+}
+
+// CheckAccess performs the Table II access test: it reports whether from
+// can reach to at all within the window (any successful ping out of
+// attempts).
+func CheckAccess(clk clock.Clock, from *dataplane.Host, to netaddr.IPv4, attempts int, interval time.Duration) bool {
+	if attempts <= 0 {
+		attempts = 5
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for i := 0; i < attempts; i++ {
+		if _, err := from.Ping(to, interval); err == nil {
+			return true
+		}
+		clk.Sleep(interval / 4)
+	}
+	return false
+}
+
+// Summary holds order statistics over a sample.
+type Summary struct {
+	N                 int
+	Min, Max          float64
+	Mean, Median, P95 float64
+	StdDev            float64
+}
+
+// Summarize computes order statistics. An empty sample yields a zero
+// Summary.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	var variance float64
+	for _, v := range sorted {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= float64(len(sorted))
+	percentile := func(p float64) float64 {
+		idx := p * float64(len(sorted)-1)
+		lo := int(math.Floor(idx))
+		hi := int(math.Ceil(idx))
+		if lo == hi {
+			return sorted[lo]
+		}
+		frac := idx - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[hi]*frac
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: percentile(0.5),
+		P95:    percentile(0.95),
+		StdDev: math.Sqrt(variance),
+	}
+}
+
+// DurationsToMillis converts durations to float milliseconds.
+func DurationsToMillis(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = float64(d) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// CommandRegistry binds SYSCMD(host, cmd) actions to Go closures, playing
+// the role of remote shell execution on monitored hosts.
+type CommandRegistry struct {
+	mu   sync.Mutex
+	cmds map[string]func() error
+	log  []string
+}
+
+// NewCommandRegistry returns an empty registry.
+func NewCommandRegistry() *CommandRegistry {
+	return &CommandRegistry{cmds: make(map[string]func() error)}
+}
+
+// Register binds the exact command string cmd on host to fn.
+func (r *CommandRegistry) Register(host, cmd string, fn func() error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cmds[host+"\x00"+cmd] = fn
+}
+
+// Runner returns the dispatch function for one host, suitable for
+// Injector.RegisterSysCmd.
+func (r *CommandRegistry) Runner(host string) func(cmd string) error {
+	return func(cmd string) error {
+		r.mu.Lock()
+		fn := r.cmds[host+"\x00"+cmd]
+		r.log = append(r.log, fmt.Sprintf("%s: %s", host, cmd))
+		r.mu.Unlock()
+		if fn == nil {
+			return fmt.Errorf("monitor: no command %q registered on host %s", cmd, host)
+		}
+		return fn()
+	}
+}
+
+// Executed returns the dispatch log.
+func (r *CommandRegistry) Executed() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.log...)
+}

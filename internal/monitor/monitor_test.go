@@ -1,0 +1,168 @@
+package monitor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/dataplane"
+	"attain/internal/netaddr"
+)
+
+var (
+	macA = netaddr.MustParseMAC("0a:00:00:00:00:01")
+	macB = netaddr.MustParseMAC("0a:00:00:00:00:02")
+	ipA  = netaddr.MustParseIPv4("10.0.0.1")
+	ipB  = netaddr.MustParseIPv4("10.0.0.2")
+)
+
+func hostPair() (*dataplane.Host, *dataplane.Host) {
+	clk := clock.New()
+	a := dataplane.NewHost("hA", macA, ipA, clk)
+	b := dataplane.NewHost("hB", macB, ipB, clk)
+	a.AttachOutput(b.Input)
+	b.AttachOutput(a.Input)
+	return a, b
+}
+
+func TestRunPingCollectsTrials(t *testing.T) {
+	a, _ := hostPair()
+	report := RunPing(clock.New(), a, ipB, PingConfig{
+		Trials: 5, Interval: 5 * time.Millisecond, Timeout: 100 * time.Millisecond,
+	})
+	if report.Sent() != 5 || report.Received() != 5 {
+		t.Fatalf("sent %d received %d", report.Sent(), report.Received())
+	}
+	if report.LossPct() != 0 {
+		t.Errorf("loss = %v", report.LossPct())
+	}
+	if report.AllLost() {
+		t.Error("AllLost on successful run")
+	}
+	if len(report.RTTs()) != 5 {
+		t.Errorf("RTTs = %v", report.RTTs())
+	}
+}
+
+func TestRunPingBlackHole(t *testing.T) {
+	clk := clock.New()
+	a := dataplane.NewHost("hA", macA, ipA, clk)
+	a.ARPTimeout = 5 * time.Millisecond
+	a.AttachOutput(func([]byte) {})
+	report := RunPing(clk, a, ipB, PingConfig{
+		Trials: 3, Interval: time.Millisecond, Timeout: 5 * time.Millisecond,
+	})
+	if !report.AllLost() {
+		t.Errorf("report = %+v, want all lost", report)
+	}
+	if report.LossPct() != 100 {
+		t.Errorf("loss = %v", report.LossPct())
+	}
+}
+
+func TestRunIperfCollectsTrials(t *testing.T) {
+	a, b := hostPair()
+	srv := dataplane.NewIperfServer(b, dataplane.IperfPort)
+	defer srv.Close()
+	report := RunIperf(clock.New(), a, ipB, dataplane.IperfPort, IperfMonitorConfig{
+		Trials: 3, Duration: 30 * time.Millisecond, Gap: time.Millisecond,
+		Client: dataplane.IperfConfig{SegmentSize: 512, Window: 4, RTO: 10 * time.Millisecond},
+	})
+	if len(report.Trials) != 3 {
+		t.Fatalf("trials = %d", len(report.Trials))
+	}
+	if report.AllZero() {
+		t.Error("no data moved")
+	}
+	for i, mbps := range report.Throughputs() {
+		if mbps <= 0 {
+			t.Errorf("trial %d throughput = %v", i, mbps)
+		}
+	}
+}
+
+func TestRunIperfConnectFailureIsZeroTrial(t *testing.T) {
+	clk := clock.New()
+	a := dataplane.NewHost("hA", macA, ipA, clk)
+	a.ARPTimeout = 5 * time.Millisecond
+	a.AttachOutput(func([]byte) {})
+	report := RunIperf(clk, a, ipB, dataplane.IperfPort, IperfMonitorConfig{
+		Trials: 2, Duration: 10 * time.Millisecond, Gap: time.Millisecond,
+		Client: dataplane.IperfConfig{ConnectTimeout: 5 * time.Millisecond, ConnectRetries: 1},
+	})
+	if !report.AllZero() {
+		t.Errorf("report = %+v, want all zero", report)
+	}
+}
+
+func TestCheckAccess(t *testing.T) {
+	a, b := hostPair()
+	clk := clock.New()
+	if !CheckAccess(clk, a, ipB, 3, 50*time.Millisecond) {
+		t.Error("reachable host reported unreachable")
+	}
+	b.AttachOutput(func([]byte) {})
+	a2 := dataplane.NewHost("hA2", netaddr.MustParseMAC("0a:00:00:00:00:03"), netaddr.MustParseIPv4("10.0.0.3"), clk)
+	a2.ARPTimeout = 5 * time.Millisecond
+	a2.AttachOutput(func([]byte) {})
+	if CheckAccess(clk, a2, ipB, 2, 5*time.Millisecond) {
+		t.Error("unreachable host reported reachable")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if s.P95 < 4.5 || s.P95 > 5 {
+		t.Errorf("p95 = %v", s.P95)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+}
+
+func TestDurationsToMillis(t *testing.T) {
+	out := DurationsToMillis([]time.Duration{time.Millisecond * 2, time.Second})
+	if out[0] != 2 || out[1] != 1000 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestCommandRegistry(t *testing.T) {
+	reg := NewCommandRegistry()
+	ran := false
+	reg.Register("h1", "iperf -s", func() error {
+		ran = true
+		return nil
+	})
+	runner := reg.Runner("h1")
+	if err := runner("iperf -s"); err != nil || !ran {
+		t.Errorf("run = %v, ran = %v", err, ran)
+	}
+	if err := runner("unknown"); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := reg.Runner("h2")("iperf -s"); err == nil {
+		t.Error("command on wrong host accepted")
+	}
+	log := reg.Executed()
+	if len(log) != 3 {
+		t.Errorf("log = %v", log)
+	}
+}
+
+func TestRegistryErrorsPropagate(t *testing.T) {
+	reg := NewCommandRegistry()
+	sentinel := errors.New("boom")
+	reg.Register("h1", "x", func() error { return sentinel })
+	if err := reg.Runner("h1")("x"); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+}

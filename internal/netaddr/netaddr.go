@@ -1,0 +1,120 @@
+// Package netaddr defines the small value types for link-layer and network-
+// layer addresses shared by the OpenFlow codec, the data-plane packet
+// codecs, and the ATTAIN system model.
+package netaddr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// String formats the address as colon-separated hex, e.g. "0a:00:00:00:00:01".
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsMulticast reports whether the group bit is set (includes broadcast).
+func (m MAC) IsMulticast() bool { return m[0]&0x01 != 0 }
+
+// IsZero reports whether m is the all-zero address.
+func (m MAC) IsZero() bool { return m == MAC{} }
+
+// ParseMAC parses a colon- or dash-separated hex MAC address.
+func ParseMAC(s string) (MAC, error) {
+	var m MAC
+	parts := strings.FieldsFunc(s, func(r rune) bool { return r == ':' || r == '-' })
+	if len(parts) != 6 {
+		return m, fmt.Errorf("netaddr: invalid MAC %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 16, 8)
+		if err != nil {
+			return m, fmt.Errorf("netaddr: invalid MAC %q: %v", s, err)
+		}
+		m[i] = byte(v)
+	}
+	return m, nil
+}
+
+// MustParseMAC is ParseMAC that panics on error, for fixtures and tests.
+func MustParseMAC(s string) MAC {
+	m, err := ParseMAC(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// IPv4 is a 32-bit IPv4 address.
+type IPv4 [4]byte
+
+// String formats the address in dotted-quad notation.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", ip[0], ip[1], ip[2], ip[3])
+}
+
+// Uint32 returns the address as a big-endian 32-bit integer.
+func (ip IPv4) Uint32() uint32 { return binary.BigEndian.Uint32(ip[:]) }
+
+// IPv4FromUint32 builds an address from a big-endian 32-bit integer.
+func IPv4FromUint32(v uint32) IPv4 {
+	var ip IPv4
+	binary.BigEndian.PutUint32(ip[:], v)
+	return ip
+}
+
+// IsZero reports whether ip is 0.0.0.0.
+func (ip IPv4) IsZero() bool { return ip == IPv4{} }
+
+// IsBroadcast reports whether ip is 255.255.255.255.
+func (ip IPv4) IsBroadcast() bool { return ip == IPv4{255, 255, 255, 255} }
+
+// ParseIPv4 parses a dotted-quad IPv4 address.
+func ParseIPv4(s string) (IPv4, error) {
+	var ip IPv4
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return ip, fmt.Errorf("netaddr: invalid IPv4 %q", s)
+	}
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 8)
+		if err != nil {
+			return ip, fmt.Errorf("netaddr: invalid IPv4 %q: %v", s, err)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+// MustParseIPv4 is ParseIPv4 that panics on error, for fixtures and tests.
+func MustParseIPv4(s string) IPv4 {
+	ip, err := ParseIPv4(s)
+	if err != nil {
+		panic(err)
+	}
+	return ip
+}
+
+// MaskBits returns the address masked to its top n bits (CIDR-style); n is
+// clamped to [0, 32]. Used for OpenFlow 1.0 nw_src/nw_dst wildcard matching.
+func (ip IPv4) MaskBits(n int) IPv4 {
+	if n >= 32 {
+		return ip
+	}
+	if n <= 0 {
+		return IPv4{}
+	}
+	mask := ^uint32(0) << (32 - uint(n))
+	return IPv4FromUint32(ip.Uint32() & mask)
+}

@@ -1,0 +1,130 @@
+package netaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMACStringRoundTrip(t *testing.T) {
+	tests := []string{
+		"00:00:00:00:00:00",
+		"0a:00:00:00:00:01",
+		"ff:ff:ff:ff:ff:ff",
+		"de:ad:be:ef:01:23",
+	}
+	for _, s := range tests {
+		m, err := ParseMAC(s)
+		if err != nil {
+			t.Fatalf("ParseMAC(%q): %v", s, err)
+		}
+		if got := m.String(); got != s {
+			t.Errorf("ParseMAC(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseMACAcceptsDashes(t *testing.T) {
+	m, err := ParseMAC("0a-00-00-00-00-01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != (MAC{0x0a, 0, 0, 0, 0, 1}) {
+		t.Errorf("parsed %v", m)
+	}
+}
+
+func TestParseMACErrors(t *testing.T) {
+	for _, s := range []string{"", "0a:00:00:00:00", "0a:00:00:00:00:01:02", "zz:00:00:00:00:01", "100:00:00:00:00:01"} {
+		if _, err := ParseMAC(s); err == nil {
+			t.Errorf("ParseMAC(%q) succeeded", s)
+		}
+	}
+}
+
+func TestMACPredicates(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Error("broadcast predicates wrong")
+	}
+	uni := MustParseMAC("0a:00:00:00:00:01")
+	if uni.IsBroadcast() || uni.IsMulticast() || uni.IsZero() {
+		t.Error("unicast predicates wrong")
+	}
+	multi := MustParseMAC("01:00:5e:00:00:01")
+	if !multi.IsMulticast() || multi.IsBroadcast() {
+		t.Error("multicast predicates wrong")
+	}
+	if !(MAC{}).IsZero() {
+		t.Error("zero MAC not IsZero")
+	}
+}
+
+func TestIPv4StringRoundTrip(t *testing.T) {
+	for _, s := range []string{"0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.254"} {
+		ip, err := ParseIPv4(s)
+		if err != nil {
+			t.Fatalf("ParseIPv4(%q): %v", s, err)
+		}
+		if got := ip.String(); got != s {
+			t.Errorf("ParseIPv4(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	for _, s := range []string{"", "10.0.0", "10.0.0.1.2", "10.0.0.256", "a.b.c.d"} {
+		if _, err := ParseIPv4(s); err == nil {
+			t.Errorf("ParseIPv4(%q) succeeded", s)
+		}
+	}
+}
+
+func TestIPv4Uint32RoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		return IPv4FromUint32(v).Uint32() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIPv4MaskBits(t *testing.T) {
+	ip := MustParseIPv4("10.1.2.3")
+	tests := []struct {
+		bits int
+		want string
+	}{
+		{32, "10.1.2.3"},
+		{24, "10.1.2.0"},
+		{16, "10.1.0.0"},
+		{8, "10.0.0.0"},
+		{0, "0.0.0.0"},
+		{-1, "0.0.0.0"},
+		{40, "10.1.2.3"},
+	}
+	for _, tc := range tests {
+		if got := ip.MaskBits(tc.bits).String(); got != tc.want {
+			t.Errorf("MaskBits(%d) = %s, want %s", tc.bits, got, tc.want)
+		}
+	}
+}
+
+func TestIPv4Predicates(t *testing.T) {
+	if !(IPv4{}).IsZero() {
+		t.Error("zero IP not IsZero")
+	}
+	if !MustParseIPv4("255.255.255.255").IsBroadcast() {
+		t.Error("broadcast IP not IsBroadcast")
+	}
+	if MustParseIPv4("10.0.0.1").IsBroadcast() {
+		t.Error("unicast IP IsBroadcast")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseMAC of invalid input did not panic")
+		}
+	}()
+	MustParseMAC("bogus")
+}

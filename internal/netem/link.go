@@ -1,0 +1,307 @@
+// Package netem provides the network fabric of the ATTAIN simulator:
+// full-duplex links with configurable bandwidth, propagation latency, and
+// bounded queues for the data plane, and pluggable stream transports (real
+// loopback TCP or in-memory pipes) for the control plane.
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"attain/internal/clock"
+)
+
+// DefaultQueueLen is the per-direction frame queue capacity.
+const DefaultQueueLen = 256
+
+// LinkConfig describes one link's characteristics. The zero value means an
+// infinitely fast, zero-latency link with the default queue.
+type LinkConfig struct {
+	// BandwidthBps is the serialization rate in bits per second; 0 means
+	// unlimited.
+	BandwidthBps int64
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// QueueLen is the per-direction queue capacity in frames; 0 means
+	// DefaultQueueLen.
+	QueueLen int
+	// Coalesce is the smallest pacing wait the link actually sleeps for;
+	// shorter waits are accumulated and paid in bursts. This keeps the
+	// average rate exact when per-frame transmission times fall below the
+	// OS sleep granularity (scaled clocks). 0 means 2 ms.
+	Coalesce time.Duration
+	// LossProb drops each frame independently with this probability,
+	// modelling a lossy medium. Drawn from a deterministic per-pipe
+	// generator seeded with LossSeed for reproducible runs.
+	LossProb float64
+	// LossSeed seeds the loss generator (0 uses a fixed default).
+	LossSeed int64
+}
+
+// Mbps converts megabits per second to a BandwidthBps value.
+func Mbps(n int64) int64 { return n * 1_000_000 }
+
+// LinkStats counts one direction's activity.
+type LinkStats struct {
+	Enqueued  uint64
+	Delivered uint64
+	Dropped   uint64
+	Bytes     uint64
+}
+
+// Link is a full-duplex point-to-point link between two attachment points A
+// and B. Frames submitted on one side are delivered, in order, to the
+// receiver installed on the other side after serialization and propagation
+// delay. Each direction drops frames when its queue is full.
+type Link struct {
+	a2b *pipe
+	b2a *pipe
+}
+
+// NewLink creates and starts a link. Call Close to stop its goroutines.
+func NewLink(clk clock.Clock, cfg LinkConfig) *Link {
+	return &Link{
+		a2b: newPipe(clk, cfg),
+		b2a: newPipe(clk, cfg),
+	}
+}
+
+// A returns the A-side attachment point.
+func (l *Link) A() *Port { return &Port{send: l.a2b, recv: l.b2a} }
+
+// B returns the B-side attachment point.
+func (l *Link) B() *Port { return &Port{send: l.b2a, recv: l.a2b} }
+
+// StatsA2B returns counters for the A-to-B direction.
+func (l *Link) StatsA2B() LinkStats { return l.a2b.stats() }
+
+// StatsB2A returns counters for the B-to-A direction.
+func (l *Link) StatsB2A() LinkStats { return l.b2a.stats() }
+
+// Close stops the link's goroutines and waits for them to exit. Frames
+// still in flight are discarded.
+func (l *Link) Close() {
+	l.a2b.close()
+	l.b2a.close()
+}
+
+// Port is one side's view of a link: Send pushes a frame toward the far
+// side; SetReceiver installs the function invoked with frames arriving from
+// the far side.
+type Port struct {
+	send *pipe
+	recv *pipe
+}
+
+// Send enqueues a frame toward the far side. It never blocks; a full queue
+// drops the frame.
+func (p *Port) Send(frame []byte) { p.send.enqueue(frame) }
+
+// SetReceiver installs the delivery function for inbound frames. The
+// function runs on the link's delivery goroutine and must not block for
+// long.
+func (p *Port) SetReceiver(fn func([]byte)) { p.recv.setReceiver(fn) }
+
+// Down marks this port's inbound and outbound directions as down (frames are
+// silently dropped), simulating a pulled cable.
+func (p *Port) Down() {
+	p.send.setDown(true)
+	p.recv.setDown(true)
+}
+
+// Up re-enables the port after Down.
+func (p *Port) Up() {
+	p.send.setDown(false)
+	p.recv.setDown(false)
+}
+
+// timed pairs a frame with its scheduled delivery instant.
+type timed struct {
+	frame     []byte
+	deliverAt time.Time
+}
+
+// pipe is one direction of a link: a serializer stage models bandwidth, a
+// propagation stage models latency, and delivery preserves order.
+type pipe struct {
+	clk clock.Clock
+	cfg LinkConfig
+
+	in   chan []byte
+	prop chan timed
+	stop chan struct{}
+	done chan struct{}
+
+	mu   sync.Mutex
+	recv func([]byte)
+	down bool
+	rng  *rand.Rand
+	st   LinkStats
+}
+
+func newPipe(clk clock.Clock, cfg LinkConfig) *pipe {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if cfg.Coalesce <= 0 {
+		cfg.Coalesce = 2 * time.Millisecond
+	}
+	p := &pipe{
+		clk:  clk,
+		cfg:  cfg,
+		in:   make(chan []byte, cfg.QueueLen),
+		prop: make(chan timed, cfg.QueueLen),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(cfg.LossSeed + 1)),
+	}
+	go p.run()
+	return p
+}
+
+func (p *pipe) setReceiver(fn func([]byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.recv = fn
+}
+
+func (p *pipe) setDown(down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.down = down
+}
+
+func (p *pipe) isDown() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
+}
+
+func (p *pipe) stats() LinkStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.st
+}
+
+func (p *pipe) enqueue(frame []byte) {
+	if p.isDown() {
+		p.mu.Lock()
+		p.st.Dropped++
+		p.mu.Unlock()
+		return
+	}
+	if p.cfg.LossProb > 0 {
+		p.mu.Lock()
+		lost := p.rng.Float64() < p.cfg.LossProb
+		if lost {
+			p.st.Dropped++
+		}
+		p.mu.Unlock()
+		if lost {
+			return
+		}
+	}
+	// Copy: the sender may reuse its buffer.
+	f := append([]byte(nil), frame...)
+	select {
+	case p.in <- f:
+		p.mu.Lock()
+		p.st.Enqueued++
+		p.mu.Unlock()
+	default:
+		p.mu.Lock()
+		p.st.Dropped++
+		p.mu.Unlock()
+	}
+}
+
+func (p *pipe) close() {
+	close(p.stop)
+	<-p.done
+}
+
+// run drives both stages. The serializer paces frames at the configured
+// bandwidth; the propagator holds each frame for the latency, preserving
+// FIFO order while allowing serialization and propagation to overlap.
+func (p *pipe) run() {
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	// Serializer. Pacing uses a busy-until horizon rather than per-frame
+	// sleeps so back-to-back frames serialize at the configured rate even
+	// when individual transmission times are below the scheduler's sleep
+	// granularity (important under scaled clocks).
+	go func() {
+		defer wg.Done()
+		var busyUntil time.Time
+		for {
+			select {
+			case <-p.stop:
+				return
+			case frame := <-p.in:
+				now := p.clk.Now()
+				if busyUntil.Before(now) {
+					busyUntil = now
+				}
+				if p.cfg.BandwidthBps > 0 {
+					tx := time.Duration(int64(len(frame)) * 8 * int64(time.Second) / p.cfg.BandwidthBps)
+					busyUntil = busyUntil.Add(tx)
+					if wait := busyUntil.Sub(now); wait > p.cfg.Coalesce {
+						select {
+						case <-p.stop:
+							return
+						case <-p.clk.After(wait):
+						}
+					}
+				}
+				entry := timed{frame: frame, deliverAt: busyUntil.Add(p.cfg.Latency)}
+				select {
+				case <-p.stop:
+					return
+				case p.prop <- entry:
+				}
+			}
+		}
+	}()
+
+	// Propagator / deliverer. It always sleeps when ahead of schedule so
+	// a lone packet pays the full propagation delay; when a sleep
+	// overshoots (scaled clocks), queued frames whose deliverAt has
+	// already passed flow out immediately, so the average rate stays
+	// exact.
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case entry := <-p.prop:
+				if wait := entry.deliverAt.Sub(p.clk.Now()); wait > 0 {
+					select {
+					case <-p.stop:
+						return
+					case <-p.clk.After(wait):
+					}
+				}
+				if p.isDown() {
+					p.mu.Lock()
+					p.st.Dropped++
+					p.mu.Unlock()
+					continue
+				}
+				p.mu.Lock()
+				recv := p.recv
+				p.st.Delivered++
+				p.st.Bytes += uint64(len(entry.frame))
+				p.mu.Unlock()
+				if recv != nil {
+					recv(entry.frame)
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(p.done)
+}

@@ -1,0 +1,165 @@
+package netem
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+func testTransport(t *testing.T, tr Transport, addr string) {
+	t.Helper()
+	l, err := tr.Listen(addr)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer l.Close()
+
+	serverDone := make(chan error, 1)
+	go func() {
+		conn, err := l.Accept()
+		if err != nil {
+			serverDone <- err
+			return
+		}
+		defer conn.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			serverDone <- err
+			return
+		}
+		_, err = conn.Write(append([]byte("echo:"), buf...))
+		serverDone <- err
+	}()
+
+	conn, err := tr.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("hello")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(buf) != "echo:hello" {
+		t.Errorf("read %q", buf)
+	}
+	if err := <-serverDone; err != nil {
+		t.Errorf("server: %v", err)
+	}
+}
+
+func TestMemTransportEcho(t *testing.T) {
+	testTransport(t, NewMemTransport(), "ctrl-1")
+}
+
+func TestTCPTransportEcho(t *testing.T) {
+	testTransport(t, TCPTransport{}, "127.0.0.1:0")
+}
+
+func TestMemTransportDialUnbound(t *testing.T) {
+	tr := NewMemTransport()
+	if _, err := tr.Dial("nothing-here"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("Dial = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestMemTransportDuplicateListen(t *testing.T) {
+	tr := NewMemTransport()
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := tr.Listen("a"); !errors.Is(err, ErrAddrInUse) {
+		t.Errorf("second Listen = %v, want ErrAddrInUse", err)
+	}
+}
+
+func TestMemTransportCloseUnblocksAccept(t *testing.T) {
+	tr := NewMemTransport()
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	acceptErr := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		acceptErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case err := <-acceptErr:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Errorf("Accept after Close = %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Accept never unblocked")
+	}
+}
+
+func TestMemTransportReListenAfterClose(t *testing.T) {
+	tr := NewMemTransport()
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, err := tr.Listen("a")
+	if err != nil {
+		t.Fatalf("re-Listen after Close: %v", err)
+	}
+	l2.Close()
+}
+
+func TestMemTransportDialClosedListener(t *testing.T) {
+	tr := NewMemTransport()
+	l, err := tr.Listen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := tr.Dial("a"); !errors.Is(err, ErrConnRefused) {
+		t.Errorf("Dial closed = %v, want ErrConnRefused", err)
+	}
+}
+
+func TestMemTransportConcurrentDials(t *testing.T) {
+	tr := NewMemTransport()
+	l, err := tr.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const n = 10
+	accepted := make(chan net.Conn, n)
+	go func() {
+		for i := 0; i < n; i++ {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+	for i := 0; i < n; i++ {
+		c, err := tr.Dial("srv")
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		defer c.Close()
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case c := <-accepted:
+			c.Close()
+		case <-time.After(time.Second):
+			t.Fatalf("only %d/%d accepted", i, n)
+		}
+	}
+}

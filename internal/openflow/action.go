@@ -1,0 +1,278 @@
+package openflow
+
+import (
+	"fmt"
+
+	"attain/internal/netaddr"
+)
+
+// ActionType identifies an OpenFlow 1.0 action (ofp_action_type).
+type ActionType uint16
+
+// OpenFlow 1.0 action types.
+const (
+	ActionTypeOutput     ActionType = 0
+	ActionTypeSetVLANVID ActionType = 1
+	ActionTypeSetVLANPCP ActionType = 2
+	ActionTypeStripVLAN  ActionType = 3
+	ActionTypeSetDLSrc   ActionType = 4
+	ActionTypeSetDLDst   ActionType = 5
+	ActionTypeSetNWSrc   ActionType = 6
+	ActionTypeSetNWDst   ActionType = 7
+	ActionTypeSetNWTOS   ActionType = 8
+	ActionTypeSetTPSrc   ActionType = 9
+	ActionTypeSetTPDst   ActionType = 10
+	ActionTypeEnqueue    ActionType = 11
+	ActionTypeVendor     ActionType = 0xffff
+)
+
+// Action is one entry of an OpenFlow action list.
+type Action interface {
+	// ActionType returns the ofp_action_type of the action.
+	ActionType() ActionType
+	// marshal appends the full wire encoding including the 4-byte action
+	// header.
+	marshal(w *writer)
+}
+
+// ActionOutput forwards the packet out of Port, sending at most MaxLen bytes
+// to the controller when Port is PortController.
+type ActionOutput struct {
+	Port   uint16
+	MaxLen uint16
+}
+
+// ActionSetVLANVID sets the 802.1Q VLAN id.
+type ActionSetVLANVID struct{ VID uint16 }
+
+// ActionSetVLANPCP sets the 802.1Q priority.
+type ActionSetVLANPCP struct{ PCP uint8 }
+
+// ActionStripVLAN removes any 802.1Q header.
+type ActionStripVLAN struct{}
+
+// ActionSetDLSrc rewrites the Ethernet source address.
+type ActionSetDLSrc struct{ Addr netaddr.MAC }
+
+// ActionSetDLDst rewrites the Ethernet destination address.
+type ActionSetDLDst struct{ Addr netaddr.MAC }
+
+// ActionSetNWSrc rewrites the IPv4 source address.
+type ActionSetNWSrc struct{ Addr netaddr.IPv4 }
+
+// ActionSetNWDst rewrites the IPv4 destination address.
+type ActionSetNWDst struct{ Addr netaddr.IPv4 }
+
+// ActionSetNWTOS rewrites the IP ToS/DSCP bits.
+type ActionSetNWTOS struct{ TOS uint8 }
+
+// ActionSetTPSrc rewrites the transport-layer source port.
+type ActionSetTPSrc struct{ Port uint16 }
+
+// ActionSetTPDst rewrites the transport-layer destination port.
+type ActionSetTPDst struct{ Port uint16 }
+
+// ActionEnqueue forwards the packet through a queue attached to a port.
+type ActionEnqueue struct {
+	Port    uint16
+	QueueID uint32
+}
+
+// ActionVendor is an opaque vendor action; Body excludes the 8-byte
+// header+vendor prefix.
+type ActionVendor struct {
+	Vendor uint32
+	Body   []byte
+}
+
+// Compile-time interface checks.
+var (
+	_ Action = ActionOutput{}
+	_ Action = ActionSetVLANVID{}
+	_ Action = ActionSetVLANPCP{}
+	_ Action = ActionStripVLAN{}
+	_ Action = ActionSetDLSrc{}
+	_ Action = ActionSetDLDst{}
+	_ Action = ActionSetNWSrc{}
+	_ Action = ActionSetNWDst{}
+	_ Action = ActionSetNWTOS{}
+	_ Action = ActionSetTPSrc{}
+	_ Action = ActionSetTPDst{}
+	_ Action = ActionEnqueue{}
+	_ Action = ActionVendor{}
+)
+
+// ActionType implementations.
+func (ActionOutput) ActionType() ActionType     { return ActionTypeOutput }
+func (ActionSetVLANVID) ActionType() ActionType { return ActionTypeSetVLANVID }
+func (ActionSetVLANPCP) ActionType() ActionType { return ActionTypeSetVLANPCP }
+func (ActionStripVLAN) ActionType() ActionType  { return ActionTypeStripVLAN }
+func (ActionSetDLSrc) ActionType() ActionType   { return ActionTypeSetDLSrc }
+func (ActionSetDLDst) ActionType() ActionType   { return ActionTypeSetDLDst }
+func (ActionSetNWSrc) ActionType() ActionType   { return ActionTypeSetNWSrc }
+func (ActionSetNWDst) ActionType() ActionType   { return ActionTypeSetNWDst }
+func (ActionSetNWTOS) ActionType() ActionType   { return ActionTypeSetNWTOS }
+func (ActionSetTPSrc) ActionType() ActionType   { return ActionTypeSetTPSrc }
+func (ActionSetTPDst) ActionType() ActionType   { return ActionTypeSetTPDst }
+func (ActionEnqueue) ActionType() ActionType    { return ActionTypeEnqueue }
+func (ActionVendor) ActionType() ActionType     { return ActionTypeVendor }
+
+func actionHeader(w *writer, t ActionType, length int) {
+	w.u16(uint16(t))
+	w.u16(uint16(length))
+}
+
+func (a ActionOutput) marshal(w *writer) {
+	actionHeader(w, ActionTypeOutput, 8)
+	w.u16(a.Port)
+	w.u16(a.MaxLen)
+}
+
+func (a ActionSetVLANVID) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetVLANVID, 8)
+	w.u16(a.VID)
+	w.pad(2)
+}
+
+func (a ActionSetVLANPCP) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetVLANPCP, 8)
+	w.u8(a.PCP)
+	w.pad(3)
+}
+
+func (a ActionStripVLAN) marshal(w *writer) {
+	actionHeader(w, ActionTypeStripVLAN, 8)
+	w.pad(4)
+}
+
+func (a ActionSetDLSrc) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetDLSrc, 16)
+	w.bytes(a.Addr[:])
+	w.pad(6)
+}
+
+func (a ActionSetDLDst) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetDLDst, 16)
+	w.bytes(a.Addr[:])
+	w.pad(6)
+}
+
+func (a ActionSetNWSrc) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetNWSrc, 8)
+	w.bytes(a.Addr[:])
+}
+
+func (a ActionSetNWDst) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetNWDst, 8)
+	w.bytes(a.Addr[:])
+}
+
+func (a ActionSetNWTOS) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetNWTOS, 8)
+	w.u8(a.TOS)
+	w.pad(3)
+}
+
+func (a ActionSetTPSrc) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetTPSrc, 8)
+	w.u16(a.Port)
+	w.pad(2)
+}
+
+func (a ActionSetTPDst) marshal(w *writer) {
+	actionHeader(w, ActionTypeSetTPDst, 8)
+	w.u16(a.Port)
+	w.pad(2)
+}
+
+func (a ActionEnqueue) marshal(w *writer) {
+	actionHeader(w, ActionTypeEnqueue, 16)
+	w.u16(a.Port)
+	w.pad(6)
+	w.u32(a.QueueID)
+}
+
+func (a ActionVendor) marshal(w *writer) {
+	length := 8 + len(a.Body)
+	if rem := length % 8; rem != 0 {
+		length += 8 - rem
+	}
+	actionHeader(w, ActionTypeVendor, length)
+	w.u32(a.Vendor)
+	w.bytes(a.Body)
+	w.pad(length - 8 - len(a.Body))
+}
+
+// marshalActions appends the wire encoding of an action list and returns the
+// number of bytes written.
+func marshalActions(w *writer, actions []Action) int {
+	start := len(w.b)
+	for _, a := range actions {
+		a.marshal(w)
+	}
+	return len(w.b) - start
+}
+
+// unmarshalActions parses an action list occupying exactly data.
+func unmarshalActions(data []byte) ([]Action, error) {
+	var actions []Action
+	for len(data) > 0 {
+		if len(data) < 4 {
+			return nil, ErrTruncated
+		}
+		t := ActionType(uint16(data[0])<<8 | uint16(data[1]))
+		length := int(uint16(data[2])<<8 | uint16(data[3]))
+		if length < 8 || length%8 != 0 || length > len(data) {
+			return nil, fmt.Errorf("action %d length %d: %w", t, length, ErrBadLength)
+		}
+		body := &reader{b: data[4:length]}
+		var a Action
+		switch t {
+		case ActionTypeOutput:
+			a = ActionOutput{Port: body.u16(), MaxLen: body.u16()}
+		case ActionTypeSetVLANVID:
+			a = ActionSetVLANVID{VID: body.u16()}
+		case ActionTypeSetVLANPCP:
+			a = ActionSetVLANPCP{PCP: body.u8()}
+		case ActionTypeStripVLAN:
+			a = ActionStripVLAN{}
+		case ActionTypeSetDLSrc:
+			var m netaddr.MAC
+			copy(m[:], body.bytes(6))
+			a = ActionSetDLSrc{Addr: m}
+		case ActionTypeSetDLDst:
+			var m netaddr.MAC
+			copy(m[:], body.bytes(6))
+			a = ActionSetDLDst{Addr: m}
+		case ActionTypeSetNWSrc:
+			var ip netaddr.IPv4
+			copy(ip[:], body.bytes(4))
+			a = ActionSetNWSrc{Addr: ip}
+		case ActionTypeSetNWDst:
+			var ip netaddr.IPv4
+			copy(ip[:], body.bytes(4))
+			a = ActionSetNWDst{Addr: ip}
+		case ActionTypeSetNWTOS:
+			a = ActionSetNWTOS{TOS: body.u8()}
+		case ActionTypeSetTPSrc:
+			a = ActionSetTPSrc{Port: body.u16()}
+		case ActionTypeSetTPDst:
+			a = ActionSetTPDst{Port: body.u16()}
+		case ActionTypeEnqueue:
+			av := ActionEnqueue{Port: body.u16()}
+			body.skip(6)
+			av.QueueID = body.u32()
+			a = av
+		case ActionTypeVendor:
+			a = ActionVendor{Vendor: body.u32(), Body: body.rest()}
+		default:
+			return nil, fmt.Errorf("action type %d: %w", uint16(t), ErrUnknownType)
+		}
+		if body.err != nil {
+			return nil, body.err
+		}
+		actions = append(actions, a)
+		data = data[length:]
+	}
+	return actions, nil
+}

@@ -1,0 +1,73 @@
+package openflow
+
+import "testing"
+
+func benchFlowMod() *FlowMod {
+	return &FlowMod{
+		Match: ExactFrom(FieldView{
+			InPort: 1, DLSrc: macA, DLDst: macB, DLType: 0x0800,
+			NWProto: 6, NWSrc: ipA, NWDst: ipB, TPSrc: 1000, TPDst: 80,
+		}),
+		Command: FlowModAdd, IdleTimeout: 5, Priority: 1,
+		BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{ActionOutput{Port: 2}},
+	}
+}
+
+func BenchmarkMarshalFlowMod(b *testing.B) {
+	msg := benchFlowMod()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(uint32(i), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalFlowMod(b *testing.B) {
+	raw, err := Marshal(1, benchFlowMod())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Unmarshal(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalPacketIn(b *testing.B) {
+	msg := &PacketIn{BufferID: 7, TotalLen: 1400, InPort: 3, Data: make([]byte, 128)}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(uint32(i), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatchMatches(b *testing.B) {
+	f := FieldView{
+		InPort: 1, DLSrc: macA, DLDst: macB, DLType: 0x0800,
+		NWProto: 6, NWSrc: ipA, NWDst: ipB, TPSrc: 1000, TPDst: 80,
+	}
+	m := ExactFrom(f)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !m.Matches(f) {
+			b.Fatal("mismatch")
+		}
+	}
+}
+
+func BenchmarkMatchSubsumes(b *testing.B) {
+	exact := ExactFrom(FieldView{InPort: 1, DLSrc: macA, NWSrc: ipA})
+	all := MatchAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !all.Subsumes(exact) {
+			b.Fatal("unexpected")
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package openflow
+
+import "encoding/binary"
+
+// writer accumulates big-endian wire data. Append-style helpers keep message
+// marshalling terse; the slice grows as needed.
+type writer struct {
+	b []byte
+}
+
+func (w *writer) u8(v uint8)     { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16)   { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32)   { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) u64(v uint64)   { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *writer) bytes(v []byte) { w.b = append(w.b, v...) }
+
+func (w *writer) pad(n int) {
+	for i := 0; i < n; i++ {
+		w.b = append(w.b, 0)
+	}
+}
+
+// fixedString writes s into an n-byte NUL-padded field, truncating if needed.
+func (w *writer) fixedString(s string, n int) {
+	b := make([]byte, n)
+	copy(b, s)
+	w.b = append(w.b, b...)
+}
+
+// reader consumes big-endian wire data with sticky error semantics: after
+// the first short read every subsequent call returns zero values and the
+// caller checks r.err once at the end.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() bool {
+	if r.err == nil {
+		r.err = ErrTruncated
+	}
+	return true
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.remaining() < 1 && r.fail() {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if r.err != nil || r.remaining() < 2 && r.fail() {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.remaining() < 4 && r.fail() {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.remaining() < 8 && r.fail() {
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// bytes returns a copy of the next n bytes.
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || r.remaining() < n && r.fail() {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.b[r.off:r.off+n])
+	r.off += n
+	return v
+}
+
+// skip discards n bytes of padding.
+func (r *reader) skip(n int) {
+	if r.err != nil || r.remaining() < n && r.fail() {
+		return
+	}
+	r.off += n
+}
+
+// rest returns a copy of all remaining bytes, or nil if none remain.
+func (r *reader) rest() []byte {
+	if r.err != nil || r.remaining() == 0 {
+		return nil
+	}
+	v := make([]byte, r.remaining())
+	copy(v, r.b[r.off:])
+	r.off = len(r.b)
+	return v
+}
+
+// fixedString reads an n-byte NUL-padded string field.
+func (r *reader) fixedString(n int) string {
+	b := r.bytes(n)
+	if b == nil {
+		return ""
+	}
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i])
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,166 @@
+package openflow
+
+// FlowModCommand selects the flow-table operation (ofp_flow_mod_command).
+type FlowModCommand uint16
+
+// Flow mod commands.
+const (
+	FlowModAdd          FlowModCommand = 0
+	FlowModModify       FlowModCommand = 1
+	FlowModModifyStrict FlowModCommand = 2
+	FlowModDelete       FlowModCommand = 3
+	FlowModDeleteStrict FlowModCommand = 4
+)
+
+// String returns the spec name of the command.
+func (c FlowModCommand) String() string {
+	switch c {
+	case FlowModAdd:
+		return "ADD"
+	case FlowModModify:
+		return "MODIFY"
+	case FlowModModifyStrict:
+		return "MODIFY_STRICT"
+	case FlowModDelete:
+		return "DELETE"
+	case FlowModDeleteStrict:
+		return "DELETE_STRICT"
+	default:
+		return "UNKNOWN_COMMAND"
+	}
+}
+
+// Flow mod flags (ofp_flow_mod_flags).
+const (
+	FlowModFlagSendFlowRem  uint16 = 1 << 0
+	FlowModFlagCheckOverlap uint16 = 1 << 1
+	FlowModFlagEmergency    uint16 = 1 << 2
+)
+
+// FlowMod adds, modifies, or deletes flow entries (ofp_flow_mod).
+type FlowMod struct {
+	Match       Match
+	Cookie      uint64
+	Command     FlowModCommand
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+// Type implements Message.
+func (*FlowMod) Type() Type { return TypeFlowMod }
+
+func (m *FlowMod) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	m.Match.marshal(&w)
+	w.u64(m.Cookie)
+	w.u16(uint16(m.Command))
+	w.u16(m.IdleTimeout)
+	w.u16(m.HardTimeout)
+	w.u16(m.Priority)
+	w.u32(m.BufferID)
+	w.u16(m.OutPort)
+	w.u16(m.Flags)
+	marshalActions(&w, m.Actions)
+	return w.b, nil
+}
+
+func (m *FlowMod) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Match.unmarshal(&r)
+	m.Cookie = r.u64()
+	m.Command = FlowModCommand(r.u16())
+	m.IdleTimeout = r.u16()
+	m.HardTimeout = r.u16()
+	m.Priority = r.u16()
+	m.BufferID = r.u32()
+	m.OutPort = r.u16()
+	m.Flags = r.u16()
+	if r.err != nil {
+		return r.err
+	}
+	actions, err := unmarshalActions(r.rest())
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	return nil
+}
+
+// FlowRemovedReason says why a flow entry was removed
+// (ofp_flow_removed_reason).
+type FlowRemovedReason uint8
+
+// Flow removal reasons.
+const (
+	FlowRemovedIdleTimeout FlowRemovedReason = 0
+	FlowRemovedHardTimeout FlowRemovedReason = 1
+	FlowRemovedDelete      FlowRemovedReason = 2
+)
+
+// String returns the spec name of the reason.
+func (r FlowRemovedReason) String() string {
+	switch r {
+	case FlowRemovedIdleTimeout:
+		return "IDLE_TIMEOUT"
+	case FlowRemovedHardTimeout:
+		return "HARD_TIMEOUT"
+	case FlowRemovedDelete:
+		return "DELETE"
+	default:
+		return "UNKNOWN_REASON"
+	}
+}
+
+// FlowRemoved notifies the controller that a flow entry was removed
+// (ofp_flow_removed).
+type FlowRemoved struct {
+	Match        Match
+	Cookie       uint64
+	Priority     uint16
+	Reason       FlowRemovedReason
+	DurationSec  uint32
+	DurationNsec uint32
+	IdleTimeout  uint16
+	PacketCount  uint64
+	ByteCount    uint64
+}
+
+// Type implements Message.
+func (*FlowRemoved) Type() Type { return TypeFlowRemoved }
+
+func (m *FlowRemoved) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	m.Match.marshal(&w)
+	w.u64(m.Cookie)
+	w.u16(m.Priority)
+	w.u8(uint8(m.Reason))
+	w.pad(1)
+	w.u32(m.DurationSec)
+	w.u32(m.DurationNsec)
+	w.u16(m.IdleTimeout)
+	w.pad(2)
+	w.u64(m.PacketCount)
+	w.u64(m.ByteCount)
+	return w.b, nil
+}
+
+func (m *FlowRemoved) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Match.unmarshal(&r)
+	m.Cookie = r.u64()
+	m.Priority = r.u16()
+	m.Reason = FlowRemovedReason(r.u8())
+	r.skip(1)
+	m.DurationSec = r.u32()
+	m.DurationNsec = r.u32()
+	m.IdleTimeout = r.u16()
+	r.skip(2)
+	m.PacketCount = r.u64()
+	m.ByteCount = r.u64()
+	return r.err
+}

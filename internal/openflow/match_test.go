@@ -1,0 +1,256 @@
+package openflow
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"attain/internal/netaddr"
+)
+
+func samplePacket() FieldView {
+	return FieldView{
+		InPort: 1, DLSrc: macA, DLDst: macB, DLType: 0x0800,
+		NWTOS: 0, NWProto: 6, NWSrc: ipA, NWDst: ipB, TPSrc: 1234, TPDst: 80,
+	}
+}
+
+func TestMatchAllMatchesEverything(t *testing.T) {
+	m := MatchAll()
+	if !m.Matches(samplePacket()) {
+		t.Error("MatchAll did not match a TCP packet")
+	}
+	if !m.Matches(FieldView{}) {
+		t.Error("MatchAll did not match the zero packet")
+	}
+}
+
+func TestExactMatchRoundTrip(t *testing.T) {
+	f := samplePacket()
+	m := ExactFrom(f)
+	if !m.Matches(f) {
+		t.Fatal("exact match does not match its own packet")
+	}
+	// Perturbing any single field must break the match.
+	perturbations := []func(*FieldView){
+		func(p *FieldView) { p.InPort = 9 },
+		func(p *FieldView) { p.DLSrc[5] ^= 1 },
+		func(p *FieldView) { p.DLDst[5] ^= 1 },
+		func(p *FieldView) { p.DLVLAN = 100 },
+		func(p *FieldView) { p.DLVLANPCP = 3 },
+		func(p *FieldView) { p.DLType = 0x0806 },
+		func(p *FieldView) { p.NWTOS = 8 },
+		func(p *FieldView) { p.NWProto = 17 },
+		func(p *FieldView) { p.NWSrc[3] ^= 1 },
+		func(p *FieldView) { p.NWDst[3] ^= 1 },
+		func(p *FieldView) { p.TPSrc = 99 },
+		func(p *FieldView) { p.TPDst = 99 },
+	}
+	for i, perturb := range perturbations {
+		g := f
+		perturb(&g)
+		if m.Matches(g) {
+			t.Errorf("perturbation %d still matched", i)
+		}
+	}
+}
+
+func TestMatchSingleFieldWildcards(t *testing.T) {
+	f := samplePacket()
+	m := ExactFrom(f)
+
+	// Wildcarding a field makes a mismatch in that field irrelevant.
+	m2 := m
+	m2.Wildcards |= WildcardInPort
+	g := f
+	g.InPort = 42
+	if !m2.Matches(g) {
+		t.Error("wildcarded in_port still compared")
+	}
+
+	m3 := m
+	m3.Wildcards |= WildcardTPDst
+	g = f
+	g.TPDst = 8080
+	if !m3.Matches(g) {
+		t.Error("wildcarded tp_dst still compared")
+	}
+}
+
+func TestMatchIPPrefixes(t *testing.T) {
+	f := samplePacket()
+	m := ExactFrom(f)
+	m.SetNWSrcMaskBits(24) // match 10.0.0.0/24
+
+	g := f
+	g.NWSrc = netaddr.MustParseIPv4("10.0.0.200")
+	if !m.Matches(g) {
+		t.Error("/24 prefix did not match same-subnet address")
+	}
+	g.NWSrc = netaddr.MustParseIPv4("10.0.1.1")
+	if m.Matches(g) {
+		t.Error("/24 prefix matched different subnet")
+	}
+
+	m.SetNWSrcMaskBits(0) // fully wildcarded
+	if !m.Matches(g) {
+		t.Error("/0 prefix did not match")
+	}
+	if got := m.NWSrcMaskBits(); got != 0 {
+		t.Errorf("NWSrcMaskBits = %d, want 0", got)
+	}
+}
+
+func TestMaskBitsClamping(t *testing.T) {
+	var m Match
+	m.SetNWDstMaskBits(99)
+	if got := m.NWDstMaskBits(); got != 32 {
+		t.Errorf("NWDstMaskBits after Set(99) = %d, want 32", got)
+	}
+	m.SetNWDstMaskBits(-5)
+	if got := m.NWDstMaskBits(); got != 0 {
+		t.Errorf("NWDstMaskBits after Set(-5) = %d, want 0", got)
+	}
+	// Wire values > 32 also clamp.
+	m.Wildcards = 63 << nwSrcShift
+	if got := m.NWSrcMaskBits(); got != 0 {
+		t.Errorf("NWSrcMaskBits with wire 63 = %d, want 0", got)
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	f := samplePacket()
+	exact := ExactFrom(f)
+	all := MatchAll()
+
+	if !all.Subsumes(exact) {
+		t.Error("MatchAll does not subsume exact match")
+	}
+	if exact.Subsumes(all) {
+		t.Error("exact match subsumes MatchAll")
+	}
+	if !exact.Subsumes(exact) {
+		t.Error("match does not subsume itself")
+	}
+
+	// dl_src-only match subsumes the exact match with the same dl_src.
+	bySrc := MatchAll()
+	bySrc.Wildcards &^= WildcardDLSrc
+	bySrc.DLSrc = f.DLSrc
+	if !bySrc.Subsumes(exact) {
+		t.Error("dl_src match does not subsume exact match with same dl_src")
+	}
+	otherSrc := bySrc
+	otherSrc.DLSrc = macB
+	if otherSrc.Subsumes(exact) {
+		t.Error("dl_src match subsumes exact match with different dl_src")
+	}
+
+	// /16 prefix subsumes /24 within it but not outside.
+	wide := MatchAll()
+	wide.NWDst = netaddr.MustParseIPv4("10.0.0.0")
+	wide.SetNWDstMaskBits(16)
+	narrow := MatchAll()
+	narrow.NWDst = netaddr.MustParseIPv4("10.0.5.0")
+	narrow.SetNWDstMaskBits(24)
+	if !wide.Subsumes(narrow) {
+		t.Error("/16 does not subsume contained /24")
+	}
+	if narrow.Subsumes(wide) {
+		t.Error("/24 subsumes containing /16")
+	}
+	outside := MatchAll()
+	outside.NWDst = netaddr.MustParseIPv4("10.9.0.0")
+	outside.SetNWDstMaskBits(24)
+	if wide.Subsumes(outside) {
+		t.Error("/16 subsumes disjoint /24")
+	}
+}
+
+// TestQuickSubsumesConsistent checks the defining property of Subsumes: if
+// a.Subsumes(b) and a packet matches b, the packet must match a.
+func TestQuickSubsumesConsistent(t *testing.T) {
+	gen := func(seed int64) (Match, FieldView) {
+		// Derive a small universe so collisions (and hence matches) are common.
+		r := seed
+		next := func(n int64) int {
+			r = r*6364136223846793005 + 1442695040888963407
+			v := (r >> 33) % n
+			if v < 0 {
+				v += n
+			}
+			return int(v)
+		}
+		f := FieldView{
+			InPort:  uint16(next(3) + 1),
+			DLType:  0x0800,
+			NWProto: uint8(next(2)*11 + 6),
+			TPDst:   uint16(next(3) * 100),
+		}
+		f.DLSrc[5] = byte(next(3))
+		f.NWSrc[3] = byte(next(4))
+		m := ExactFrom(f)
+		// Randomly wildcard fields.
+		for _, w := range []uint32{WildcardInPort, WildcardDLSrc, WildcardDLType, WildcardNWProto, WildcardTPDst} {
+			if next(2) == 0 {
+				m.Wildcards |= w
+			}
+		}
+		m.SetNWSrcMaskBits(next(5) * 8)
+		m.SetNWDstMaskBits(next(5) * 8)
+		return m, f
+	}
+	f := func(seedA, seedB int64) bool {
+		a, _ := gen(seedA)
+		b, pkt := gen(seedB)
+		if !a.Subsumes(b) {
+			return true // property only constrains the subsuming case
+		}
+		if b.Matches(pkt) && !a.Matches(pkt) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	if got := MatchAll().String(); got != "any" {
+		t.Errorf("MatchAll().String() = %q, want \"any\"", got)
+	}
+	m := MatchAll()
+	m.Wildcards &^= WildcardInPort
+	m.InPort = 3
+	m.NWDst = ipB
+	m.SetNWDstMaskBits(32)
+	s := m.String()
+	for _, want := range []string{"in_port=3", "nw_dst=10.0.0.2/32"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "dl_src") {
+		t.Errorf("String() = %q, contains wildcarded field", s)
+	}
+}
+
+func TestMatchWireRoundTrip(t *testing.T) {
+	m := ExactFrom(samplePacket())
+	m.SetNWSrcMaskBits(24)
+	var w writer
+	m.marshal(&w)
+	if len(w.b) != matchLen {
+		t.Fatalf("marshalled match is %d bytes, want %d", len(w.b), matchLen)
+	}
+	var got Match
+	r := reader{b: w.b}
+	got.unmarshal(&r)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if got != m {
+		t.Errorf("wire round trip mismatch:\n got  %+v\n want %+v", got, m)
+	}
+}

@@ -1,0 +1,283 @@
+package openflow
+
+import "fmt"
+
+// Hello is exchanged at connection setup to negotiate the protocol version.
+type Hello struct{}
+
+// EchoRequest is a liveness probe; the peer must answer with an EchoReply
+// carrying the same payload.
+type EchoRequest struct{ Data []byte }
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct{ Data []byte }
+
+// Vendor is an opaque vendor/experimenter message.
+type Vendor struct {
+	VendorID uint32
+	Data     []byte
+}
+
+// Error message types (ofp_error_type).
+const (
+	ErrTypeHelloFailed   uint16 = 0
+	ErrTypeBadRequest    uint16 = 1
+	ErrTypeBadAction     uint16 = 2
+	ErrTypeFlowModFailed uint16 = 3
+	ErrTypePortModFailed uint16 = 4
+	ErrTypeQueueOpFailed uint16 = 5
+)
+
+// Selected error codes.
+const (
+	ErrCodeBadRequestBadType       uint16 = 1
+	ErrCodeBadRequestBadStat       uint16 = 2
+	ErrCodeBadRequestBufferUnknown uint16 = 8
+	ErrCodeFlowModAllTablesFull    uint16 = 0
+	ErrCodeFlowModOverlap          uint16 = 1
+	ErrCodeFlowModUnsupported      uint16 = 5
+	ErrCodeFlowModBadCommand       uint16 = 3
+	ErrCodeFlowModBadEmergTimeout  uint16 = 4
+)
+
+// ErrorMsg reports a protocol error; Data carries at least 64 bytes of the
+// offending message.
+type ErrorMsg struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+// Error implements the error interface so an ErrorMsg can be returned
+// directly where convenient.
+func (m *ErrorMsg) Error() string {
+	return fmt.Sprintf("openflow error type=%d code=%d", m.ErrType, m.Code)
+}
+
+// FeaturesRequest asks the switch for its datapath features.
+type FeaturesRequest struct{}
+
+// Switch capability flags (ofp_capabilities).
+const (
+	CapabilityFlowStats  uint32 = 1 << 0
+	CapabilityTableStats uint32 = 1 << 1
+	CapabilityPortStats  uint32 = 1 << 2
+	CapabilitySTP        uint32 = 1 << 3
+	CapabilityIPReasm    uint32 = 1 << 5
+	CapabilityQueueStats uint32 = 1 << 6
+	CapabilityARPMatchIP uint32 = 1 << 7
+)
+
+// FeaturesReply describes the switch datapath (ofp_switch_features).
+type FeaturesReply struct {
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+// GetConfigRequest asks for the switch configuration.
+type GetConfigRequest struct{}
+
+// Switch config flags (ofp_config_flags, fragment handling).
+const (
+	ConfigFragNormal uint16 = 0
+	ConfigFragDrop   uint16 = 1
+	ConfigFragReasm  uint16 = 2
+)
+
+// GetConfigReply carries the switch configuration.
+type GetConfigReply struct {
+	Flags       uint16
+	MissSendLen uint16
+}
+
+// SetConfig sets the switch configuration.
+type SetConfig struct {
+	Flags       uint16
+	MissSendLen uint16
+}
+
+// BarrierRequest asks the switch to finish processing all prior messages
+// before replying.
+type BarrierRequest struct{}
+
+// BarrierReply answers a BarrierRequest.
+type BarrierReply struct{}
+
+// QueueGetConfigRequest asks for the queues configured on a port.
+type QueueGetConfigRequest struct{ Port uint16 }
+
+// QueueGetConfigReply lists the queues on a port. Queue property parsing is
+// not modelled; the simulator has no QoS queues.
+type QueueGetConfigReply struct{ Port uint16 }
+
+// Type implementations.
+func (*Hello) Type() Type                 { return TypeHello }
+func (*EchoRequest) Type() Type           { return TypeEchoRequest }
+func (*EchoReply) Type() Type             { return TypeEchoReply }
+func (*Vendor) Type() Type                { return TypeVendor }
+func (*ErrorMsg) Type() Type              { return TypeError }
+func (*FeaturesRequest) Type() Type       { return TypeFeaturesRequest }
+func (*FeaturesReply) Type() Type         { return TypeFeaturesReply }
+func (*GetConfigRequest) Type() Type      { return TypeGetConfigRequest }
+func (*GetConfigReply) Type() Type        { return TypeGetConfigReply }
+func (*SetConfig) Type() Type             { return TypeSetConfig }
+func (*BarrierRequest) Type() Type        { return TypeBarrierRequest }
+func (*BarrierReply) Type() Type          { return TypeBarrierReply }
+func (*QueueGetConfigRequest) Type() Type { return TypeQueueGetConfigRequest }
+func (*QueueGetConfigReply) Type() Type   { return TypeQueueGetConfigReply }
+
+func (*Hello) marshalBody(b []byte) ([]byte, error) { return b, nil }
+func (*Hello) unmarshalBody(data []byte) error      { return nil }
+
+func (m *EchoRequest) marshalBody(b []byte) ([]byte, error) { return append(b, m.Data...), nil }
+func (m *EchoRequest) unmarshalBody(data []byte) error {
+	m.Data = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *EchoReply) marshalBody(b []byte) ([]byte, error) { return append(b, m.Data...), nil }
+func (m *EchoReply) unmarshalBody(data []byte) error {
+	m.Data = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *Vendor) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u32(m.VendorID)
+	w.bytes(m.Data)
+	return w.b, nil
+}
+
+func (m *Vendor) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.VendorID = r.u32()
+	m.Data = r.rest()
+	return r.err
+}
+
+func (m *ErrorMsg) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u16(m.ErrType)
+	w.u16(m.Code)
+	w.bytes(m.Data)
+	return w.b, nil
+}
+
+func (m *ErrorMsg) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.ErrType = r.u16()
+	m.Code = r.u16()
+	m.Data = r.rest()
+	return r.err
+}
+
+func (*FeaturesRequest) marshalBody(b []byte) ([]byte, error) { return b, nil }
+func (*FeaturesRequest) unmarshalBody(data []byte) error      { return nil }
+
+func (m *FeaturesReply) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u64(m.DatapathID)
+	w.u32(m.NBuffers)
+	w.u8(m.NTables)
+	w.pad(3)
+	w.u32(m.Capabilities)
+	w.u32(m.Actions)
+	for _, p := range m.Ports {
+		p.marshal(&w)
+	}
+	return w.b, nil
+}
+
+func (m *FeaturesReply) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.DatapathID = r.u64()
+	m.NBuffers = r.u32()
+	m.NTables = r.u8()
+	r.skip(3)
+	m.Capabilities = r.u32()
+	m.Actions = r.u32()
+	if r.err != nil {
+		return r.err
+	}
+	if r.remaining()%phyPortLen != 0 {
+		return ErrBadLength
+	}
+	if n := r.remaining() / phyPortLen; n > 0 {
+		m.Ports = make([]PhyPort, 0, n)
+	}
+	for r.remaining() > 0 {
+		var p PhyPort
+		p.unmarshal(&r)
+		m.Ports = append(m.Ports, p)
+	}
+	return r.err
+}
+
+func (*GetConfigRequest) marshalBody(b []byte) ([]byte, error) { return b, nil }
+func (*GetConfigRequest) unmarshalBody(data []byte) error      { return nil }
+
+func (m *GetConfigReply) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u16(m.Flags)
+	w.u16(m.MissSendLen)
+	return w.b, nil
+}
+
+func (m *GetConfigReply) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Flags = r.u16()
+	m.MissSendLen = r.u16()
+	return r.err
+}
+
+func (m *SetConfig) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u16(m.Flags)
+	w.u16(m.MissSendLen)
+	return w.b, nil
+}
+
+func (m *SetConfig) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Flags = r.u16()
+	m.MissSendLen = r.u16()
+	return r.err
+}
+
+func (*BarrierRequest) marshalBody(b []byte) ([]byte, error) { return b, nil }
+func (*BarrierRequest) unmarshalBody(data []byte) error      { return nil }
+
+func (*BarrierReply) marshalBody(b []byte) ([]byte, error) { return b, nil }
+func (*BarrierReply) unmarshalBody(data []byte) error      { return nil }
+
+func (m *QueueGetConfigRequest) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u16(m.Port)
+	w.pad(2)
+	return w.b, nil
+}
+
+func (m *QueueGetConfigRequest) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Port = r.u16()
+	r.skip(2)
+	return r.err
+}
+
+func (m *QueueGetConfigReply) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u16(m.Port)
+	w.pad(6)
+	return w.b, nil
+}
+
+func (m *QueueGetConfigReply) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Port = r.u16()
+	r.skip(6)
+	return r.err
+}

@@ -1,0 +1,420 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"attain/internal/netaddr"
+)
+
+var (
+	macA = netaddr.MustParseMAC("0a:00:00:00:00:01")
+	macB = netaddr.MustParseMAC("0a:00:00:00:00:02")
+	ipA  = netaddr.MustParseIPv4("10.0.0.1")
+	ipB  = netaddr.MustParseIPv4("10.0.0.2")
+)
+
+// roundTrip marshals msg, unmarshals the bytes, and returns the decoded
+// message for comparison.
+func roundTrip(t *testing.T, xid uint32, msg Message) Message {
+	t.Helper()
+	buf, err := Marshal(xid, msg)
+	if err != nil {
+		t.Fatalf("Marshal(%s): %v", msg.Type(), err)
+	}
+	h, got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("Unmarshal(%s): %v", msg.Type(), err)
+	}
+	if h.Xid != xid {
+		t.Errorf("xid = %d, want %d", h.Xid, xid)
+	}
+	if h.Type != msg.Type() {
+		t.Errorf("type = %s, want %s", h.Type, msg.Type())
+	}
+	if int(h.Length) != len(buf) {
+		t.Errorf("length = %d, want %d", h.Length, len(buf))
+	}
+	return got
+}
+
+func testRoundTripEqual(t *testing.T, msg Message) {
+	t.Helper()
+	got := roundTrip(t, 42, msg)
+	if !reflect.DeepEqual(got, msg) {
+		t.Errorf("round trip mismatch for %s:\n got  %#v\n want %#v", msg.Type(), got, msg)
+	}
+}
+
+func TestRoundTripSimpleMessages(t *testing.T) {
+	msgs := []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("ping")},
+		&EchoReply{Data: []byte("pong")},
+		&Vendor{VendorID: 0x2320, Data: []byte{1, 2, 3}},
+		&ErrorMsg{ErrType: ErrTypeFlowModFailed, Code: ErrCodeFlowModAllTablesFull, Data: []byte{0xde, 0xad}},
+		&FeaturesRequest{},
+		&GetConfigRequest{},
+		&GetConfigReply{Flags: ConfigFragNormal, MissSendLen: 128},
+		&SetConfig{Flags: ConfigFragDrop, MissSendLen: 0xffff},
+		&BarrierRequest{},
+		&BarrierReply{},
+		&QueueGetConfigRequest{Port: 3},
+		&QueueGetConfigReply{Port: 3},
+	}
+	for _, m := range msgs {
+		testRoundTripEqual(t, m)
+	}
+}
+
+func TestRoundTripEmptyPayloadsStayNil(t *testing.T) {
+	// Echo with no payload must round-trip without growing.
+	got := roundTrip(t, 1, &EchoRequest{}).(*EchoRequest)
+	if len(got.Data) != 0 {
+		t.Errorf("echo data = %v, want empty", got.Data)
+	}
+}
+
+func TestRoundTripFeaturesReply(t *testing.T) {
+	msg := &FeaturesReply{
+		DatapathID:   0x00000000000000a1,
+		NBuffers:     256,
+		NTables:      1,
+		Capabilities: CapabilityFlowStats | CapabilityPortStats,
+		Actions:      0xfff,
+		Ports: []PhyPort{
+			{PortNo: 1, HWAddr: macA, Name: "s1-eth1", Curr: PortFeature100MbFD | PortFeatureCopper},
+			{PortNo: 2, HWAddr: macB, Name: "s1-eth2", State: PortStateLinkDown},
+		},
+	}
+	testRoundTripEqual(t, msg)
+}
+
+func TestRoundTripFlowMod(t *testing.T) {
+	m := ExactFrom(FieldView{
+		InPort: 1, DLSrc: macA, DLDst: macB, DLType: 0x0800,
+		NWProto: 6, NWSrc: ipA, NWDst: ipB, TPSrc: 12345, TPDst: 80,
+	})
+	msg := &FlowMod{
+		Match:       m,
+		Cookie:      0xdeadbeef,
+		Command:     FlowModAdd,
+		IdleTimeout: 5,
+		HardTimeout: 30,
+		Priority:    100,
+		BufferID:    NoBuffer,
+		OutPort:     PortNone,
+		Flags:       FlowModFlagSendFlowRem,
+		Actions:     []Action{ActionOutput{Port: 2, MaxLen: 0}},
+	}
+	testRoundTripEqual(t, msg)
+}
+
+func TestRoundTripFlowModAllActions(t *testing.T) {
+	msg := &FlowMod{
+		Match:    MatchAll(),
+		Command:  FlowModModify,
+		BufferID: NoBuffer,
+		OutPort:  PortNone,
+		Actions: []Action{
+			ActionOutput{Port: PortFlood, MaxLen: 65535},
+			ActionSetVLANVID{VID: 100},
+			ActionSetVLANPCP{PCP: 5},
+			ActionStripVLAN{},
+			ActionSetDLSrc{Addr: macA},
+			ActionSetDLDst{Addr: macB},
+			ActionSetNWSrc{Addr: ipA},
+			ActionSetNWDst{Addr: ipB},
+			ActionSetNWTOS{TOS: 0x10},
+			ActionSetTPSrc{Port: 8080},
+			ActionSetTPDst{Port: 443},
+			ActionEnqueue{Port: 1, QueueID: 7},
+			// Vendor bodies are padded to 8-byte alignment on the wire, so
+			// only 8-aligned bodies round-trip exactly.
+			ActionVendor{Vendor: 0x2320, Body: []byte{9, 8, 7, 6, 5, 4, 3, 2}},
+		},
+	}
+	testRoundTripEqual(t, msg)
+}
+
+func TestRoundTripFlowRemoved(t *testing.T) {
+	msg := &FlowRemoved{
+		Match:        ExactFrom(FieldView{InPort: 3, DLSrc: macA, DLDst: macB}),
+		Cookie:       7,
+		Priority:     10,
+		Reason:       FlowRemovedIdleTimeout,
+		DurationSec:  12,
+		DurationNsec: 345,
+		IdleTimeout:  5,
+		PacketCount:  1000,
+		ByteCount:    64000,
+	}
+	testRoundTripEqual(t, msg)
+}
+
+func TestRoundTripPacketIn(t *testing.T) {
+	msg := &PacketIn{
+		BufferID: 77,
+		TotalLen: 128,
+		InPort:   2,
+		Reason:   PacketInReasonNoMatch,
+		Data:     bytes.Repeat([]byte{0xab}, 60),
+	}
+	testRoundTripEqual(t, msg)
+}
+
+func TestRoundTripPacketOut(t *testing.T) {
+	tests := []*PacketOut{
+		{BufferID: 42, InPort: 1, Actions: []Action{ActionOutput{Port: 2}}},
+		{BufferID: NoBuffer, InPort: PortNone, Actions: []Action{ActionOutput{Port: PortFlood}}, Data: []byte{1, 2, 3, 4}},
+		{BufferID: NoBuffer, InPort: 1}, // drop: no actions
+	}
+	for _, m := range tests {
+		testRoundTripEqual(t, m)
+	}
+}
+
+func TestRoundTripPortStatusAndMod(t *testing.T) {
+	testRoundTripEqual(t, &PortStatus{
+		Reason: PortStatusModify,
+		Desc:   PhyPort{PortNo: 4, HWAddr: macA, Name: "s2-eth4", State: PortStateLinkDown},
+	})
+	testRoundTripEqual(t, &PortMod{
+		PortNo: 4, HWAddr: macA,
+		Config: PortConfigPortDown, Mask: PortConfigPortDown, Advertise: PortFeature1GbFD,
+	})
+}
+
+func TestRoundTripStats(t *testing.T) {
+	flowMatch := ExactFrom(FieldView{InPort: 1, DLType: 0x0800, NWSrc: ipA, NWDst: ipB})
+	msgs := []Message{
+		&StatsRequest{Body: DescStatsRequest{}},
+		&StatsReply{Body: &DescStatsReply{MfrDesc: "ATTAIN", HWDesc: "sim", SWDesc: "switchsim", SerialNum: "1", DPDesc: "s1"}},
+		&StatsRequest{Body: &FlowStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}},
+		&StatsReply{Body: &FlowStatsReply{Flows: []FlowStatsEntry{
+			{TableID: 0, Match: flowMatch, DurationSec: 10, Priority: 1, IdleTimeout: 5, HardTimeout: 0,
+				Cookie: 3, PacketCount: 100, ByteCount: 6400,
+				Actions: []Action{ActionOutput{Port: 2}}},
+			{TableID: 0, Match: MatchAll(), Priority: 0},
+		}}},
+		&StatsRequest{Body: &AggregateStatsRequest{Match: MatchAll(), TableID: 0xff, OutPort: PortNone}},
+		&StatsReply{Body: &AggregateStatsReply{PacketCount: 5, ByteCount: 320, FlowCount: 2}},
+		&StatsRequest{Body: TableStatsRequest{}},
+		&StatsReply{Body: &TableStatsReply{Tables: []TableStatsEntry{
+			{TableID: 0, Name: "classifier", Wildcards: WildcardAll, MaxEntries: 1 << 20, ActiveCount: 12, LookupCount: 99, MatchedCount: 88},
+		}}},
+		&StatsRequest{Body: &PortStatsRequest{PortNo: PortNone}},
+		&StatsReply{Flags: StatsReplyFlagMore, Body: &PortStatsReply{Ports: []PortStatsEntry{
+			{PortNo: 1, RxPackets: 10, TxPackets: 20, RxBytes: 1000, TxBytes: 2000},
+		}}},
+	}
+	for _, m := range msgs {
+		testRoundTripEqual(t, m)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	valid, err := Marshal(1, &Hello{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", valid[:4], ErrTruncated},
+		{"bad version", append([]byte{0x04}, valid[1:]...), ErrBadVersion},
+		{"length below header", []byte{0x01, 0, 0, 4, 0, 0, 0, 0}, ErrBadLength},
+		{"length beyond data", []byte{0x01, 0, 0, 20, 0, 0, 0, 0}, ErrTruncated},
+		{"unknown type", []byte{0x01, 99, 0, 8, 0, 0, 0, 0}, ErrUnknownType},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := Unmarshal(tc.data)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("Unmarshal error = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalTruncatedBodies(t *testing.T) {
+	// A FLOW_MOD body shorter than the fixed part must fail cleanly.
+	msg := &FlowMod{Match: MatchAll(), BufferID: NoBuffer, OutPort: PortNone}
+	buf, err := Marshal(9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := HeaderLen; cut < len(buf); cut += 7 {
+		trunc := make([]byte, cut)
+		copy(trunc, buf[:cut])
+		// Fix the header length so only the body is short.
+		trunc[2] = byte(cut >> 8)
+		trunc[3] = byte(cut)
+		if _, _, err := Unmarshal(trunc); err == nil {
+			t.Errorf("Unmarshal of %d/%d bytes succeeded, want error", cut, len(buf))
+		}
+	}
+}
+
+func TestActionListRejectsBadLengths(t *testing.T) {
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"short header", []byte{0, 0}},
+		{"length zero", []byte{0, 0, 0, 0, 0, 0, 0, 0}},
+		{"length unaligned", []byte{0, 0, 0, 9, 0, 0, 0, 0, 0}},
+		{"length beyond data", []byte{0, 0, 0, 16, 0, 0, 0, 0}},
+		{"unknown type", []byte{0x12, 0x34, 0, 8, 0, 0, 0, 0}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := unmarshalActions(tc.data); err == nil {
+				t.Error("unmarshalActions succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestReadWriteMessageStream(t *testing.T) {
+	var buf bytes.Buffer
+	want := []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("abc")},
+		&FlowMod{Match: MatchAll(), BufferID: NoBuffer, OutPort: PortNone,
+			Actions: []Action{ActionOutput{Port: 1}}},
+		&BarrierRequest{},
+	}
+	for i, m := range want {
+		if err := WriteMessage(&buf, uint32(i), m); err != nil {
+			t.Fatalf("WriteMessage(%d): %v", i, err)
+		}
+	}
+	for i := range want {
+		h, m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("ReadMessage(%d): %v", i, err)
+		}
+		if h.Xid != uint32(i) {
+			t.Errorf("message %d xid = %d", i, h.Xid)
+		}
+		if !reflect.DeepEqual(m, want[i]) {
+			t.Errorf("message %d = %#v, want %#v", i, m, want[i])
+		}
+	}
+	if _, _, err := ReadMessage(&buf); !errors.Is(err, io.EOF) {
+		t.Errorf("ReadMessage at end = %v, want EOF", err)
+	}
+}
+
+func TestReadRawPartialStream(t *testing.T) {
+	full, err := Marshal(5, &EchoRequest{Data: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRaw(bytes.NewReader(full[:len(full)-1])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("ReadRaw of truncated body = %v, want unexpected EOF", err)
+	}
+	if _, err := ReadRaw(bytes.NewReader(full[:3])); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("ReadRaw of truncated header = %v, want unexpected EOF", err)
+	}
+}
+
+func TestTypeStringAndParse(t *testing.T) {
+	for ty, name := range typeNames {
+		if got := ty.String(); got != name {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, got, name)
+		}
+		parsed, err := ParseType(name)
+		if err != nil || parsed != ty {
+			t.Errorf("ParseType(%q) = %v, %v, want %v", name, parsed, err, ty)
+		}
+	}
+	if got := Type(200).String(); got != "UNKNOWN_TYPE(200)" {
+		t.Errorf("unknown type string = %q", got)
+	}
+	if _, err := ParseType("NOT_A_TYPE"); err == nil {
+		t.Error("ParseType of bogus name succeeded")
+	}
+}
+
+func randomMessage(rng *rand.Rand) Message {
+	switch rng.Intn(6) {
+	case 0:
+		data := make([]byte, rng.Intn(31)+1)
+		rng.Read(data)
+		return &EchoRequest{Data: data}
+	case 1:
+		var m Match
+		m.Wildcards = rng.Uint32() & WildcardAll
+		rng.Read(m.DLSrc[:])
+		rng.Read(m.NWSrc[:])
+		m.TPDst = uint16(rng.Uint32())
+		return &FlowMod{
+			Match: m, Cookie: rng.Uint64(),
+			Command:  FlowModCommand(rng.Intn(5)),
+			Priority: uint16(rng.Uint32()), BufferID: NoBuffer, OutPort: PortNone,
+			Actions: []Action{ActionOutput{Port: uint16(rng.Intn(10) + 1)}},
+		}
+	case 2:
+		data := make([]byte, rng.Intn(63)+1)
+		rng.Read(data)
+		return &PacketIn{BufferID: rng.Uint32(), TotalLen: uint16(len(data)), InPort: uint16(rng.Intn(100)), Data: data}
+	case 3:
+		return &PacketOut{BufferID: NoBuffer, InPort: uint16(rng.Intn(100)),
+			Actions: []Action{ActionOutput{Port: PortFlood}}, Data: []byte{1}}
+	case 4:
+		return &ErrorMsg{ErrType: uint16(rng.Intn(6)), Code: uint16(rng.Intn(10))}
+	default:
+		return &FeaturesReply{DatapathID: rng.Uint64(), NBuffers: 256, NTables: 1}
+	}
+}
+
+// TestQuickRoundTrip property-tests that marshalling then unmarshalling any
+// generated message yields an identical value.
+func TestQuickRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	f := func(seed int64, xid uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		msg := randomMessage(rng)
+		buf, err := Marshal(xid, msg)
+		if err != nil {
+			return false
+		}
+		h, got, err := Unmarshal(buf)
+		if err != nil || h.Xid != xid {
+			return false
+		}
+		return reflect.DeepEqual(got, msg)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHeaderNeverPanics fuzzes random byte strings through Unmarshal.
+func TestQuickHeaderNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, _ = Unmarshal(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRejectsOversize(t *testing.T) {
+	msg := &EchoRequest{Data: make([]byte, MaxMessageLen)}
+	if _, err := Marshal(1, msg); !errors.Is(err, ErrBadLength) {
+		t.Errorf("Marshal oversize = %v, want ErrBadLength", err)
+	}
+}

@@ -1,0 +1,174 @@
+package openflow
+
+import "attain/internal/netaddr"
+
+// PacketInReason says why a packet was sent to the controller
+// (ofp_packet_in_reason).
+type PacketInReason uint8
+
+// Packet-in reasons.
+const (
+	PacketInReasonNoMatch PacketInReason = 0
+	PacketInReasonAction  PacketInReason = 1
+)
+
+// String returns the spec name of the reason.
+func (r PacketInReason) String() string {
+	switch r {
+	case PacketInReasonNoMatch:
+		return "NO_MATCH"
+	case PacketInReasonAction:
+		return "ACTION"
+	default:
+		return "UNKNOWN_REASON"
+	}
+}
+
+// PacketIn delivers a data-plane packet to the controller (ofp_packet_in).
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   PacketInReason
+	Data     []byte
+}
+
+// Type implements Message.
+func (*PacketIn) Type() Type { return TypePacketIn }
+
+func (m *PacketIn) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u32(m.BufferID)
+	w.u16(m.TotalLen)
+	w.u16(m.InPort)
+	w.u8(uint8(m.Reason))
+	w.pad(1)
+	w.bytes(m.Data)
+	return w.b, nil
+}
+
+func (m *PacketIn) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.BufferID = r.u32()
+	m.TotalLen = r.u16()
+	m.InPort = r.u16()
+	m.Reason = PacketInReason(r.u8())
+	r.skip(1)
+	m.Data = r.rest()
+	return r.err
+}
+
+// PacketOut injects a data-plane packet from the controller (ofp_packet_out).
+// If BufferID is not NoBuffer, the switch sends the buffered packet and Data
+// is empty; otherwise Data carries the full packet.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+// Type implements Message.
+func (*PacketOut) Type() Type { return TypePacketOut }
+
+func (m *PacketOut) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u32(m.BufferID)
+	w.u16(m.InPort)
+	lenAt := len(w.b)
+	w.u16(0) // actions_len placeholder
+	n := marshalActions(&w, m.Actions)
+	w.b[lenAt] = byte(n >> 8)
+	w.b[lenAt+1] = byte(n)
+	w.bytes(m.Data)
+	return w.b, nil
+}
+
+func (m *PacketOut) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.BufferID = r.u32()
+	m.InPort = r.u16()
+	actionsLen := int(r.u16())
+	if r.err != nil {
+		return r.err
+	}
+	if actionsLen > r.remaining() {
+		return ErrBadLength
+	}
+	actions, err := unmarshalActions(r.bytes(actionsLen))
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	m.Data = r.rest()
+	return r.err
+}
+
+// PortStatusReason says what changed about a port (ofp_port_reason).
+type PortStatusReason uint8
+
+// Port status reasons.
+const (
+	PortStatusAdd    PortStatusReason = 0
+	PortStatusDelete PortStatusReason = 1
+	PortStatusModify PortStatusReason = 2
+)
+
+// PortStatus notifies the controller of a port change (ofp_port_status).
+type PortStatus struct {
+	Reason PortStatusReason
+	Desc   PhyPort
+}
+
+// Type implements Message.
+func (*PortStatus) Type() Type { return TypePortStatus }
+
+func (m *PortStatus) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u8(uint8(m.Reason))
+	w.pad(7)
+	m.Desc.marshal(&w)
+	return w.b, nil
+}
+
+func (m *PortStatus) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.Reason = PortStatusReason(r.u8())
+	r.skip(7)
+	m.Desc.unmarshal(&r)
+	return r.err
+}
+
+// PortMod modifies the behaviour of a port (ofp_port_mod).
+type PortMod struct {
+	PortNo    uint16
+	HWAddr    netaddr.MAC
+	Config    uint32
+	Mask      uint32
+	Advertise uint32
+}
+
+// Type implements Message.
+func (*PortMod) Type() Type { return TypePortMod }
+
+func (m *PortMod) marshalBody(b []byte) ([]byte, error) {
+	w := writer{b: b}
+	w.u16(m.PortNo)
+	w.bytes(m.HWAddr[:])
+	w.u32(m.Config)
+	w.u32(m.Mask)
+	w.u32(m.Advertise)
+	w.pad(4)
+	return w.b, nil
+}
+
+func (m *PortMod) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	m.PortNo = r.u16()
+	copy(m.HWAddr[:], r.bytes(6))
+	m.Config = r.u32()
+	m.Mask = r.u32()
+	m.Advertise = r.u32()
+	r.skip(4)
+	return r.err
+}

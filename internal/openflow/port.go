@@ -1,0 +1,90 @@
+package openflow
+
+import "attain/internal/netaddr"
+
+// Reserved OpenFlow 1.0 port numbers (ofp_port).
+const (
+	// PortMax is the highest usable physical port number.
+	PortMax uint16 = 0xff00
+	// PortInPort sends the packet back out its ingress port.
+	PortInPort uint16 = 0xfff8
+	// PortTable submits the packet to the flow table (PACKET_OUT only).
+	PortTable uint16 = 0xfff9
+	// PortNormal processes with traditional L2/L3 switching.
+	PortNormal uint16 = 0xfffa
+	// PortFlood floods to all ports except ingress and flood-disabled ports.
+	PortFlood uint16 = 0xfffb
+	// PortAll forwards to all ports except ingress.
+	PortAll uint16 = 0xfffc
+	// PortController sends to the controller as a PACKET_IN.
+	PortController uint16 = 0xfffd
+	// PortLocal is the switch-local networking stack port.
+	PortLocal uint16 = 0xfffe
+	// PortNone means no port.
+	PortNone uint16 = 0xffff
+)
+
+// Port config flags (ofp_port_config).
+const (
+	PortConfigPortDown   uint32 = 1 << 0
+	PortConfigNoSTP      uint32 = 1 << 1
+	PortConfigNoRecv     uint32 = 1 << 2
+	PortConfigNoRecvSTP  uint32 = 1 << 3
+	PortConfigNoFlood    uint32 = 1 << 4
+	PortConfigNoFwd      uint32 = 1 << 5
+	PortConfigNoPacketIn uint32 = 1 << 6
+)
+
+// Port state flags (ofp_port_state).
+const (
+	PortStateLinkDown uint32 = 1 << 0
+)
+
+// Port feature flags (ofp_port_features), subset relevant to the simulator.
+const (
+	PortFeature10MbFD  uint32 = 1 << 1
+	PortFeature100MbFD uint32 = 1 << 3
+	PortFeature1GbFD   uint32 = 1 << 5
+	PortFeature10GbFD  uint32 = 1 << 6
+	PortFeatureCopper  uint32 = 1 << 7
+)
+
+// phyPortLen is the wire size of ofp_phy_port.
+const phyPortLen = 48
+
+// PhyPort describes one switch port (ofp_phy_port).
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     netaddr.MAC
+	Name       string
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+func (p PhyPort) marshal(w *writer) {
+	w.u16(p.PortNo)
+	w.bytes(p.HWAddr[:])
+	w.fixedString(p.Name, 16)
+	w.u32(p.Config)
+	w.u32(p.State)
+	w.u32(p.Curr)
+	w.u32(p.Advertised)
+	w.u32(p.Supported)
+	w.u32(p.Peer)
+}
+
+func (p *PhyPort) unmarshal(r *reader) {
+	p.PortNo = r.u16()
+	copy(p.HWAddr[:], r.bytes(6))
+	p.Name = r.fixedString(16)
+	p.Config = r.u32()
+	p.State = r.u32()
+	p.Curr = r.u32()
+	p.Advertised = r.u32()
+	p.Supported = r.u32()
+	p.Peer = r.u32()
+}

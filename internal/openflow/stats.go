@@ -1,0 +1,465 @@
+package openflow
+
+import "fmt"
+
+// StatsType identifies a statistics request/reply kind (ofp_stats_types).
+type StatsType uint16
+
+// Statistics types.
+const (
+	StatsTypeDesc      StatsType = 0
+	StatsTypeFlow      StatsType = 1
+	StatsTypeAggregate StatsType = 2
+	StatsTypeTable     StatsType = 3
+	StatsTypePort      StatsType = 4
+	StatsTypeQueue     StatsType = 5
+	StatsTypeVendor    StatsType = 0xffff
+)
+
+// StatsReplyFlagMore marks a multipart reply with more parts coming.
+const StatsReplyFlagMore uint16 = 1 << 0
+
+// StatsBody is a typed statistics request or reply body.
+type StatsBody interface {
+	StatsType() StatsType
+	marshal(w *writer)
+	unmarshal(data []byte) error
+}
+
+// DescStatsRequest asks for switch description strings.
+type DescStatsRequest struct{}
+
+// DescStatsReply carries switch description strings (ofp_desc_stats).
+type DescStatsReply struct {
+	MfrDesc   string
+	HWDesc    string
+	SWDesc    string
+	SerialNum string
+	DPDesc    string
+}
+
+// FlowStatsRequest asks for per-flow statistics (ofp_flow_stats_request).
+type FlowStatsRequest struct {
+	Match   Match
+	TableID uint8
+	OutPort uint16
+}
+
+// FlowStatsEntry is one flow in a flow-stats reply (ofp_flow_stats).
+type FlowStatsEntry struct {
+	TableID      uint8
+	Match        Match
+	DurationSec  uint32
+	DurationNsec uint32
+	Priority     uint16
+	IdleTimeout  uint16
+	HardTimeout  uint16
+	Cookie       uint64
+	PacketCount  uint64
+	ByteCount    uint64
+	Actions      []Action
+}
+
+// FlowStatsReply lists matching flows.
+type FlowStatsReply struct{ Flows []FlowStatsEntry }
+
+// AggregateStatsRequest asks for aggregate statistics over matching flows.
+type AggregateStatsRequest struct {
+	Match   Match
+	TableID uint8
+	OutPort uint16
+}
+
+// AggregateStatsReply carries aggregate flow statistics.
+type AggregateStatsReply struct {
+	PacketCount uint64
+	ByteCount   uint64
+	FlowCount   uint32
+}
+
+// TableStatsRequest asks for per-table statistics.
+type TableStatsRequest struct{}
+
+// TableStatsEntry is one table in a table-stats reply (ofp_table_stats).
+type TableStatsEntry struct {
+	TableID      uint8
+	Name         string
+	Wildcards    uint32
+	MaxEntries   uint32
+	ActiveCount  uint32
+	LookupCount  uint64
+	MatchedCount uint64
+}
+
+// TableStatsReply lists flow tables.
+type TableStatsReply struct{ Tables []TableStatsEntry }
+
+// PortStatsRequest asks for per-port counters; PortNone means all ports.
+type PortStatsRequest struct{ PortNo uint16 }
+
+// PortStatsEntry is one port in a port-stats reply (ofp_port_stats).
+type PortStatsEntry struct {
+	PortNo     uint16
+	RxPackets  uint64
+	TxPackets  uint64
+	RxBytes    uint64
+	TxBytes    uint64
+	RxDropped  uint64
+	TxDropped  uint64
+	RxErrors   uint64
+	TxErrors   uint64
+	RxFrameErr uint64
+	RxOverErr  uint64
+	RxCRCErr   uint64
+	Collisions uint64
+}
+
+// PortStatsReply lists port counters.
+type PortStatsReply struct{ Ports []PortStatsEntry }
+
+// StatsType implementations.
+func (DescStatsRequest) StatsType() StatsType       { return StatsTypeDesc }
+func (*DescStatsReply) StatsType() StatsType        { return StatsTypeDesc }
+func (*FlowStatsRequest) StatsType() StatsType      { return StatsTypeFlow }
+func (*FlowStatsReply) StatsType() StatsType        { return StatsTypeFlow }
+func (*AggregateStatsRequest) StatsType() StatsType { return StatsTypeAggregate }
+func (*AggregateStatsReply) StatsType() StatsType   { return StatsTypeAggregate }
+func (TableStatsRequest) StatsType() StatsType      { return StatsTypeTable }
+func (*TableStatsReply) StatsType() StatsType       { return StatsTypeTable }
+func (*PortStatsRequest) StatsType() StatsType      { return StatsTypePort }
+func (*PortStatsReply) StatsType() StatsType        { return StatsTypePort }
+
+func (DescStatsRequest) marshal(w *writer)           {}
+func (DescStatsRequest) unmarshal(data []byte) error { return nil }
+
+func (m *DescStatsReply) marshal(w *writer) {
+	w.fixedString(m.MfrDesc, 256)
+	w.fixedString(m.HWDesc, 256)
+	w.fixedString(m.SWDesc, 256)
+	w.fixedString(m.SerialNum, 32)
+	w.fixedString(m.DPDesc, 256)
+}
+
+func (m *DescStatsReply) unmarshal(data []byte) error {
+	r := reader{b: data}
+	m.MfrDesc = r.fixedString(256)
+	m.HWDesc = r.fixedString(256)
+	m.SWDesc = r.fixedString(256)
+	m.SerialNum = r.fixedString(32)
+	m.DPDesc = r.fixedString(256)
+	return r.err
+}
+
+func (m *FlowStatsRequest) marshal(w *writer) {
+	m.Match.marshal(w)
+	w.u8(m.TableID)
+	w.pad(1)
+	w.u16(m.OutPort)
+}
+
+func (m *FlowStatsRequest) unmarshal(data []byte) error {
+	r := reader{b: data}
+	m.Match.unmarshal(&r)
+	m.TableID = r.u8()
+	r.skip(1)
+	m.OutPort = r.u16()
+	return r.err
+}
+
+func (m *FlowStatsReply) marshal(w *writer) {
+	for _, f := range m.Flows {
+		lenAt := len(w.b)
+		w.u16(0) // length placeholder
+		w.u8(f.TableID)
+		w.pad(1)
+		f.Match.marshal(w)
+		w.u32(f.DurationSec)
+		w.u32(f.DurationNsec)
+		w.u16(f.Priority)
+		w.u16(f.IdleTimeout)
+		w.u16(f.HardTimeout)
+		w.pad(6)
+		w.u64(f.Cookie)
+		w.u64(f.PacketCount)
+		w.u64(f.ByteCount)
+		marshalActions(w, f.Actions)
+		entryLen := len(w.b) - lenAt
+		w.b[lenAt] = byte(entryLen >> 8)
+		w.b[lenAt+1] = byte(entryLen)
+	}
+}
+
+func (m *FlowStatsReply) unmarshal(data []byte) error {
+	m.Flows = nil
+	for len(data) > 0 {
+		if len(data) < 2 {
+			return ErrTruncated
+		}
+		entryLen := int(uint16(data[0])<<8 | uint16(data[1]))
+		if entryLen < 88 || entryLen > len(data) {
+			return fmt.Errorf("flow stats entry length %d: %w", entryLen, ErrBadLength)
+		}
+		r := reader{b: data[2:entryLen]}
+		var f FlowStatsEntry
+		f.TableID = r.u8()
+		r.skip(1)
+		f.Match.unmarshal(&r)
+		f.DurationSec = r.u32()
+		f.DurationNsec = r.u32()
+		f.Priority = r.u16()
+		f.IdleTimeout = r.u16()
+		f.HardTimeout = r.u16()
+		r.skip(6)
+		f.Cookie = r.u64()
+		f.PacketCount = r.u64()
+		f.ByteCount = r.u64()
+		if r.err != nil {
+			return r.err
+		}
+		actions, err := unmarshalActions(r.rest())
+		if err != nil {
+			return err
+		}
+		f.Actions = actions
+		m.Flows = append(m.Flows, f)
+		data = data[entryLen:]
+	}
+	return nil
+}
+
+func (m *AggregateStatsRequest) marshal(w *writer) {
+	m.Match.marshal(w)
+	w.u8(m.TableID)
+	w.pad(1)
+	w.u16(m.OutPort)
+}
+
+func (m *AggregateStatsRequest) unmarshal(data []byte) error {
+	r := reader{b: data}
+	m.Match.unmarshal(&r)
+	m.TableID = r.u8()
+	r.skip(1)
+	m.OutPort = r.u16()
+	return r.err
+}
+
+func (m *AggregateStatsReply) marshal(w *writer) {
+	w.u64(m.PacketCount)
+	w.u64(m.ByteCount)
+	w.u32(m.FlowCount)
+	w.pad(4)
+}
+
+func (m *AggregateStatsReply) unmarshal(data []byte) error {
+	r := reader{b: data}
+	m.PacketCount = r.u64()
+	m.ByteCount = r.u64()
+	m.FlowCount = r.u32()
+	r.skip(4)
+	return r.err
+}
+
+func (TableStatsRequest) marshal(w *writer)           {}
+func (TableStatsRequest) unmarshal(data []byte) error { return nil }
+
+func (m *TableStatsReply) marshal(w *writer) {
+	for _, t := range m.Tables {
+		w.u8(t.TableID)
+		w.pad(3)
+		w.fixedString(t.Name, 32)
+		w.u32(t.Wildcards)
+		w.u32(t.MaxEntries)
+		w.u32(t.ActiveCount)
+		w.u64(t.LookupCount)
+		w.u64(t.MatchedCount)
+	}
+}
+
+func (m *TableStatsReply) unmarshal(data []byte) error {
+	const entryLen = 64
+	if len(data)%entryLen != 0 {
+		return ErrBadLength
+	}
+	m.Tables = nil
+	r := reader{b: data}
+	for r.remaining() > 0 {
+		var t TableStatsEntry
+		t.TableID = r.u8()
+		r.skip(3)
+		t.Name = r.fixedString(32)
+		t.Wildcards = r.u32()
+		t.MaxEntries = r.u32()
+		t.ActiveCount = r.u32()
+		t.LookupCount = r.u64()
+		t.MatchedCount = r.u64()
+		m.Tables = append(m.Tables, t)
+	}
+	return r.err
+}
+
+func (m *PortStatsRequest) marshal(w *writer) {
+	w.u16(m.PortNo)
+	w.pad(6)
+}
+
+func (m *PortStatsRequest) unmarshal(data []byte) error {
+	r := reader{b: data}
+	m.PortNo = r.u16()
+	r.skip(6)
+	return r.err
+}
+
+func (m *PortStatsReply) marshal(w *writer) {
+	for _, p := range m.Ports {
+		w.u16(p.PortNo)
+		w.pad(6)
+		w.u64(p.RxPackets)
+		w.u64(p.TxPackets)
+		w.u64(p.RxBytes)
+		w.u64(p.TxBytes)
+		w.u64(p.RxDropped)
+		w.u64(p.TxDropped)
+		w.u64(p.RxErrors)
+		w.u64(p.TxErrors)
+		w.u64(p.RxFrameErr)
+		w.u64(p.RxOverErr)
+		w.u64(p.RxCRCErr)
+		w.u64(p.Collisions)
+	}
+}
+
+func (m *PortStatsReply) unmarshal(data []byte) error {
+	const entryLen = 104
+	if len(data)%entryLen != 0 {
+		return ErrBadLength
+	}
+	m.Ports = nil
+	r := reader{b: data}
+	for r.remaining() > 0 {
+		var p PortStatsEntry
+		p.PortNo = r.u16()
+		r.skip(6)
+		p.RxPackets = r.u64()
+		p.TxPackets = r.u64()
+		p.RxBytes = r.u64()
+		p.TxBytes = r.u64()
+		p.RxDropped = r.u64()
+		p.TxDropped = r.u64()
+		p.RxErrors = r.u64()
+		p.TxErrors = r.u64()
+		p.RxFrameErr = r.u64()
+		p.RxOverErr = r.u64()
+		p.RxCRCErr = r.u64()
+		p.Collisions = r.u64()
+		m.Ports = append(m.Ports, p)
+	}
+	return r.err
+}
+
+// StatsRequest wraps a typed statistics request (ofp_stats_request).
+type StatsRequest struct {
+	Flags uint16
+	Body  StatsBody
+}
+
+// StatsReply wraps a typed statistics reply (ofp_stats_reply).
+type StatsReply struct {
+	Flags uint16
+	Body  StatsBody
+}
+
+// Type implements Message.
+func (*StatsRequest) Type() Type { return TypeStatsRequest }
+
+// Type implements Message.
+func (*StatsReply) Type() Type { return TypeStatsReply }
+
+func (m *StatsRequest) marshalBody(b []byte) ([]byte, error) {
+	if m.Body == nil {
+		return nil, fmt.Errorf("stats request has no body")
+	}
+	w := writer{b: b}
+	w.u16(uint16(m.Body.StatsType()))
+	w.u16(m.Flags)
+	m.Body.marshal(&w)
+	return w.b, nil
+}
+
+func (m *StatsRequest) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	st := StatsType(r.u16())
+	m.Flags = r.u16()
+	if r.err != nil {
+		return r.err
+	}
+	body, err := newStatsBody(st, true)
+	if err != nil {
+		return err
+	}
+	if err := body.unmarshal(r.rest()); err != nil {
+		return err
+	}
+	m.Body = body
+	return nil
+}
+
+func (m *StatsReply) marshalBody(b []byte) ([]byte, error) {
+	if m.Body == nil {
+		return nil, fmt.Errorf("stats reply has no body")
+	}
+	w := writer{b: b}
+	w.u16(uint16(m.Body.StatsType()))
+	w.u16(m.Flags)
+	m.Body.marshal(&w)
+	return w.b, nil
+}
+
+func (m *StatsReply) unmarshalBody(data []byte) error {
+	r := reader{b: data}
+	st := StatsType(r.u16())
+	m.Flags = r.u16()
+	if r.err != nil {
+		return r.err
+	}
+	body, err := newStatsBody(st, false)
+	if err != nil {
+		return err
+	}
+	if err := body.unmarshal(r.rest()); err != nil {
+		return err
+	}
+	m.Body = body
+	return nil
+}
+
+func newStatsBody(st StatsType, request bool) (StatsBody, error) {
+	switch st {
+	case StatsTypeDesc:
+		if request {
+			return DescStatsRequest{}, nil
+		}
+		return &DescStatsReply{}, nil
+	case StatsTypeFlow:
+		if request {
+			return &FlowStatsRequest{}, nil
+		}
+		return &FlowStatsReply{}, nil
+	case StatsTypeAggregate:
+		if request {
+			return &AggregateStatsRequest{}, nil
+		}
+		return &AggregateStatsReply{}, nil
+	case StatsTypeTable:
+		if request {
+			return TableStatsRequest{}, nil
+		}
+		return &TableStatsReply{}, nil
+	case StatsTypePort:
+		if request {
+			return &PortStatsRequest{}, nil
+		}
+		return &PortStatsReply{}, nil
+	default:
+		return nil, fmt.Errorf("stats type %d: %w", uint16(st), ErrUnknownType)
+	}
+}

@@ -1,0 +1,160 @@
+package switchsim
+
+import (
+	"encoding/binary"
+
+	"attain/internal/dataplane"
+	"attain/internal/openflow"
+)
+
+// rewriteFrame applies one header-rewrite action to a raw Ethernet frame in
+// place, fixing IP and transport checksums as needed. Unknown or
+// inapplicable rewrites leave the frame unchanged and report false.
+func rewriteFrame(frame []byte, action openflow.Action) bool {
+	if len(frame) < 14 {
+		return false
+	}
+	switch a := action.(type) {
+	case openflow.ActionSetDLSrc:
+		copy(frame[6:12], a.Addr[:])
+		return true
+	case openflow.ActionSetDLDst:
+		copy(frame[0:6], a.Addr[:])
+		return true
+	case openflow.ActionStripVLAN:
+		if binary.BigEndian.Uint16(frame[12:14]) != dataplane.EtherTypeVLAN || len(frame) < 18 {
+			return false
+		}
+		copy(frame[12:], frame[16:])
+		return true
+	case openflow.ActionSetNWSrc:
+		return rewriteIP(frame, 12, a.Addr[:])
+	case openflow.ActionSetNWDst:
+		return rewriteIP(frame, 16, a.Addr[:])
+	case openflow.ActionSetNWTOS:
+		ip := ipHeader(frame)
+		if ip == nil {
+			return false
+		}
+		ip[1] = a.TOS
+		fixIPChecksum(ip)
+		return true
+	case openflow.ActionSetTPSrc:
+		return rewriteTP(frame, 0, a.Port)
+	case openflow.ActionSetTPDst:
+		return rewriteTP(frame, 2, a.Port)
+	default:
+		return false
+	}
+}
+
+// ipHeader returns the IPv4 header slice of an untagged IPv4 frame, or nil.
+func ipHeader(frame []byte) []byte {
+	if len(frame) < 14+20 {
+		return nil
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != dataplane.EtherTypeIPv4 {
+		return nil
+	}
+	ihl := int(frame[14]&0x0f) * 4
+	if ihl < 20 || len(frame) < 14+ihl {
+		return nil
+	}
+	return frame[14 : 14+ihl]
+}
+
+func fixIPChecksum(ip []byte) {
+	ip[10], ip[11] = 0, 0
+	cs := dataplane.Checksum(ip)
+	binary.BigEndian.PutUint16(ip[10:12], cs)
+}
+
+// rewriteIP replaces 4 address bytes at the given IP-header offset and
+// recomputes the IP and transport checksums.
+func rewriteIP(frame []byte, ipOff int, addr []byte) bool {
+	ip := ipHeader(frame)
+	if ip == nil {
+		return false
+	}
+	copy(ip[ipOff:ipOff+4], addr)
+	fixIPChecksum(ip)
+	fixTransportChecksum(frame, ip)
+	return true
+}
+
+// rewriteTP replaces the 2-byte transport port at the given transport
+// offset and recomputes the transport checksum.
+func rewriteTP(frame []byte, tpOff int, port uint16) bool {
+	ip := ipHeader(frame)
+	if ip == nil {
+		return false
+	}
+	proto := ip[9]
+	if proto != dataplane.ProtoTCP && proto != dataplane.ProtoUDP {
+		return false
+	}
+	seg := frame[14+len(ip):]
+	if len(seg) < tpOff+2 {
+		return false
+	}
+	binary.BigEndian.PutUint16(seg[tpOff:tpOff+2], port)
+	fixTransportChecksum(frame, ip)
+	return true
+}
+
+// fixTransportChecksum recomputes the TCP or UDP checksum after a header
+// rewrite, using the (possibly rewritten) IP addresses for the
+// pseudo-header.
+func fixTransportChecksum(frame, ip []byte) {
+	proto := ip[9]
+	seg := frame[14+len(ip):]
+	var csOff int
+	switch proto {
+	case dataplane.ProtoTCP:
+		if len(seg) < 20 {
+			return
+		}
+		csOff = 16
+	case dataplane.ProtoUDP:
+		if len(seg) < 8 {
+			return
+		}
+		csOff = 6
+	default:
+		return
+	}
+	seg[csOff], seg[csOff+1] = 0, 0
+	// Reuse the dataplane checksum over pseudo-header + segment.
+	var src, dst [4]byte
+	copy(src[:], ip[12:16])
+	copy(dst[:], ip[16:20])
+	cs := transportChecksumHelper(src, dst, proto, seg)
+	if proto == dataplane.ProtoUDP && cs == 0 {
+		cs = 0xffff
+	}
+	binary.BigEndian.PutUint16(seg[csOff:csOff+2], cs)
+}
+
+// transportChecksumHelper mirrors the dataplane pseudo-header checksum for
+// raw byte manipulation.
+func transportChecksumHelper(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	var sum uint32
+	sum += uint32(binary.BigEndian.Uint16(src[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(src[2:4]))
+	sum += uint32(binary.BigEndian.Uint16(dst[0:2]))
+	sum += uint32(binary.BigEndian.Uint16(dst[2:4]))
+	sum += uint32(proto)
+	sum += uint32(len(segment))
+	s := segment
+	for len(s) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(s))
+		s = s[2:]
+	}
+	if len(s) == 1 {
+		sum += uint32(s[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

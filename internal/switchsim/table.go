@@ -1,0 +1,271 @@
+// Package switchsim implements a software OpenFlow 1.0 switch: a flow table
+// with priority and wildcard matching, idle/hard timeout eviction, packet
+// buffering for PACKET_IN, a controller channel with handshake and echo
+// liveness, and the fail-safe / fail-secure behaviours the paper's
+// connection-interruption experiment depends on. It plays the role of Open
+// vSwitch in the ATTAIN paper.
+package switchsim
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"attain/internal/openflow"
+)
+
+// ErrOverlap is returned by Add when CHECK_OVERLAP is requested and an
+// overlapping entry of the same priority exists.
+var ErrOverlap = errors.New("switchsim: overlapping flow entry")
+
+// ErrTableFull is returned by Add when the table is at capacity.
+var ErrTableFull = errors.New("switchsim: flow table full")
+
+// Entry is one flow-table entry.
+type Entry struct {
+	Priority    uint16
+	Match       openflow.Match
+	Actions     []openflow.Action
+	Cookie      uint64
+	IdleTimeout uint16 // seconds; 0 = never
+	HardTimeout uint16 // seconds; 0 = never
+	Flags       uint16
+
+	InstalledAt time.Time
+	LastMatched time.Time
+	Packets     uint64
+	Bytes       uint64
+}
+
+// Expired is an entry evicted by a timeout sweep.
+type Expired struct {
+	Entry  *Entry
+	Reason openflow.FlowRemovedReason
+}
+
+// Table is a single OpenFlow 1.0 flow table. All methods are safe for
+// concurrent use.
+type Table struct {
+	mu      sync.Mutex
+	entries []*Entry // sorted by descending priority, insertion order within
+	maxSize int
+	lookups uint64
+	matched uint64
+}
+
+// NewTable creates a table bounded at maxSize entries (0 means a generous
+// default).
+func NewTable(maxSize int) *Table {
+	if maxSize <= 0 {
+		maxSize = 64 * 1024
+	}
+	return &Table{maxSize: maxSize}
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}
+
+// LookupStats returns the lookup and match counters.
+func (t *Table) LookupStats() (lookups, matched uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lookups, t.matched
+}
+
+// Lookup finds the highest-priority entry matching f, updating its
+// counters. It returns nil on a table miss.
+func (t *Table) Lookup(f openflow.FieldView, frameLen int, now time.Time) *Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lookups++
+	for _, e := range t.entries {
+		if e.Match.Matches(f) {
+			t.matched++
+			e.Packets++
+			e.Bytes += uint64(frameLen)
+			e.LastMatched = now
+			return e
+		}
+	}
+	return nil
+}
+
+// insertIndex finds the position keeping entries sorted by descending
+// priority with stable insertion order among equals.
+func (t *Table) insertIndex(priority uint16) int {
+	for i, e := range t.entries {
+		if e.Priority < priority {
+			return i
+		}
+	}
+	return len(t.entries)
+}
+
+// Add installs a flow per FLOW_MOD ADD semantics: an entry with an
+// identical (strict-equal) match and priority is replaced, preserving no
+// counters; with CHECK_OVERLAP set, an overlapping same-priority entry
+// causes ErrOverlap.
+func (t *Table) Add(fm *openflow.FlowMod, now time.Time) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if fm.Flags&openflow.FlowModFlagCheckOverlap != 0 {
+		for _, e := range t.entries {
+			if e.Priority == fm.Priority && e.Match.Overlaps(fm.Match) {
+				return ErrOverlap
+			}
+		}
+	}
+	// Replace identical entry if present.
+	for i, e := range t.entries {
+		if e.Priority == fm.Priority && e.Match.EqualStrict(fm.Match) {
+			t.entries[i] = newEntry(fm, now)
+			return nil
+		}
+	}
+	if len(t.entries) >= t.maxSize {
+		return ErrTableFull
+	}
+	idx := t.insertIndex(fm.Priority)
+	t.entries = append(t.entries, nil)
+	copy(t.entries[idx+1:], t.entries[idx:])
+	t.entries[idx] = newEntry(fm, now)
+	return nil
+}
+
+func newEntry(fm *openflow.FlowMod, now time.Time) *Entry {
+	return &Entry{
+		Priority:    fm.Priority,
+		Match:       fm.Match,
+		Actions:     append([]openflow.Action(nil), fm.Actions...),
+		Cookie:      fm.Cookie,
+		IdleTimeout: fm.IdleTimeout,
+		HardTimeout: fm.HardTimeout,
+		Flags:       fm.Flags,
+		InstalledAt: now,
+		LastMatched: now,
+	}
+}
+
+// Modify updates the actions of matching entries per MODIFY/MODIFY_STRICT
+// semantics; if no entry matches, the flow is added.
+func (t *Table) Modify(fm *openflow.FlowMod, strict bool, now time.Time) error {
+	t.mu.Lock()
+	modified := false
+	for _, e := range t.entries {
+		if matchesForMod(e, fm, strict) {
+			e.Actions = append([]openflow.Action(nil), fm.Actions...)
+			e.Cookie = fm.Cookie
+			modified = true
+		}
+	}
+	t.mu.Unlock()
+	if !modified {
+		return t.Add(fm, now)
+	}
+	return nil
+}
+
+// Delete removes matching entries per DELETE/DELETE_STRICT semantics,
+// honouring the out_port filter, and returns the removed entries.
+func (t *Table) Delete(fm *openflow.FlowMod, strict bool) []*Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if matchesForMod(e, fm, strict) && outPortMatches(e, fm.OutPort) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	// Zero the tail so removed entries are collectable.
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	return removed
+}
+
+func matchesForMod(e *Entry, fm *openflow.FlowMod, strict bool) bool {
+	if strict {
+		return e.Priority == fm.Priority && e.Match.EqualStrict(fm.Match)
+	}
+	return fm.Match.Subsumes(e.Match)
+}
+
+// outPortMatches applies the DELETE out_port filter: PortNone means no
+// filter; otherwise the entry must have an output action to that port.
+func outPortMatches(e *Entry, outPort uint16) bool {
+	if outPort == openflow.PortNone {
+		return true
+	}
+	for _, a := range e.Actions {
+		if out, ok := a.(openflow.ActionOutput); ok && out.Port == outPort {
+			return true
+		}
+	}
+	return false
+}
+
+// Expire removes entries whose idle or hard timeout has elapsed and
+// returns them with their removal reasons.
+func (t *Table) Expire(now time.Time) []Expired {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var expired []Expired
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && !now.Before(e.InstalledAt.Add(time.Duration(e.HardTimeout)*time.Second)):
+			expired = append(expired, Expired{Entry: e, Reason: openflow.FlowRemovedHardTimeout})
+		case e.IdleTimeout > 0 && !now.Before(e.LastMatched.Add(time.Duration(e.IdleTimeout)*time.Second)):
+			expired = append(expired, Expired{Entry: e, Reason: openflow.FlowRemovedIdleTimeout})
+		default:
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	return expired
+}
+
+// Clear removes all entries.
+func (t *Table) Clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.entries = nil
+}
+
+// Snapshot returns copies of all entries in table order.
+func (t *Table) Snapshot() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry, len(t.entries))
+	for i, e := range t.entries {
+		out[i] = *e
+		out[i].Actions = append([]openflow.Action(nil), e.Actions...)
+	}
+	return out
+}
+
+// Aggregate returns totals over entries subsumed by match.
+func (t *Table) Aggregate(match openflow.Match) (packets, bytes uint64, flows uint32) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, e := range t.entries {
+		if match.Subsumes(e.Match) {
+			packets += e.Packets
+			bytes += e.Bytes
+			flows++
+		}
+	}
+	return packets, bytes, flows
+}
