@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: ci vet build test race smoke bench clean
+
+ci: vet build test race smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The campaign runner is the concurrency-heavy subsystem; keep it under
+# the race detector on every CI run.
+race:
+	$(GO) test -race ./internal/campaign/...
+
+# End-to-end smoke: one short interruption scenario through the campaign
+# CLI, artifacts written to a scratch directory.
+smoke:
+	$(GO) run ./cmd/attain-campaign -spec examples/campaign/smoke.json -out /tmp/attain-smoke
+	@test -s /tmp/attain-smoke/results.jsonl
+
+bench:
+	$(GO) test -bench=CampaignWorkers -benchtime=1x .
+
+clean:
+	rm -rf /tmp/attain-smoke

@@ -9,11 +9,13 @@
 package attain_test
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"testing"
 	"time"
 
+	"attain/internal/campaign"
 	"attain/internal/clock"
 	"attain/internal/controller"
 	"attain/internal/core/inject"
@@ -540,6 +542,51 @@ func BenchmarkCounterStates(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(float64(len(a.States)), "states")
+			}
+		})
+	}
+}
+
+// ---- campaign runner scalability ----
+
+// BenchmarkCampaignWorkers sweeps the worker pool over a fixed 12-scenario
+// campaign matrix (the default paper evaluation: 6 suppression + 6
+// interruption cells) with a shortened workload. Scenarios are dominated by
+// scaled virtual-time waits, so the pool overlaps them even on one CPU —
+// ns/op should drop sharply from 1 to 4 workers.
+//
+//	go test -bench=CampaignWorkers -benchtime=1x .
+func BenchmarkCampaignWorkers(b *testing.B) {
+	m := campaign.Matrix{
+		TimeScale: 100,
+		Seed:      1,
+		Workload: campaign.Workload{
+			Settle:          time.Second,
+			Ping:            monitor.PingConfig{Trials: 2, Interval: time.Second, Timeout: 2 * time.Second},
+			Iperf:           monitor.IperfMonitorConfig{Trials: 1, Duration: 2 * time.Second, Gap: time.Second},
+			AccessAttempts:  2,
+			AccessInterval:  500 * time.Millisecond,
+			TriggerWindow:   8 * time.Second,
+			PostTriggerWait: 8 * time.Second,
+			EchoInterval:    time.Second,
+			EchoTimeout:     3 * time.Second,
+		},
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 12 {
+		b.Fatalf("matrix expanded to %d scenarios, want 12", len(scenarios))
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				report, err := campaign.NewRunner(campaign.RunnerConfig{Workers: workers}).
+					Run(context.Background(), scenarios)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if failed := report.Failed(); len(failed) > 0 {
+					b.Fatalf("campaign failures:\n%s", report.Summary())
+				}
 			}
 		})
 	}

@@ -10,21 +10,25 @@
 //	attain-lab -experiment all              # both
 //	attain-lab -experiment fig11 -full      # paper-faithful trial counts
 //	attain-lab -scale 40                    # virtual-time speed-up
+//	attain-lab -parallel 4                  # run scenarios concurrently
+//	attain-lab -seed 7 -out results/        # seeded run with JSONL artifacts
 //
 // By default a reduced timeline runs in under a minute; -full uses the
-// paper's 60 ping and 30 iperf trials (slower).
+// paper's 60 ping and 30 iperf trials (slower). Scenarios run through the
+// campaign runner on isolated testbeds, so -parallel N changes wall-clock
+// time but not results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"time"
+	"path/filepath"
 
+	"attain/internal/campaign"
 	"attain/internal/controller"
-	"attain/internal/dataplane"
 	"attain/internal/experiment"
-	"attain/internal/monitor"
 	"attain/internal/switchsim"
 )
 
@@ -41,37 +45,77 @@ var profiles = []controller.Profile{
 	controller.ProfileRyu,
 }
 
+type options struct {
+	scale    int
+	full     bool
+	parallel int
+	seed     int64
+	out      string
+	csv      string
+}
+
 func run() error {
 	experimentName := flag.String("experiment", "all", "fig11, table2, or all")
-	scale := flag.Int("scale", 20, "virtual time speed-up factor")
-	full := flag.Bool("full", false, "use the paper's full trial counts (60 ping / 30 iperf)")
-	csvPath := flag.String("csv", "", "also write per-trial results as CSV (fig11.csv / table2.csv under this prefix)")
+	var o options
+	flag.IntVar(&o.scale, "scale", 20, "virtual time speed-up factor")
+	flag.BoolVar(&o.full, "full", false, "use the paper's full trial counts (60 ping / 30 iperf)")
+	flag.IntVar(&o.parallel, "parallel", 1, "number of concurrent scenarios")
+	flag.Int64Var(&o.seed, "seed", 1, "campaign seed for stochastic attack rules")
+	flag.StringVar(&o.out, "out", "", "directory for per-scenario JSONL and aggregate CSV artifacts")
+	flag.StringVar(&o.csv, "csv", "", "also write per-trial results as CSV (fig11.csv / table2.csv under this prefix)")
 	flag.Parse()
 
 	switch *experimentName {
 	case "fig11":
-		return runFig11(*scale, *full, *csvPath)
+		return runFig11(o)
 	case "table2":
-		return runTable2(*scale, *csvPath)
+		return runTable2(o)
 	case "all":
-		if err := runFig11(*scale, *full, *csvPath); err != nil {
+		if err := runFig11(o); err != nil {
 			return err
 		}
 		fmt.Println()
-		return runTable2(*scale, *csvPath)
+		return runTable2(o)
 	default:
 		return fmt.Errorf("unknown experiment %q", *experimentName)
 	}
 }
 
+// runMatrix expands and executes one experiment matrix on the campaign
+// runner, writing artifacts under <out>/<sub> when -out is set. A scenario
+// failure fails the lab run: this harness exists to reproduce the paper's
+// tables, and a hole in the matrix makes them meaningless.
+func runMatrix(m campaign.Matrix, o options, sub string) (*campaign.Report, error) {
+	cfg := campaign.RunnerConfig{Workers: o.parallel, Progress: os.Stdout}
+	if o.out != "" {
+		store, err := campaign.NewStore(filepath.Join(o.out, sub))
+		if err != nil {
+			return nil, err
+		}
+		cfg.Store = store
+	}
+	report, err := campaign.NewRunner(cfg).Run(context.Background(), m.Expand())
+	if err != nil {
+		return nil, err
+	}
+	if failed := report.Failed(); len(failed) > 0 {
+		return nil, fmt.Errorf("%d scenario(s) failed:\n%s", len(failed), report.Summary())
+	}
+	return report, nil
+}
+
 // writeCSV writes one CSV artefact next to the given prefix.
-func writeCSV(prefix, name string, write func(w *os.File) error) error {
+func writeCSV(prefix, name string, write func(w *os.File) error) (err error) {
 	path := prefix + name
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if err := write(f); err != nil {
 		return err
 	}
@@ -79,103 +123,54 @@ func writeCSV(prefix, name string, write func(w *os.File) error) error {
 	return nil
 }
 
-func suppressionConfig(profile controller.Profile, attacked, full bool, scale int) experiment.SuppressionConfig {
-	cfg := experiment.SuppressionConfig{
-		Profile:   profile,
-		Attacked:  attacked,
-		TimeScale: scale,
-		Settle:    3 * time.Second,
-		Ping: monitor.PingConfig{
-			Trials: 12, Interval: time.Second, Timeout: 2 * time.Second,
-		},
-		Iperf: monitor.IperfMonitorConfig{
-			Trials: 4, Duration: 5 * time.Second, Gap: 2 * time.Second,
-			Client: dataplane.IperfConfig{
-				SegmentSize: 1400, Window: 16,
-				RTO: 1500 * time.Millisecond, ConnectTimeout: 4 * time.Second,
-			},
-		},
-	}
-	if full {
-		// The paper's timeline: 60 one-second ping trials, then 30
-		// ten-second iperf trials separated by ten-second gaps.
-		cfg.Ping = monitor.PingConfig{Trials: 60, Interval: time.Second, Timeout: 2 * time.Second}
-		cfg.Iperf = monitor.IperfMonitorConfig{
-			Trials: 30, Duration: 10 * time.Second, Gap: 10 * time.Second,
-			Client: dataplane.IperfConfig{
-				SegmentSize: 1400, Window: 16,
-				RTO: 1500 * time.Millisecond, ConnectTimeout: 4 * time.Second,
-			},
-		}
-	}
-	return cfg
-}
-
-func runFig11(scale int, full bool, csvPrefix string) error {
+func runFig11(o options) error {
 	fmt.Println("== Experiment: flow modification suppression (paper §VII-B, Figure 10) ==")
-	var results []*experiment.SuppressionResult
-	byProfile := make(map[controller.Profile][2]*experiment.SuppressionResult)
-	for _, profile := range profiles {
-		var pair [2]*experiment.SuppressionResult
-		for i, attacked := range []bool{false, true} {
-			cond := "baseline"
-			if attacked {
-				cond = "attack"
-			}
-			fmt.Printf("running %s %s...\n", profile, cond)
-			res, err := experiment.RunSuppression(suppressionConfig(profile, attacked, full, scale))
-			if err != nil {
-				return fmt.Errorf("%s %s: %w", profile, cond, err)
-			}
-			results = append(results, res)
-			pair[i] = res
-		}
-		byProfile[profile] = pair
+	report, err := runMatrix(campaign.Matrix{
+		Kinds:     []campaign.Kind{campaign.KindSuppression},
+		Profiles:  profiles,
+		Attacks:   []string{campaign.AttackBaseline, campaign.AttackSuppression},
+		TimeScale: o.scale,
+		Seed:      o.seed,
+		Workload:  campaign.Workload{Full: o.full},
+	}, o, "fig11")
+	if err != nil {
+		return err
 	}
+	results := report.SuppressionResults()
 	fmt.Println()
 	fmt.Print(experiment.RenderFigure11(results))
 	fmt.Println()
-	for _, profile := range profiles {
-		pair := byProfile[profile]
-		fmt.Print(experiment.RenderControlPlaneOverhead(pair[0], pair[1]))
+	// Expansion order is (baseline, attack) per profile, so consecutive
+	// pairs feed the overhead comparison.
+	for i := 0; i+1 < len(results); i += 2 {
+		fmt.Print(experiment.RenderControlPlaneOverhead(results[i], results[i+1]))
 		fmt.Println()
 	}
-	if csvPrefix != "" {
-		return writeCSV(csvPrefix, "fig11.csv", func(w *os.File) error {
+	if o.csv != "" {
+		return writeCSV(o.csv, "fig11.csv", func(w *os.File) error {
 			return experiment.WriteFigure11CSV(w, results)
 		})
 	}
 	return nil
 }
 
-func runTable2(scale int, csvPrefix string) error {
+func runTable2(o options) error {
 	fmt.Println("== Experiment: connection interruption (paper §VII-C, Figure 12) ==")
-	var results []*experiment.InterruptionResult
-	for _, profile := range profiles {
-		for _, mode := range []switchsim.FailMode{switchsim.FailSafe, switchsim.FailSecure} {
-			fmt.Printf("running %s fail-%s...\n", profile, mode)
-			res, err := experiment.RunInterruption(experiment.InterruptionConfig{
-				Profile:         profile,
-				FailMode:        mode,
-				TimeScale:       scale,
-				Settle:          3 * time.Second,
-				AccessAttempts:  6,
-				AccessInterval:  time.Second,
-				TriggerWindow:   25 * time.Second,
-				PostTriggerWait: 35 * time.Second,
-				EchoInterval:    2 * time.Second,
-				EchoTimeout:     6 * time.Second,
-			})
-			if err != nil {
-				return fmt.Errorf("%s fail-%s: %w", profile, mode, err)
-			}
-			results = append(results, res)
-		}
+	report, err := runMatrix(campaign.Matrix{
+		Kinds:     []campaign.Kind{campaign.KindInterruption},
+		Profiles:  profiles,
+		FailModes: []switchsim.FailMode{switchsim.FailSafe, switchsim.FailSecure},
+		TimeScale: o.scale,
+		Seed:      o.seed,
+	}, o, "table2")
+	if err != nil {
+		return err
 	}
+	results := report.InterruptionResults()
 	fmt.Println()
 	fmt.Print(experiment.RenderTableII(results))
-	if csvPrefix != "" {
-		return writeCSV(csvPrefix, "table2.csv", func(w *os.File) error {
+	if o.csv != "" {
+		return writeCSV(o.csv, "table2.csv", func(w *os.File) error {
 			return experiment.WriteTableIICSV(w, results)
 		})
 	}

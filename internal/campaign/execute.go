@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/core/templates"
+	"attain/internal/dataplane"
+	"attain/internal/experiment"
+	"attain/internal/monitor"
+)
+
+// ExecuteFunc runs one scenario to an outcome. Implementations must be
+// self-contained: parallel invocations share nothing. Errors wrapped with
+// Infra are retried by the runner; any other error is terminal.
+type ExecuteFunc func(ctx context.Context, sc Scenario) (*Outcome, error)
+
+// Execute is the default ExecuteFunc: it runs the scenario's experiment on
+// a fully isolated testbed (private scaled clock, in-memory transports,
+// switches, hosts, injector). Testbed failures come back wrapped as
+// infrastructure errors; legitimate attack outcomes (denial of service,
+// unauthorized access) are part of the Outcome, never errors.
+func Execute(ctx context.Context, sc Scenario) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch sc.Kind {
+	case KindSuppression:
+		cfg, err := sc.suppressionConfig()
+		if err != nil {
+			return nil, err
+		}
+		res, err := experiment.RunSuppression(cfg)
+		if err != nil {
+			return nil, Infra(err)
+		}
+		return &Outcome{Suppression: res}, nil
+	case KindInterruption:
+		res, err := experiment.RunInterruption(sc.interruptionConfig())
+		if err != nil {
+			return nil, Infra(err)
+		}
+		return &Outcome{Interruption: res}, nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown scenario kind %q", sc.Kind)
+	}
+}
+
+// BuildAttack materializes a suppression-kind attack condition against sys
+// using the core/templates generators and the experiment builders.
+// AttackBaseline returns nil (the trivial pass-all baseline).
+func BuildAttack(name string, sys *model.System) (*lang.Attack, error) {
+	scope := templates.Scope{
+		Conns: append([]model.Conn(nil), sys.ControlPlane...),
+		Caps:  model.AllCapabilities,
+	}
+	switch name {
+	case AttackBaseline, "":
+		return nil, nil
+	case AttackSuppression:
+		a := lang.NewAttack("tpl-flowmod-suppression", "sigma1")
+		a.AddState(templates.DropMatching("sigma1", scope, templates.TypeIs("FLOW_MOD")))
+		return a, nil
+	case AttackDelay:
+		return experiment.DelayAttack(sys, 250*time.Millisecond), nil
+	case AttackFuzz:
+		// Stochastic (Rule.Prob): firings draw from the scenario seed.
+		return experiment.FuzzAttack(sys, 0.3), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown attack %q", name)
+	}
+}
+
+// suppressionConfig maps the scenario onto the §VII-B experiment config.
+func (sc Scenario) suppressionConfig() (experiment.SuppressionConfig, error) {
+	attack, err := BuildAttack(sc.Attack, experiment.EnterpriseSystem())
+	if err != nil {
+		return experiment.SuppressionConfig{}, err
+	}
+	w := sc.Workload.withSuppressionDefaults()
+	return experiment.SuppressionConfig{
+		Profile:        sc.Profile,
+		Attacked:       attack != nil,
+		Attack:         attack,
+		TimeScale:      sc.TimeScale,
+		Settle:         w.Settle,
+		Ping:           w.Ping,
+		Iperf:          w.Iperf,
+		StochasticSeed: sc.Seed,
+	}, nil
+}
+
+// interruptionConfig maps the scenario onto the §VII-C experiment config.
+func (sc Scenario) interruptionConfig() experiment.InterruptionConfig {
+	w := sc.Workload.withInterruptionDefaults()
+	return experiment.InterruptionConfig{
+		Profile:         sc.Profile,
+		FailMode:        sc.FailMode,
+		TimeScale:       sc.TimeScale,
+		Settle:          w.Settle,
+		AccessAttempts:  w.AccessAttempts,
+		AccessInterval:  w.AccessInterval,
+		TriggerWindow:   w.TriggerWindow,
+		PostTriggerWait: w.PostTriggerWait,
+		EchoInterval:    w.EchoInterval,
+		EchoTimeout:     w.EchoTimeout,
+		StochasticSeed:  sc.Seed,
+	}
+}
+
+// withSuppressionDefaults fills zero workload fields with the lab's
+// reduced §VII-B parameters, or the paper's full trial counts under Full.
+func (w Workload) withSuppressionDefaults() Workload {
+	if w.Settle <= 0 {
+		w.Settle = 3 * time.Second
+	}
+	client := dataplane.IperfConfig{
+		SegmentSize: 1400, Window: 16,
+		RTO: 1500 * time.Millisecond, ConnectTimeout: 4 * time.Second,
+	}
+	if w.Full {
+		// The paper's timeline: 60 one-second ping trials, then 30
+		// ten-second iperf trials separated by ten-second gaps.
+		w.Ping = monitor.PingConfig{Trials: 60, Interval: time.Second, Timeout: 2 * time.Second}
+		w.Iperf = monitor.IperfMonitorConfig{Trials: 30, Duration: 10 * time.Second, Gap: 10 * time.Second, Client: client}
+		return w
+	}
+	if w.Ping.Trials <= 0 {
+		w.Ping = monitor.PingConfig{Trials: 12, Interval: time.Second, Timeout: 2 * time.Second}
+	}
+	if w.Iperf.Trials <= 0 {
+		w.Iperf = monitor.IperfMonitorConfig{Trials: 4, Duration: 5 * time.Second, Gap: 2 * time.Second, Client: client}
+	}
+	if w.Iperf.Client == (dataplane.IperfConfig{}) {
+		w.Iperf.Client = client
+	}
+	return w
+}
+
+// withInterruptionDefaults fills zero workload fields with the lab's
+// §VII-C timeline parameters.
+func (w Workload) withInterruptionDefaults() Workload {
+	if w.Settle <= 0 {
+		w.Settle = 3 * time.Second
+	}
+	if w.AccessAttempts <= 0 {
+		w.AccessAttempts = 6
+	}
+	if w.AccessInterval <= 0 {
+		w.AccessInterval = time.Second
+	}
+	if w.TriggerWindow <= 0 {
+		w.TriggerWindow = 25 * time.Second
+	}
+	if w.PostTriggerWait <= 0 {
+		w.PostTriggerWait = 35 * time.Second
+	}
+	if w.EchoInterval <= 0 {
+		w.EchoInterval = 2 * time.Second
+	}
+	if w.EchoTimeout <= 0 {
+		w.EchoTimeout = 6 * time.Second
+	}
+	return w
+}

@@ -1,0 +1,168 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/experiment"
+	"attain/internal/monitor"
+	"attain/internal/switchsim"
+)
+
+func TestBuildAttackVariantsValidate(t *testing.T) {
+	sys := experiment.EnterpriseSystem()
+	for _, name := range []string{AttackSuppression, AttackDelay, AttackFuzz} {
+		a, err := BuildAttack(name, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a == nil {
+			t.Fatalf("%s: nil attack", name)
+		}
+		if err := a.Validate(sys, nil); err != nil {
+			t.Errorf("%s: generated attack does not validate: %v", name, err)
+		}
+	}
+	if a, err := BuildAttack(AttackBaseline, sys); err != nil || a != nil {
+		t.Errorf("baseline = (%v, %v), want (nil, nil)", a, err)
+	}
+	if _, err := BuildAttack("nonsense", sys); err == nil {
+		t.Error("unknown attack accepted")
+	}
+}
+
+// TestScenarioConfigThreadsSeed guards the determinism satellite: the
+// per-scenario seed must reach the injector's stochastic-rule RNG for
+// both experiment kinds, not a shared package-level source.
+func TestScenarioConfigThreadsSeed(t *testing.T) {
+	sc := Scenario{
+		Kind: KindSuppression, Attack: AttackFuzz,
+		Profile: controller.ProfilePOX, Seed: 9901, TimeScale: 25,
+	}
+	cfg, err := sc.suppressionConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StochasticSeed != 9901 {
+		t.Errorf("suppression StochasticSeed = %d, want the scenario seed", cfg.StochasticSeed)
+	}
+	if cfg.Profile != controller.ProfilePOX || cfg.TimeScale != 25 || cfg.Attack == nil || !cfg.Attacked {
+		t.Errorf("config mapping lost fields: %+v", cfg)
+	}
+
+	sc2 := Scenario{Kind: KindInterruption, Profile: controller.ProfileRyu,
+		FailMode: switchsim.FailSafe, Seed: 7702}
+	icfg := sc2.interruptionConfig()
+	if icfg.StochasticSeed != 7702 || icfg.FailMode != switchsim.FailSafe {
+		t.Errorf("interruption config mapping lost fields: %+v", icfg)
+	}
+}
+
+func TestWorkloadDefaults(t *testing.T) {
+	w := Workload{}.withSuppressionDefaults()
+	if w.Ping.Trials != 12 || w.Iperf.Trials != 4 || w.Settle != 3*time.Second {
+		t.Errorf("reduced defaults = %+v", w)
+	}
+	full := Workload{Full: true}.withSuppressionDefaults()
+	if full.Ping.Trials != 60 || full.Iperf.Trials != 30 {
+		t.Errorf("paper defaults = %+v", full)
+	}
+	iw := Workload{}.withInterruptionDefaults()
+	if iw.AccessAttempts != 6 || iw.TriggerWindow != 25*time.Second || iw.EchoTimeout != 6*time.Second {
+		t.Errorf("interruption defaults = %+v", iw)
+	}
+}
+
+// tinyWorkload keeps real end-to-end scenarios fast (sub-second each at
+// the given scale) while still exercising the full testbed.
+func tinyWorkload() Workload {
+	return Workload{
+		Settle:          time.Second,
+		Ping:            monitor.PingConfig{Trials: 2, Interval: time.Second, Timeout: 2 * time.Second},
+		Iperf:           monitor.IperfMonitorConfig{Trials: 1, Duration: 2 * time.Second, Gap: time.Second},
+		AccessAttempts:  2,
+		AccessInterval:  500 * time.Millisecond,
+		TriggerWindow:   8 * time.Second,
+		PostTriggerWait: 8 * time.Second,
+		EchoInterval:    time.Second,
+		EchoTimeout:     3 * time.Second,
+	}
+}
+
+// TestCampaignEndToEnd drives a small real campaign — isolated testbeds,
+// parallel workers, artifact store — through the default Execute.
+func TestCampaignEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real testbeds in -short mode")
+	}
+	m := Matrix{
+		Profiles:  []controller.Profile{controller.ProfileFloodlight},
+		Attacks:   []string{AttackBaseline, AttackSuppression},
+		FailModes: []switchsim.FailMode{switchsim.FailSafe},
+		TimeScale: 50,
+		Seed:      1,
+		Workload:  tinyWorkload(),
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 3 { // 2 suppression + 1 interruption
+		t.Fatalf("matrix = %d scenarios", len(scenarios))
+	}
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(RunnerConfig{
+		Workers: 3,
+		Timeout: 2 * time.Minute,
+		Retries: 1,
+		Store:   store,
+	})
+	report, err := r.Run(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := report.Failed(); len(failed) != 0 {
+		t.Fatalf("failures: %s", report.Summary())
+	}
+
+	// The isolated testbeds must reproduce the serial lab's shape: the
+	// suppression attack degrades Floodlight but never fully kills it.
+	supp := report.SuppressionResults()
+	if len(supp) != 2 {
+		t.Fatalf("suppression outcomes = %d", len(supp))
+	}
+	baseline, attacked := supp[0], supp[1]
+	if baseline.Attacked || !attacked.Attacked {
+		t.Fatalf("outcome order broken: %v %v", baseline.Attacked, attacked.Attacked)
+	}
+	if baseline.Ping.Received() == 0 {
+		t.Error("baseline lost every ping")
+	}
+	if attacked.FlowModsDropped == 0 {
+		t.Error("attack run dropped no FLOW_MODs")
+	}
+	inter := report.InterruptionResults()
+	if len(inter) != 1 || inter[0].FinalState != "sigma3" {
+		t.Errorf("interruption outcomes = %+v", inter)
+	}
+
+	// Artifacts landed.
+	data, err := os.ReadFile(filepath.Join(dir, ResultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 3 {
+		t.Errorf("results.jsonl has %d records, want 3:\n%s", lines, data)
+	}
+	for _, name := range []string{Fig11File, TableIIFile, SummaryFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+		}
+	}
+}

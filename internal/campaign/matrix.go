@@ -1,0 +1,119 @@
+package campaign
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+
+	"attain/internal/controller"
+	"attain/internal/switchsim"
+)
+
+// Matrix describes a campaign as axes whose cross-product Expand turns
+// into concrete scenarios. Axes irrelevant to a kind are ignored for that
+// kind: suppression sweeps Attacks (fail mode is fixed to fail-secure, as
+// in §VII-B), interruption sweeps FailModes (the attack is Figure 12).
+type Matrix struct {
+	// Kinds defaults to both experiments.
+	Kinds []Kind
+	// Profiles defaults to the paper's three controllers.
+	Profiles []controller.Profile
+	// Attacks defaults to {baseline, suppression} — the Figure 11 pair.
+	Attacks []string
+	// FailModes defaults to {fail-safe, fail-secure} — the Table II pair.
+	FailModes []switchsim.FailMode
+	// TimeScale applies to every scenario (0 = paper real time).
+	TimeScale int
+	// Trials repeats every cell with the same derived seed axis (≥1).
+	Trials int
+	// Seed is the campaign seed; per-scenario seeds are derived from it.
+	Seed int64
+	// Workload applies to every scenario.
+	Workload Workload
+}
+
+// Expand generates the matrix's scenarios in deterministic order: kinds in
+// the order given, then profiles, then the kind's sweep axis, then trials.
+// Each scenario gets a unique name and a seed derived from the campaign
+// seed and that name, so re-running the same matrix yields byte-identical
+// scenario lists and adding axis values never re-seeds existing cells.
+func (m Matrix) Expand() []Scenario {
+	kinds := m.Kinds
+	if len(kinds) == 0 {
+		kinds = []Kind{KindSuppression, KindInterruption}
+	}
+	profiles := m.Profiles
+	if len(profiles) == 0 {
+		profiles = []controller.Profile{
+			controller.ProfileFloodlight,
+			controller.ProfilePOX,
+			controller.ProfileRyu,
+		}
+	}
+	attacks := m.Attacks
+	if len(attacks) == 0 {
+		attacks = []string{AttackBaseline, AttackSuppression}
+	}
+	failModes := m.FailModes
+	if len(failModes) == 0 {
+		failModes = []switchsim.FailMode{switchsim.FailSafe, switchsim.FailSecure}
+	}
+	trials := m.Trials
+	if trials < 1 {
+		trials = 1
+	}
+
+	var out []Scenario
+	add := func(sc Scenario) {
+		sc.Index = len(out)
+		sc.TimeScale = m.TimeScale
+		sc.Workload = m.Workload
+		sc.Name = scenarioName(sc)
+		sc.Seed = DeriveSeed(m.Seed, sc.Name)
+		out = append(out, sc)
+	}
+	for _, kind := range kinds {
+		for _, profile := range profiles {
+			switch kind {
+			case KindInterruption:
+				for _, mode := range failModes {
+					for trial := 1; trial <= trials; trial++ {
+						add(Scenario{Kind: kind, Profile: profile, FailMode: mode, Trial: trial})
+					}
+				}
+			default:
+				for _, attack := range attacks {
+					for trial := 1; trial <= trials; trial++ {
+						// §VII-B runs fail-secure switches throughout.
+						add(Scenario{Kind: kind, Profile: profile, Attack: attack,
+							FailMode: switchsim.FailSecure, Trial: trial})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// scenarioName derives the scenario's stable identifier from its
+// coordinates.
+func scenarioName(sc Scenario) string {
+	axis := sc.Attack
+	if sc.Kind == KindInterruption {
+		axis = "fail-" + sc.FailMode.String()
+	}
+	return fmt.Sprintf("%s/%s/%s#%d", sc.Kind, sc.Profile, axis, sc.Trial)
+}
+
+// DeriveSeed mixes the campaign seed with a scenario name into a stable
+// per-scenario seed, so stochastic rules draw from a private, reproducible
+// stream instead of a shared source.
+func DeriveSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, name)
+	seed := int64(h.Sum64() ^ (uint64(base)+1)*0x9e3779b97f4a7c15)
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}

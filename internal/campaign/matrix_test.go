@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"testing"
+
+	"attain/internal/controller"
+	"attain/internal/switchsim"
+)
+
+func TestMatrixDefaultsExpandToPaperEvaluation(t *testing.T) {
+	// The zero matrix is the paper's §VII evaluation: 3 profiles ×
+	// ({baseline, suppression} + {fail-safe, fail-secure}).
+	scenarios := Matrix{}.Expand()
+	if len(scenarios) != 12 {
+		t.Fatalf("default matrix has %d scenarios, want 12", len(scenarios))
+	}
+	var supp, inter int
+	for i, sc := range scenarios {
+		if sc.Index != i {
+			t.Errorf("scenario %d has index %d", i, sc.Index)
+		}
+		if sc.Trial != 1 {
+			t.Errorf("%s trial = %d", sc.Name, sc.Trial)
+		}
+		switch sc.Kind {
+		case KindSuppression:
+			supp++
+			if sc.FailMode != switchsim.FailSecure {
+				t.Errorf("%s fail mode = %s, want secure", sc.Name, sc.FailMode)
+			}
+		case KindInterruption:
+			inter++
+			if sc.Attack != "" {
+				t.Errorf("%s carries attack %q", sc.Name, sc.Attack)
+			}
+		}
+	}
+	if supp != 6 || inter != 6 {
+		t.Errorf("split = %d suppression + %d interruption, want 6+6", supp, inter)
+	}
+	// Order: all suppression cells first (kind axis outermost), profiles
+	// in floodlight, pox, ryu order, baseline before attack.
+	first := scenarios[0]
+	if first.Kind != KindSuppression || first.Profile != controller.ProfileFloodlight || first.Attack != AttackBaseline {
+		t.Errorf("first scenario = %+v", first)
+	}
+}
+
+func TestMatrixNamesUniqueAndStable(t *testing.T) {
+	m := Matrix{Trials: 2, Seed: 7}
+	a, b := m.Expand(), m.Expand()
+	seen := map[string]bool{}
+	for i, sc := range a {
+		if seen[sc.Name] {
+			t.Errorf("duplicate name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		if sc.Name != b[i].Name || sc.Seed != b[i].Seed {
+			t.Errorf("expansion not deterministic at %d: %+v vs %+v", i, sc, b[i])
+		}
+	}
+}
+
+func TestMatrixSeedDerivation(t *testing.T) {
+	base := Matrix{Seed: 1}.Expand()
+	other := Matrix{Seed: 2}.Expand()
+	seeds := map[int64]bool{}
+	for i, sc := range base {
+		if sc.Seed == 0 {
+			t.Errorf("%s derived the zero seed", sc.Name)
+		}
+		if seeds[sc.Seed] {
+			t.Errorf("%s collides on seed %d", sc.Name, sc.Seed)
+		}
+		seeds[sc.Seed] = true
+		if sc.Seed == other[i].Seed {
+			t.Errorf("%s seed unchanged across campaign seeds", sc.Name)
+		}
+	}
+	// Adding a trial axis must not re-seed existing cells.
+	wide := Matrix{Seed: 1, Trials: 2}.Expand()
+	wideByName := map[string]int64{}
+	for _, sc := range wide {
+		wideByName[sc.Name] = sc.Seed
+	}
+	for _, sc := range base {
+		if got, ok := wideByName[sc.Name]; !ok || got != sc.Seed {
+			t.Errorf("%s re-seeded after widening: %d -> %d", sc.Name, sc.Seed, got)
+		}
+	}
+}
+
+func TestMatrixTrialAxis(t *testing.T) {
+	m := Matrix{
+		Kinds:    []Kind{KindSuppression},
+		Profiles: []controller.Profile{controller.ProfilePOX},
+		Attacks:  []string{AttackFuzz},
+		Trials:   3,
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 3 {
+		t.Fatalf("got %d scenarios, want 3", len(scenarios))
+	}
+	for i, sc := range scenarios {
+		if sc.Trial != i+1 {
+			t.Errorf("scenario %d trial = %d", i, sc.Trial)
+		}
+	}
+	if scenarios[0].Seed == scenarios[1].Seed {
+		t.Error("trials share a stochastic seed")
+	}
+}

@@ -1,0 +1,271 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// InfraError marks an infrastructure failure — testbed construction,
+// transport setup, controller startup — as opposed to a legitimate attack
+// outcome. Only infrastructure failures are retried.
+type InfraError struct{ Err error }
+
+func (e *InfraError) Error() string { return "infrastructure: " + e.Err.Error() }
+func (e *InfraError) Unwrap() error { return e.Err }
+
+// Infra wraps err as an InfraError; nil stays nil.
+func Infra(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &InfraError{Err: err}
+}
+
+// IsInfra reports whether err is (or wraps) an infrastructure failure.
+func IsInfra(err error) bool {
+	var ie *InfraError
+	return errors.As(err, &ie)
+}
+
+// PanicError records a panic recovered from a scenario execution.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// RunnerConfig tunes a campaign runner.
+type RunnerConfig struct {
+	// Workers bounds concurrent scenarios (default GOMAXPROCS).
+	Workers int
+	// Timeout is the per-scenario wall-clock deadline (0 = none).
+	// Deadline failures are terminal, not retried.
+	Timeout time.Duration
+	// Retries is how many times an infrastructure failure is re-executed
+	// (0 = first failure is final).
+	Retries int
+	// Backoff is the wait before the first retry; it doubles per retry
+	// (default 250 ms).
+	Backoff time.Duration
+	// Execute runs one scenario (default Execute).
+	Execute ExecuteFunc
+	// Store, when set, receives every result as it completes and the
+	// aggregate artifacts at the end of Run.
+	Store *Store
+	// Progress, when set, receives one line per scenario completion and
+	// the final summary.
+	Progress io.Writer
+}
+
+// Runner executes campaign scenarios on a bounded worker pool.
+type Runner struct {
+	cfg RunnerConfig
+}
+
+// NewRunner builds a runner, applying config defaults.
+func NewRunner(cfg RunnerConfig) *Runner {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.Execute == nil {
+		cfg.Execute = Execute
+	}
+	return &Runner{cfg: cfg}
+}
+
+// Run executes every scenario and returns the full report, results in
+// matrix index order. Individual scenario failures never fail the
+// campaign — they are recorded with status, reason, and attempt count.
+// Cancelling ctx stops feeding new scenarios, lets in-flight ones wind
+// down, and marks the rest skipped. The returned error reports campaign
+// infrastructure problems only (artifact store I/O).
+func (r *Runner) Run(ctx context.Context, scenarios []Scenario) (*Report, error) {
+	start := time.Now()
+	results := make([]ScenarioResult, len(scenarios))
+	prog := newProgress(r.cfg.Progress, len(scenarios))
+
+	var storeErr error
+	var storeMu sync.Mutex
+	record := func(res ScenarioResult) {
+		if r.cfg.Store != nil {
+			storeMu.Lock()
+			if err := r.cfg.Store.Put(res); err != nil && storeErr == nil {
+				storeErr = err
+			}
+			storeMu.Unlock()
+		}
+		prog.complete(res)
+	}
+
+	workers := r.cfg.Workers
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = r.runOne(ctx, scenarios[i])
+				record(results[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range scenarios {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(feed)
+	wg.Wait()
+
+	// Anything never dispatched drains as skipped.
+	for i := range results {
+		if results[i].Status == "" {
+			results[i] = ScenarioResult{
+				Scenario: scenarios[i],
+				Status:   StatusSkipped,
+				Err:      fmt.Sprintf("not started: %v", context.Cause(ctx)),
+			}
+			record(results[i])
+		}
+	}
+
+	report := &Report{Results: results, Wall: time.Since(start)}
+	prog.summary(report)
+	if r.cfg.Store != nil {
+		storeMu.Lock()
+		if err := r.cfg.Store.Finish(report); err != nil && storeErr == nil {
+			storeErr = err
+		}
+		storeMu.Unlock()
+	}
+	return report, storeErr
+}
+
+// runOne executes a single scenario with the retry-with-backoff policy:
+// infrastructure failures are re-attempted up to Retries times; attack
+// outcomes, panics, and deadline expiries are terminal.
+func (r *Runner) runOne(ctx context.Context, sc Scenario) ScenarioResult {
+	res := ScenarioResult{Scenario: sc, Started: time.Now()}
+	backoff := r.cfg.Backoff
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		out, err := r.attempt(ctx, sc)
+		if err == nil {
+			res.Outcome = out
+			res.Status = StatusOK
+			break
+		}
+		res.Status = StatusFailed
+		res.Err = err.Error()
+		if !IsInfra(err) || attempt > r.cfg.Retries || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			res.Err = fmt.Sprintf("%s (retry abandoned: %v)", res.Err, ctx.Err())
+			res.Attempts = attempt
+			res.Duration = time.Since(res.Started)
+			return res
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+	}
+	res.Duration = time.Since(res.Started)
+	return res
+}
+
+type attemptResult struct {
+	out *Outcome
+	err error
+}
+
+// attempt runs one execution under the per-scenario deadline with panic
+// capture. The execution context is detached from campaign cancellation so
+// an in-flight scenario drains to completion instead of being torn down
+// mid-testbed (cancellation stops dispatch and retries); the per-scenario
+// deadline still applies. On deadline expiry the scenario goroutine is
+// left to wind its testbed down in the background; the buffered channel
+// lets it exit.
+func (r *Runner) attempt(parent context.Context, sc Scenario) (*Outcome, error) {
+	ctx := context.WithoutCancel(parent)
+	cancel := func() {}
+	if r.cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.cfg.Timeout)
+	}
+	defer cancel()
+
+	ch := make(chan attemptResult, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- attemptResult{err: &PanicError{Value: p, Stack: debug.Stack()}}
+			}
+		}()
+		out, err := r.cfg.Execute(ctx, sc)
+		ch <- attemptResult{out: out, err: err}
+	}()
+	select {
+	case a := <-ch:
+		return a.out, a.err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("scenario %s: %w", sc.Name, ctx.Err())
+	}
+}
+
+// progress renders the live campaign status: one line per completion and
+// a final summary.
+type progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	total int
+	done  int
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total}
+}
+
+func (p *progress) complete(res ScenarioResult) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	extra := ""
+	if res.Attempts > 1 {
+		extra = fmt.Sprintf(" attempts=%d", res.Attempts)
+	}
+	if res.Status != StatusOK && res.Err != "" {
+		extra += ": " + res.Err
+	}
+	fmt.Fprintf(p.w, "[%d/%d] %-7s %-40s %8s%s\n",
+		p.done, p.total, res.Status, res.Scenario.Name,
+		res.Duration.Round(time.Millisecond), extra)
+}
+
+func (p *progress) summary(report *Report) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	io.WriteString(p.w, report.Summary())
+}

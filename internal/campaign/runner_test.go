@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/experiment"
+)
+
+// fakeOutcome builds a minimal suppression outcome for stub executors.
+func fakeOutcome(sc Scenario) *Outcome {
+	return &Outcome{Suppression: &experiment.SuppressionResult{
+		Profile:  sc.Profile,
+		Attacked: sc.Attack != AttackBaseline,
+	}}
+}
+
+// testScenarios builds n distinct suppression scenarios.
+func testScenarios(n int) []Scenario {
+	out := make([]Scenario, n)
+	for i := range out {
+		out[i] = Scenario{
+			Index:   i,
+			Name:    fmt.Sprintf("test/sc%02d", i),
+			Kind:    KindSuppression,
+			Attack:  AttackBaseline,
+			Profile: controller.ProfileFloodlight,
+			Trial:   1,
+			Seed:    int64(i + 1),
+		}
+	}
+	return out
+}
+
+func TestRunnerRunsEveryScenarioInOrder(t *testing.T) {
+	var calls atomic.Int32
+	r := NewRunner(RunnerConfig{
+		Workers: 4,
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			calls.Add(1)
+			time.Sleep(5 * time.Millisecond)
+			return fakeOutcome(sc), nil
+		},
+	})
+	scenarios := testScenarios(10)
+	report, err := r.Run(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != 10 {
+		t.Errorf("executed %d scenarios, want 10", got)
+	}
+	for i, res := range report.Results {
+		if res.Scenario.Index != i {
+			t.Errorf("result %d is scenario %d — report out of order", i, res.Scenario.Index)
+		}
+		if res.Status != StatusOK || res.Attempts != 1 || res.Outcome == nil {
+			t.Errorf("result %d = %s attempts=%d", i, res.Status, res.Attempts)
+		}
+	}
+	if len(report.Failed()) != 0 {
+		t.Errorf("failures: %v", report.Failed())
+	}
+}
+
+func TestRunnerParallelismOverlapsScenarios(t *testing.T) {
+	const sleep = 30 * time.Millisecond
+	exec := func(ctx context.Context, sc Scenario) (*Outcome, error) {
+		time.Sleep(sleep)
+		return fakeOutcome(sc), nil
+	}
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := NewRunner(RunnerConfig{Workers: workers, Execute: exec}).Run(context.Background(), testScenarios(8)); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := run(1)
+	parallel := run(8)
+	// Eight sleeping scenarios overlap almost perfectly; demand a loose
+	// 2x to keep the test robust on loaded machines.
+	if parallel > serial/2 {
+		t.Errorf("8 workers took %v, serial %v — no overlap", parallel, serial)
+	}
+}
+
+func TestRunnerSurvivesPanickingScenario(t *testing.T) {
+	r := NewRunner(RunnerConfig{
+		Workers: 2,
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			if sc.Index == 3 {
+				panic("testbed exploded")
+			}
+			return fakeOutcome(sc), nil
+		},
+	})
+	report, err := r.Run(context.Background(), testScenarios(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Failed()) != 1 {
+		t.Fatalf("failed = %v, want exactly the panicking scenario", report.Failed())
+	}
+	res := report.Results[3]
+	if res.Status != StatusFailed || !strings.Contains(res.Err, "panic: testbed exploded") {
+		t.Errorf("panicking scenario recorded as %s %q", res.Status, res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("panic was retried: attempts=%d", res.Attempts)
+	}
+	for i, other := range report.Results {
+		if i != 3 && other.Status != StatusOK {
+			t.Errorf("scenario %d collateral damage: %s", i, other.Status)
+		}
+	}
+}
+
+func TestRunnerEnforcesScenarioDeadline(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	r := NewRunner(RunnerConfig{
+		Workers: 2,
+		Timeout: 20 * time.Millisecond,
+		Retries: 2, // deadline failures must NOT be retried
+		Backoff: time.Millisecond,
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			if sc.Index == 1 {
+				<-release // hangs far past the deadline
+			}
+			return fakeOutcome(sc), nil
+		},
+	})
+	start := time.Now()
+	report, err := r.Run(context.Background(), testScenarios(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("deadline did not bound the campaign: %v", time.Since(start))
+	}
+	res := report.Results[1]
+	if res.Status != StatusFailed || !strings.Contains(res.Err, context.DeadlineExceeded.Error()) {
+		t.Errorf("hung scenario recorded as %s %q", res.Status, res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Errorf("deadline failure was retried: attempts=%d", res.Attempts)
+	}
+}
+
+func TestRunnerRetriesInfraErrorsWithBackoff(t *testing.T) {
+	var mu sync.Mutex
+	attempts := map[int]int{}
+	r := NewRunner(RunnerConfig{
+		Workers: 1,
+		Retries: 3,
+		Backoff: time.Millisecond,
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			mu.Lock()
+			attempts[sc.Index]++
+			n := attempts[sc.Index]
+			mu.Unlock()
+			switch {
+			case sc.Index == 0 && n < 3:
+				return nil, Infra(errors.New("switches did not connect"))
+			case sc.Index == 1:
+				return nil, errors.New("attack validation failed") // not infra: terminal
+			}
+			return fakeOutcome(sc), nil
+		},
+	})
+	report, err := r.Run(context.Background(), testScenarios(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := report.Results[0]; res.Status != StatusOK || res.Attempts != 3 {
+		t.Errorf("flaky scenario: %s attempts=%d, want ok after 3", res.Status, res.Attempts)
+	}
+	if res := report.Results[1]; res.Status != StatusFailed || res.Attempts != 1 {
+		t.Errorf("non-infra error: %s attempts=%d, want failed without retry", res.Status, res.Attempts)
+	}
+	if res := report.Results[2]; res.Status != StatusOK {
+		t.Errorf("healthy scenario: %s", res.Status)
+	}
+}
+
+func TestRunnerExhaustsRetriesThenFails(t *testing.T) {
+	var calls atomic.Int32
+	r := NewRunner(RunnerConfig{
+		Workers: 1,
+		Retries: 2,
+		Backoff: time.Millisecond,
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			calls.Add(1)
+			return nil, Infra(errors.New("persistent failure"))
+		},
+	})
+	report, err := r.Run(context.Background(), testScenarios(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := report.Results[0]
+	if res.Status != StatusFailed || res.Attempts != 3 || calls.Load() != 3 {
+		t.Errorf("got %s attempts=%d calls=%d, want failed after 1+2 attempts",
+			res.Status, res.Attempts, calls.Load())
+	}
+	if !strings.Contains(res.Err, "persistent failure") {
+		t.Errorf("reason lost: %q", res.Err)
+	}
+	if sum := report.Summary(); !strings.Contains(sum, "failed") || !strings.Contains(sum, res.Scenario.Name) {
+		t.Errorf("summary does not surface the failure:\n%s", sum)
+	}
+}
+
+func TestRunnerCancellationDrainsCleanly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan int, 64)
+	r := NewRunner(RunnerConfig{
+		Workers: 2,
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			started <- sc.Index
+			if sc.Index == 0 {
+				cancel() // cancel mid-campaign from inside a scenario
+			}
+			time.Sleep(10 * time.Millisecond)
+			return fakeOutcome(sc), nil
+		},
+	})
+	report, err := r.Run(ctx, testScenarios(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(started)
+	ran := map[int]bool{}
+	for i := range started {
+		ran[i] = true
+	}
+	var skipped int
+	for i, res := range report.Results {
+		switch {
+		case ran[i]:
+			// In-flight scenarios drained to completion, not abandoned.
+			if res.Status != StatusOK {
+				t.Errorf("in-flight scenario %d = %s", i, res.Status)
+			}
+		default:
+			if res.Status != StatusSkipped {
+				t.Errorf("unstarted scenario %d = %s, want skipped", i, res.Status)
+			}
+			if res.Err == "" {
+				t.Errorf("skipped scenario %d carries no reason", i)
+			}
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("cancellation skipped nothing — test raced, tighten it")
+	}
+}
+
+func TestRunnerProgressOutput(t *testing.T) {
+	var buf strings.Builder
+	var mu sync.Mutex
+	r := NewRunner(RunnerConfig{
+		Workers:  2,
+		Progress: syncWriter{mu: &mu, w: &buf},
+		Execute: func(ctx context.Context, sc Scenario) (*Outcome, error) {
+			return fakeOutcome(sc), nil
+		},
+	})
+	if _, err := r.Run(context.Background(), testScenarios(3)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[3/3]", "test/sc00", "campaign: 3/3 ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,100 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/switchsim"
+)
+
+const exampleSpec = `{
+  "name": "paper-eval",
+  "kinds": ["suppression", "interruption"],
+  "profiles": ["floodlight", "pox", "ryu"],
+  "attacks": ["baseline", "suppression", "delay", "fuzz"],
+  "fail_modes": ["safe", "secure"],
+  "time_scale": 40,
+  "trials": 2,
+  "seed": 7,
+  "workers": 4,
+  "timeout": "2m",
+  "retries": 1,
+  "backoff": "500ms"
+}`
+
+func TestSpecParsesAndExpands(t *testing.T) {
+	spec, err := ParseSpec([]byte(exampleSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := m.Expand()
+	// 3 profiles × (4 attacks + 2 fail modes) × 2 trials.
+	if len(scenarios) != 36 {
+		t.Errorf("expanded %d scenarios, want 36", len(scenarios))
+	}
+	if m.Profiles[1] != controller.ProfilePOX || m.FailModes[0] != switchsim.FailSafe {
+		t.Errorf("axes parsed wrong: %+v", m)
+	}
+	cfg := spec.RunnerConfig()
+	if cfg.Workers != 4 || cfg.Timeout != 2*time.Minute || cfg.Retries != 1 || cfg.Backoff != 500*time.Millisecond {
+		t.Errorf("runner config = %+v", cfg)
+	}
+}
+
+func TestSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name":"x","paralellism":4}`)); err == nil {
+		t.Error("typo field accepted")
+	}
+}
+
+func TestSpecRejectsBadAxisValues(t *testing.T) {
+	cases := []string{
+		`{"profiles":["opendaylight"]}`,
+		`{"kinds":["exfiltration"]}`,
+		`{"attacks":["teardrop"]}`,
+		`{"fail_modes":["open"]}`,
+	}
+	for _, body := range cases {
+		spec, err := ParseSpec([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", body, err)
+		}
+		if _, err := spec.Matrix(); err == nil {
+			t.Errorf("%s: bad axis value accepted", body)
+		}
+	}
+}
+
+func TestDurationUnmarshalsStringsAndNumbers(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{"timeout":"1m30s","backoff":1000000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(spec.Timeout) != 90*time.Second {
+		t.Errorf("timeout = %v", time.Duration(spec.Timeout))
+	}
+	if time.Duration(spec.Backoff) != time.Millisecond {
+		t.Errorf("backoff = %v", time.Duration(spec.Backoff))
+	}
+	if _, err := ParseSpec([]byte(`{"timeout":"ninety"}`)); err == nil {
+		t.Error("unparseable duration accepted")
+	}
+	if !strings.Contains(string(mustMarshalDuration(t, Duration(time.Minute))), "1m0s") {
+		t.Error("duration does not marshal back to Go syntax")
+	}
+}
+
+func mustMarshalDuration(t *testing.T, d Duration) []byte {
+	t.Helper()
+	b, err := d.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

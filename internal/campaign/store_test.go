@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/dataplane"
+	"attain/internal/experiment"
+	"attain/internal/monitor"
+	"attain/internal/switchsim"
+)
+
+func readArtifact(t *testing.T, dir, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestStoreStreamsRecordsInIndexOrder(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := testScenarios(5)
+	// Complete out of order, as a parallel pool would.
+	for _, i := range []int{3, 0, 4, 1, 2} {
+		res := ScenarioResult{Scenario: scenarios[i], Status: StatusOK, Attempts: 1, Outcome: fakeOutcome(scenarios[i])}
+		if err := store.Put(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := &Report{}
+	if err := store.Finish(report); err != nil {
+		t.Fatal(err)
+	}
+	var indexes []int
+	for _, line := range bytes.Split(bytes.TrimSpace(readArtifact(t, dir, ResultsFile)), []byte("\n")) {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		indexes = append(indexes, rec.Index)
+	}
+	for i, idx := range indexes {
+		if idx != i {
+			t.Fatalf("JSONL order = %v, want ascending from 0", indexes)
+		}
+	}
+}
+
+// stochasticExec derives a fake outcome purely from the scenario seed, the
+// way a real run's stochastic rules would — same seed, same metrics.
+func stochasticExec(ctx context.Context, sc Scenario) (*Outcome, error) {
+	rng := rand.New(rand.NewSource(sc.Seed))
+	out := fakeOutcome(sc)
+	for i := 0; i < 4; i++ {
+		out.Suppression.Iperf.Trials = append(out.Suppression.Iperf.Trials,
+			fakeIperfTrial(50+rng.Float64()*40))
+		out.Suppression.Ping.Trials = append(out.Suppression.Ping.Trials,
+			monitor.PingTrial{Seq: i + 1, OK: true, RTT: time.Duration(1+rng.Intn(5)) * time.Millisecond})
+	}
+	out.Suppression.FlowModsDropped = uint64(rng.Intn(100))
+	return out, nil
+}
+
+func runDeterministicCampaign(t *testing.T, seed int64, workers int) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{Seed: seed, Trials: 2}
+	r := NewRunner(RunnerConfig{Workers: workers, Execute: stochasticExec, Store: store})
+	if _, err := r.Run(context.Background(), m.Expand()); err != nil {
+		t.Fatal(err)
+	}
+	canon, err := CanonicalJSONL(readArtifact(t, dir, ResultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return canon
+}
+
+// TestCampaignJSONLDeterministicUnderSameSeed is the determinism guard:
+// two campaign runs with the same seed must produce byte-identical JSONL
+// artifacts (modulo the wall-clock fields), regardless of worker count or
+// completion interleaving; a different seed must change them.
+func TestCampaignJSONLDeterministicUnderSameSeed(t *testing.T) {
+	a := runDeterministicCampaign(t, 42, 4)
+	b := runDeterministicCampaign(t, 42, 1)
+	if !bytes.Equal(a, b) {
+		t.Errorf("equal-seed campaigns diverge:\n--- workers=4\n%s\n--- workers=1\n%s", a, b)
+	}
+	c := runDeterministicCampaign(t, 43, 4)
+	if bytes.Equal(a, c) {
+		t.Error("different campaign seeds produced identical artifacts — seed not threaded")
+	}
+}
+
+func TestCanonicalJSONLStripsOnlyWallClockFields(t *testing.T) {
+	rec := newRecord(ScenarioResult{
+		Scenario: testScenarios(1)[0],
+		Status:   StatusOK,
+		Attempts: 2,
+		Started:  time.Now(),
+		Duration: 123 * time.Millisecond,
+	})
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon, err := CanonicalJSONL(append(line, '\n'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(canon)
+	if strings.Contains(s, "started_at") || strings.Contains(s, "duration_ms") {
+		t.Errorf("wall-clock fields survived canonicalization: %s", s)
+	}
+	for _, keep := range []string{`"name"`, `"seed"`, `"attempts":2`, `"status":"ok"`} {
+		if !strings.Contains(s, keep) {
+			t.Errorf("canonicalization dropped %s: %s", keep, s)
+		}
+	}
+}
+
+func TestStoreFinishWritesAggregateCSVs(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := &Report{Results: []ScenarioResult{
+		{
+			Scenario: Scenario{Index: 0, Name: "s/a", Kind: KindSuppression},
+			Status:   StatusOK, Attempts: 1,
+			Outcome: &Outcome{Suppression: &experiment.SuppressionResult{
+				Ping: monitor.PingReport{Trials: []monitor.PingTrial{{Seq: 1, OK: true, RTT: time.Millisecond}}},
+			}},
+		},
+		{
+			Scenario: Scenario{Index: 1, Name: "i/a", Kind: KindInterruption, FailMode: switchsim.FailSafe},
+			Status:   StatusOK, Attempts: 1,
+			Outcome: &Outcome{Interruption: &experiment.InterruptionResult{
+				FailMode: switchsim.FailSafe, ExtToInt: true, FinalState: "sigma2",
+			}},
+		},
+	}}
+	for _, res := range report.Results {
+		if err := store.Put(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Finish(report); err != nil {
+		t.Fatal(err)
+	}
+	fig11 := string(readArtifact(t, dir, Fig11File))
+	if !strings.HasPrefix(fig11, "controller,condition,metric,trial,value") {
+		t.Errorf("fig11.csv header wrong:\n%s", fig11)
+	}
+	table2 := string(readArtifact(t, dir, TableIIFile))
+	if !strings.Contains(table2, "fail_mode") || !strings.Contains(table2, "sigma2") {
+		t.Errorf("table2.csv content wrong:\n%s", table2)
+	}
+	if sum := string(readArtifact(t, dir, SummaryFile)); !strings.Contains(sum, "campaign:") {
+		t.Errorf("summary.txt content wrong:\n%s", sum)
+	}
+}
+
+func TestStoreRecordsSkippedScenariosAtFinish(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := testScenarios(2)
+	if err := store.Put(ScenarioResult{Scenario: scenarios[0], Status: StatusOK, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	report := &Report{Results: []ScenarioResult{
+		{Scenario: scenarios[0], Status: StatusOK, Attempts: 1},
+		{Scenario: scenarios[1], Status: StatusSkipped, Err: "not started: context canceled"},
+	}}
+	if err := store.Finish(report); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(readArtifact(t, dir, ResultsFile)), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d records, want 2 (skipped scenario missing)", len(lines))
+	}
+	if !bytes.Contains(lines[1], []byte(`"status":"skipped"`)) {
+		t.Errorf("second record is not the skipped scenario: %s", lines[1])
+	}
+}
+
+// fakeIperfTrial is one second of transfer at the given rate.
+func fakeIperfTrial(mbps float64) dataplane.IperfResult {
+	return dataplane.IperfResult{BytesAcked: uint64(mbps * 1e6 / 8), Elapsed: time.Second}
+}
+
+func TestRecordMarshalsFailModeOnlyForInterruption(t *testing.T) {
+	scenarios := Matrix{}.Expand()
+	for _, sc := range scenarios {
+		rec := newRecord(ScenarioResult{Scenario: sc, Status: StatusOK, Attempts: 1})
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hasFailMode := bytes.Contains(line, []byte("fail_mode"))
+		if (sc.Kind == KindInterruption) != hasFailMode {
+			t.Errorf("%s: fail_mode presence = %v", sc.Name, hasFailMode)
+		}
+	}
+}

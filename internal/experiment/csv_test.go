@@ -1,0 +1,117 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/dataplane"
+	"attain/internal/monitor"
+	"attain/internal/switchsim"
+)
+
+// fixtureSuppressionResults is a hand-built pair of runs (baseline +
+// attack) with one lost ping so the "inf" encoding is covered.
+func fixtureSuppressionResults() []*SuppressionResult {
+	return []*SuppressionResult{
+		{
+			Profile: controller.ProfileFloodlight,
+			Ping: monitor.PingReport{Trials: []monitor.PingTrial{
+				{Seq: 1, OK: true, RTT: 1500 * time.Microsecond},
+				{Seq: 2, OK: true, RTT: 2 * time.Millisecond},
+			}},
+			Iperf: monitor.IperfReport{Trials: []dataplane.IperfResult{
+				{BytesAcked: 12_500_000, Elapsed: time.Second}, // 100 Mbps
+			}},
+		},
+		{
+			Profile:  controller.ProfileFloodlight,
+			Attacked: true,
+			Ping: monitor.PingReport{Trials: []monitor.PingTrial{
+				{Seq: 1, OK: true, RTT: 9 * time.Millisecond},
+				{Seq: 2, OK: false},
+			}},
+			Iperf: monitor.IperfReport{Trials: []dataplane.IperfResult{
+				{BytesAcked: 3_125_000, Elapsed: time.Second}, // 25 Mbps
+			}},
+		},
+	}
+}
+
+func fixtureInterruptionResults() []*InterruptionResult {
+	return []*InterruptionResult{
+		{
+			Profile: controller.ProfilePOX, FailMode: switchsim.FailSafe,
+			ExtToExtBefore: true, IntToExtBefore: true, ExtToInt: true, IntToExtAfter: true,
+			FinalState: "sigma3",
+		},
+		{
+			Profile: controller.ProfilePOX, FailMode: switchsim.FailSecure,
+			ExtToExtBefore: true, IntToExtBefore: true,
+			FinalState: "sigma3",
+		},
+	}
+}
+
+func compareGolden(t *testing.T, got []byte, goldenFile string) {
+	t.Helper()
+	path := filepath.Join("testdata", goldenFile)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s:\n--- got\n%s--- want\n%s", path, got, want)
+	}
+}
+
+func TestWriteFigure11CSVMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFigure11CSV(&buf, fixtureSuppressionResults()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, buf.Bytes(), "fig11_golden.csv")
+
+	// Round-trip: the output must be machine-parseable CSV with a
+	// consistent schema.
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 2 baseline pings + 1 baseline iperf + 2 attack pings + 1 attack iperf
+	if len(rows) != 7 {
+		t.Fatalf("parsed %d rows, want 7", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != 5 {
+			t.Errorf("row %d has %d columns, want 5: %v", i, len(row), row)
+		}
+	}
+	if lost := rows[5]; lost[4] != "inf" {
+		t.Errorf("lost ping encodes as %q, want inf: %v", lost[4], lost)
+	}
+}
+
+func TestWriteTableIICSVMatchesGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTableIICSV(&buf, fixtureInterruptionResults()); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, buf.Bytes(), "table2_golden.csv")
+
+	rows, err := csv.NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("parsed %d rows, want 3", len(rows))
+	}
+	// Fail-safe grants the attacker's ext→int access; fail-secure denies it.
+	if rows[1][4] != "yes" || rows[2][4] != "no" {
+		t.Errorf("fail-mode pattern wrong: safe=%q secure=%q", rows[1][4], rows[2][4])
+	}
+}

@@ -38,6 +38,8 @@ type InterruptionConfig struct {
 	// EchoInterval / EchoTimeout override switch liveness probing.
 	EchoInterval time.Duration
 	EchoTimeout  time.Duration
+	// StochasticSeed seeds probabilistic rules (Rule.Prob) for this run.
+	StochasticSeed int64
 }
 
 func (c *InterruptionConfig) setDefaults() {
@@ -98,12 +100,13 @@ func RunInterruption(cfg InterruptionConfig) (*InterruptionResult, error) {
 
 	sys := EnterpriseSystem()
 	tb, err := NewTestbed(TestbedConfig{
-		Profile:      cfg.Profile,
-		FailMode:     cfg.FailMode,
-		Clock:        clk,
-		Attack:       InterruptionAttack(sys),
-		EchoInterval: cfg.EchoInterval,
-		EchoTimeout:  cfg.EchoTimeout,
+		Profile:        cfg.Profile,
+		FailMode:       cfg.FailMode,
+		Clock:          clk,
+		Attack:         InterruptionAttack(sys),
+		EchoInterval:   cfg.EchoInterval,
+		EchoTimeout:    cfg.EchoTimeout,
+		StochasticSeed: cfg.StochasticSeed,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 
 	"attain/internal/clock"
 	"attain/internal/controller"
+	"attain/internal/core/lang"
 	"attain/internal/dataplane"
 	"attain/internal/monitor"
 	"attain/internal/switchsim"
@@ -21,6 +22,13 @@ type SuppressionConfig struct {
 	// Attacked selects the Figure 10 attack (true) or the trivial
 	// baseline (false).
 	Attacked bool
+	// Attack overrides the injected attack; nil derives it from Attacked.
+	// Campaign sweeps use this to run template-generated attacks under
+	// the Figure 11 workload.
+	Attack *lang.Attack
+	// StochasticSeed seeds probabilistic rules (Rule.Prob) for this run,
+	// so stochastic attacks replay identically under the same seed.
+	StochasticSeed int64
 	// TimeScale speeds up the virtual timeline (0 = paper real time).
 	TimeScale int
 	// Ping tunes the 60-trial ping phase; zero values use the paper's
@@ -74,11 +82,15 @@ func RunSuppression(cfg SuppressionConfig) (*SuppressionResult, error) {
 	}
 
 	tbCfg := TestbedConfig{
-		Profile:  cfg.Profile,
-		FailMode: switchsim.FailSecure,
-		Clock:    clk,
+		Profile:        cfg.Profile,
+		FailMode:       switchsim.FailSecure,
+		Clock:          clk,
+		StochasticSeed: cfg.StochasticSeed,
 	}
-	if cfg.Attacked {
+	switch {
+	case cfg.Attack != nil:
+		tbCfg.Attack = cfg.Attack
+	case cfg.Attacked:
 		tbCfg.Attack = SuppressionAttack(EnterpriseSystem())
 	}
 	tb, err := NewTestbed(tbCfg)
@@ -131,8 +143,8 @@ func RenderFigure11(results []*SuppressionResult) string {
 				r.Profile, cond, "0 *", "0 *", "inf *", "inf *", "100")
 			continue
 		}
-		tput := monitor.Summarize(r.Iperf.Throughputs())
-		lat := monitor.Summarize(monitor.DurationsToMillis(r.Ping.RTTs()))
+		tput := r.Iperf.ThroughputSummary()
+		lat := r.Ping.LatencySummary()
 		fmt.Fprintf(&b, "%-12s %-9s %12.2f %12.2f %12.2f %12.2f %8.1f\n",
 			r.Profile, cond, tput.Mean, tput.Median, lat.Mean, lat.P95, r.Ping.LossPct())
 	}

@@ -104,6 +104,9 @@ type TestbedConfig struct {
 	ReconnectInterval time.Duration
 	// LogWriter optionally streams injector log lines.
 	LogWriter io.Writer
+	// StochasticSeed seeds the injector's generator for probabilistic
+	// rules (Rule.Prob), so stochastic attacks are reproducible per run.
+	StochasticSeed int64
 	// Transport carries the control plane; nil uses in-memory pipes.
 	// netem.TCPTransport with TCPAddrBase runs it over real loopback TCP.
 	Transport netem.Transport
@@ -224,13 +227,14 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 
 	// Injector interposed on every control-plane connection.
 	inj, err := inject.New(inject.Config{
-		System:    sys,
-		Attacker:  attacker,
-		Attack:    attack,
-		Transport: tb.transport,
-		Clock:     clk,
-		LogWriter: cfg.LogWriter,
-		ProxyAddr: proxyAddr,
+		System:         sys,
+		Attacker:       attacker,
+		Attack:         attack,
+		Transport:      tb.transport,
+		Clock:          clk,
+		LogWriter:      cfg.LogWriter,
+		ProxyAddr:      proxyAddr,
+		StochasticSeed: cfg.StochasticSeed,
 	})
 	if err != nil {
 		return nil, err

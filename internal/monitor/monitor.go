@@ -69,6 +69,12 @@ func (r PingReport) RTTs() []time.Duration {
 // infinite" outcome (the asterisk in Figure 11).
 func (r PingReport) AllLost() bool { return len(r.Trials) > 0 && r.Received() == 0 }
 
+// LatencySummary summarizes the successful round-trip times in
+// milliseconds.
+func (r PingReport) LatencySummary() Summary {
+	return Summarize(DurationsToMillis(r.RTTs()))
+}
+
 // PingConfig parameterizes a ping monitor run.
 type PingConfig struct {
 	// Trials is the number of echo requests (paper: 60).
@@ -121,6 +127,11 @@ func (r IperfReport) Throughputs() []float64 {
 		out[i] = tr.ThroughputMbps()
 	}
 	return out
+}
+
+// ThroughputSummary summarizes the per-trial goodputs in Mbps.
+func (r IperfReport) ThroughputSummary() Summary {
+	return Summarize(r.Throughputs())
 }
 
 // AllZero reports whether no trial moved any data — the paper's
