@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race smoke bench clean
+.PHONY: ci vet build test race smoke fuzz-smoke bench clean
 
-ci: vet build test race smoke
+ci: vet build test race fuzz-smoke smoke
 
 vet:
 	$(GO) vet ./...
@@ -13,16 +13,28 @@ build:
 test:
 	$(GO) test ./...
 
-# The campaign runner is the concurrency-heavy subsystem; keep it under
-# the race detector on every CI run.
+# Whole-repo race run: the injector, switch simulator, controller, and
+# telemetry layer all share hot paths with the campaign worker pool, so
+# everything stays under the race detector on every CI run.
 race:
-	$(GO) test -race ./internal/campaign/...
+	$(GO) test -race ./...
 
 # End-to-end smoke: one short interruption scenario through the campaign
-# CLI, artifacts written to a scratch directory.
+# CLI with telemetry tracing on, artifacts written to a scratch directory.
 smoke:
-	$(GO) run ./cmd/attain-campaign -spec examples/campaign/smoke.json -out /tmp/attain-smoke
+	$(GO) run ./cmd/attain-campaign -spec examples/campaign/smoke.json -trace -out /tmp/attain-smoke
 	@test -s /tmp/attain-smoke/results.jsonl
+	@ls /tmp/attain-smoke/traces/*.jsonl > /dev/null
+
+# Short fuzz pass over every Fuzz target (go's -fuzz wants exactly one
+# match per invocation, hence one line per target).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/switchsim/ -run=^$$ -fuzz=FuzzTableLookupDifferential -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/openflow/ -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/compile/ -run=^$$ -fuzz=FuzzParseSystem$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/compile/ -run=^$$ -fuzz=FuzzParseAttack$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core/compile/ -run=^$$ -fuzz=FuzzParseExpr$$ -fuzztime=$(FUZZTIME)
 
 bench:
 	$(GO) test -bench=CampaignWorkers -benchtime=1x .

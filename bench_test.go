@@ -556,10 +556,19 @@ func BenchmarkCounterStates(b *testing.B) {
 // ns/op should drop sharply from 1 to 4 workers.
 //
 //	go test -bench=CampaignWorkers -benchtime=1x .
-func BenchmarkCampaignWorkers(b *testing.B) {
+func BenchmarkCampaignWorkers(b *testing.B) { benchmarkCampaignWorkers(b, false) }
+
+// BenchmarkCampaignWorkersTraced runs the identical matrix with telemetry
+// tracing enabled on every scenario, so comparing it against
+// BenchmarkCampaignWorkers measures the tracing overhead end to end (the
+// acceptance bar is <5%).
+func BenchmarkCampaignWorkersTraced(b *testing.B) { benchmarkCampaignWorkers(b, true) }
+
+func benchmarkCampaignWorkers(b *testing.B, trace bool) {
 	m := campaign.Matrix{
 		TimeScale: 100,
 		Seed:      1,
+		Trace:     trace,
 		Workload: campaign.Workload{
 			Settle:          time.Second,
 			Ping:            monitor.PingConfig{Trials: 2, Interval: time.Second, Timeout: 2 * time.Second},

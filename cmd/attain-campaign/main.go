@@ -29,6 +29,7 @@ import (
 
 	"attain/internal/campaign"
 	"attain/internal/experiment"
+	"attain/internal/telemetry"
 )
 
 func main() {
@@ -43,11 +44,20 @@ func run() error {
 	out := flag.String("out", "campaign-out", "artifact directory")
 	workers := flag.Int("workers", 0, "override the spec's worker count")
 	dryRun := flag.Bool("dry-run", false, "list the expanded scenarios without running them")
+	trace := flag.Bool("trace", false, "collect per-scenario telemetry traces (overrides the spec; written under -out as traces/*.jsonl)")
+	debugAddr := flag.String("debug", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
 
 	if *specPath == "" {
 		flag.Usage()
 		return fmt.Errorf("-spec is required")
+	}
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("start debug server: %w", err)
+		}
+		fmt.Printf("debug endpoints on http://%s/debug/\n", addr)
 	}
 	spec, err := campaign.LoadSpec(*specPath)
 	if err != nil {
@@ -56,6 +66,9 @@ func run() error {
 	matrix, err := spec.Matrix()
 	if err != nil {
 		return err
+	}
+	if *trace {
+		matrix.Trace = true
 	}
 	scenarios := matrix.Expand()
 

@@ -30,6 +30,7 @@ import (
 	"attain/internal/controller"
 	"attain/internal/experiment"
 	"attain/internal/switchsim"
+	"attain/internal/telemetry"
 )
 
 func main() {
@@ -52,6 +53,7 @@ type options struct {
 	seed     int64
 	out      string
 	csv      string
+	trace    bool
 }
 
 func run() error {
@@ -63,7 +65,17 @@ func run() error {
 	flag.Int64Var(&o.seed, "seed", 1, "campaign seed for stochastic attack rules")
 	flag.StringVar(&o.out, "out", "", "directory for per-scenario JSONL and aggregate CSV artifacts")
 	flag.StringVar(&o.csv, "csv", "", "also write per-trial results as CSV (fig11.csv / table2.csv under this prefix)")
+	flag.BoolVar(&o.trace, "trace", false, "collect per-scenario telemetry traces (written under -out as traces/*.jsonl)")
+	debugAddr := flag.String("debug", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		addr, err := telemetry.ServeDebug(*debugAddr)
+		if err != nil {
+			return fmt.Errorf("start debug server: %w", err)
+		}
+		fmt.Printf("debug endpoints on http://%s/debug/\n", addr)
+	}
 
 	switch *experimentName {
 	case "fig11":
@@ -132,6 +144,7 @@ func runFig11(o options) error {
 		TimeScale: o.scale,
 		Seed:      o.seed,
 		Workload:  campaign.Workload{Full: o.full},
+		Trace:     o.trace,
 	}, o, "fig11")
 	if err != nil {
 		return err
@@ -162,6 +175,7 @@ func runTable2(o options) error {
 		FailModes: []switchsim.FailMode{switchsim.FailSafe, switchsim.FailSecure},
 		TimeScale: o.scale,
 		Seed:      o.seed,
+		Trace:     o.trace,
 	}, o, "table2")
 	if err != nil {
 		return err

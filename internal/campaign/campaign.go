@@ -96,6 +96,10 @@ type Scenario struct {
 	// from the campaign seed and the scenario name by Matrix.Expand.
 	Seed     int64
 	Workload Workload
+	// Trace enables telemetry for the scenario's testbed; the flushed
+	// JSONL trace lands on the outcome and the Store writes it under
+	// traces/.
+	Trace bool
 }
 
 // Outcome is what a successfully executed scenario produced; exactly one

@@ -90,6 +90,7 @@ func (sc Scenario) suppressionConfig() (experiment.SuppressionConfig, error) {
 		Ping:           w.Ping,
 		Iperf:          w.Iperf,
 		StochasticSeed: sc.Seed,
+		Trace:          sc.Trace,
 	}, nil
 }
 
@@ -108,6 +109,7 @@ func (sc Scenario) interruptionConfig() experiment.InterruptionConfig {
 		EchoInterval:    w.EchoInterval,
 		EchoTimeout:     w.EchoTimeout,
 		StochasticSeed:  sc.Seed,
+		Trace:           sc.Trace,
 	}
 }
 

@@ -30,6 +30,8 @@ type Matrix struct {
 	Seed int64
 	// Workload applies to every scenario.
 	Workload Workload
+	// Trace enables per-scenario telemetry traces across the campaign.
+	Trace bool
 }
 
 // Expand generates the matrix's scenarios in deterministic order: kinds in
@@ -68,6 +70,7 @@ func (m Matrix) Expand() []Scenario {
 		sc.Index = len(out)
 		sc.TimeScale = m.TimeScale
 		sc.Workload = m.Workload
+		sc.Trace = m.Trace
 		sc.Name = scenarioName(sc)
 		sc.Seed = DeriveSeed(m.Seed, sc.Name)
 		out = append(out, sc)

@@ -40,6 +40,9 @@ type Spec struct {
 	Seed      int64    `json:"seed,omitempty"`
 	// Full selects the paper's full trial counts (60 ping / 30 iperf).
 	Full bool `json:"full,omitempty"`
+	// Trace enables per-scenario telemetry traces, written by the Store
+	// under traces/.
+	Trace bool `json:"trace,omitempty"`
 
 	Workers int      `json:"workers,omitempty"`
 	Timeout Duration `json:"timeout,omitempty"`
@@ -109,6 +112,7 @@ func (s *Spec) Matrix() (Matrix, error) {
 		Trials:    s.Trials,
 		Seed:      s.Seed,
 		Workload:  Workload{Full: s.Full},
+		Trace:     s.Trace,
 	}
 	for _, name := range s.Kinds {
 		kind, err := ParseKind(name)

@@ -21,6 +21,9 @@ const (
 	Fig11File   = "fig11.csv"
 	TableIIFile = "table2.csv"
 	SummaryFile = "summary.txt"
+	// TracesDir holds per-scenario telemetry traces (scenarios run with
+	// Trace enabled), one JSONL file per scenario.
+	TracesDir = "traces"
 )
 
 // Store persists campaign artifacts under one directory: a results.jsonl
@@ -73,7 +76,11 @@ func (s *Store) Put(res ScenarioResult) error {
 		}
 		delete(s.pending, s.next)
 		s.next++
-		line, err := json.Marshal(newRecord(r))
+		rec := newRecord(r)
+		if err := s.writeTrace(&rec, r); err != nil {
+			return err
+		}
+		line, err := json.Marshal(rec)
 		if err != nil {
 			return fmt.Errorf("campaign: encode record %d: %w", r.Scenario.Index, err)
 		}
@@ -111,7 +118,11 @@ func (s *Store) Finish(report *Report) error {
 			break
 		}
 		delete(s.pending, s.next)
-		line, err := json.Marshal(newRecord(r))
+		rec := newRecord(r)
+		if err := s.writeTrace(&rec, r); err != nil {
+			errs = append(errs, err)
+		}
+		line, err := json.Marshal(rec)
 		if err != nil {
 			errs = append(errs, err)
 			continue
@@ -155,6 +166,54 @@ func (s *Store) Finish(report *Report) error {
 	return errors.Join(errs...)
 }
 
+// writeTrace persists the outcome's telemetry trace (if any) under
+// TracesDir and stamps the record with the file's store-relative path.
+// Called with s.mu held.
+func (s *Store) writeTrace(rec *Record, res ScenarioResult) error {
+	trace := res.traceBytes()
+	if trace == nil {
+		return nil
+	}
+	dir := filepath.Join(s.dir, TracesDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("campaign: create %s: %w", TracesDir, err)
+	}
+	name := fmt.Sprintf("%03d-%s.jsonl", res.Scenario.Index, sanitizeName(res.Scenario.Name))
+	if err := os.WriteFile(filepath.Join(dir, name), trace, 0o644); err != nil {
+		return fmt.Errorf("campaign: write trace %s: %w", name, err)
+	}
+	rec.TraceFile = TracesDir + "/" + name
+	return nil
+}
+
+// traceBytes returns the outcome's flushed telemetry trace, or nil.
+func (res ScenarioResult) traceBytes() []byte {
+	if res.Outcome == nil {
+		return nil
+	}
+	if r := res.Outcome.Suppression; r != nil {
+		return r.Trace
+	}
+	if r := res.Outcome.Interruption; r != nil {
+		return r.Trace
+	}
+	return nil
+}
+
+// sanitizeName turns a scenario name into a safe file-name fragment.
+func sanitizeName(name string) string {
+	out := []byte(name)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_':
+		default:
+			out[i] = '-'
+		}
+	}
+	return string(out)
+}
+
 // Record is one results.jsonl line: the scenario coordinates, how the run
 // went, and a compact outcome summary.
 type Record struct {
@@ -177,6 +236,9 @@ type Record struct {
 
 	Suppression  *SuppressionRecord  `json:"suppression,omitempty"`
 	Interruption *InterruptionRecord `json:"interruption,omitempty"`
+	// TraceFile is the store-relative path of the scenario's telemetry
+	// trace, when the scenario ran with Trace enabled.
+	TraceFile string `json:"trace_file,omitempty"`
 }
 
 // SuppressionRecord summarizes a §VII-B outcome.

@@ -17,6 +17,7 @@ import (
 	"attain/internal/clock"
 	"attain/internal/netem"
 	"attain/internal/openflow"
+	"attain/internal/telemetry"
 )
 
 // App is a controller application receiving switch events.
@@ -52,6 +53,9 @@ type Config struct {
 	SingleThreaded bool
 	// HandshakeTimeout bounds the HELLO/FEATURES exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// Telemetry, when non-nil, receives packet-in/flow-mod counters and
+	// switch session trace events. Nil disables collection.
+	Telemetry *telemetry.Telemetry
 }
 
 // Stats counts controller activity.
@@ -65,8 +69,10 @@ type Stats struct {
 // Controller accepts switch connections and dispatches OpenFlow events to
 // its App.
 type Controller struct {
-	cfg Config
-	clk clock.Clock
+	cfg  Config
+	clk  clock.Clock
+	tele *telemetry.Telemetry
+	ctrs ctrlCounters
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -90,9 +96,28 @@ func New(cfg Config, clk clock.Clock) *Controller {
 	return &Controller{
 		cfg:      cfg,
 		clk:      clk,
+		tele:     cfg.Telemetry,
+		ctrs:     buildCtrlCounters(cfg.Telemetry, cfg.Name),
 		switches: make(map[uint64]*SwitchConn),
 		conns:    make(map[*SwitchConn]struct{}),
 		stop:     make(chan struct{}),
+	}
+}
+
+// ctrlCounters holds the controller's pre-resolved telemetry counters;
+// nil fields (telemetry disabled) make every update a no-op.
+type ctrlCounters struct {
+	packetIns      *telemetry.Counter
+	flowModsSent   *telemetry.Counter
+	packetOutsSent *telemetry.Counter
+}
+
+func buildCtrlCounters(tele *telemetry.Telemetry, name string) ctrlCounters {
+	prefix := "controller." + name
+	return ctrlCounters{
+		packetIns:      tele.Counter(prefix + ".packet_ins"),
+		flowModsSent:   tele.Counter(prefix + ".flow_mods_sent"),
+		packetOutsSent: tele.Counter(prefix + ".packet_outs_sent"),
 	}
 }
 
@@ -213,12 +238,24 @@ func (c *Controller) serve(conn net.Conn) {
 	c.stats.Connections++
 	c.switches[sw.dpid] = sw
 	c.mu.Unlock()
+	if c.tele.Enabled() {
+		c.tele.Emit(telemetry.Event{
+			Layer: telemetry.LayerController, Kind: telemetry.KindSession,
+			Node: c.cfg.Name, Detail: fmt.Sprintf("switch dpid=%d up", sw.dpid),
+		})
+	}
 	defer func() {
 		c.mu.Lock()
 		if c.switches[sw.dpid] == sw {
 			delete(c.switches, sw.dpid)
 		}
 		c.mu.Unlock()
+		if c.tele.Enabled() {
+			c.tele.Emit(telemetry.Event{
+				Layer: telemetry.LayerController, Kind: telemetry.KindSession,
+				Node: c.cfg.Name, Detail: fmt.Sprintf("switch dpid=%d down", sw.dpid),
+			})
+		}
 		if hook, ok := c.cfg.App.(ConnHook); ok {
 			hook.SwitchDown(sw)
 		}
@@ -293,6 +330,7 @@ func (c *Controller) dispatch(sw *SwitchConn, hdr openflow.Header, msg openflow.
 		c.mu.Lock()
 		c.stats.PacketIns++
 		c.mu.Unlock()
+		c.ctrs.packetIns.Inc()
 		if c.cfg.SingleThreaded {
 			c.eventMu.Lock()
 		}
@@ -362,6 +400,12 @@ func (sw *SwitchConn) sendXid(xid uint32, msg openflow.Message) error {
 			sw.ctrl.stats.PacketOutsSent++
 		}
 		sw.ctrl.mu.Unlock()
+		switch msg.(type) {
+		case *openflow.FlowMod:
+			sw.ctrl.ctrs.flowModsSent.Inc()
+		case *openflow.PacketOut:
+			sw.ctrl.ctrs.packetOutsSent.Inc()
+		}
 	}
 	return err
 }

@@ -8,6 +8,7 @@ import (
 	"attain/internal/core/lang"
 	"attain/internal/core/model"
 	"attain/internal/openflow"
+	"attain/internal/telemetry"
 )
 
 // executor implements Algorithm 1: a single goroutine consuming all
@@ -71,10 +72,31 @@ func (ex *executor) run() {
 	}
 }
 
+// disposition accumulates what the rules did to the in-flight message, so
+// process can emit one summary verdict event per proxied message.
+type disposition struct {
+	dropped  bool
+	modified bool
+}
+
+func (d *disposition) verdict() string {
+	switch {
+	case d.dropped:
+		return "drop"
+	case d.modified:
+		return "modify"
+	default:
+		return "pass"
+	}
+}
+
 // process handles one message event per Algorithm 1 (lines 4-21).
 func (ex *executor) process(ev *event) {
 	granted := ex.inj.cfg.Attacker.CapsFor(ev.conn)
 	view := ex.makeView(ev, granted)
+	ctrs := ex.inj.countersFor(ev.conn)
+	ctrs.seen.Inc()
+	var disp disposition
 	ex.inj.log.Count(ev.conn, func(s *Stats) { s.Seen++ })
 	ex.inj.log.Add(Event{
 		At: view.Timestamp, Kind: EventMessage, Conn: ev.conn,
@@ -113,6 +135,12 @@ func (ex *executor) process(ev *event) {
 				continue
 			}
 			ex.inj.log.Count(ev.conn, func(s *Stats) { s.RuleFires++ })
+			ctrs.ruleFires.Inc()
+			ex.inj.tele.Emit(telemetry.Event{
+				Layer: telemetry.LayerInjector, Kind: telemetry.KindRule,
+				Conn: connLabel(ev.conn), MsgType: ex.typeName(view),
+				Rule: rule.Name, Detail: prev,
+			})
 			ex.inj.log.Add(Event{
 				At: ex.inj.clk.Now(), Kind: EventRule, Conn: ev.conn,
 				MsgType: ex.typeName(view),
@@ -121,16 +149,35 @@ func (ex *executor) process(ev *event) {
 			for _, act := range rule.Actions {
 				if g, ok := act.(lang.GotoState); ok {
 					ex.setState(g.State)
+					if ex.inj.tele.Enabled() {
+						ex.inj.tele.Emit(telemetry.Event{
+							Layer: telemetry.LayerInjector, Kind: telemetry.KindState,
+							Conn: connLabel(ev.conn), Rule: rule.Name,
+							Detail: prev + " -> " + g.State,
+						})
+					}
 					ex.inj.log.Add(Event{
 						At: ex.inj.clk.Now(), Kind: EventState, Conn: ev.conn,
 						Detail: fmt.Sprintf("%s -> %s (rule %s)", prev, g.State, rule.Name),
 					})
 					continue
 				}
-				out = ex.modify(act, ev, view, env, out)
+				out = ex.modify(act, ev, view, env, out, ctrs, &disp)
 			}
 		}
 	}
+
+	// One verdict per proxied message: the executor's final disposition of
+	// the in-flight frame, emitted before delivery so the verdict precedes
+	// any downstream events the delivery triggers.
+	if !disp.dropped && !disp.modified {
+		ctrs.passed.Inc()
+	}
+	ex.inj.tele.Emit(telemetry.Event{
+		Layer: telemetry.LayerInjector, Kind: telemetry.KindVerdict,
+		Conn: connLabel(ev.conn), MsgType: ex.typeName(view),
+		Verdict: disp.verdict(),
+	})
 
 	// Deliver the outgoing message list (lines 19-21).
 	for _, m := range out {
@@ -231,7 +278,7 @@ func (ex *executor) evalCond(cond lang.Expr, env *lang.Env) (bool, error) {
 
 // modify implements the MESSAGEMODIFIER function of Algorithm 1 (line 14):
 // it interprets one action against the outgoing message list.
-func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, env *lang.Env, out []outMsg) []outMsg {
+func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, env *lang.Env, out []outMsg, ctrs *connCounters, disp *disposition) []outMsg {
 	logErr := func(format string, args ...interface{}) {
 		ex.inj.log.Add(Event{
 			At: ex.inj.clk.Now(), Kind: EventError, Conn: ev.conn,
@@ -246,6 +293,8 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 		for _, m := range out {
 			if m.fromCurrent {
 				ex.inj.log.Count(ev.conn, func(s *Stats) { s.Dropped++ })
+				ctrs.dropped.Inc()
+				disp.dropped = true
 				continue
 			}
 			kept = append(kept, m)
@@ -257,6 +306,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 				dup := m
 				dup.raw = append([]byte(nil), m.raw...)
 				ex.inj.log.Count(ev.conn, func(s *Stats) { s.Duplicated++ })
+				ctrs.duplicated.Inc()
 				return append(out, dup)
 			}
 		}
@@ -265,6 +315,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 		for i := range out {
 			if out[i].fromCurrent {
 				out[i].delay += a.D
+				ctrs.delayed.Inc()
 			}
 		}
 		return out
@@ -292,6 +343,8 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 			}
 			out[i].raw = fuzzed
 			ex.inj.log.Count(ev.conn, func(s *Stats) { s.Fuzzed++ })
+			ctrs.fuzzed.Inc()
+			disp.modified = true
 		}
 		return out
 	case lang.ModifyField:
@@ -311,6 +364,8 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 			}
 			out[i].raw = raw
 			ex.inj.log.Count(ev.conn, func(s *Stats) { s.Modified++ })
+			ctrs.modified.Inc()
+			disp.modified = true
 		}
 		return out
 	case lang.ModifyMetadata:
@@ -334,6 +389,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 			return out
 		}
 		ex.inj.log.Count(ev.conn, func(s *Stats) { s.Injected++ })
+		ctrs.injected.Inc()
 		return append(out, outMsg{conn: ev.conn, dir: a.Direction, raw: raw})
 	case lang.StoreMessage:
 		captured := &lang.Captured{Raw: append([]byte(nil), ev.raw...), View: *view}
@@ -365,6 +421,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 			return out
 		}
 		ex.inj.log.Count(captured.View.Conn, func(s *Stats) { s.Injected++ })
+		ex.inj.countersFor(captured.View.Conn).injected.Inc()
 		return append(out, outMsg{conn: captured.View.Conn, dir: captured.View.Direction, raw: captured.Raw})
 	case lang.DequePush:
 		val, err := a.Value.Eval(env)

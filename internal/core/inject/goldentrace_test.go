@@ -1,0 +1,126 @@
+package inject
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+	"attain/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// interruptionTraceAttack models the connection-interruption attack shape
+// on (c1,s1): the first ECHO_REQUEST arms the attack; once armed, every
+// ECHO_REQUEST is dropped, starving the controller's liveness checks.
+func interruptionTraceAttack() *lang.Attack {
+	conns := []model.Conn{{Controller: "c1", Switch: "s1"}}
+	a := lang.NewAttack("interruption-trace", "s0")
+	a.AddState(&lang.State{
+		Name: "s0",
+		Rules: []*lang.Rule{{
+			Name:    "arm",
+			Conns:   conns,
+			Caps:    model.AllCapabilities,
+			Cond:    isType("ECHO_REQUEST"),
+			Actions: []lang.Action{lang.GotoState{State: "armed"}},
+		}},
+	})
+	a.AddState(&lang.State{
+		Name: "armed",
+		Rules: []*lang.Rule{{
+			Name:    "starve-echo",
+			Conns:   conns,
+			Caps:    model.AllCapabilities,
+			Cond:    isType("ECHO_REQUEST"),
+			Actions: []lang.Action{lang.DropMessage{}},
+		}},
+	})
+	return a
+}
+
+// runGoldenTrace executes a fixed interruption scenario against a mock
+// clock and returns the flushed telemetry JSONL. Every step waits for its
+// events before the clock advances, so the trace is fully deterministic:
+// same events, same order, same timestamps on every run.
+func runGoldenTrace(t *testing.T) []byte {
+	t.Helper()
+	mock := clock.NewMock(time.Unix(0, 0))
+	tele := telemetry.New(telemetry.Options{Clock: mock})
+	h := newHarnessCfg(t, interruptionTraceAttack(), model.AllCapabilities, func(cfg *Config) {
+		cfg.Clock = mock
+		cfg.Telemetry = tele
+	})
+
+	waitEvents := func(n uint64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for tele.EventsEmitted() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %d trace events (have %d)", n, tele.EventsEmitted())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	waitEvents(1) // session open
+
+	// First echo arms the attack and still passes through.
+	mock.Advance(time.Millisecond)
+	h.sw.send(t, 1, &openflow.EchoRequest{Data: []byte("ping")})
+	h.ctrl.expect(t)
+	waitEvents(4) // rule fire + state transition + pass verdict
+
+	// Second echo is swallowed by the armed state.
+	mock.Advance(time.Millisecond)
+	h.sw.send(t, 2, &openflow.EchoRequest{Data: []byte("ping")})
+	waitEvents(6) // rule fire + drop verdict
+	h.ctrl.expectNone(t, 50*time.Millisecond)
+
+	// Dropping the switch side tears the session down.
+	mock.Advance(time.Millisecond)
+	_ = h.sw.conn.Close()
+	waitEvents(7) // session closed
+
+	var buf bytes.Buffer
+	if err := tele.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenInterruptionTrace asserts the telemetry trace of the fixed-seed
+// interruption scenario is byte-identical across runs and matches the
+// checked-in golden file (refresh with go test -run GoldenInterruption
+// -update). It deliberately runs under -race via make race.
+func TestGoldenInterruptionTrace(t *testing.T) {
+	first := runGoldenTrace(t)
+	second := runGoldenTrace(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("trace differs between identical runs:\nrun 1:\n%s\nrun 2:\n%s", first, second)
+	}
+
+	golden := filepath.Join("testdata", "interruption_trace.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, first, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create it): %v", err)
+	}
+	if !bytes.Equal(first, want) {
+		t.Fatalf("trace does not match %s:\ngot:\n%s\nwant:\n%s", golden, first, want)
+	}
+}

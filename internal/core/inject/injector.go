@@ -13,6 +13,7 @@ import (
 	"attain/internal/core/model"
 	"attain/internal/netem"
 	"attain/internal/openflow"
+	"attain/internal/telemetry"
 )
 
 // Config describes a runtime injector instance.
@@ -47,6 +48,10 @@ type Config struct {
 	// State shares σ and Δ among injector instances; nil uses a private
 	// store (the centralized design).
 	State StateStore
+	// Telemetry, when non-nil, receives per-channel counters and verdict/
+	// rule/state trace events from the executor. Nil disables collection at
+	// no cost beyond a pointer check (see package telemetry).
+	Telemetry *telemetry.Telemetry
 	// AsyncDelays schedules DELAYMESSAGE deliveries on timers instead of
 	// blocking the executor. The default (false) is the paper's
 	// centralized semantics: a delay stalls the whole pipeline,
@@ -68,6 +73,10 @@ type Injector struct {
 	clk  clock.Clock
 	log  *Log
 	exec *executor
+	tele *telemetry.Telemetry
+	// counters maps each proxied connection to its pre-resolved telemetry
+	// counters; read-only after New.
+	counters map[model.Conn]*connCounters
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -188,11 +197,13 @@ func New(cfg Config) (*Injector, error) {
 		cfg:      cfg,
 		clk:      cfg.Clock,
 		log:      NewLog(cfg.LogLimit, cfg.LogWriter),
+		tele:     cfg.Telemetry,
 		sessions: make(map[model.Conn]*session),
 		syscmd:   make(map[model.NodeID]func(string) error),
 		events:   make(chan *event, cfg.EventBuffer),
 		stop:     make(chan struct{}),
 	}
+	inj.counters = buildConnCounters(inj.tele, inj.proxiedConns())
 	inj.exec = newExecutor(inj)
 	return inj, nil
 }
@@ -322,6 +333,10 @@ func (inj *Injector) openSession(conn model.Conn, swConn net.Conn) (*session, er
 	inj.sessions[conn] = sess
 	inj.mu.Unlock()
 	inj.log.Add(Event{At: inj.clk.Now(), Kind: EventConn, Conn: conn, Detail: "session open"})
+	inj.tele.Emit(telemetry.Event{
+		Layer: telemetry.LayerInjector, Kind: telemetry.KindSession,
+		Conn: connLabel(conn), Detail: "open",
+	})
 	return sess, nil
 }
 
@@ -357,6 +372,10 @@ func (inj *Injector) serveSession(sess *session) {
 	}
 	inj.mu.Unlock()
 	inj.log.Add(Event{At: inj.clk.Now(), Kind: EventConn, Conn: sess.conn, Detail: "session closed"})
+	inj.tele.Emit(telemetry.Event{
+		Layer: telemetry.LayerInjector, Kind: telemetry.KindSession,
+		Conn: connLabel(sess.conn), Detail: "closed",
+	})
 }
 
 // sessionFor returns the live session for conn, if any.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"attain/internal/controller"
 	"attain/internal/monitor"
 	"attain/internal/switchsim"
+	"attain/internal/telemetry"
 )
 
 // InterruptionConfig parameterizes one §VII-C run (one controller, one
@@ -40,6 +42,11 @@ type InterruptionConfig struct {
 	EchoTimeout  time.Duration
 	// StochasticSeed seeds probabilistic rules (Rule.Prob) for this run.
 	StochasticSeed int64
+	// Trace enables telemetry collection for the run; the flushed JSONL
+	// trace and counter snapshot land on the result.
+	Trace bool
+	// TraceCapacity bounds the telemetry event ring (0 = default).
+	TraceCapacity int
 }
 
 func (c *InterruptionConfig) setDefaults() {
@@ -76,6 +83,10 @@ type InterruptionResult struct {
 	FinalState string
 	// S2Disconnected reports whether the DMZ switch lost its controller.
 	S2Disconnected bool
+	// Trace is the telemetry JSONL trace (nil unless cfg.Trace).
+	Trace []byte
+	// Counters is the telemetry counter snapshot (nil unless cfg.Trace).
+	Counters map[string]uint64
 }
 
 // UnauthorizedAccess reports the Table II "unauthorized increased access"
@@ -98,6 +109,10 @@ func RunInterruption(cfg InterruptionConfig) (*InterruptionResult, error) {
 		clk = clock.NewScaled(cfg.TimeScale)
 	}
 
+	var tele *telemetry.Telemetry
+	if cfg.Trace {
+		tele = telemetry.New(telemetry.Options{Clock: clk, TraceCapacity: cfg.TraceCapacity})
+	}
 	sys := EnterpriseSystem()
 	tb, err := NewTestbed(TestbedConfig{
 		Profile:        cfg.Profile,
@@ -107,6 +122,7 @@ func RunInterruption(cfg InterruptionConfig) (*InterruptionResult, error) {
 		EchoInterval:   cfg.EchoInterval,
 		EchoTimeout:    cfg.EchoTimeout,
 		StochasticSeed: cfg.StochasticSeed,
+		Telemetry:      tele,
 	})
 	if err != nil {
 		return nil, err
@@ -156,6 +172,14 @@ func RunInterruption(cfg InterruptionConfig) (*InterruptionResult, error) {
 
 	res.FinalState = tb.Injector.CurrentState()
 	res.S2Disconnected = !tb.Switches["s2"].Connected()
+	if tele.Enabled() {
+		var buf bytes.Buffer
+		if err := tele.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		res.Trace = buf.Bytes()
+		res.Counters = tele.Snapshot()
+	}
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"strings"
@@ -12,6 +13,7 @@ import (
 	"attain/internal/dataplane"
 	"attain/internal/monitor"
 	"attain/internal/switchsim"
+	"attain/internal/telemetry"
 )
 
 // SuppressionConfig parameterizes one §VII-B run (one controller, baseline
@@ -40,6 +42,11 @@ type SuppressionConfig struct {
 	// Settle is the virtual time between injector start and the first
 	// workload (paper: t=5 s to t=30 s).
 	Settle time.Duration
+	// Trace enables telemetry collection for the run; the flushed JSONL
+	// trace and counter snapshot land on the result.
+	Trace bool
+	// TraceCapacity bounds the telemetry event ring (0 = default).
+	TraceCapacity int
 }
 
 func (c *SuppressionConfig) setDefaults() {
@@ -62,6 +69,10 @@ type SuppressionResult struct {
 	CtrlMsgCounts map[string]uint64
 	// FlowModsDropped counts suppressed flow mods.
 	FlowModsDropped uint64
+	// Trace is the telemetry JSONL trace (nil unless cfg.Trace).
+	Trace []byte
+	// Counters is the telemetry counter snapshot (nil unless cfg.Trace).
+	Counters map[string]uint64
 }
 
 // DoS reports the paper's asterisk condition: zero throughput and infinite
@@ -81,11 +92,16 @@ func RunSuppression(cfg SuppressionConfig) (*SuppressionResult, error) {
 		clk = clock.NewScaled(cfg.TimeScale)
 	}
 
+	var tele *telemetry.Telemetry
+	if cfg.Trace {
+		tele = telemetry.New(telemetry.Options{Clock: clk, TraceCapacity: cfg.TraceCapacity})
+	}
 	tbCfg := TestbedConfig{
 		Profile:        cfg.Profile,
 		FailMode:       switchsim.FailSecure,
 		Clock:          clk,
 		StochasticSeed: cfg.StochasticSeed,
+		Telemetry:      tele,
 	}
 	switch {
 	case cfg.Attack != nil:
@@ -120,6 +136,14 @@ func RunSuppression(cfg SuppressionConfig) (*SuppressionResult, error) {
 
 	result.CtrlMsgCounts = tb.Injector.Log().MessageTypeCounts()
 	result.FlowModsDropped = tb.Injector.Log().TotalStats().Dropped
+	if tele.Enabled() {
+		var buf bytes.Buffer
+		if err := tele.WriteJSONL(&buf); err != nil {
+			return nil, err
+		}
+		result.Trace = buf.Bytes()
+		result.Counters = tele.Snapshot()
+	}
 	return result, nil
 }
 

@@ -20,6 +20,7 @@ import (
 	"attain/internal/netaddr"
 	"attain/internal/netem"
 	"attain/internal/switchsim"
+	"attain/internal/telemetry"
 )
 
 // EnterpriseSystem builds the case-study system model (§VII-A1): an
@@ -107,6 +108,10 @@ type TestbedConfig struct {
 	// StochasticSeed seeds the injector's generator for probabilistic
 	// rules (Rule.Prob), so stochastic attacks are reproducible per run.
 	StochasticSeed int64
+	// Telemetry, when non-nil, is threaded through the injector, every
+	// switch, and the controller, collecting counters and one merged event
+	// trace for the whole testbed. Nil disables collection.
+	Telemetry *telemetry.Telemetry
 	// Transport carries the control plane; nil uses in-memory pipes.
 	// netem.TCPTransport with TCPAddrBase runs it over real loopback TCP.
 	Transport netem.Transport
@@ -223,6 +228,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		App:             tb.App,
 		ProcessingDelay: cfg.ProcessingDelay,
 		SingleThreaded:  cfg.Profile == controller.ProfilePOX,
+		Telemetry:       cfg.Telemetry,
 	}, clk)
 
 	// Injector interposed on every control-plane connection.
@@ -235,6 +241,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		LogWriter:      cfg.LogWriter,
 		ProxyAddr:      proxyAddr,
 		StochasticSeed: cfg.StochasticSeed,
+		Telemetry:      cfg.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -254,6 +261,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			EchoTimeout:       cfg.EchoTimeout,
 			ReconnectInterval: cfg.ReconnectInterval,
 			ExpiryInterval:    500 * time.Millisecond,
+			Telemetry:         cfg.Telemetry,
 		}, clk)
 	}
 

@@ -1,0 +1,140 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"attain/internal/dataplane"
+)
+
+// Edge cases for the summary statistics that feed the paper's Figure 11 /
+// Table II aggregates: empty samples, single-sample percentiles, zero-trial
+// reports, and the all-lost / all-zero degenerate outcomes.
+
+func TestSummarizeEmptySample(t *testing.T) {
+	for _, sample := range [][]float64{nil, {}} {
+		if got := Summarize(sample); got != (Summary{}) {
+			t.Errorf("Summarize(%v) = %+v, want zero Summary", sample, got)
+		}
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	got := Summarize([]float64{42.5})
+	want := Summary{N: 1, Min: 42.5, Max: 42.5, Mean: 42.5, Median: 42.5, P95: 42.5}
+	if got != want {
+		t.Errorf("Summarize single = %+v, want %+v", got, want)
+	}
+}
+
+func TestSummarizeTwoSamplePercentiles(t *testing.T) {
+	got := Summarize([]float64{3, 1})
+	if got.N != 2 || got.Min != 1 || got.Max != 3 || got.Mean != 2 {
+		t.Errorf("basic stats = %+v", got)
+	}
+	if got.Median != 2 {
+		t.Errorf("Median = %v, want 2 (interpolated)", got.Median)
+	}
+	// P95 over [1, 3] interpolates at index 0.95: 1*0.05 + 3*0.95.
+	if math.Abs(got.P95-2.9) > 1e-9 {
+		t.Errorf("P95 = %v, want 2.9", got.P95)
+	}
+	if got.StdDev != 1 {
+		t.Errorf("StdDev = %v, want 1 (population)", got.StdDev)
+	}
+}
+
+func TestSummarizeDoesNotMutateSample(t *testing.T) {
+	sample := []float64{3, 1, 2}
+	Summarize(sample)
+	if sample[0] != 3 || sample[1] != 1 || sample[2] != 2 {
+		t.Errorf("Summarize reordered its input: %v", sample)
+	}
+}
+
+func TestPingReportZeroTrials(t *testing.T) {
+	var r PingReport
+	if r.Sent() != 0 || r.Received() != 0 {
+		t.Errorf("Sent/Received = %d/%d, want 0/0", r.Sent(), r.Received())
+	}
+	// No trials means no evidence of loss, not 100% loss (and not NaN).
+	if got := r.LossPct(); got != 0 {
+		t.Errorf("LossPct = %v, want 0", got)
+	}
+	if r.AllLost() {
+		t.Error("AllLost with zero trials, want false")
+	}
+	if rtts := r.RTTs(); len(rtts) != 0 {
+		t.Errorf("RTTs = %v, want empty", rtts)
+	}
+	if got := r.LatencySummary(); got != (Summary{}) {
+		t.Errorf("LatencySummary = %+v, want zero Summary", got)
+	}
+}
+
+func TestPingReportAllLost(t *testing.T) {
+	r := PingReport{Trials: []PingTrial{{Seq: 1}, {Seq: 2}, {Seq: 3}}}
+	if !r.AllLost() {
+		t.Error("AllLost = false with every trial timed out")
+	}
+	if got := r.LossPct(); got != 100 {
+		t.Errorf("LossPct = %v, want 100", got)
+	}
+	// The latency summary of an all-lost run must stay zero, not NaN.
+	if got := r.LatencySummary(); got != (Summary{}) {
+		t.Errorf("LatencySummary = %+v, want zero Summary", got)
+	}
+}
+
+func TestPingReportPartialLoss(t *testing.T) {
+	r := PingReport{Trials: []PingTrial{
+		{Seq: 1, OK: true, RTT: 10 * time.Millisecond},
+		{Seq: 2},
+		{Seq: 3, OK: true, RTT: 30 * time.Millisecond},
+		{Seq: 4},
+	}}
+	if r.AllLost() {
+		t.Error("AllLost = true with surviving trials")
+	}
+	if got := r.LossPct(); got != 50 {
+		t.Errorf("LossPct = %v, want 50", got)
+	}
+	sum := r.LatencySummary()
+	if sum.N != 2 || sum.Mean != 20 {
+		t.Errorf("LatencySummary = %+v, want N=2 Mean=20ms", sum)
+	}
+}
+
+func TestIperfReportZeroTrials(t *testing.T) {
+	var r IperfReport
+	// An empty report carries no evidence of a DoS: AllZero must be false.
+	if r.AllZero() {
+		t.Error("AllZero with zero trials, want false")
+	}
+	if got := r.ThroughputSummary(); got != (Summary{}) {
+		t.Errorf("ThroughputSummary = %+v, want zero Summary", got)
+	}
+}
+
+func TestIperfReportAllZero(t *testing.T) {
+	r := IperfReport{Trials: []dataplane.IperfResult{
+		{Connected: false},
+		{Connected: true, Elapsed: time.Second},
+	}}
+	if !r.AllZero() {
+		t.Error("AllZero = false with no bytes acked in any trial")
+	}
+	// Failed trials still contribute zero-valued samples.
+	sum := r.ThroughputSummary()
+	if sum.N != 2 || sum.Mean != 0 || sum.Max != 0 {
+		t.Errorf("ThroughputSummary = %+v, want two zero samples", sum)
+	}
+
+	r.Trials = append(r.Trials, dataplane.IperfResult{
+		Connected: true, BytesAcked: 1 << 20, Elapsed: time.Second,
+	})
+	if r.AllZero() {
+		t.Error("AllZero = true after a trial moved data")
+	}
+}

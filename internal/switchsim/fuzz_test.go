@@ -1,0 +1,334 @@
+package switchsim
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"attain/internal/netaddr"
+	"attain/internal/openflow"
+)
+
+// FuzzTableLookupDifferential drives Table with a fuzz-decoded sequence of
+// FLOW_MOD adds and deletes and cross-checks every observable against a
+// naive reference model. The reference keeps entries in plain insertion
+// order and picks a lookup winner by scanning for the maximum priority
+// (first-inserted wins ties), so it exercises none of Table's
+// sorted-insertion bookkeeping — if Table's ordering, replacement, or
+// deletion logic drifts from OpenFlow 1.0 semantics, the two disagree.
+//
+// Field values are drawn from a tiny universe (four MACs, four IPs, a
+// handful of ports and priorities) so that adds collide, wildcards overlap,
+// and lookups actually hit.
+func FuzzTableLookupDifferential(f *testing.F) {
+	for _, seed := range fuzzTableSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := &fuzzCursor{data: data}
+		tbl := NewTable(0)
+		ref := &refTable{}
+		now := time.Unix(0, 0)
+		var cookie uint64
+
+		for i := 0; i < 64 && !c.done(); i++ {
+			op := c.byte() % 4
+			switch op {
+			case 0, 1: // ADD, op 1 with CHECK_OVERLAP
+				cookie++
+				fm := &openflow.FlowMod{
+					Match:    decodeFuzzMatch(c),
+					Command:  openflow.FlowModAdd,
+					Priority: uint16(c.byte() & 7),
+					Cookie:   cookie,
+					BufferID: openflow.NoBuffer,
+					OutPort:  openflow.PortNone,
+					Actions:  []openflow.Action{openflow.ActionOutput{Port: uint16(c.byte()&3) + 1}},
+				}
+				if op == 1 {
+					fm.Flags = openflow.FlowModFlagCheckOverlap
+				}
+				gotErr := tbl.Add(fm, now)
+				wantErr := ref.add(fm)
+				if !errors.Is(gotErr, wantErr) && !errors.Is(wantErr, gotErr) {
+					t.Fatalf("op %d: Add err = %v, reference err = %v", i, gotErr, wantErr)
+				}
+			case 2, 3: // DELETE, op 3 strict
+				fm := &openflow.FlowMod{
+					Match:    decodeFuzzMatch(c),
+					Command:  openflow.FlowModDelete,
+					Priority: uint16(c.byte() & 7),
+					OutPort:  openflow.PortNone,
+				}
+				if sel := c.byte(); sel != 0 {
+					fm.OutPort = uint16(sel&3) + 1
+				}
+				strict := op == 3
+				got := cookieSet(tbl.Delete(fm, strict))
+				want := ref.delete(fm, strict)
+				if len(got) != len(want) {
+					t.Fatalf("op %d: Delete(strict=%v) removed %d entries, reference removed %d",
+						i, strict, len(got), len(want))
+				}
+				for ck := range want {
+					if !got[ck] {
+						t.Fatalf("op %d: Delete(strict=%v) kept cookie %d, reference removed it",
+							i, strict, ck)
+					}
+				}
+			}
+			if tbl.Len() != len(ref.entries) {
+				t.Fatalf("op %d: table has %d entries, reference has %d", i, tbl.Len(), len(ref.entries))
+			}
+		}
+
+		// Probe with the canonical packet plus a few fuzz-derived ones.
+		packets := []openflow.FieldView{tcpFields()}
+		for i := 0; i < 4 && !c.done(); i++ {
+			packets = append(packets, decodeFuzzFields(c))
+		}
+		for _, p := range packets {
+			got := tbl.Lookup(p, 1, now)
+			want, ok := ref.lookup(p)
+			if (got != nil) != ok {
+				t.Fatalf("Lookup(%+v): table hit=%v, reference hit=%v", p, got != nil, ok)
+			}
+			if got != nil && got.Cookie != want.cookie {
+				t.Fatalf("Lookup(%+v): table chose cookie %d (priority %d), reference chose cookie %d (priority %d)",
+					p, got.Cookie, got.Priority, want.cookie, want.priority)
+			}
+		}
+	})
+}
+
+// refTable is the naive reference: entries in bare insertion order, linear
+// max-priority scan for lookups.
+type refTable struct {
+	entries []refEntry
+}
+
+type refEntry struct {
+	match    openflow.Match
+	priority uint16
+	cookie   uint64
+	outPort  uint16
+}
+
+func (r *refTable) add(fm *openflow.FlowMod) error {
+	if fm.Flags&openflow.FlowModFlagCheckOverlap != 0 {
+		for _, e := range r.entries {
+			if e.priority == fm.Priority && e.match.Overlaps(fm.Match) {
+				return ErrOverlap
+			}
+		}
+	}
+	ne := refEntry{
+		match:    fm.Match,
+		priority: fm.Priority,
+		cookie:   fm.Cookie,
+		outPort:  fm.Actions[0].(openflow.ActionOutput).Port,
+	}
+	for i, e := range r.entries {
+		if e.priority == fm.Priority && e.match.EqualStrict(fm.Match) {
+			r.entries[i] = ne
+			return nil
+		}
+	}
+	r.entries = append(r.entries, ne)
+	return nil
+}
+
+func (r *refTable) delete(fm *openflow.FlowMod, strict bool) map[uint64]bool {
+	removed := make(map[uint64]bool)
+	kept := r.entries[:0]
+	for _, e := range r.entries {
+		match := false
+		if strict {
+			match = e.priority == fm.Priority && fm.Match.EqualStrict(e.match)
+		} else {
+			match = fm.Match.Subsumes(e.match)
+		}
+		if match && (fm.OutPort == openflow.PortNone || e.outPort == fm.OutPort) {
+			removed[e.cookie] = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	r.entries = kept
+	return removed
+}
+
+// lookup scans all entries for the highest priority match; the earliest
+// inserted wins ties, mirroring OpenFlow's stable-priority ordering.
+func (r *refTable) lookup(f openflow.FieldView) (refEntry, bool) {
+	best := -1
+	for i, e := range r.entries {
+		if e.match.Matches(f) && (best < 0 || e.priority > r.entries[best].priority) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return refEntry{}, false
+	}
+	return r.entries[best], true
+}
+
+func cookieSet(entries []*Entry) map[uint64]bool {
+	set := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		set[e.Cookie] = true
+	}
+	return set
+}
+
+// fuzzCursor consumes fuzz input one byte at a time, yielding zeros once
+// exhausted so every prefix decodes deterministically.
+type fuzzCursor struct {
+	data []byte
+	pos  int
+}
+
+func (c *fuzzCursor) byte() byte {
+	if c.pos >= len(c.data) {
+		return 0
+	}
+	b := c.data[c.pos]
+	c.pos++
+	return b
+}
+
+func (c *fuzzCursor) done() bool { return c.pos >= len(c.data) }
+
+var (
+	fuzzMACs = [4]netaddr.MAC{
+		netaddr.MustParseMAC("0a:00:00:00:00:01"),
+		netaddr.MustParseMAC("0a:00:00:00:00:02"),
+		netaddr.MustParseMAC("0a:00:00:00:00:03"),
+		netaddr.MustParseMAC("0a:00:00:00:00:04"),
+	}
+	fuzzIPs = [4]netaddr.IPv4{
+		netaddr.MustParseIPv4("10.0.0.1"),
+		netaddr.MustParseIPv4("10.0.0.2"),
+		netaddr.MustParseIPv4("10.0.1.1"),
+		netaddr.MustParseIPv4("192.168.0.1"),
+	}
+	fuzzProtos = [3]uint8{1, 6, 17}
+	fuzzTPs    = [4]uint16{80, 443, 1000, 5001}
+	// fuzzMaskBits maps the 2-bit prefix selector to significant nw_src /
+	// nw_dst bits; index 0 keeps the default exact match.
+	fuzzMaskBits = [4]int{32, 24, 8, 0}
+)
+
+// decodeFuzzFields consumes 9 bytes and produces a packet view from the
+// small field universe.
+func decodeFuzzFields(c *fuzzCursor) openflow.FieldView {
+	f := openflow.FieldView{
+		InPort:  uint16(c.byte()&3) + 1,
+		DLSrc:   fuzzMACs[c.byte()&3],
+		DLDst:   fuzzMACs[c.byte()&3],
+		DLType:  0x0800,
+		NWProto: fuzzProtos[int(c.byte())%len(fuzzProtos)],
+		NWSrc:   fuzzIPs[c.byte()&3],
+		NWDst:   fuzzIPs[c.byte()&3],
+		TPSrc:   fuzzTPs[c.byte()&3],
+		TPDst:   fuzzTPs[c.byte()&3],
+	}
+	flags := c.byte()
+	if flags&1 != 0 {
+		f.DLType = 0x0806
+	}
+	if flags&2 != 0 {
+		f.DLVLAN = 10
+	}
+	if flags&4 != 0 {
+		f.DLVLANPCP = 3
+	}
+	if flags&8 != 0 {
+		f.NWTOS = 0x10
+	}
+	return f
+}
+
+// decodeFuzzMatch consumes 11 bytes: a field view plus a 14-bit wildcard
+// selector (10 per-field bits, two 2-bit prefix-length selectors).
+func decodeFuzzMatch(c *fuzzCursor) openflow.Match {
+	m := openflow.ExactFrom(decodeFuzzFields(c))
+	w := uint16(c.byte()) | uint16(c.byte())<<8
+	flags := [...]uint32{
+		openflow.WildcardInPort, openflow.WildcardDLSrc, openflow.WildcardDLDst,
+		openflow.WildcardDLVLAN, openflow.WildcardDLVLANPCP, openflow.WildcardDLType,
+		openflow.WildcardNWTOS, openflow.WildcardNWProto,
+		openflow.WildcardTPSrc, openflow.WildcardTPDst,
+	}
+	for i, flag := range flags {
+		if w&(1<<i) != 0 {
+			m.Wildcards |= flag
+		}
+	}
+	m.SetNWSrcMaskBits(fuzzMaskBits[(w>>10)&3])
+	m.SetNWDstMaskBits(fuzzMaskBits[(w>>12)&3])
+	return m
+}
+
+// Seed helpers encode ops in the fuzz wire format above.
+
+// seedFields is the canonical tcpFields() packet in fuzz encoding: in_port
+// 1, macA→macB, TCP 10.0.0.1:1000→10.0.0.2:80.
+var seedFields = []byte{0, 0, 1, 1, 0, 1, 2, 0, 0}
+
+// matchAllWild wildcards all ten fields and both address prefixes.
+const matchAllWild uint16 = 0x03ff | 3<<10 | 3<<12
+
+func seedAdd(fields []byte, wild uint16, priority, outPort byte, overlap bool) []byte {
+	op := byte(0)
+	if overlap {
+		op = 1
+	}
+	out := append([]byte{op}, fields...)
+	return append(out, byte(wild), byte(wild>>8), priority, outPort)
+}
+
+func seedDelete(fields []byte, wild uint16, priority, outPortSel byte, strict bool) []byte {
+	op := byte(2)
+	if strict {
+		op = 3
+	}
+	out := append([]byte{op}, fields...)
+	return append(out, byte(wild), byte(wild>>8), priority, outPortSel)
+}
+
+// fuzzTableSeeds replays the table_test scenarios through the fuzz
+// encoding: exact add+lookup, priority ordering over a catch-all,
+// replace-identical, CHECK_OVERLAP, and the out_port delete filter.
+func fuzzTableSeeds() [][]byte {
+	cat := func(chunks ...[]byte) []byte {
+		var out []byte
+		for _, ch := range chunks {
+			out = append(out, ch...)
+		}
+		return out
+	}
+	altFields := []byte{0, 0, 1, 1, 0, 1, 2, 1, 0} // tp_dst 443 variant
+	return [][]byte{
+		// TestTableAddAndLookup: one exact entry, probe with the packet.
+		cat(seedAdd(seedFields, 0, 1, 2, false), seedFields),
+		// TestTablePriorityOrder: low-priority catch-all vs exact pri 7.
+		cat(seedAdd(seedFields, matchAllWild, 1, 1, false),
+			seedAdd(seedFields, 0, 7, 2, false), seedFields),
+		// TestTableAddReplacesIdentical: same match+priority twice.
+		cat(seedAdd(seedFields, 0, 5, 2, false),
+			seedAdd(seedFields, 0, 5, 3, false), seedFields),
+		// TestTableCheckOverlap: catch-all then overlap-checked exact add.
+		cat(seedAdd(seedFields, matchAllWild, 5, 1, false),
+			seedAdd(seedFields, 0, 5, 2, true)),
+		// TestTableDeleteOutPortFilter: two exact entries, wildcard delete
+		// filtered to out_port 3 (selector 2 → port 3).
+		cat(seedAdd(seedFields, 0, 1, 1, false),
+			seedAdd(altFields, 0, 1, 2, false),
+			seedDelete(seedFields, matchAllWild, 0, 2, false), seedFields),
+		// TestTableDeleteStrictRequiresExact: strict delete with wildcard
+		// match must not remove the exact entry.
+		cat(seedAdd(seedFields, 0, 7, 1, false),
+			seedDelete(seedFields, matchAllWild, 7, 0, true), seedFields),
+	}
+}

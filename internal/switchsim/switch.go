@@ -13,6 +13,7 @@ import (
 	"attain/internal/netaddr"
 	"attain/internal/netem"
 	"attain/internal/openflow"
+	"attain/internal/telemetry"
 )
 
 // FailMode selects the switch behaviour when the control connection is
@@ -69,6 +70,10 @@ type Config struct {
 	HandshakeTimeout time.Duration
 	// ExpiryInterval paces flow timeout sweeps (default 500ms).
 	ExpiryInterval time.Duration
+	// Telemetry, when non-nil, receives table install/evict, fail-mode
+	// transition, and packet-in trace events plus per-switch counters. Nil
+	// disables collection.
+	Telemetry *telemetry.Telemetry
 	// EmergencyFlows enables OpenFlow 1.0 §4.3 emergency flow entries
 	// (OFPFF_EMERG): flow mods flagged emergency populate a separate
 	// cache; on control-channel loss in fail-secure mode the normal
@@ -127,6 +132,8 @@ type Switch struct {
 	table *Table
 	emerg *Table
 	bufs  *bufferStore
+	tele  *telemetry.Telemetry
+	ctrs  swCounters
 
 	mu        sync.Mutex
 	ports     map[uint16]*swPort
@@ -178,6 +185,8 @@ func New(cfg Config, clk clock.Clock) *Switch {
 		table:    NewTable(cfg.TableSize),
 		emerg:    NewTable(cfg.TableSize),
 		bufs:     newBufferStore(cfg.NBuffers),
+		tele:     cfg.Telemetry,
+		ctrs:     buildSwCounters(cfg.Telemetry, cfg.Name),
 		ports:    make(map[uint16]*swPort),
 		macTable: make(map[netaddr.MAC]uint16),
 		stop:     make(chan struct{}),
@@ -315,6 +324,7 @@ func (s *Switch) input(inPort uint16, frame []byte) {
 		s.mu.Lock()
 		s.stats.TableMisses++
 		s.mu.Unlock()
+		s.ctrs.tableMisses.Inc()
 		s.sendPacketIn(inPort, frame, openflow.PacketInReasonNoMatch, 0)
 		return
 	}
@@ -339,6 +349,7 @@ func (s *Switch) input(inPort uint16, frame []byte) {
 		s.stats.TableMisses++
 		s.stats.DroppedDisconnected++
 		s.mu.Unlock()
+		s.ctrs.tableMisses.Inc()
 	}
 }
 
@@ -464,6 +475,11 @@ func (s *Switch) sendPacketIn(inPort uint16, frame []byte, reason openflow.Packe
 		s.mu.Lock()
 		s.stats.PacketInsSent++
 		s.mu.Unlock()
+		s.ctrs.packetInsBuffered.Inc()
+		s.tele.Emit(telemetry.Event{
+			Layer: telemetry.LayerSwitch, Kind: telemetry.KindPacketIn,
+			Node: s.cfg.Name, MsgType: "PACKET_IN", Detail: pi.Reason.String(),
+		})
 	}
 }
 
@@ -561,6 +577,7 @@ func (s *Switch) connLoop() {
 			s.mu.Lock()
 			s.stats.Reconnects++
 			s.mu.Unlock()
+			s.ctrs.reconnects.Inc()
 		}
 	}
 }
@@ -579,6 +596,16 @@ func (s *Switch) setConnected(up bool, conn *ctrlConn) {
 	if enterEmergency {
 		// §4.3: entering emergency mode resets the normal flow table.
 		s.table.Clear()
+	}
+	if wasUp != up && s.tele.Enabled() {
+		detail := "connected"
+		if !up {
+			detail = "disconnected fail_" + s.cfg.FailMode.String()
+		}
+		s.tele.Emit(telemetry.Event{
+			Layer: telemetry.LayerSwitch, Kind: telemetry.KindFailMode,
+			Node: s.cfg.Name, Detail: detail,
+		})
 	}
 }
 
@@ -760,14 +787,37 @@ func (s *Switch) handleFlowMod(conn *ctrlConn, hdr openflow.Header, fm *openflow
 	var err error
 	switch fm.Command {
 	case openflow.FlowModAdd:
-		err = table.Add(fm, now)
+		if err = table.Add(fm, now); err == nil {
+			s.ctrs.flowModsInstalled.Inc()
+			s.tele.Emit(telemetry.Event{
+				Layer: telemetry.LayerSwitch, Kind: telemetry.KindInstall,
+				Node: s.cfg.Name, MsgType: "FLOW_MOD", Detail: "add",
+			})
+		}
 	case openflow.FlowModModify:
-		err = table.Modify(fm, false, now)
+		if err = table.Modify(fm, false, now); err == nil {
+			s.ctrs.flowModsInstalled.Inc()
+			s.tele.Emit(telemetry.Event{
+				Layer: telemetry.LayerSwitch, Kind: telemetry.KindInstall,
+				Node: s.cfg.Name, MsgType: "FLOW_MOD", Detail: "modify",
+			})
+		}
 	case openflow.FlowModModifyStrict:
-		err = table.Modify(fm, true, now)
+		if err = table.Modify(fm, true, now); err == nil {
+			s.ctrs.flowModsInstalled.Inc()
+			s.tele.Emit(telemetry.Event{
+				Layer: telemetry.LayerSwitch, Kind: telemetry.KindInstall,
+				Node: s.cfg.Name, MsgType: "FLOW_MOD", Detail: "modify_strict",
+			})
+		}
 	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
 		removed := table.Delete(fm, fm.Command == openflow.FlowModDeleteStrict)
 		for _, e := range removed {
+			s.ctrs.flowModsEvicted.Inc()
+			s.tele.Emit(telemetry.Event{
+				Layer: telemetry.LayerSwitch, Kind: telemetry.KindEvict,
+				Node: s.cfg.Name, Detail: openflow.FlowRemovedDelete.String(),
+			})
 			s.notifyFlowRemoved(conn, e, openflow.FlowRemovedDelete, now)
 		}
 	default:
@@ -904,6 +954,11 @@ func (s *Switch) expiryLoop() {
 			conn := s.conn
 			s.mu.Unlock()
 			for _, ex := range expired {
+				s.ctrs.flowModsEvicted.Inc()
+				s.tele.Emit(telemetry.Event{
+					Layer: telemetry.LayerSwitch, Kind: telemetry.KindEvict,
+					Node: s.cfg.Name, Detail: ex.Reason.String(),
+				})
 				s.notifyFlowRemoved(conn, ex.Entry, ex.Reason, now)
 			}
 		}

@@ -1,0 +1,27 @@
+package switchsim
+
+import (
+	"attain/internal/telemetry"
+)
+
+// swCounters holds the switch's pre-resolved telemetry counters. All
+// fields are nil when telemetry is disabled, making every update a
+// nil-check no-op (see package telemetry).
+type swCounters struct {
+	flowModsInstalled *telemetry.Counter
+	flowModsEvicted   *telemetry.Counter
+	packetInsBuffered *telemetry.Counter
+	tableMisses       *telemetry.Counter
+	reconnects        *telemetry.Counter
+}
+
+func buildSwCounters(tele *telemetry.Telemetry, name string) swCounters {
+	prefix := "switch." + name
+	return swCounters{
+		flowModsInstalled: tele.Counter(prefix + ".flow_mods_installed"),
+		flowModsEvicted:   tele.Counter(prefix + ".flow_mods_evicted"),
+		packetInsBuffered: tele.Counter(prefix + ".packet_ins_buffered"),
+		tableMisses:       tele.Counter(prefix + ".table_misses"),
+		reconnects:        tele.Counter(prefix + ".reconnects"),
+	}
+}

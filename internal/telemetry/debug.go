@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts an HTTP server on addr exposing the standard debug
+// endpoints: /debug/vars (expvar — including anything published via
+// PublishExpvar) and /debug/pprof (CPU/heap/goroutine profiles for finding
+// hot paths). It returns the bound address (useful with ":0") and never
+// blocks; the server runs until the process exits. The listener error is
+// returned synchronously so CLIs can fail loudly on a bad -debug flag.
+func ServeDebug(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// appendEvent appends ev's JSON object encoding to buf and returns the
+// extended slice. The output is byte-identical to encoding/json's
+// marshalling of Event (same key order, omitempty handling, and string
+// escaping) but allocation-free, because the trace flush runs inside the
+// scenario's timed region and a reflective Marshal per event dominated
+// the telemetry overhead on large traces.
+func appendEvent(buf []byte, ev Event) []byte {
+	buf = append(buf, `{"seq":`...)
+	buf = strconv.AppendUint(buf, ev.Seq, 10)
+	buf = append(buf, `,"t_us":`...)
+	buf = strconv.AppendInt(buf, ev.TUS, 10)
+	buf = append(buf, `,"layer":`...)
+	buf = appendJSONString(buf, ev.Layer)
+	buf = append(buf, `,"kind":`...)
+	buf = appendJSONString(buf, ev.Kind)
+	for _, f := range [...]struct {
+		key   string
+		value string
+	}{
+		{`,"node":`, ev.Node},
+		{`,"conn":`, ev.Conn},
+		{`,"msg_type":`, ev.MsgType},
+		{`,"rule":`, ev.Rule},
+		{`,"verdict":`, ev.Verdict},
+		{`,"detail":`, ev.Detail},
+	} {
+		if f.value == "" {
+			continue
+		}
+		buf = append(buf, f.key...)
+		buf = appendJSONString(buf, f.value)
+	}
+	return append(buf, '}')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// jsonSafe marks the ASCII bytes encoding/json emits verbatim inside a
+// string (printable, not a quote, backslash, or HTML-escaped character).
+var jsonSafe = func() (safe [utf8.RuneSelf]bool) {
+	for b := 0x20; b < utf8.RuneSelf; b++ {
+		switch byte(b) {
+		case '"', '\\', '<', '>', '&':
+		default:
+			safe[b] = true
+		}
+	}
+	return safe
+}()
+
+// appendJSONString appends s as a JSON string literal, escaping exactly as
+// encoding/json does with its default HTML escaping: control characters,
+// quotes, backslashes, <, >, &, invalid UTF-8, and U+2028/U+2029.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe[b] {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '\\':
+				buf = append(buf, '\\', '\\')
+			case '"':
+				buf = append(buf, '\\', '"')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xf])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[r&0xf])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"testing"
+)
+
+// TestAppendEventMatchesEncodingJSON pins the hand-rolled encoder to
+// encoding/json's output byte for byte, across omitempty combinations and
+// every escaping class (quotes, control characters, HTML escapes, invalid
+// UTF-8, U+2028/U+2029). The golden trace files depend on this staying
+// exact.
+func TestAppendEventMatchesEncodingJSON(t *testing.T) {
+	events := []Event{
+		{},
+		{Seq: 1, TUS: 0, Layer: LayerInjector, Kind: KindSession, Conn: "c1:s1", Detail: "open"},
+		{Seq: 2, TUS: 1500, Layer: LayerSwitch, Kind: KindInstall, Node: "s1", MsgType: "FLOW_MOD", Detail: "add"},
+		{Seq: 3, TUS: -7, Layer: LayerInjector, Kind: KindState, Rule: "arm", Detail: "s0 -> armed"},
+		{Seq: 4, Layer: LayerController, Kind: KindVerdict, Verdict: "drop", Detail: `quote " backslash \ slash /`},
+		{Seq: 5, Layer: "l", Kind: "k", Detail: "ctrl \x00\x01\x1f tab\t nl\n cr\r"},
+		{Seq: 6, Layer: "l", Kind: "k", Detail: "html <&> done"},
+		{Seq: 7, Layer: "l", Kind: "k", Detail: "unicode é世   end"},
+		{Seq: 8, Layer: "l", Kind: "k", Detail: "bad utf8 \xff\xfe tail"},
+		{Seq: ^uint64(0), TUS: -1 << 62, Layer: "l", Kind: "k", Node: "n", Conn: "c", MsgType: "m", Rule: "r", Verdict: "v", Detail: "d"},
+	}
+	for _, ev := range events {
+		want, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatalf("json.Marshal(%+v): %v", ev, err)
+		}
+		if got := appendEvent(nil, ev); string(got) != string(want) {
+			t.Errorf("appendEvent(%+v)\n got %s\nwant %s", ev, got, want)
+		}
+	}
+}
+
+func BenchmarkWriteJSONL(b *testing.B) {
+	tele := New(Options{})
+	for i := 0; i < 2000; i++ {
+		tele.Emit(Event{
+			Layer: LayerInjector, Kind: KindVerdict,
+			Conn: "c1:s1", MsgType: "PACKET_IN", Verdict: "pass",
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tele.WriteJSONL(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendEvent(b *testing.B) {
+	ev := Event{
+		Seq: 123456, TUS: 9876543, Layer: LayerSwitch, Kind: KindEvict,
+		Node: "s1", MsgType: "FLOW_MOD", Detail: "IDLE_TIMEOUT",
+	}
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = appendEvent(buf[:0], ev)
+	}
+	if len(buf) == 0 {
+		b.Fatal("empty encoding")
+	}
+}

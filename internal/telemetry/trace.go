@@ -1,0 +1,87 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultTraceCapacity bounds the ring when Options.TraceCapacity is 0.
+// Sized for the paper's evaluation scenarios (which emit a few hundred
+// events each) with an order of magnitude of headroom: the ring is
+// allocated per scenario, so an oversized default taxes every testbed
+// with megabytes of zeroed slots.
+const defaultTraceCapacity = 1 << 12
+
+// Trace is a bounded ring buffer of events, safe for concurrent emitters.
+//
+// Global order comes from a single atomic sequence reservation; the
+// reserved sequence picks a slot (seq mod capacity), and each slot has its
+// own mutex, so two emitters contend only when they collide on the same
+// slot — "lock-light" rather than lock-free, with no allocation on the
+// emit path. When the ring wraps, a slot's older event is overwritten
+// (counted as dropped) and the trace retains the most recent capacity
+// events. Readers (Events) take the slot locks one at a time and sort the
+// survivors by sequence, which is cheap because it happens only at flush
+// time, after the run.
+type Trace struct {
+	next  atomic.Uint64 // sequence reservation; first event is seq 1
+	slots []traceSlot
+}
+
+type traceSlot struct {
+	mu  sync.Mutex
+	seq uint64 // 0 = never written
+	ev  Event
+}
+
+// NewTrace creates a ring retaining up to capacity events (0 uses the
+// default of 4096).
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = defaultTraceCapacity
+	}
+	return &Trace{slots: make([]traceSlot, capacity)}
+}
+
+// emit assigns ev the next sequence number and stores it, overwriting the
+// oldest event in its slot if the ring has wrapped.
+func (t *Trace) emit(ev Event) {
+	seq := t.next.Add(1)
+	ev.Seq = seq
+	slot := &t.slots[seq%uint64(len(t.slots))]
+	slot.mu.Lock()
+	// A late writer must not clobber a newer event that lapped it.
+	if seq > slot.seq {
+		slot.seq = seq
+		slot.ev = ev
+	}
+	slot.mu.Unlock()
+}
+
+// Emitted returns how many events were ever emitted.
+func (t *Trace) Emitted() uint64 { return t.next.Load() }
+
+// Dropped returns how many emitted events are no longer retained.
+func (t *Trace) Dropped() uint64 {
+	n := t.next.Load()
+	if cap := uint64(len(t.slots)); n > cap {
+		return n - cap
+	}
+	return 0
+}
+
+// Events returns the retained events in sequence order.
+func (t *Trace) Events() []Event {
+	out := make([]Event, 0, len(t.slots))
+	for i := range t.slots {
+		s := &t.slots[i]
+		s.mu.Lock()
+		if s.seq != 0 {
+			out = append(out, s.ev)
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
