@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race smoke fuzz-smoke bench clean
+.PHONY: ci vet build test race smoke grid-smoke fuzz-smoke bench clean
 
-ci: vet build test race fuzz-smoke smoke
+ci: vet build test race fuzz-smoke smoke grid-smoke
 
 vet:
 	$(GO) vet ./...
@@ -26,6 +26,15 @@ smoke:
 	@test -s /tmp/attain-smoke/results.jsonl
 	@ls /tmp/attain-smoke/traces/*.jsonl > /dev/null
 
+# Distributed smoke: a coordinator plus two spawned worker subprocesses
+# over loopback run the grid example spec end to end — the subprocess
+# spawn path, frame protocol, leases, and merged artifacts all exercised
+# for real. (internal/grid is also under `make race` via ./...)
+grid-smoke:
+	$(GO) run ./cmd/attain-grid local -spec examples/campaign/grid-smoke.json -workers 2 -out /tmp/attain-grid-smoke
+	@test -s /tmp/attain-grid-smoke/results.jsonl
+	@grep -q '"status":"ok"' /tmp/attain-grid-smoke/results.jsonl
+
 # Short fuzz pass over every Fuzz target (go's -fuzz wants exactly one
 # match per invocation, hence one line per target).
 FUZZTIME ?= 10s
@@ -40,4 +49,4 @@ bench:
 	$(GO) test -bench=CampaignWorkers -benchtime=1x .
 
 clean:
-	rm -rf /tmp/attain-smoke
+	rm -rf /tmp/attain-smoke /tmp/attain-grid-smoke

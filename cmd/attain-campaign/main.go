@@ -8,6 +8,12 @@
 //	attain-campaign -spec examples/campaign/paper-eval.json -out results/
 //	attain-campaign -spec spec.json -workers 8        # override spec workers
 //	attain-campaign -spec spec.json -dry-run          # list scenarios only
+//	attain-campaign -spec spec.json -out results/ -resume   # continue an interrupted run
+//
+// -resume keeps the valid results.jsonl prefix already in -out and runs
+// only the remaining scenarios instead of failing or duplicating rows;
+// the CSV aggregates and summary are rebuilt from the scenarios the
+// resuming run executed (results.jsonl is always the complete set).
 //
 // Artifacts land under -out: results.jsonl (one record per scenario, in
 // matrix order), fig11.csv / table2.csv aggregates, and summary.txt.
@@ -44,6 +50,7 @@ func run() error {
 	out := flag.String("out", "campaign-out", "artifact directory")
 	workers := flag.Int("workers", 0, "override the spec's worker count")
 	dryRun := flag.Bool("dry-run", false, "list the expanded scenarios without running them")
+	resume := flag.Bool("resume", false, "continue an interrupted run: keep -out's valid results.jsonl prefix and run only the remaining scenarios")
 	trace := flag.Bool("trace", false, "collect per-scenario telemetry traces (overrides the spec; written under -out as traces/*.jsonl)")
 	debugAddr := flag.String("debug", "", "serve expvar and pprof debug endpoints on this address (e.g. localhost:6060)")
 	flag.Parse()
@@ -80,9 +87,30 @@ func run() error {
 		return nil
 	}
 
-	store, err := campaign.NewStore(*out)
-	if err != nil {
-		return err
+	var store *campaign.Store
+	if *resume {
+		var done int
+		store, done, err = campaign.ResumeStore(*out)
+		if err != nil {
+			return err
+		}
+		if done >= len(scenarios) {
+			fmt.Printf("campaign already complete: %d/%d scenarios recorded in %s\n",
+				done, len(scenarios), *out)
+			return nil
+		}
+		if done > 0 {
+			fmt.Printf("resuming: %d/%d scenarios already recorded, running the remaining %d\n",
+				done, len(scenarios), len(scenarios)-done)
+		}
+		// Records stream in strict index order, so the recorded set is
+		// always the prefix [0, done); only the tail remains.
+		scenarios = scenarios[done:]
+	} else {
+		store, err = campaign.NewStore(*out)
+		if err != nil {
+			return err
+		}
 	}
 	cfg := spec.RunnerConfig()
 	if *workers > 0 {

@@ -158,6 +158,15 @@ dispatch:
 	return report, storeErr
 }
 
+// RunScenario executes a single scenario under the runner's full
+// per-scenario policy — deadline, infra-retry with jittered backoff, panic
+// capture — without the worker pool or the store. Grid workers use it to
+// run leased scenarios one at a time while the coordinator owns dispatch
+// and artifacts.
+func (r *Runner) RunScenario(ctx context.Context, sc Scenario) ScenarioResult {
+	return r.runOne(ctx, sc)
+}
+
 // runOne executes a single scenario with the retry-with-backoff policy:
 // infrastructure failures are re-attempted up to Retries times; attack
 // outcomes, panics, and deadline expiries are terminal.
@@ -183,12 +192,33 @@ func (r *Runner) runOne(ctx context.Context, sc Scenario) ScenarioResult {
 			res.Attempts = attempt
 			res.Duration = time.Since(res.Started)
 			return res
-		case <-time.After(backoff):
+		case <-time.After(backoff + RetryJitter(sc.Seed, attempt, backoff)):
 		}
 		backoff *= 2
 	}
 	res.Duration = time.Since(res.Started)
 	return res
+}
+
+// RetryJitter returns the extra wait added to a retry backoff: a value in
+// [0, backoff/2) derived deterministically from the scenario seed and the
+// attempt number. Infra failures tend to hit whole batches at once (a
+// loaded host, a saturated coordinator), and identical backoffs would
+// re-synchronise every affected scenario into the same retry storm —
+// across grid workers as well as within one pool. Seeding the jitter keeps
+// equal-seed campaigns reproducible wherever a scenario lands.
+func RetryJitter(seed int64, attempt int, backoff time.Duration) time.Duration {
+	if backoff <= 1 {
+		return 0
+	}
+	// splitmix64 over (seed, attempt): cheap, stateless, well mixed.
+	x := uint64(seed) + uint64(attempt)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return time.Duration(x % uint64(backoff/2))
 }
 
 type attemptResult struct {

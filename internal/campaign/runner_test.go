@@ -296,3 +296,38 @@ func (s syncWriter) Write(p []byte) (int, error) {
 	defer s.mu.Unlock()
 	return s.w.Write(p)
 }
+
+func TestRetryJitterDeterministicAndDesynchronized(t *testing.T) {
+	const backoff = 250 * time.Millisecond
+	// Same (seed, attempt) must always yield the same jitter — equal-seed
+	// campaigns stay reproducible wherever the scenario executes.
+	for _, seed := range []int64{1, 42, -9, 1 << 40} {
+		for attempt := 1; attempt <= 3; attempt++ {
+			a := RetryJitter(seed, attempt, backoff)
+			b := RetryJitter(seed, attempt, backoff)
+			if a != b {
+				t.Fatalf("RetryJitter(%d, %d) nondeterministic: %v != %v", seed, attempt, a, b)
+			}
+			if a < 0 || a >= backoff/2 {
+				t.Fatalf("RetryJitter(%d, %d) = %v outside [0, %v)", seed, attempt, a, backoff/2)
+			}
+		}
+	}
+	// Different seeds must spread out: that is the whole point — scenarios
+	// retrying simultaneously should not re-collide. Demand at least 75%
+	// distinct values over 64 seeds.
+	seen := make(map[time.Duration]bool)
+	for seed := int64(0); seed < 64; seed++ {
+		seen[RetryJitter(seed, 1, backoff)] = true
+	}
+	if len(seen) < 48 {
+		t.Errorf("64 seeds produced only %d distinct jitters — backoffs would re-synchronise", len(seen))
+	}
+	// Degenerate backoffs yield zero jitter rather than panicking.
+	if got := RetryJitter(7, 1, 0); got != 0 {
+		t.Errorf("RetryJitter with zero backoff = %v, want 0", got)
+	}
+	if got := RetryJitter(7, 1, 1); got != 0 {
+		t.Errorf("RetryJitter with 1ns backoff = %v, want 0", got)
+	}
+}

@@ -224,3 +224,205 @@ func TestRecordMarshalsFailModeOnlyForInterruption(t *testing.T) {
 		}
 	}
 }
+
+func TestStorePutOutOfOrderHoldsBackRecords(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := testScenarios(3)
+	put := func(i int) {
+		t.Helper()
+		if err := store.Put(ScenarioResult{Scenario: scenarios[i], Status: StatusOK, Attempts: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records := func() int {
+		data := bytes.TrimSpace(readArtifact(t, dir, ResultsFile))
+		if len(data) == 0 {
+			return 0
+		}
+		return len(bytes.Split(data, []byte("\n")))
+	}
+	// Index 2 first: nothing can flush until 0 and 1 exist.
+	put(2)
+	if n := records(); n != 0 {
+		t.Fatalf("after Put(2): %d records on disk, want 0 (held back)", n)
+	}
+	put(0)
+	if n := records(); n != 1 {
+		t.Fatalf("after Put(0): %d records, want 1 (only the prefix)", n)
+	}
+	// 1 completes the prefix; 1 and the held-back 2 flush together.
+	put(1)
+	if n := records(); n != 3 {
+		t.Fatalf("after Put(1): %d records, want 3", n)
+	}
+}
+
+func TestStorePutDuplicateIndexDoesNotDuplicateRows(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenarios(1)[0]
+	if err := store.Put(ScenarioResult{Scenario: sc, Status: StatusOK, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// A second result for the same index (e.g. a duplicate from a slow
+	// grid worker) parks in pending but can never flush again.
+	if err := store.Put(ScenarioResult{Scenario: sc, Status: StatusFailed, Attempts: 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(readArtifact(t, dir, ResultsFile)), []byte("\n"))
+	if len(lines) != 1 {
+		t.Fatalf("duplicate Put produced %d rows, want 1", len(lines))
+	}
+	if !bytes.Contains(lines[0], []byte(`"status":"ok"`)) {
+		t.Errorf("first-write-wins violated: %s", lines[0])
+	}
+}
+
+func TestStoreFinishAfterZeroResults(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Finish(&Report{}); err != nil {
+		t.Fatal(err)
+	}
+	if data := readArtifact(t, dir, ResultsFile); len(data) != 0 {
+		t.Errorf("empty campaign wrote %d bytes of results", len(data))
+	}
+	if sum := string(readArtifact(t, dir, SummaryFile)); !strings.Contains(sum, "0/0 ok") {
+		t.Errorf("summary for empty campaign: %q", sum)
+	}
+	// No outcomes — no aggregate CSVs.
+	for _, name := range []string{Fig11File, TableIIFile} {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Errorf("%s written for an empty campaign", name)
+		}
+	}
+	// Double Finish is an error, not a panic or silent truncation.
+	if err := store.Finish(&Report{}); err == nil {
+		t.Error("second Finish succeeded, want error")
+	}
+}
+
+func TestCanonicalJSONLRejectsCorruptInput(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		input string
+	}{
+		{"truncated record", `{"index":0,"name":"a"` + "\n"},
+		{"not json", "results go here\n"},
+		{"bare array", `[1,2,3]` + "\n"},
+	} {
+		if _, err := CanonicalJSONL([]byte(tc.input)); err == nil {
+			t.Errorf("%s: CanonicalJSONL accepted %q", tc.name, tc.input)
+		}
+	}
+	// Empty input and blank lines are fine — an interrupted campaign may
+	// legitimately have written nothing yet.
+	for _, ok := range []string{"", "\n\n"} {
+		if out, err := CanonicalJSONL([]byte(ok)); err != nil || len(out) != 0 {
+			t.Errorf("CanonicalJSONL(%q) = %q, %v; want empty, nil", ok, out, err)
+		}
+	}
+}
+
+func TestResumeStoreContinuesInterruptedRun(t *testing.T) {
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := testScenarios(5)
+	for i := 0; i < 3; i++ {
+		if err := store.Put(ScenarioResult{Scenario: scenarios[i], Status: StatusOK, Attempts: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulate the crash mid-write: a torn partial record at the tail.
+	f, err := os.OpenFile(filepath.Join(dir, ResultsFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":3,"na`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	resumed, done, err := ResumeStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("ResumeStore found %d complete records, want 3", done)
+	}
+	// Run the remaining scenarios through the ordinary runner path.
+	r := NewRunner(RunnerConfig{Workers: 2, Execute: stochasticExec, Store: resumed})
+	report, err := r.Run(context.Background(), scenarios[done:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run already finished the store (cfg.Store was set); a second Finish
+	// must refuse rather than truncate artifacts.
+	if err := resumed.Finish(report); err == nil || !strings.Contains(err.Error(), "already finished") {
+		t.Fatalf("second Finish = %v, want 'already finished' error", err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(readArtifact(t, dir, ResultsFile)), []byte("\n"))
+	if len(lines) != 5 {
+		t.Fatalf("resumed run left %d records, want 5", len(lines))
+	}
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("record %d corrupt after resume: %v", i, err)
+		}
+		if rec.Index != i {
+			t.Fatalf("record %d has index %d — duplicated or reordered rows", i, rec.Index)
+		}
+	}
+}
+
+func TestResumeStoreFreshDirectoryStartsFromZero(t *testing.T) {
+	store, done, err := ResumeStore(t.TempDir() + "/new")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 0 {
+		t.Fatalf("fresh dir resumed at %d, want 0", done)
+	}
+	if err := store.Put(ScenarioResult{Scenario: testScenarios(1)[0], Status: StatusOK, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Finish(&Report{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResumeStoreStopsAtIndexGap(t *testing.T) {
+	dir := t.TempDir()
+	// A hand-damaged file: record 0 then record 2 — the prefix ends at 1.
+	content := `{"index":0,"name":"a","status":"ok"}` + "\n" + `{"index":2,"name":"c","status":"ok"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, ResultsFile), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, done, err := ResumeStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != 1 {
+		t.Fatalf("resume past an index gap: done=%d, want 1", done)
+	}
+	// The out-of-prefix tail must be truncated away so re-runs cannot
+	// duplicate index 2.
+	data := readArtifact(t, dir, ResultsFile)
+	if bytes.Count(data, []byte("\n")) != 1 {
+		t.Fatalf("truncation failed, file still holds: %s", data)
+	}
+}

@@ -1,0 +1,546 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"attain/internal/campaign"
+	"attain/internal/telemetry"
+)
+
+// CoordinatorConfig tunes a campaign coordinator.
+type CoordinatorConfig struct {
+	// Campaign names the run (echoed to workers in WELCOME).
+	Campaign string
+	// Scenarios is the expanded matrix, indices 0..n-1 in order.
+	Scenarios []campaign.Scenario
+	// Store, when set, receives every result as it completes plus the
+	// aggregate artifacts at the end of Serve — exactly as the in-process
+	// runner would feed it.
+	Store *campaign.Store
+	// LeaseTTL is how long a grant survives without a heartbeat claiming
+	// it (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Requeues bounds re-grants per scenario after expiries or worker
+	// deaths (default DefaultRequeues).
+	Requeues int
+	// Backoff is the base wait before a requeued scenario becomes
+	// grantable again; it doubles per requeue and carries the scenario's
+	// seeded jitter (default 250 ms).
+	Backoff time.Duration
+	// Runner is the execution policy workers adopt (Timeout, Retries,
+	// Backoff); Workers/Execute/Store/Progress are coordinator-side
+	// concerns and ignored here.
+	Runner campaign.RunnerConfig
+	// Telemetry collects the grid counters and events (nil = disabled).
+	Telemetry *telemetry.Telemetry
+	// Progress, when set, receives one line per scenario completion and
+	// the final summary.
+	Progress io.Writer
+}
+
+// Scenario lease states.
+const (
+	statePending = iota
+	stateLeased
+	stateDone
+)
+
+// scenState is the coordinator's bookkeeping for one scenario.
+type scenState struct {
+	sc    campaign.Scenario
+	state int
+	// worker and deadline are valid while leased.
+	worker   string
+	deadline time.Time
+	// notBefore delays re-grant of a requeued scenario (requeue backoff).
+	notBefore time.Time
+	// grants counts grants so far; excluded lists workers this scenario
+	// must avoid (they held it when it was lost).
+	grants   int
+	excluded map[string]bool
+}
+
+// remoteWorker is a connected worker.
+type remoteWorker struct {
+	name   string
+	slots  int
+	conn   *frameConn
+	leases map[int]bool
+}
+
+func (w *remoteWorker) free() int { return w.slots - len(w.leases) }
+
+// Coordinator shards a campaign's scenarios across TCP workers under
+// heartbeat-refreshed leases and lands the results in an index-ordered
+// store, producing artifacts identical to a single-process run.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu        sync.Mutex
+	scen      []*scenState
+	workers   map[string]*remoteWorker
+	results   []campaign.ScenarioResult
+	remaining int
+	finished  bool
+	done      chan struct{}
+
+	ctrLeased     *telemetry.Counter
+	ctrCompleted  *telemetry.Counter
+	ctrRequeued   *telemetry.Counter
+	ctrFailed     *telemetry.Counter
+	ctrExpired    *telemetry.Counter
+	ctrJoined     *telemetry.Counter
+	ctrLeft       *telemetry.Counter
+	ctrDuplicate  *telemetry.Counter
+	storeErr      error
+	progressCount int
+}
+
+// NewCoordinator builds a coordinator, applying config defaults.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.Requeues <= 0 {
+		cfg.Requeues = DefaultRequeues
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	c := &Coordinator{
+		cfg:       cfg,
+		workers:   make(map[string]*remoteWorker),
+		results:   make([]campaign.ScenarioResult, len(cfg.Scenarios)),
+		remaining: len(cfg.Scenarios),
+		done:      make(chan struct{}),
+
+		ctrLeased:    cfg.Telemetry.Counter("grid.scenarios_leased"),
+		ctrCompleted: cfg.Telemetry.Counter("grid.scenarios_completed"),
+		ctrRequeued:  cfg.Telemetry.Counter("grid.scenarios_requeued"),
+		ctrFailed:    cfg.Telemetry.Counter("grid.scenarios_failed"),
+		ctrExpired:   cfg.Telemetry.Counter("grid.lease_expiries"),
+		ctrJoined:    cfg.Telemetry.Counter("grid.workers_joined"),
+		ctrLeft:      cfg.Telemetry.Counter("grid.workers_left"),
+		ctrDuplicate: cfg.Telemetry.Counter("grid.results_duplicate"),
+	}
+	cfg.Telemetry.Counter("grid.scenarios_total").Add(uint64(len(cfg.Scenarios)))
+	c.scen = make([]*scenState, len(cfg.Scenarios))
+	for i, sc := range cfg.Scenarios {
+		c.scen[i] = &scenState{sc: sc, excluded: make(map[string]bool)}
+	}
+	return c
+}
+
+// Serve accepts workers on ln and runs the campaign to completion: every
+// scenario ends done or failed, results stream into the store in index
+// order, and the report comes back exactly as campaign.Runner.Run would
+// shape it. Cancelling ctx stops granting, records unfinished scenarios
+// as skipped, and still finishes the store. Serve closes ln.
+func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*campaign.Report, error) {
+	start := time.Now()
+	var conns sync.WaitGroup
+
+	// Accept loop: runs until the listener closes (campaign end).
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func() {
+				defer conns.Done()
+				c.handleConn(conn)
+			}()
+		}
+	}()
+
+	// Scheduler: expire stale leases, age requeue backoffs, grant work.
+	tick := c.cfg.LeaseTTL / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+
+loop:
+	for {
+		select {
+		case <-c.done:
+			break loop
+		case <-ctx.Done():
+			break loop
+		case <-ticker.C:
+			c.sweep(time.Now())
+		}
+	}
+
+	// Shut down: no more grants, tell workers, close everything.
+	c.mu.Lock()
+	c.finished = true
+	for _, w := range c.workers {
+		go func(fc *frameConn) {
+			fc.write(&Frame{Type: FrameDone})
+			fc.close()
+		}(w.conn)
+	}
+	c.mu.Unlock()
+	ln.Close()
+	conns.Wait()
+
+	// Anything not done drains as skipped (cancellation path).
+	c.mu.Lock()
+	for i, st := range c.scen {
+		if st.state != stateDone {
+			c.results[i] = campaign.ScenarioResult{
+				Scenario: st.sc,
+				Status:   campaign.StatusSkipped,
+				Err:      fmt.Sprintf("not started: %v", context.Cause(ctx)),
+			}
+		}
+	}
+	report := &campaign.Report{Results: c.results, Wall: time.Since(start)}
+	storeErr := c.storeErr
+	c.mu.Unlock()
+
+	if c.cfg.Progress != nil {
+		io.WriteString(c.cfg.Progress, report.Summary())
+	}
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.Finish(report); err != nil && storeErr == nil {
+			storeErr = err
+		}
+	}
+	return report, storeErr
+}
+
+// handleConn speaks the protocol with one worker: HELLO/WELCOME handshake,
+// then heartbeats and results until the connection ends, at which point
+// every lease the worker still holds is requeued.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	fc := newFrameConn(conn, c.cfg.Telemetry)
+	defer fc.close()
+
+	f, err := fc.read()
+	if err != nil || f.Type != FrameHello || f.Hello == nil {
+		return
+	}
+	if f.Hello.Proto != ProtoVersion {
+		fc.write(&Frame{Type: FrameBye, Bye: &Bye{
+			Reason: fmt.Sprintf("protocol mismatch: coordinator=%d worker=%d", ProtoVersion, f.Hello.Proto)}})
+		return
+	}
+	slots := f.Hello.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	w := &remoteWorker{name: f.Hello.Worker, slots: slots, conn: fc, leases: make(map[int]bool)}
+	if w.name == "" {
+		w.name = conn.RemoteAddr().String()
+	}
+
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		fc.write(&Frame{Type: FrameDone})
+		return
+	}
+	if _, taken := c.workers[w.name]; taken {
+		w.name = w.name + "@" + conn.RemoteAddr().String()
+	}
+	c.workers[w.name] = w
+	c.mu.Unlock()
+	c.ctrJoined.Inc()
+	c.cfg.Telemetry.Emit(telemetry.Event{
+		Layer: telemetry.LayerGrid, Kind: telemetry.KindWorker,
+		Node: w.name, Detail: fmt.Sprintf("joined slots=%d", slots)})
+
+	welcome := &Welcome{
+		Proto:       ProtoVersion,
+		Campaign:    c.cfg.Campaign,
+		Scenarios:   len(c.cfg.Scenarios),
+		LeaseMS:     c.cfg.LeaseTTL.Milliseconds(),
+		HeartbeatMS: (c.cfg.LeaseTTL / 3).Milliseconds(),
+		TimeoutMS:   c.cfg.Runner.Timeout.Milliseconds(),
+		Retries:     c.cfg.Runner.Retries,
+		BackoffMS:   c.cfg.Runner.Backoff.Milliseconds(),
+	}
+	if err := fc.write(&Frame{Type: FrameWelcome, Welcome: welcome}); err != nil {
+		c.dropWorker(w, "handshake write failed")
+		return
+	}
+	c.sweep(time.Now()) // grant immediately rather than waiting a tick
+
+	for {
+		f, err := fc.read()
+		if err != nil {
+			c.dropWorker(w, fmt.Sprintf("connection lost: %v", err))
+			return
+		}
+		switch f.Type {
+		case FrameHeartbeat:
+			busy := []int(nil)
+			if f.Heartbeat != nil {
+				busy = f.Heartbeat.Busy
+			}
+			c.refreshLeases(w, busy)
+		case FrameResult:
+			if f.Result != nil {
+				c.applyResult(w, f.Result.Result)
+			}
+		case FrameBye:
+			c.dropWorker(w, "worker said bye")
+			return
+		default:
+			// Unknown frames are ignored for forward compatibility.
+		}
+	}
+}
+
+// refreshLeases extends the deadlines of the leases the worker claims to
+// be executing. Leases the worker does not claim are left to expire.
+func (c *Coordinator) refreshLeases(w *remoteWorker, busy []int) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, idx := range busy {
+		if idx < 0 || idx >= len(c.scen) {
+			continue
+		}
+		st := c.scen[idx]
+		if st.state == stateLeased && st.worker == w.name {
+			st.deadline = now.Add(c.cfg.LeaseTTL)
+		}
+	}
+}
+
+// applyResult lands one worker result: first result for a scenario wins
+// (a slow worker racing its own expired lease produces duplicates, which
+// are counted and dropped), the store streams it in index order, and the
+// freed slot is refilled immediately.
+func (c *Coordinator) applyResult(w *remoteWorker, res campaign.ScenarioResult) {
+	idx := res.Scenario.Index
+	c.mu.Lock()
+	if idx < 0 || idx >= len(c.scen) {
+		c.mu.Unlock()
+		return
+	}
+	st := c.scen[idx]
+	delete(w.leases, idx)
+	if st.state == stateDone {
+		c.mu.Unlock()
+		c.ctrDuplicate.Inc()
+		return
+	}
+	st.state = stateDone
+	c.results[idx] = res
+	c.remaining--
+	remaining := c.remaining
+	if c.cfg.Store != nil {
+		if err := c.cfg.Store.Put(res); err != nil && c.storeErr == nil {
+			c.storeErr = err
+		}
+	}
+	c.progressCount++
+	count := c.progressCount
+	c.mu.Unlock()
+
+	c.ctrCompleted.Inc()
+	c.cfg.Telemetry.Emit(telemetry.Event{
+		Layer: telemetry.LayerGrid, Kind: telemetry.KindResult,
+		Node: w.name, Detail: fmt.Sprintf("%s status=%s", res.Scenario.Name, res.Status)})
+	if c.cfg.Progress != nil {
+		extra := ""
+		if res.Attempts > 1 {
+			extra = fmt.Sprintf(" attempts=%d", res.Attempts)
+		}
+		if res.Status != campaign.StatusOK && res.Err != "" {
+			extra += ": " + res.Err
+		}
+		fmt.Fprintf(c.cfg.Progress, "[%d/%d] %-7s %-40s %8s worker=%s%s\n",
+			count, len(c.cfg.Scenarios), res.Status, res.Scenario.Name,
+			res.Duration.Round(time.Millisecond), w.name, extra)
+	}
+	if remaining == 0 {
+		c.signalDone()
+	} else {
+		c.sweep(time.Now())
+	}
+}
+
+// dropWorker unregisters a worker and requeues everything it still held.
+func (c *Coordinator) dropWorker(w *remoteWorker, reason string) {
+	c.mu.Lock()
+	if c.workers[w.name] != w {
+		c.mu.Unlock()
+		return
+	}
+	delete(c.workers, w.name)
+	held := make([]int, 0, len(w.leases))
+	for idx := range w.leases {
+		held = append(held, idx)
+	}
+	sort.Ints(held)
+	for _, idx := range held {
+		c.requeueLocked(idx, w.name, fmt.Sprintf("worker %s lost: %s", w.name, reason))
+	}
+	remaining := c.remaining
+	c.mu.Unlock()
+
+	c.ctrLeft.Inc()
+	c.cfg.Telemetry.Emit(telemetry.Event{
+		Layer: telemetry.LayerGrid, Kind: telemetry.KindWorker,
+		Node: w.name, Detail: "left: " + reason})
+	if remaining == 0 {
+		c.signalDone()
+	}
+}
+
+// sweep is the scheduler pass: expire overdue leases, clear exclusion
+// sets that would deadlock a scenario, and grant pending work to free
+// slots. Frames are sent after the lock is released.
+func (c *Coordinator) sweep(now time.Time) {
+	type grant struct {
+		w     *remoteWorker
+		lease *Lease
+	}
+	var grants []grant
+
+	c.mu.Lock()
+	if c.finished {
+		c.mu.Unlock()
+		return
+	}
+	// 1. Expire leases whose deadline passed without a heartbeat.
+	for idx, st := range c.scen {
+		if st.state == stateLeased && now.After(st.deadline) {
+			c.ctrExpired.Inc()
+			if w := c.workers[st.worker]; w != nil {
+				delete(w.leases, idx)
+			}
+			c.requeueLocked(idx, st.worker, fmt.Sprintf("lease expired on worker %s", st.worker))
+		}
+	}
+	// 2. Grant pending scenarios to workers with free slots. Workers are
+	// visited in name order purely for reproducible logs; artifacts do not
+	// depend on placement.
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for idx, st := range c.scen {
+		if st.state != statePending || now.Before(st.notBefore) {
+			continue
+		}
+		// A scenario every connected worker is excluded from would wait
+		// forever; give it a fresh chance anywhere.
+		if len(c.workers) > 0 && c.allExcludedLocked(st) {
+			st.excluded = make(map[string]bool)
+		}
+		for _, name := range names {
+			w := c.workers[name]
+			if w.free() <= 0 || st.excluded[name] {
+				continue
+			}
+			st.state = stateLeased
+			st.worker = name
+			st.deadline = now.Add(c.cfg.LeaseTTL)
+			st.grants++
+			w.leases[idx] = true
+			grants = append(grants, grant{w: w, lease: &Lease{Scenario: st.sc, Grant: st.grants}})
+			break
+		}
+	}
+	remaining := c.remaining
+	c.mu.Unlock()
+	// Expiry above may have exhausted the last scenario's requeue budget.
+	if remaining == 0 {
+		c.signalDone()
+	}
+
+	for _, g := range grants {
+		c.ctrLeased.Inc()
+		c.cfg.Telemetry.Emit(telemetry.Event{
+			Layer: telemetry.LayerGrid, Kind: telemetry.KindLease,
+			Node: g.w.name, Detail: fmt.Sprintf("%s grant=%d", g.lease.Scenario.Name, g.lease.Grant)})
+		if err := g.w.conn.write(&Frame{Type: FrameLease, Lease: g.lease}); err != nil {
+			// The reader goroutine will see the dead connection and
+			// requeue; nothing to do here.
+			continue
+		}
+	}
+}
+
+// allExcludedLocked reports whether every connected worker is excluded
+// from st. Called with c.mu held.
+func (c *Coordinator) allExcludedLocked(st *scenState) bool {
+	for name := range c.workers {
+		if !st.excluded[name] {
+			return false
+		}
+	}
+	return true
+}
+
+// requeueLocked returns a lost scenario to the pending queue, excluding
+// the worker that held it and applying the campaign backoff (doubled per
+// requeue, jittered by the scenario seed so simultaneous requeues across
+// workers spread out). Once the requeue budget is exhausted the scenario
+// is recorded failed — the campaign still completes with a full result
+// set. Called with c.mu held.
+func (c *Coordinator) requeueLocked(idx int, worker, reason string) {
+	st := c.scen[idx]
+	if st.state != stateLeased {
+		return
+	}
+	st.excluded[worker] = true
+	if st.grants > c.cfg.Requeues {
+		st.state = stateDone
+		res := campaign.ScenarioResult{
+			Scenario: st.sc,
+			Status:   campaign.StatusFailed,
+			Err:      fmt.Sprintf("%s (requeue budget %d exhausted)", reason, c.cfg.Requeues),
+			Attempts: st.grants,
+		}
+		c.results[idx] = res
+		c.remaining--
+		if c.cfg.Store != nil {
+			if err := c.cfg.Store.Put(res); err != nil && c.storeErr == nil {
+				c.storeErr = err
+			}
+		}
+		c.ctrFailed.Inc()
+		c.cfg.Telemetry.Emit(telemetry.Event{
+			Layer: telemetry.LayerGrid, Kind: telemetry.KindResult,
+			Node: worker, Detail: fmt.Sprintf("%s status=failed: %s", st.sc.Name, reason)})
+		return
+	}
+	st.state = statePending
+	st.worker = ""
+	backoff := c.cfg.Backoff << (st.grants - 1)
+	st.notBefore = time.Now().Add(backoff + campaign.RetryJitter(st.sc.Seed, st.grants, backoff))
+	c.ctrRequeued.Inc()
+	c.cfg.Telemetry.Emit(telemetry.Event{
+		Layer: telemetry.LayerGrid, Kind: telemetry.KindRequeue,
+		Node: worker, Detail: fmt.Sprintf("%s grant=%d: %s", st.sc.Name, st.grants, reason)})
+}
+
+// signalDone closes the done channel exactly once.
+func (c *Coordinator) signalDone() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.finished {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package grid
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"attain/internal/campaign"
+	"attain/internal/telemetry"
+)
+
+// FrameType names a protocol message.
+type FrameType string
+
+// The protocol's frame types. HELLO/WELCOME handshake a connection,
+// LEASE/RESULT move work, HEARTBEAT keeps leases alive, DONE tells a
+// worker the campaign is complete, BYE closes either side cleanly.
+const (
+	FrameHello     FrameType = "hello"
+	FrameWelcome   FrameType = "welcome"
+	FrameLease     FrameType = "lease"
+	FrameResult    FrameType = "result"
+	FrameHeartbeat FrameType = "heartbeat"
+	FrameDone      FrameType = "done"
+	FrameBye       FrameType = "bye"
+)
+
+// Frame is the wire envelope: a type tag plus exactly one payload matching
+// it (DONE has none). Encoded as JSON behind a 4-byte big-endian length
+// prefix.
+type Frame struct {
+	Type      FrameType  `json:"type"`
+	Hello     *Hello     `json:"hello,omitempty"`
+	Welcome   *Welcome   `json:"welcome,omitempty"`
+	Lease     *Lease     `json:"lease,omitempty"`
+	Result    *Result    `json:"result,omitempty"`
+	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
+	Bye       *Bye       `json:"bye,omitempty"`
+}
+
+// Hello is the worker's opening frame.
+type Hello struct {
+	Proto int `json:"proto"`
+	// Worker names the worker for lease bookkeeping and logs; the
+	// coordinator de-duplicates collisions with the remote address.
+	Worker string `json:"worker"`
+	// Slots is how many scenarios the worker runs in parallel (≥1).
+	Slots int `json:"slots"`
+}
+
+// Welcome is the coordinator's handshake reply. It carries the campaign's
+// execution policy so workers need no spec file: a worker adopts these
+// runner knobs unless its own flags override them.
+type Welcome struct {
+	Proto     int    `json:"proto"`
+	Campaign  string `json:"campaign"`
+	Scenarios int    `json:"scenarios"`
+	// LeaseMS is the lease TTL; HeartbeatMS is the interval at which the
+	// worker must heartbeat (a fraction of the TTL).
+	LeaseMS     int64 `json:"lease_ms"`
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+	// Runner policy, as in campaign.RunnerConfig.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	Retries   int   `json:"retries,omitempty"`
+	BackoffMS int64 `json:"backoff_ms,omitempty"`
+}
+
+// Lease grants one scenario to the receiving worker.
+type Lease struct {
+	// Scenario is self-contained: seed, workload, and trace flag included,
+	// so the worker reconstructs the exact single-process execution.
+	Scenario campaign.Scenario `json:"scenario"`
+	// Grant counts grants of this scenario across the campaign (1 = first
+	// attempt anywhere).
+	Grant int `json:"grant"`
+}
+
+// Result returns one completed scenario, outcome and optional telemetry
+// trace included.
+type Result struct {
+	Result campaign.ScenarioResult `json:"result"`
+}
+
+// Heartbeat refreshes the sender's leases.
+type Heartbeat struct {
+	// Busy lists the scenario indices the worker is currently executing;
+	// only those leases are refreshed, so a worker that lost track of a
+	// scenario lets its lease lapse naturally.
+	Busy []int `json:"busy,omitempty"`
+}
+
+// Bye announces a clean disconnect.
+type Bye struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// frameConn wraps a TCP connection with the length-prefixed JSON frame
+// codec, a write mutex (leases, heartbeats, and results are sent from
+// different goroutines), and frame counters.
+type frameConn struct {
+	c    net.Conn
+	r    *bufio.Reader
+	wmu  sync.Mutex
+	sent *telemetry.Counter
+	recv *telemetry.Counter
+}
+
+func newFrameConn(c net.Conn, tel *telemetry.Telemetry) *frameConn {
+	return &frameConn{
+		c:    c,
+		r:    bufio.NewReader(c),
+		sent: tel.Counter("grid.frames_sent"),
+		recv: tel.Counter("grid.frames_received"),
+	}
+}
+
+// write encodes and sends one frame, atomically with respect to other
+// writers on the same connection.
+func (fc *frameConn) write(f *Frame) error {
+	body, err := json.Marshal(f)
+	if err != nil {
+		return fmt.Errorf("grid: encode %s frame: %w", f.Type, err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("grid: %s frame exceeds %d bytes", f.Type, MaxFrame)
+	}
+	buf := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(buf, uint32(len(body)))
+	copy(buf[4:], body)
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if _, err := fc.c.Write(buf); err != nil {
+		return fmt.Errorf("grid: write %s frame: %w", f.Type, err)
+	}
+	fc.sent.Inc()
+	return nil
+}
+
+// read blocks for the next frame. io.EOF comes back unwrapped so callers
+// can distinguish a clean close.
+func (fc *frameConn) read() (*Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("grid: read frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("grid: frame length %d out of range (max %d)", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(fc.r, body); err != nil {
+		return nil, fmt.Errorf("grid: read frame body: %w", err)
+	}
+	var f Frame
+	if err := json.Unmarshal(body, &f); err != nil {
+		return nil, fmt.Errorf("grid: decode frame: %w", err)
+	}
+	if f.Type == "" {
+		return nil, fmt.Errorf("grid: frame missing type")
+	}
+	fc.recv.Inc()
+	return &f, nil
+}
+
+func (fc *frameConn) close() error { return fc.c.Close() }

@@ -1,0 +1,105 @@
+package grid
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"testing"
+
+	"attain/internal/campaign"
+)
+
+// pipeConns returns two connected frame conns over an in-memory pipe.
+func pipeConns(t *testing.T) (*frameConn, *frameConn) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return newFrameConn(a, nil), newFrameConn(b, nil)
+}
+
+func TestFrameRoundTripAllTypes(t *testing.T) {
+	frames := []*Frame{
+		{Type: FrameHello, Hello: &Hello{Proto: ProtoVersion, Worker: "w1", Slots: 3}},
+		{Type: FrameWelcome, Welcome: &Welcome{Proto: ProtoVersion, Campaign: "c", Scenarios: 7, LeaseMS: 30000, HeartbeatMS: 10000, Retries: 2}},
+		{Type: FrameLease, Lease: &Lease{Grant: 2, Scenario: campaign.Scenario{
+			Index: 4, Name: "suppression/pox/fuzz#1", Kind: campaign.KindSuppression, Seed: -77}}},
+		{Type: FrameResult, Result: &Result{Result: campaign.ScenarioResult{
+			Scenario: campaign.Scenario{Index: 4, Name: "x"}, Status: campaign.StatusOK, Attempts: 2}}},
+		{Type: FrameHeartbeat, Heartbeat: &Heartbeat{Busy: []int{1, 4, 9}}},
+		{Type: FrameDone},
+		{Type: FrameBye, Bye: &Bye{Reason: "test"}},
+	}
+	a, b := pipeConns(t)
+	go func() {
+		for _, f := range frames {
+			if err := a.write(f); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for _, want := range frames {
+		got, err := b.read()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("read %s, want %s", got.Type, want.Type)
+		}
+		switch want.Type {
+		case FrameLease:
+			if got.Lease == nil || got.Lease.Scenario != want.Lease.Scenario || got.Lease.Grant != want.Lease.Grant {
+				t.Errorf("lease round-trip mangled: %+v", got.Lease)
+			}
+		case FrameHeartbeat:
+			if len(got.Heartbeat.Busy) != 3 || got.Heartbeat.Busy[1] != 4 {
+				t.Errorf("heartbeat round-trip mangled: %+v", got.Heartbeat)
+			}
+		case FrameResult:
+			if got.Result.Result.Attempts != 2 || got.Result.Result.Status != campaign.StatusOK {
+				t.Errorf("result round-trip mangled: %+v", got.Result)
+			}
+		}
+	}
+}
+
+func TestFrameRejectsOversizedLength(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := newFrameConn(b, nil)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	go a.Write(hdr[:])
+	if _, err := fc.read(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("oversized frame accepted: %v", err)
+	}
+}
+
+func TestFrameRejectsGarbageBody(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := newFrameConn(b, nil)
+	body := []byte("this is not json")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	go func() {
+		a.Write(hdr[:])
+		a.Write(body)
+	}()
+	if _, err := fc.read(); err == nil || !strings.Contains(err.Error(), "decode frame") {
+		t.Fatalf("garbage body accepted: %v", err)
+	}
+}
+
+func TestFrameCleanCloseIsEOF(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := newFrameConn(b, nil)
+	a.Close()
+	if _, err := fc.read(); err != io.EOF {
+		t.Fatalf("closed conn read = %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,48 @@
+// Package grid distributes a campaign across worker processes. A
+// coordinator expands the campaign matrix once, then shards the scenarios
+// over TCP to any number of workers using a small length-prefixed JSON
+// frame protocol (HELLO/WELCOME/LEASE/RESULT/HEARTBEAT/DONE/BYE).
+//
+// Work is handed out under leases: a scenario granted to a worker carries
+// a deadline that the worker's periodic heartbeats refresh. When a worker
+// dies (connection drop) or stalls (lease deadline passes without a
+// heartbeat claiming the scenario), its scenarios are requeued — with the
+// offending worker excluded and the campaign's retry backoff, jittered by
+// the scenario seed, applied before the next grant — until a per-scenario
+// requeue budget is exhausted, at which point the scenario is recorded as
+// failed. The campaign always completes with one record per scenario.
+//
+// Completed results stream back over the same connection and land in the
+// existing index-ordered campaign.Store, so a grid run's results.jsonl
+// (canonicalized) and CSV aggregates are byte-identical to a
+// single-process attain-campaign run with the same seed: scenario seeds
+// are derived from names by the matrix, the store orders records by index
+// regardless of which worker finished when, and workers execute with the
+// same campaign.Runner policy (per-scenario deadline, infra-retry with
+// seeded jitter, panic capture) that the in-process pool uses.
+//
+// Both roles thread telemetry: the coordinator counts scenarios
+// leased/completed/requeued/failed, lease expiries, worker joins/leaves,
+// and frames sent/received; workers count leases, results, and
+// heartbeats. Published via telemetry.PublishExpvar, the counters give the
+// CLIs' -debug endpoint a live progress view.
+package grid
+
+import "time"
+
+// Protocol and policy defaults.
+const (
+	// ProtoVersion is bumped on incompatible frame changes; HELLO/WELCOME
+	// carry it and mismatches are rejected at handshake.
+	ProtoVersion = 1
+	// MaxFrame bounds a single frame body (a RESULT carries the scenario
+	// outcome plus its optional telemetry trace).
+	MaxFrame = 32 << 20
+
+	// DefaultLeaseTTL is how long a granted scenario may go unclaimed by
+	// heartbeats before the coordinator requeues it.
+	DefaultLeaseTTL = 30 * time.Second
+	// DefaultRequeues bounds how many times one scenario is re-granted
+	// after lease expiries or worker deaths before it is recorded failed.
+	DefaultRequeues = 3
+)

@@ -1,0 +1,207 @@
+package grid
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"attain/internal/campaign"
+	"attain/internal/telemetry"
+)
+
+// WorkerConfig tunes a grid worker.
+type WorkerConfig struct {
+	// Name identifies the worker to the coordinator (default: the local
+	// address of the connection).
+	Name string
+	// Slots is how many scenarios run in parallel (default 1).
+	Slots int
+	// Runner is the execution policy. Zero-valued Timeout/Retries/Backoff
+	// adopt the campaign policy the coordinator sends in WELCOME, so a
+	// bare worker behaves exactly like a single-process campaign slot;
+	// Execute defaults to campaign.Execute.
+	Runner campaign.RunnerConfig
+	// Telemetry collects the worker-side grid counters (nil = disabled).
+	Telemetry *telemetry.Telemetry
+	// Progress, when set, receives one line per executed scenario.
+	Progress io.Writer
+}
+
+// Worker connects to a coordinator, executes leased scenarios with the
+// campaign runner policy, and streams results back.
+type Worker struct {
+	cfg WorkerConfig
+
+	ctrLeases     *telemetry.Counter
+	ctrResults    *telemetry.Counter
+	ctrHeartbeats *telemetry.Counter
+}
+
+// NewWorker builds a worker, applying config defaults.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	return &Worker{
+		cfg:           cfg,
+		ctrLeases:     cfg.Telemetry.Counter("grid.worker.leases_received"),
+		ctrResults:    cfg.Telemetry.Counter("grid.worker.results_sent"),
+		ctrHeartbeats: cfg.Telemetry.Counter("grid.worker.heartbeats_sent"),
+	}
+}
+
+// Run dials the coordinator and works until the campaign completes (DONE),
+// the coordinator says BYE, or ctx is cancelled. A clean campaign end
+// returns nil; transport failures return the underlying error so callers
+// can decide whether to reconnect.
+func (w *Worker) Run(ctx context.Context, addr string) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("grid: dial coordinator %s: %w", addr, err)
+	}
+	fc := newFrameConn(conn, w.cfg.Telemetry)
+	defer fc.close()
+
+	name := w.cfg.Name
+	if name == "" {
+		name = conn.LocalAddr().String()
+	}
+	if err := fc.write(&Frame{Type: FrameHello, Hello: &Hello{
+		Proto: ProtoVersion, Worker: name, Slots: w.cfg.Slots}}); err != nil {
+		return err
+	}
+	f, err := fc.read()
+	if err != nil {
+		return fmt.Errorf("grid: handshake: %w", err)
+	}
+	switch f.Type {
+	case FrameWelcome:
+	case FrameDone:
+		return nil // campaign already over
+	case FrameBye:
+		reason := ""
+		if f.Bye != nil {
+			reason = f.Bye.Reason
+		}
+		return fmt.Errorf("grid: coordinator rejected worker: %s", reason)
+	default:
+		return fmt.Errorf("grid: expected welcome, got %s", f.Type)
+	}
+	welcome := f.Welcome
+	if welcome == nil || welcome.Proto != ProtoVersion {
+		return fmt.Errorf("grid: protocol mismatch in welcome")
+	}
+
+	runner := campaign.NewRunner(w.applyPolicy(welcome))
+
+	// busy tracks in-flight scenario indices for heartbeats.
+	var mu sync.Mutex
+	busy := make(map[int]bool)
+	heartbeat := time.Duration(welcome.HeartbeatMS) * time.Millisecond
+	if heartbeat <= 0 {
+		heartbeat = DefaultLeaseTTL / 3
+	}
+
+	// The heartbeat loop doubles as the cancellation watcher: on ctx
+	// cancellation it sends BYE and closes the connection, unblocking the
+	// read loop.
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	defer stopHB()
+	go func() {
+		ticker := time.NewTicker(heartbeat)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-ctx.Done():
+				fc.write(&Frame{Type: FrameBye, Bye: &Bye{Reason: "worker cancelled"}})
+				fc.close()
+				return
+			case <-ticker.C:
+				mu.Lock()
+				idxs := make([]int, 0, len(busy))
+				for idx := range busy {
+					idxs = append(idxs, idx)
+				}
+				mu.Unlock()
+				sort.Ints(idxs)
+				if fc.write(&Frame{Type: FrameHeartbeat, Heartbeat: &Heartbeat{Busy: idxs}}) == nil {
+					w.ctrHeartbeats.Inc()
+				}
+			}
+		}
+	}()
+
+	var inflight sync.WaitGroup
+	defer inflight.Wait()
+	for {
+		f, err := fc.read()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("grid: coordinator connection: %w", err)
+		}
+		switch f.Type {
+		case FrameLease:
+			if f.Lease == nil {
+				continue
+			}
+			sc := f.Lease.Scenario
+			w.ctrLeases.Inc()
+			w.cfg.Telemetry.Emit(telemetry.Event{
+				Layer: telemetry.LayerGrid, Kind: telemetry.KindLease,
+				Node: name, Detail: fmt.Sprintf("%s grant=%d", sc.Name, f.Lease.Grant)})
+			mu.Lock()
+			busy[sc.Index] = true
+			mu.Unlock()
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				res := runner.RunScenario(ctx, sc)
+				mu.Lock()
+				delete(busy, sc.Index)
+				mu.Unlock()
+				if w.cfg.Progress != nil {
+					fmt.Fprintf(w.cfg.Progress, "%-7s %-40s %8s\n",
+						res.Status, sc.Name, res.Duration.Round(time.Millisecond))
+				}
+				if fc.write(&Frame{Type: FrameResult, Result: &Result{Result: res}}) == nil {
+					w.ctrResults.Inc()
+					w.cfg.Telemetry.Emit(telemetry.Event{
+						Layer: telemetry.LayerGrid, Kind: telemetry.KindResult,
+						Node: name, Detail: fmt.Sprintf("%s status=%s", sc.Name, res.Status)})
+				}
+			}()
+		case FrameDone:
+			fc.write(&Frame{Type: FrameBye, Bye: &Bye{Reason: "campaign complete"}})
+			return nil
+		case FrameBye:
+			return nil
+		default:
+			// Ignore unknown frames for forward compatibility.
+		}
+	}
+}
+
+// applyPolicy merges the campaign policy from WELCOME under the worker's
+// own config: explicit worker flags win, unset knobs follow the campaign.
+func (w *Worker) applyPolicy(welcome *Welcome) campaign.RunnerConfig {
+	cfg := w.cfg.Runner
+	if cfg.Timeout <= 0 && welcome.TimeoutMS > 0 {
+		cfg.Timeout = time.Duration(welcome.TimeoutMS) * time.Millisecond
+	}
+	if cfg.Retries <= 0 && welcome.Retries > 0 {
+		cfg.Retries = welcome.Retries
+	}
+	if cfg.Backoff <= 0 && welcome.BackoffMS > 0 {
+		cfg.Backoff = time.Duration(welcome.BackoffMS) * time.Millisecond
+	}
+	return cfg
+}

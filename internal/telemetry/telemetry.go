@@ -40,6 +40,9 @@ const (
 	LayerSwitch     = "switch"
 	LayerController = "controller"
 	LayerCampaign   = "campaign"
+	// LayerGrid marks events from the distributed campaign layer: the
+	// coordinator's lease bookkeeping and the workers' execution loop.
+	LayerGrid = "grid"
 )
 
 // Event kinds.
@@ -62,6 +65,16 @@ const (
 	KindPacketIn = "packet_in"
 	// KindSession records a control-plane session opening or closing.
 	KindSession = "session"
+	// KindLease records a grid scenario being handed to a worker.
+	KindLease = "lease"
+	// KindResult records a grid scenario result arriving at the
+	// coordinator (or leaving a worker).
+	KindResult = "result"
+	// KindRequeue records a grid scenario returning to the queue after a
+	// lease expiry or worker loss.
+	KindRequeue = "requeue"
+	// KindWorker records a grid worker joining or leaving.
+	KindWorker = "worker"
 )
 
 // Event is one trace record. Seq is a campaign-unique total order over all
