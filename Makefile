@@ -40,13 +40,22 @@ grid-smoke:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/switchsim/ -run=^$$ -fuzz=FuzzTableLookupDifferential -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/openflow/ -run=^$$ -fuzz=FuzzUnmarshal -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/openflow/ -run=^$$ -fuzz=FuzzUnmarshal$$ -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/openflow/ -run=^$$ -fuzz=FuzzFrameViewDifferential -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/compile/ -run=^$$ -fuzz=FuzzParseSystem$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/compile/ -run=^$$ -fuzz=FuzzParseAttack$$ -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core/compile/ -run=^$$ -fuzz=FuzzParseExpr$$ -fuzztime=$(FUZZTIME)
 
+# Message-path and campaign benchmarks, recorded as BENCH_msgpath.json.
+# The injector passthrough benchmark carries the zero-copy acceptance
+# criteria: 0 allocs/op on the lazy path and >= 2x over the full-decode
+# baseline (the derived.passthrough_* fields). Compare two runs with
+# `go run ./docs/perf/benchcmp old.json new.json`.
+BENCHTIME ?= 200000x
 bench:
-	$(GO) test -bench=CampaignWorkers -benchtime=1x .
+	{ $(GO) test ./internal/core/inject/ -run='^$$' -bench='BenchmarkInjector' -benchtime=$(BENCHTIME) -benchmem; \
+	  $(GO) test . -run='^$$' -bench=CampaignWorkers -benchtime=1x -benchmem; } \
+	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_msgpath.json
 
 clean:
 	rm -rf /tmp/attain-smoke /tmp/attain-grid-smoke

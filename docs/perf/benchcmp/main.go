@@ -1,0 +1,95 @@
+// Command benchcmp compares two benchjson documents (see
+// docs/perf/benchjson) and prints a benchstat-style before/after table:
+//
+//	go run ./docs/perf/benchcmp old.json new.json
+//
+// Positive deltas mean the new run is slower / allocates more. Exits
+// non-zero if any benchmark present in both files regressed ns/op by more
+// than -tolerance (default 20%), so it can gate perf changes in CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type doc struct {
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func load(path string) (map[string]result, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]result, len(d.Benchmarks))
+	var names []string
+	for _, r := range d.Benchmarks {
+		m[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	return m, names, nil
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.20, "max allowed ns/op regression before exiting non-zero")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-tolerance 0.2] old.json new.json")
+		os.Exit(2)
+	}
+	oldM, names, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	newM, _, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-55s %12s %12s %8s %10s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs")
+	regressed := false
+	for _, name := range names {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			fmt.Printf("%-55s %12.1f %12s %8s %10s\n", name, o.NsPerOp, "-", "-", "-")
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		mark := ""
+		if delta > *tolerance {
+			mark = "  <-- regression"
+			regressed = true
+		}
+		fmt.Printf("%-55s %12.1f %12.1f %+7.1f%% %4d->%-4d%s\n",
+			name, o.NsPerOp, n.NsPerOp, delta*100, o.AllocsPerOp, n.AllocsPerOp, mark)
+	}
+	for name, n := range newM {
+		if _, ok := oldM[name]; !ok {
+			fmt.Printf("%-55s %12s %12.1f %8s %6s%-4d\n", name, "-", n.NsPerOp, "-", "-> ", n.AllocsPerOp)
+		}
+	}
+	if regressed {
+		os.Exit(1)
+	}
+}

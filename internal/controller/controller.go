@@ -264,13 +264,18 @@ func (c *Controller) serve(conn net.Conn) {
 		hook.SwitchUp(sw)
 	}
 
+	// One pooled read buffer serves the whole session (decoded messages do
+	// not alias it), keeping the per-switch read loop allocation-free at
+	// the framing layer.
+	mr := openflow.NewMessageReader(sw.conn)
+	defer mr.Close()
 	for {
 		select {
 		case <-c.stop:
 			return
 		default:
 		}
-		hdr, msg, err := openflow.ReadMessage(sw.conn)
+		hdr, msg, err := mr.Read()
 		if err != nil {
 			return
 		}
@@ -381,12 +386,16 @@ func (sw *SwitchConn) Send(msg openflow.Message) error {
 }
 
 func (sw *SwitchConn) sendXid(xid uint32, msg openflow.Message) error {
-	buf, err := openflow.Marshal(xid, msg)
+	// Marshal into a pooled buffer; the conn has copied the bytes by the
+	// time Write returns, so the buffer is recycled before unlocking.
+	buf, err := openflow.AppendMessage(openflow.GetBuffer(), xid, msg)
 	if err != nil {
+		openflow.PutBuffer(buf)
 		return err
 	}
 	sw.writeMu.Lock()
 	defer sw.writeMu.Unlock()
+	defer openflow.PutBuffer(buf)
 	if sw.closed {
 		return net.ErrClosed
 	}

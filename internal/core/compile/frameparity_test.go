@@ -1,0 +1,79 @@
+package compile
+
+import (
+	"testing"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+// TestCompiledConditionalsFrameParity pins the zero-copy contract end to
+// end: a conditional compiled from DSL source evaluates to the same value
+// against a lazy frame-backed view (the injector hot path) as against the
+// same message fully materialized.
+func TestCompiledConditionalsFrameParity(t *testing.T) {
+	sys := model.Figure3System()
+	exprs := []string{
+		`msg.type = "FLOW_MOD"`,
+		`msg.type = "PACKET_IN" or msg.type = "FLOW_MOD"`,
+		`msg.flowmod.command = "ADD" and msg.flowmod.priority >= 100`,
+		`msg.flowmod.idle_timeout < 30`,
+		`msg.flowmod.buffer_id != 0`,
+		`msg.match.in_port = 3`,
+		`msg.match.dl_type = 2048 and msg.match.nw_proto = 6`,
+		`msg.match.tp_dst in {80, 443}`,
+		`msg.packetin.reason = "NO_MATCH"`,
+		`msg.packetout.in_port = 9`,
+		`msg.xid = 42`,
+		`msg.length > 8 and msg.direction = "s2c"`,
+		`not (msg.type = "HELLO")`,
+	}
+	msgs := []openflow.Message{
+		&openflow.FlowMod{
+			Match:   openflow.ExactFrom(openflow.FieldView{InPort: 3, DLType: 0x0800, NWProto: 6, TPDst: 80}),
+			Command: openflow.FlowModAdd, Priority: 200, IdleTimeout: 10,
+			BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+		},
+		&openflow.PacketIn{BufferID: 5, InPort: 3, Reason: openflow.PacketInReasonNoMatch},
+		&openflow.PacketOut{BufferID: openflow.NoBuffer, InPort: 9},
+		&openflow.Hello{},
+		&openflow.EchoRequest{Data: []byte("x")},
+	}
+	for _, src := range exprs {
+		expr, err := ParseExprString(src, sys)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		for _, msg := range msgs {
+			raw, err := openflow.Marshal(42, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := openflow.NewFrame(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mkView := func() *lang.MessageView {
+				v := &lang.MessageView{
+					Direction: lang.SwitchToController,
+					Source:    "s1", Destination: "c1", Length: len(raw), ID: 1,
+				}
+				v.SetFrame(f)
+				return v
+			}
+			lazy, eager := mkView(), mkView()
+			if !eager.Materialize() {
+				t.Fatalf("%s: materialize failed", msg.Type())
+			}
+			lv, lerr := expr.Eval(&lang.Env{View: lazy, System: sys})
+			ev, eerr := expr.Eval(&lang.Env{View: eager, System: sys})
+			if (lerr == nil) != (eerr == nil) {
+				t.Fatalf("%q on %s: error mismatch frame=%v struct=%v", src, msg.Type(), lerr, eerr)
+			}
+			if lerr == nil && lv != ev {
+				t.Errorf("%q on %s: frame view %v != materialized %v", src, msg.Type(), lv, ev)
+			}
+		}
+	}
+}

@@ -24,6 +24,14 @@ type executor struct {
 	// rng drives stochastic rules (Rule.Prob); seeded deterministically
 	// so runs are reproducible. Only the executor goroutine touches it.
 	rng *rand.Rand
+	// view, env, and out are per-message scratch reused across process
+	// calls so the passthrough fast path performs zero heap allocations.
+	// Only the executor goroutine touches them; anything that outlives a
+	// process call (captured messages, async deliveries) copies what it
+	// needs out of them.
+	view lang.MessageView
+	env  lang.Env
+	out  []outMsg
 }
 
 func newExecutor(inj *Injector) *executor {
@@ -55,7 +63,9 @@ type outMsg struct {
 	fromCurrent bool
 }
 
-// run consumes events until the injector stops.
+// run consumes events until the injector stops. Events are pooled: once an
+// event is fully processed (including closing its done channel) the
+// executor recycles it, so nothing may retain a pointer to it.
 func (ex *executor) run() {
 	for {
 		select {
@@ -68,6 +78,8 @@ func (ex *executor) run() {
 			if ev.done != nil {
 				close(ev.done)
 			}
+			*ev = event{}
+			eventPool.Put(ev)
 		}
 	}
 }
@@ -77,6 +89,9 @@ func (ex *executor) run() {
 type disposition struct {
 	dropped  bool
 	modified bool
+	// materialized marks that an action decoded the message bytes (e.g.
+	// MODIFYFIELD's rewrite), independent of the view's lazy Materialize.
+	materialized bool
 }
 
 func (d *disposition) verdict() string {
@@ -90,28 +105,39 @@ func (d *disposition) verdict() string {
 	}
 }
 
-// process handles one message event per Algorithm 1 (lines 4-21).
+// process handles one message event per Algorithm 1 (lines 4-21). The
+// message buffer ev.raw is owned by the executor for the duration of the
+// call; ownership of each outgoing buffer transfers to delivery, and a
+// buffer that ends up with no owner (dropped or replaced originals) is
+// recycled before returning.
 func (ex *executor) process(ev *event) {
 	granted := ex.inj.cfg.Attacker.CapsFor(ev.conn)
-	view := ex.makeView(ev, granted)
+	view := ex.resetView(ev, granted)
 	ctrs := ex.inj.countersFor(ev.conn)
 	ctrs.seen.Inc()
 	var disp disposition
 	ex.inj.log.Count(ev.conn, func(s *Stats) { s.Seen++ })
-	ex.inj.log.Add(Event{
-		At: view.Timestamp, Kind: EventMessage, Conn: ev.conn,
-		Direction: ev.dir.String(), MsgType: ex.typeName(view),
-		Detail: fmt.Sprintf("len=%d id=%d", view.Length, view.ID),
-	})
+	if ex.inj.cfg.LeanLog {
+		ex.inj.log.CountType(view.TypeName())
+	} else {
+		ex.inj.log.Add(Event{
+			At: view.Timestamp, Kind: EventMessage, Conn: ev.conn,
+			Direction: ev.dir.String(), MsgType: view.TypeName(),
+			Detail: fmt.Sprintf("len=%d id=%d", view.Length, view.ID),
+		})
+	}
 
-	// msg_out <- [msg_in] (line 5).
-	out := []outMsg{{conn: ev.conn, dir: ev.dir, raw: ev.raw, fromCurrent: true}}
+	// msg_out <- [msg_in] (line 5). The slice is per-executor scratch;
+	// entries are cleared before returning so recycled buffers are not
+	// retained.
+	out := append(ex.out[:0], outMsg{conn: ev.conn, dir: ev.dir, raw: ev.raw, fromCurrent: true})
 
 	// σ_previous <- σ_current (line 6): rules evaluate against the state
 	// at message arrival even if an action transitions mid-message.
 	prev := ex.currentState()
 	state := ex.inj.cfg.Attack.States[prev]
-	env := &lang.Env{View: view, Storage: ex.storage, System: ex.inj.cfg.System}
+	env := &ex.env
+	*env = lang.Env{View: view, Storage: ex.storage, System: ex.inj.cfg.System}
 
 	if state != nil {
 		for _, rule := range state.Rules {
@@ -138,12 +164,12 @@ func (ex *executor) process(ev *event) {
 			ctrs.ruleFires.Inc()
 			ex.inj.tele.Emit(telemetry.Event{
 				Layer: telemetry.LayerInjector, Kind: telemetry.KindRule,
-				Conn: connLabel(ev.conn), MsgType: ex.typeName(view),
+				Conn: ctrs.label, MsgType: view.TypeName(),
 				Rule: rule.Name, Detail: prev,
 			})
 			ex.inj.log.Add(Event{
 				At: ex.inj.clk.Now(), Kind: EventRule, Conn: ev.conn,
-				MsgType: ex.typeName(view),
+				MsgType: view.TypeName(),
 				Detail:  fmt.Sprintf("state %s rule %s matched", prev, rule.Name),
 			})
 			for _, act := range rule.Actions {
@@ -152,7 +178,7 @@ func (ex *executor) process(ev *event) {
 					if ex.inj.tele.Enabled() {
 						ex.inj.tele.Emit(telemetry.Event{
 							Layer: telemetry.LayerInjector, Kind: telemetry.KindState,
-							Conn: connLabel(ev.conn), Rule: rule.Name,
+							Conn: ctrs.label, Rule: rule.Name,
 							Detail: prev + " -> " + g.State,
 						})
 					}
@@ -173,29 +199,48 @@ func (ex *executor) process(ev *event) {
 	if !disp.dropped && !disp.modified {
 		ctrs.passed.Inc()
 	}
-	ex.inj.tele.Emit(telemetry.Event{
-		Layer: telemetry.LayerInjector, Kind: telemetry.KindVerdict,
-		Conn: connLabel(ev.conn), MsgType: ex.typeName(view),
-		Verdict: disp.verdict(),
-	})
+	if disp.materialized || view.Materialized() {
+		ctrs.materialized.Inc()
+	} else {
+		ctrs.passthrough.Inc()
+	}
+	if ex.inj.tele.Enabled() {
+		ex.inj.tele.Emit(telemetry.Event{
+			Layer: telemetry.LayerInjector, Kind: telemetry.KindVerdict,
+			Conn: ctrs.label, MsgType: view.TypeName(),
+			Verdict: disp.verdict(),
+		})
+	}
 
-	// Deliver the outgoing message list (lines 19-21).
-	for _, m := range out {
+	// Deliver the outgoing message list (lines 19-21). Delivery takes
+	// ownership of each entry's buffer; if the original frame is still
+	// owned here afterwards (dropped, or replaced by a rewrite), recycle it.
+	originalOwned := true
+	for i := range out {
+		m := out[i]
+		isOriginal := len(m.raw) > 0 && &m.raw[0] == &ev.raw[0]
 		if m.delay > 0 {
 			ex.inj.log.Count(m.conn, func(s *Stats) { s.Delayed++ })
 			if ex.inj.cfg.AsyncDelays {
 				// Ablation mode: schedule the delivery and move on.
-				// Later messages can overtake this one.
+				// Later messages can overtake this one. The goroutine
+				// captures session and conn copies, never ev — events are
+				// pooled and recycled as soon as process returns.
 				m := m
+				if isOriginal {
+					originalOwned = false
+				}
+				evSess, evConn := ev.sess, ev.conn
 				ex.inj.wg.Add(1)
 				go func() {
 					defer ex.inj.wg.Done()
 					select {
 					case <-ex.inj.stop:
+						openflow.PutBuffer(m.raw)
 						return
 					case <-ex.inj.clk.After(m.delay):
 					}
-					ex.deliver(ev, m)
+					ex.deliver(evSess, evConn, m)
 				}()
 				continue
 			}
@@ -204,17 +249,30 @@ func (ex *executor) process(ev *event) {
 			// the centralized design the paper describes.
 			ex.inj.clk.Sleep(m.delay)
 		}
-		ex.deliver(ev, m)
+		if isOriginal {
+			originalOwned = false
+		}
+		ex.deliver(ev.sess, ev.conn, m)
 	}
+	if originalOwned {
+		openflow.PutBuffer(ev.raw)
+	}
+	for i := range out {
+		out[i] = outMsg{}
+	}
+	ex.out = out[:0]
 }
 
-// deliver writes one outgoing message to its session.
-func (ex *executor) deliver(ev *event, m outMsg) {
-	sess := ev.sess
-	if m.conn != ev.conn || sess == nil {
+// deliver writes one outgoing message to its session, taking ownership of
+// m.raw: on any failure to hand the buffer to a write pump it is recycled
+// here.
+func (ex *executor) deliver(evSess *session, evConn model.Conn, m outMsg) {
+	sess := evSess
+	if m.conn != evConn || sess == nil {
 		sess = ex.inj.sessionFor(m.conn)
 	}
 	if sess == nil {
+		openflow.PutBuffer(m.raw)
 		ex.inj.log.Add(Event{
 			At: ex.inj.clk.Now(), Kind: EventError, Conn: m.conn,
 			Detail: "no live session for outgoing message",
@@ -222,6 +280,7 @@ func (ex *executor) deliver(ev *event, m outMsg) {
 		return
 	}
 	if err := sess.write(m.dir, m.raw); err != nil {
+		openflow.PutBuffer(m.raw)
 		ex.inj.log.Add(Event{
 			At: ex.inj.clk.Now(), Kind: EventError, Conn: m.conn,
 			Detail: fmt.Sprintf("deliver: %v", err),
@@ -231,10 +290,13 @@ func (ex *executor) deliver(ev *event, m outMsg) {
 	ex.inj.log.Count(m.conn, func(s *Stats) { s.Delivered++ })
 }
 
-// makeView builds the message property view, decoding the payload only
-// when READMESSAGE is granted on the connection.
-func (ex *executor) makeView(ev *event, granted model.CapabilitySet) *lang.MessageView {
-	view := &lang.MessageView{
+// resetView rebuilds the executor's scratch message view for one event.
+// When READMESSAGE is granted it attaches a lazy zero-copy frame over the
+// wire bytes instead of decoding them — payload decode happens only if a
+// rule actually needs it (Materialize) or rewrites the message.
+func (ex *executor) resetView(ev *event, granted model.CapabilitySet) *lang.MessageView {
+	view := &ex.view
+	*view = lang.MessageView{
 		Conn:      ev.conn,
 		Direction: ev.dir,
 		Timestamp: ex.inj.clk.Now(),
@@ -249,19 +311,11 @@ func (ex *executor) makeView(ev *event, granted model.CapabilitySet) *lang.Messa
 		view.Destination = ev.conn.Switch
 	}
 	if granted.Has(model.CapReadMessage) {
-		if hdr, msg, err := openflow.Unmarshal(ev.raw); err == nil {
-			view.Header = hdr
-			view.Msg = msg
+		if f, err := openflow.NewFrame(ev.raw); err == nil {
+			view.SetFrame(f)
 		}
 	}
 	return view
-}
-
-func (ex *executor) typeName(view *lang.MessageView) string {
-	if view.Msg == nil {
-		return "OPAQUE"
-	}
-	return view.Msg.Type().String()
 }
 
 func (ex *executor) evalCond(cond lang.Expr, env *lang.Env) (bool, error) {
@@ -304,7 +358,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 		for _, m := range out {
 			if m.fromCurrent {
 				dup := m
-				dup.raw = append([]byte(nil), m.raw...)
+				dup.raw = append(openflow.GetBuffer(), m.raw...)
 				ex.inj.log.Count(ev.conn, func(s *Stats) { s.Duplicated++ })
 				ctrs.duplicated.Inc()
 				return append(out, dup)
@@ -329,7 +383,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 			if !out[i].fromCurrent {
 				continue
 			}
-			fuzzed := append([]byte(nil), out[i].raw...)
+			fuzzed := append(openflow.GetBuffer(), out[i].raw...)
 			// Preserve the length field (bytes 2-3) so stream framing
 			// survives; everything else is fair game, including version,
 			// type, xid, and body.
@@ -340,6 +394,9 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 				if rng.Intn(4) == 0 {
 					fuzzed[j] ^= byte(rng.Intn(255) + 1)
 				}
+			}
+			if old := out[i].raw; len(old) > 0 && len(ev.raw) > 0 && &old[0] != &ev.raw[0] {
+				openflow.PutBuffer(old)
 			}
 			out[i].raw = fuzzed
 			ex.inj.log.Count(ev.conn, func(s *Stats) { s.Fuzzed++ })
@@ -362,10 +419,14 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 				logErr("modify %s: %v", a.Field, err)
 				continue
 			}
+			if old := out[i].raw; len(old) > 0 && len(ev.raw) > 0 && &old[0] != &ev.raw[0] {
+				openflow.PutBuffer(old)
+			}
 			out[i].raw = raw
 			ex.inj.log.Count(ev.conn, func(s *Stats) { s.Modified++ })
 			ctrs.modified.Inc()
 			disp.modified = true
+			disp.materialized = true
 		}
 		return out
 	case lang.ModifyMetadata:
@@ -373,7 +434,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 		// the proxied stream; record the actuation for completeness.
 		ex.inj.log.Add(Event{
 			At: ex.inj.clk.Now(), Kind: EventMessage, Conn: ev.conn,
-			MsgType: ex.typeName(view),
+			MsgType: view.TypeName(),
 			Detail:  fmt.Sprintf("metadata modified: %s", a.Field),
 		})
 		return out
@@ -383,8 +444,13 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 			logErr("%v", err)
 			return out
 		}
-		raw, err := openflow.Marshal(uint32(ex.inj.nextMsgID()), msg)
+		// Injected messages draw xids from a dedicated counter: forwarded
+		// frames pass through byte-for-byte (their xids are never touched),
+		// and injection no longer entangles xid values with the message-id
+		// sequence shared by every proxied frame.
+		raw, err := openflow.AppendMessage(openflow.GetBuffer(), ex.inj.nextInjectXid(), msg)
 		if err != nil {
+			openflow.PutBuffer(raw)
 			logErr("inject %s: %v", a.Template, err)
 			return out
 		}
@@ -392,7 +458,16 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 		ctrs.injected.Inc()
 		return append(out, outMsg{conn: ev.conn, dir: a.Direction, raw: raw})
 	case lang.StoreMessage:
+		// The captured message outlives this process call, so it copies the
+		// wire bytes and re-derives its frame over the copy — the view's
+		// original frame aliases ev.raw, which is recycled after delivery.
 		captured := &lang.Captured{Raw: append([]byte(nil), ev.raw...), View: *view}
+		captured.View.ClearFrame()
+		if _, ok := view.Frame(); ok {
+			if f, err := openflow.NewFrame(captured.Raw); err == nil {
+				captured.View.SetFrame(f)
+			}
+		}
 		d := ex.storage.Deque(a.Deque)
 		if a.Front {
 			d.Prepend(captured)
@@ -540,5 +615,12 @@ func rewritePayload(raw []byte, field string, val lang.Value) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("message type %s does not support field modification", msg.Type())
 	}
-	return openflow.Marshal(hdr.Xid, msg)
+	// Re-encode into a pooled buffer, preserving the original xid: only
+	// rewritten messages pay the decode+encode cost.
+	enc, err := openflow.AppendMessage(openflow.GetBuffer(), hdr.Xid, msg)
+	if err != nil {
+		openflow.PutBuffer(enc)
+		return nil, err
+	}
+	return enc, nil
 }

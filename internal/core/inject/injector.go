@@ -59,6 +59,12 @@ type Config struct {
 	// later messages can overtake a delayed one — for pipeline liveness,
 	// the §VIII-C consistency/latency trade-off in miniature.
 	AsyncDelays bool
+	// LeanLog skips the per-message log event (and its formatted detail
+	// string) on the hot path while keeping counters and per-type message
+	// counts exact. Rule, state, error, and session events are always
+	// logged. With LeanLog set and telemetry disabled, steady-state
+	// passthrough proxying performs zero heap allocations per message.
+	LeanLog bool
 }
 
 // DefaultProxyAddr names proxy listen addresses for in-memory transports.
@@ -84,11 +90,21 @@ type Injector struct {
 	syscmd    map[model.NodeID]func(cmd string) error
 	started   bool
 
-	msgID  atomic.Uint64
-	events chan *event
-	stop   chan struct{}
-	wg     sync.WaitGroup
+	msgID atomic.Uint64
+	// injectXid issues xids for INJECTMESSAGE frames. It is separate from
+	// msgID so injected xids are a stable sequence regardless of how many
+	// frames were proxied, and forwarded frames keep their xid bytes
+	// untouched.
+	injectXid atomic.Uint32
+	events    chan *event
+	stop      chan struct{}
+	wg        sync.WaitGroup
 }
+
+// eventPool recycles executor events: the pump allocates nothing per
+// message in steady state, and the executor returns each event after
+// processing it.
+var eventPool = sync.Pool{New: func() interface{} { return new(event) }}
 
 // event is one unit of work for the executor: a proxied message or a
 // session-control notification.
@@ -139,7 +155,13 @@ func (s *session) pumpOut(ch chan []byte, dst net.Conn) {
 		case <-s.closed:
 			return
 		case buf := <-ch:
-			if _, err := dst.Write(buf); err != nil {
+			// The pump owns buf once it is queued; net.Conn implementations
+			// (kernel sockets and the in-memory transport alike) have copied
+			// the bytes by the time Write returns, so the buffer is recycled
+			// immediately.
+			_, err := dst.Write(buf)
+			openflow.PutBuffer(buf)
+			if err != nil {
 				s.close()
 				return
 			}
@@ -347,15 +369,22 @@ func (inj *Injector) serveSession(sess *session) {
 	pump := func(src net.Conn, dir lang.Direction) {
 		defer wg.Done()
 		for {
-			raw, err := openflow.ReadRaw(src)
+			// Each frame is read into a pooled buffer whose ownership moves
+			// with the event: executor, then delivery, then the write pump,
+			// which recycles it. ReadRawInto returns the buffer even on
+			// error so it can be recycled here.
+			raw, err := openflow.ReadRawInto(src, openflow.GetBuffer())
 			if err != nil {
+				openflow.PutBuffer(raw)
 				sess.close()
 				return
 			}
-			ev := &event{kind: EventMessage, conn: sess.conn, dir: dir, raw: raw, sess: sess}
+			ev := eventPool.Get().(*event)
+			*ev = event{kind: EventMessage, conn: sess.conn, dir: dir, raw: raw, sess: sess}
 			select {
 			case inj.events <- ev:
 			case <-inj.stop:
+				openflow.PutBuffer(raw)
 				sess.close()
 				return
 			}
@@ -394,6 +423,9 @@ func (inj *Injector) syscmdFor(host model.NodeID) func(string) error {
 
 // nextMsgID issues unique message ids.
 func (inj *Injector) nextMsgID() uint64 { return inj.msgID.Add(1) }
+
+// nextInjectXid issues xids for injected messages.
+func (inj *Injector) nextInjectXid() uint32 { return inj.injectXid.Add(1) }
 
 // proxiedConns returns the connections this instance proxies.
 func (inj *Injector) proxiedConns() []model.Conn {

@@ -124,6 +124,15 @@ func (l *Log) Add(e Event) {
 	}
 }
 
+// CountType records one seen message of the given OpenFlow type without
+// retaining a log event — the lean-log hot path keeps MessageTypeCounts
+// accurate while skipping per-message event formatting.
+func (l *Log) CountType(msgType string) {
+	l.mu.Lock()
+	l.byType[msgType]++
+	l.mu.Unlock()
+}
+
 // Count atomically updates a counter for conn.
 func (l *Log) Count(conn model.Conn, update func(*Stats)) {
 	l.mu.Lock()

@@ -21,6 +21,15 @@ type connCounters struct {
 	delayed    *telemetry.Counter
 	fuzzed     *telemetry.Counter
 	ruleFires  *telemetry.Counter
+	// passthrough counts messages forwarded without ever decoding the
+	// payload; materialized counts messages whose bytes were decoded
+	// (property access through Materialize or a rewriting action). The two
+	// partition seen, making the zero-copy fast path observable.
+	passthrough  *telemetry.Counter
+	materialized *telemetry.Counter
+	// label is connLabel(conn), resolved once so per-message trace events
+	// do not concatenate strings on the hot path.
+	label string
 }
 
 // nopConnCounters serves lookups for connections the injector does not
@@ -36,15 +45,18 @@ func buildConnCounters(tele *telemetry.Telemetry, conns []model.Conn) map[model.
 	for _, conn := range conns {
 		prefix := fmt.Sprintf("injector.%s:%s", conn.Controller, conn.Switch)
 		m[conn] = &connCounters{
-			seen:       tele.Counter(prefix + ".seen"),
-			passed:     tele.Counter(prefix + ".passed"),
-			dropped:    tele.Counter(prefix + ".dropped"),
-			modified:   tele.Counter(prefix + ".modified"),
-			injected:   tele.Counter(prefix + ".injected"),
-			duplicated: tele.Counter(prefix + ".duplicated"),
-			delayed:    tele.Counter(prefix + ".delayed"),
-			fuzzed:     tele.Counter(prefix + ".fuzzed"),
-			ruleFires:  tele.Counter(prefix + ".rule_fires"),
+			seen:         tele.Counter(prefix + ".seen"),
+			passed:       tele.Counter(prefix + ".passed"),
+			dropped:      tele.Counter(prefix + ".dropped"),
+			modified:     tele.Counter(prefix + ".modified"),
+			injected:     tele.Counter(prefix + ".injected"),
+			duplicated:   tele.Counter(prefix + ".duplicated"),
+			delayed:      tele.Counter(prefix + ".delayed"),
+			fuzzed:       tele.Counter(prefix + ".fuzzed"),
+			ruleFires:    tele.Counter(prefix + ".rule_fires"),
+			passthrough:  tele.Counter(prefix + ".passthrough"),
+			materialized: tele.Counter(prefix + ".materialized"),
+			label:        connLabel(conn),
 		}
 	}
 	return m

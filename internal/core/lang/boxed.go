@@ -1,0 +1,81 @@
+package lang
+
+import (
+	"strings"
+
+	"attain/internal/openflow"
+)
+
+// Pre-boxed interface values for the property results the injector's hot
+// path produces on every conditional evaluation. Converting a string or a
+// large integer to the Value interface allocates; boxing the small, closed
+// sets once at init keeps rule evaluation over forwarded traffic
+// allocation-free. Arbitrary integers (xids, lengths, ports ≥ 256) still
+// box per evaluation — only the enumerable sets are interned.
+var (
+	trueValue  Value = true
+	falseValue Value = false
+
+	emptyStringValue Value = ""
+	minusOneValue    Value = int64(-1)
+
+	unknownDirectionValue Value = Direction(0).String()
+
+	directionValues = map[Direction]Value{
+		SwitchToController: SwitchToController.String(),
+		ControllerToSwitch: ControllerToSwitch.String(),
+	}
+	typeValues    = make(map[openflow.Type]Value)
+	commandValues = make(map[openflow.FlowModCommand]Value)
+	reasonValues  = make(map[openflow.PacketInReason]Value)
+)
+
+func init() {
+	for t := 0; t < 256; t++ {
+		name := openflow.Type(t).String()
+		if !strings.HasPrefix(name, "UNKNOWN_TYPE") {
+			typeValues[openflow.Type(t)] = name
+		}
+	}
+	for c := openflow.FlowModAdd; c <= openflow.FlowModDeleteStrict; c++ {
+		commandValues[c] = c.String()
+	}
+	for r := openflow.PacketInReasonNoMatch; r <= openflow.PacketInReasonAction; r++ {
+		reasonValues[r] = r.String()
+	}
+}
+
+func boolValue(b bool) Value {
+	if b {
+		return trueValue
+	}
+	return falseValue
+}
+
+func directionValue(d Direction) Value {
+	if v, ok := directionValues[d]; ok {
+		return v
+	}
+	return unknownDirectionValue
+}
+
+func typeValue(t openflow.Type) Value {
+	if v, ok := typeValues[t]; ok {
+		return v
+	}
+	return t.String()
+}
+
+func commandValue(c openflow.FlowModCommand) Value {
+	if v, ok := commandValues[c]; ok {
+		return v
+	}
+	return c.String()
+}
+
+func reasonValue(r openflow.PacketInReason) Value {
+	if v, ok := reasonValues[r]; ok {
+		return v
+	}
+	return r.String()
+}

@@ -53,10 +53,10 @@ func (e And) Eval(env *Env) (Value, error) {
 			return nil, fmt.Errorf("lang: AND operand %s is not boolean", sub)
 		}
 		if !b {
-			return false, nil
+			return falseValue, nil
 		}
 	}
-	return true, nil
+	return trueValue, nil
 }
 
 // Eval implements Expr with short-circuit evaluation.
@@ -71,10 +71,10 @@ func (e Or) Eval(env *Env) (Value, error) {
 			return nil, fmt.Errorf("lang: OR operand %s is not boolean", sub)
 		}
 		if b {
-			return true, nil
+			return trueValue, nil
 		}
 	}
-	return false, nil
+	return falseValue, nil
 }
 
 // Eval implements Expr.
@@ -87,7 +87,7 @@ func (e Not) Eval(env *Env) (Value, error) {
 	if !ok {
 		return nil, fmt.Errorf("lang: NOT operand %s is not boolean", e.Expr)
 	}
-	return !b, nil
+	return boolValue(!b), nil
 }
 
 func unionCaps(exprs []Expr) model.CapabilitySet {
@@ -172,9 +172,9 @@ func (e Cmp) Eval(env *Env) (Value, error) {
 	}
 	switch e.Op {
 	case OpEq:
-		return equalValues(l, r), nil
+		return boolValue(equalValues(l, r)), nil
 	case OpNe:
-		return !equalValues(l, r), nil
+		return boolValue(!equalValues(l, r)), nil
 	}
 	li, lok := asInt(l)
 	ri, rok := asInt(r)
@@ -184,13 +184,13 @@ func (e Cmp) Eval(env *Env) (Value, error) {
 	}
 	switch e.Op {
 	case OpLt:
-		return li < ri, nil
+		return boolValue(li < ri), nil
 	case OpLe:
-		return li <= ri, nil
+		return boolValue(li <= ri), nil
 	case OpGt:
-		return li > ri, nil
+		return boolValue(li > ri), nil
 	case OpGe:
-		return li >= ri, nil
+		return boolValue(li >= ri), nil
 	default:
 		return nil, fmt.Errorf("lang: unknown comparison operator %d", e.Op)
 	}
@@ -223,10 +223,10 @@ func (e In) Eval(env *Env) (Value, error) {
 			return nil, err
 		}
 		if equalValues(l, v) {
-			return true, nil
+			return trueValue, nil
 		}
 	}
-	return false, nil
+	return falseValue, nil
 }
 
 // RequiredCaps implements Expr.
@@ -373,7 +373,10 @@ func KnownProperty(name string) bool { return knownProps[name] }
 // them.
 type Prop struct{ Name string }
 
-// Eval implements Expr.
+// Eval implements Expr. Payload properties read from the decoded Msg when
+// one is populated (test-built views, materialized messages) and otherwise
+// from the lazy frame view, so conditional evaluation on the injector's
+// hot path never decodes a message.
 func (e Prop) Eval(env *Env) (Value, error) {
 	v := env.View
 	if v == nil {
@@ -391,57 +394,142 @@ func (e Prop) Eval(env *Env) (Value, error) {
 	case PropID:
 		return int64(v.ID), nil
 	case PropDirection:
-		return v.Direction.String(), nil
+		return directionValue(v.Direction), nil
 	}
 	// Payload properties.
-	if v.Msg == nil {
-		return payloadZero(e.Name), nil
+	if v.Msg != nil {
+		return structProp(e.Name, v), nil
 	}
-	switch e.Name {
+	if f, ok := v.Frame(); ok {
+		return frameProp(e.Name, f), nil
+	}
+	return payloadZero(e.Name), nil
+}
+
+// structProp reads a payload property from a decoded message.
+func structProp(name string, v *MessageView) Value {
+	switch name {
 	case PropType:
-		return v.Msg.Type().String(), nil
+		return typeValue(v.Msg.Type())
 	case PropXid:
-		return int64(v.Header.Xid), nil
+		return int64(v.Header.Xid)
 	}
 	switch m := v.Msg.(type) {
 	case *openflow.FlowMod:
-		switch e.Name {
+		switch name {
 		case PropFMCommand:
-			return m.Command.String(), nil
+			return commandValue(m.Command)
 		case PropFMPriority:
-			return int64(m.Priority), nil
+			return int64(m.Priority)
 		case PropFMIdle:
-			return int64(m.IdleTimeout), nil
+			return int64(m.IdleTimeout)
 		case PropFMHard:
-			return int64(m.HardTimeout), nil
+			return int64(m.HardTimeout)
 		case PropFMBufferID:
-			return int64(m.BufferID), nil
+			return int64(m.BufferID)
 		}
-		if val, ok := matchProp(e.Name, m.Match); ok {
-			return val, nil
+		if val, ok := matchProp(name, m.Match); ok {
+			return val
 		}
 	case *openflow.FlowRemoved:
-		if val, ok := matchProp(e.Name, m.Match); ok {
-			return val, nil
+		if val, ok := matchProp(name, m.Match); ok {
+			return val
 		}
 	case *openflow.PacketIn:
-		switch e.Name {
+		switch name {
 		case PropPIInPort:
-			return int64(m.InPort), nil
+			return int64(m.InPort)
 		case PropPIBufferID:
-			return int64(m.BufferID), nil
+			return int64(m.BufferID)
 		case PropPIReason:
-			return m.Reason.String(), nil
+			return reasonValue(m.Reason)
 		}
 	case *openflow.PacketOut:
-		switch e.Name {
+		switch name {
 		case PropPOInPort:
-			return int64(m.InPort), nil
+			return int64(m.InPort)
 		case PropPOBufferID:
-			return int64(m.BufferID), nil
+			return int64(m.BufferID)
 		}
 	}
-	return payloadZero(e.Name), nil
+	return payloadZero(name)
+}
+
+// frameProp reads a payload property from the zero-copy frame view,
+// mirroring structProp's semantics field for field. Accessor failures
+// (truncated fixed regions) degrade to payloadZero, the same inert values
+// an undecodable message yields.
+func frameProp(name string, f openflow.Frame) Value {
+	switch name {
+	case PropType:
+		return typeValue(f.Type())
+	case PropXid:
+		return int64(f.Xid())
+	}
+	switch f.Type() {
+	case openflow.TypeFlowMod:
+		switch name {
+		case PropFMCommand:
+			if c, ok := f.FlowModCommand(); ok {
+				return commandValue(c)
+			}
+		case PropFMPriority:
+			if n, ok := f.FlowModPriority(); ok {
+				return int64(n)
+			}
+		case PropFMIdle:
+			if n, ok := f.FlowModIdleTimeout(); ok {
+				return int64(n)
+			}
+		case PropFMHard:
+			if n, ok := f.FlowModHardTimeout(); ok {
+				return int64(n)
+			}
+		case PropFMBufferID:
+			if n, ok := f.FlowModBufferID(); ok {
+				return int64(n)
+			}
+		default:
+			if m, ok := f.Match(); ok {
+				if val, ok := matchProp(name, m); ok {
+					return val
+				}
+			}
+		}
+	case openflow.TypeFlowRemoved:
+		if m, ok := f.Match(); ok {
+			if val, ok := matchProp(name, m); ok {
+				return val
+			}
+		}
+	case openflow.TypePacketIn:
+		switch name {
+		case PropPIInPort:
+			if n, ok := f.PacketInInPort(); ok {
+				return int64(n)
+			}
+		case PropPIBufferID:
+			if n, ok := f.PacketInBufferID(); ok {
+				return int64(n)
+			}
+		case PropPIReason:
+			if r, ok := f.PacketInReason(); ok {
+				return reasonValue(r)
+			}
+		}
+	case openflow.TypePacketOut:
+		switch name {
+		case PropPOInPort:
+			if n, ok := f.PacketOutInPort(); ok {
+				return int64(n)
+			}
+		case PropPOBufferID:
+			if n, ok := f.PacketOutBufferID(); ok {
+				return int64(n)
+			}
+		}
+	}
+	return payloadZero(name)
 }
 
 // matchProp extracts match-structure properties. Wildcarded fields read as
@@ -451,47 +539,47 @@ func matchProp(name string, m openflow.Match) (Value, bool) {
 	switch name {
 	case PropMatchInPort:
 		if m.Wildcards&openflow.WildcardInPort != 0 {
-			return int64(-1), true
+			return minusOneValue, true
 		}
 		return int64(m.InPort), true
 	case PropMatchDLSrc:
 		if m.Wildcards&openflow.WildcardDLSrc != 0 {
-			return "", true
+			return emptyStringValue, true
 		}
 		return m.DLSrc.String(), true
 	case PropMatchDLDst:
 		if m.Wildcards&openflow.WildcardDLDst != 0 {
-			return "", true
+			return emptyStringValue, true
 		}
 		return m.DLDst.String(), true
 	case PropMatchDLType:
 		if m.Wildcards&openflow.WildcardDLType != 0 {
-			return int64(-1), true
+			return minusOneValue, true
 		}
 		return int64(m.DLType), true
 	case PropMatchNWProto:
 		if m.Wildcards&openflow.WildcardNWProto != 0 {
-			return int64(-1), true
+			return minusOneValue, true
 		}
 		return int64(m.NWProto), true
 	case PropMatchNWSrc:
 		if m.NWSrcMaskBits() == 0 {
-			return "", true
+			return emptyStringValue, true
 		}
 		return m.NWSrc.String(), true
 	case PropMatchNWDst:
 		if m.NWDstMaskBits() == 0 {
-			return "", true
+			return emptyStringValue, true
 		}
 		return m.NWDst.String(), true
 	case PropMatchTPSrc:
 		if m.Wildcards&openflow.WildcardTPSrc != 0 {
-			return int64(-1), true
+			return minusOneValue, true
 		}
 		return int64(m.TPSrc), true
 	case PropMatchTPDst:
 		if m.Wildcards&openflow.WildcardTPDst != 0 {
-			return int64(-1), true
+			return minusOneValue, true
 		}
 		return int64(m.TPDst), true
 	default:
@@ -505,9 +593,9 @@ func matchProp(name string, m openflow.Match) (Value, bool) {
 func payloadZero(name string) Value {
 	switch name {
 	case PropType, PropMatchDLSrc, PropMatchDLDst, PropMatchNWSrc, PropMatchNWDst, PropPIReason, PropFMCommand:
-		return ""
+		return emptyStringValue
 	default:
-		return int64(-1)
+		return minusOneValue
 	}
 }
 

@@ -1,0 +1,130 @@
+package lang
+
+import (
+	"testing"
+
+	"attain/internal/openflow"
+)
+
+// frameViewOf builds a MessageView backed only by a lazy frame (the
+// injector hot-path shape) for the given message.
+func frameViewOf(t *testing.T, xid uint32, msg openflow.Message) *MessageView {
+	t.Helper()
+	raw, err := openflow.Marshal(xid, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := openflow.NewFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &MessageView{Length: len(raw), ID: 1}
+	v.SetFrame(f)
+	return v
+}
+
+// TestFramePropsMatchStructProps pins that every payload property reads
+// identically through the lazy frame view and the decoded structs.
+func TestFramePropsMatchStructProps(t *testing.T) {
+	match := openflow.ExactFrom(openflow.FieldView{
+		InPort: 4, DLType: 0x0806, NWProto: 1, TPSrc: 8, TPDst: 0,
+	})
+	msgs := []openflow.Message{
+		&openflow.FlowMod{Match: match, Command: openflow.FlowModDelete,
+			IdleTimeout: 5, HardTimeout: 50, Priority: 1000, BufferID: openflow.NoBuffer,
+			Actions: []openflow.Action{openflow.ActionOutput{Port: 1}}},
+		&openflow.FlowRemoved{Match: match, Reason: openflow.FlowRemovedHardTimeout},
+		&openflow.PacketIn{BufferID: 77, TotalLen: 60, InPort: 3,
+			Reason: openflow.PacketInReasonNoMatch, Data: []byte{1, 2}},
+		&openflow.PacketOut{BufferID: openflow.NoBuffer, InPort: 9},
+		&openflow.EchoRequest{Data: []byte("x")},
+		&openflow.BarrierRequest{},
+	}
+	props := make([]string, 0, len(knownProps))
+	for name := range knownProps {
+		if !metadataProps[name] {
+			props = append(props, name)
+		}
+	}
+	for _, msg := range msgs {
+		lazy := frameViewOf(t, 42, msg)
+		eager := frameViewOf(t, 42, msg)
+		if !eager.Materialize() {
+			t.Fatalf("%s: materialize failed", msg.Type())
+		}
+		if !eager.Materialized() || lazy.Materialized() {
+			t.Fatalf("%s: materialized flags wrong", msg.Type())
+		}
+		for _, name := range props {
+			lv, err := Prop{Name: name}.Eval(&Env{View: lazy})
+			if err != nil {
+				t.Fatalf("%s %s (frame): %v", msg.Type(), name, err)
+			}
+			ev, err := Prop{Name: name}.Eval(&Env{View: eager})
+			if err != nil {
+				t.Fatalf("%s %s (struct): %v", msg.Type(), name, err)
+			}
+			if lv != ev {
+				t.Errorf("%s %s: frame view %v != struct view %v", msg.Type(), name, lv, ev)
+			}
+		}
+		if lazy.TypeName() != msg.Type().String() || eager.TypeName() != msg.Type().String() {
+			t.Errorf("%s: TypeName frame=%s struct=%s", msg.Type(), lazy.TypeName(), eager.TypeName())
+		}
+	}
+}
+
+// TestOpaqueViewStaysOpaque pins capability semantics: a view with neither
+// frame nor Msg reads payload properties as inert zero values.
+func TestOpaqueViewStaysOpaque(t *testing.T) {
+	v := &MessageView{Length: 12, ID: 3}
+	if v.TypeName() != "OPAQUE" {
+		t.Fatalf("TypeName = %s", v.TypeName())
+	}
+	if v.Materialize() {
+		t.Fatal("opaque view materialized")
+	}
+	got, err := Prop{Name: PropType}.Eval(&Env{View: v})
+	if err != nil || got != "" {
+		t.Fatalf("msg.type on opaque view = %v, %v", got, err)
+	}
+	got, err = Prop{Name: PropFMPriority}.Eval(&Env{View: v})
+	if err != nil || got != int64(-1) {
+		t.Fatalf("msg.flowmod.priority on opaque view = %v, %v", got, err)
+	}
+}
+
+// TestConditionalEvalZeroAlloc pins that evaluating a typical type-match
+// conditional against a frame-backed view does not allocate — the property
+// values involved are pre-boxed.
+func TestConditionalEvalZeroAlloc(t *testing.T) {
+	raw, err := openflow.Marshal(900, &openflow.FlowMod{Match: openflow.MatchAll(),
+		Command: openflow.FlowModAdd, BufferID: openflow.NoBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := openflow.NewFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := &MessageView{Length: len(raw), Direction: ControllerToSwitch}
+	view.SetFrame(f)
+	env := &Env{View: view}
+	cond := And{Exprs: []Expr{
+		Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "FLOW_MOD"}},
+		Cmp{Op: OpEq, L: Prop{Name: PropFMCommand}, R: Lit{Value: "ADD"}},
+		Cmp{Op: OpEq, L: Prop{Name: PropDirection}, R: Lit{Value: "s2c"}},
+	}}
+	allocs := testing.AllocsPerRun(1000, func() {
+		v, err := cond.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != falseValue && v != trueValue {
+			t.Fatal("non-boolean result")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("conditional eval allocates: %v allocs/op", allocs)
+	}
+}

@@ -50,8 +50,15 @@ func (d Direction) String() string {
 
 // MessageView is the property view of one in-flight control-plane message
 // (§V-A). Metadata fields are always populated by the injector; payload
-// fields (Header, Msg) are populated only when the attack holds
-// READMESSAGE on the connection.
+// access is granted only when the attack holds READMESSAGE on the
+// connection.
+//
+// Payload access comes in two forms. The injector's hot path attaches a
+// lazy openflow.Frame (SetFrame) wrapping the raw wire bytes, and property
+// reads evaluate against it without decoding; Materialize is the escape
+// hatch that decodes the typed structs on demand. Code constructing views
+// directly (tests, monitors) may instead populate Header and Msg — when
+// Msg is non-nil it takes precedence over the frame.
 type MessageView struct {
 	// Conn is the control-plane connection the message traverses.
 	Conn model.Conn
@@ -72,6 +79,70 @@ type MessageView struct {
 	// Msg is the decoded OpenFlow body (payload; READMESSAGE only), nil
 	// when the payload is opaque.
 	Msg openflow.Message
+
+	// frame is the lazy zero-copy payload view; hasFrame distinguishes it
+	// from the zero value. It aliases the in-flight message buffer and is
+	// only valid while the injector owns those bytes.
+	frame    openflow.Frame
+	hasFrame bool
+	// materialized records that Materialize decoded the payload, for the
+	// injector's passthrough-vs-materialized accounting.
+	materialized bool
+}
+
+// SetFrame attaches a lazy payload view. The injector calls this instead
+// of decoding when READMESSAGE is granted.
+func (v *MessageView) SetFrame(f openflow.Frame) {
+	v.frame = f
+	v.hasFrame = true
+}
+
+// ClearFrame detaches the payload view (used when a view outlives the
+// buffer its frame aliases, e.g. a captured message).
+func (v *MessageView) ClearFrame() {
+	v.frame = openflow.Frame{}
+	v.hasFrame = false
+}
+
+// Frame returns the lazy payload view, if one is attached.
+func (v *MessageView) Frame() (openflow.Frame, bool) {
+	return v.frame, v.hasFrame
+}
+
+// Materialize decodes the payload into Header and Msg if they are not
+// already populated, returning whether typed payload access is available.
+// The decode happens at most once per view.
+func (v *MessageView) Materialize() bool {
+	if v.Msg != nil {
+		return true
+	}
+	if !v.hasFrame {
+		return false
+	}
+	hdr, msg, err := v.frame.Materialize()
+	if err != nil {
+		return false
+	}
+	v.Header = hdr
+	v.Msg = msg
+	v.materialized = true
+	return true
+}
+
+// Materialized reports whether Materialize decoded this view's payload.
+func (v *MessageView) Materialized() bool { return v.materialized }
+
+// TypeName returns the message type name for logs and counters: the
+// decoded or frame-level type when payload access is available, "OPAQUE"
+// otherwise.
+func (v *MessageView) TypeName() string {
+	if v.Msg != nil {
+		return v.Msg.Type().String()
+	}
+	if v.hasFrame {
+		return v.frame.Type().String()
+	}
+	return "OPAQUE"
 }
 
 // equalValues compares two language values. Numeric comparison coerces

@@ -1,0 +1,220 @@
+package openflow
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func mustFrame(t *testing.T, xid uint32, msg Message) Frame {
+	t.Helper()
+	raw, err := Marshal(xid, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := NewFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestFrameHeaderAccessors(t *testing.T) {
+	fr := mustFrame(t, 0xdeadbeef, &EchoRequest{Data: []byte("ping")})
+	if fr.Version() != Version || fr.Type() != TypeEchoRequest {
+		t.Fatalf("header accessors: version=%d type=%s", fr.Version(), fr.Type())
+	}
+	if fr.Xid() != 0xdeadbeef {
+		t.Fatalf("xid = %#x", fr.Xid())
+	}
+	if fr.Len() != HeaderLen+4 || len(fr.Body()) != 4 {
+		t.Fatalf("len = %d body = %d", fr.Len(), len(fr.Body()))
+	}
+	if data, ok := fr.EchoData(); !ok || string(data) != "ping" {
+		t.Fatalf("echo data = %q ok=%v", data, ok)
+	}
+}
+
+func TestFrameFlowModAccessors(t *testing.T) {
+	fm := &FlowMod{
+		Match:       ExactFrom(FieldView{InPort: 3, DLType: 0x0800, NWProto: 6, TPSrc: 80, TPDst: 443}),
+		Cookie:      0x1122334455667788,
+		Command:     FlowModModifyStrict,
+		IdleTimeout: 60,
+		HardTimeout: 600,
+		Priority:    32768,
+		BufferID:    NoBuffer,
+		OutPort:     PortNone,
+		Actions:     []Action{ActionOutput{Port: 2}},
+	}
+	fr := mustFrame(t, 1, fm)
+	check := func(name string, got, want any, ok bool) {
+		t.Helper()
+		if !ok || got != want {
+			t.Errorf("%s = %v (ok=%v), want %v", name, got, ok, want)
+		}
+	}
+	cmd, ok := fr.FlowModCommand()
+	check("command", cmd, fm.Command, ok)
+	idle, ok := fr.FlowModIdleTimeout()
+	check("idle", idle, fm.IdleTimeout, ok)
+	hard, ok := fr.FlowModHardTimeout()
+	check("hard", hard, fm.HardTimeout, ok)
+	prio, ok := fr.FlowModPriority()
+	check("priority", prio, fm.Priority, ok)
+	buf, ok := fr.FlowModBufferID()
+	check("buffer_id", buf, fm.BufferID, ok)
+	out, ok := fr.FlowModOutPort()
+	check("out_port", out, fm.OutPort, ok)
+	cookie, ok := fr.FlowModCookie()
+	check("cookie", cookie, fm.Cookie, ok)
+	match, ok := fr.Match()
+	if !ok || match != fm.Match {
+		t.Errorf("match = %+v (ok=%v), want %+v", match, ok, fm.Match)
+	}
+}
+
+func TestFramePacketAccessors(t *testing.T) {
+	pi := &PacketIn{BufferID: 42, TotalLen: 99, InPort: 7, Reason: PacketInReasonAction, Data: []byte{1, 2, 3}}
+	fr := mustFrame(t, 2, pi)
+	if v, ok := fr.PacketInBufferID(); !ok || v != 42 {
+		t.Errorf("packet_in buffer_id = %d ok=%v", v, ok)
+	}
+	if v, ok := fr.PacketInTotalLen(); !ok || v != 99 {
+		t.Errorf("packet_in total_len = %d ok=%v", v, ok)
+	}
+	if v, ok := fr.PacketInInPort(); !ok || v != 7 {
+		t.Errorf("packet_in in_port = %d ok=%v", v, ok)
+	}
+	if v, ok := fr.PacketInReason(); !ok || v != PacketInReasonAction {
+		t.Errorf("packet_in reason = %s ok=%v", v, ok)
+	}
+	if d, ok := fr.PacketInData(); !ok || !bytes.Equal(d, pi.Data) {
+		t.Errorf("packet_in data = %x ok=%v", d, ok)
+	}
+
+	po := &PacketOut{BufferID: NoBuffer, InPort: 5, Actions: []Action{ActionOutput{Port: 1}}}
+	fro := mustFrame(t, 3, po)
+	if v, ok := fro.PacketOutBufferID(); !ok || v != NoBuffer {
+		t.Errorf("packet_out buffer_id = %d ok=%v", v, ok)
+	}
+	if v, ok := fro.PacketOutInPort(); !ok || v != 5 {
+		t.Errorf("packet_out in_port = %d ok=%v", v, ok)
+	}
+
+	// Wrong-type and truncated-body lookups fail cleanly.
+	if _, ok := fro.PacketInBufferID(); ok {
+		t.Error("PacketInBufferID succeeded on a PACKET_OUT frame")
+	}
+	if _, ok := fr.Match(); ok {
+		t.Error("Match succeeded on a PACKET_IN frame")
+	}
+	short := []byte{Version, byte(TypePacketIn), 0, 12, 0, 0, 0, 1, 0, 0, 0, 0}
+	sf, err := NewFrame(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sf.PacketInReason(); ok {
+		t.Error("PacketInReason succeeded on a truncated body")
+	}
+	var zero Frame
+	if zero.Valid() || zero.Type() != 0 || zero.Body() != nil {
+		t.Error("zero Frame is not inert")
+	}
+}
+
+// TestFrameAccessorsZeroAlloc pins the tentpole invariant: building a view
+// and reading header and match fields through it never allocates.
+func TestFrameAccessorsZeroAlloc(t *testing.T) {
+	fm := &FlowMod{Match: MatchAll(), BufferID: NoBuffer, OutPort: PortNone,
+		Actions: []Action{ActionOutput{Port: 1}}}
+	raw, err := Marshal(7, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		fr, err := NewFrame(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += uint64(fr.Xid()) + uint64(fr.Type()) + uint64(fr.Len())
+		m, ok := fr.Match()
+		if !ok {
+			t.Fatal("no match")
+		}
+		sink += uint64(m.Wildcards)
+		cmd, _ := fr.FlowModCommand()
+		sink += uint64(cmd)
+		prio, _ := fr.FlowModPriority()
+		sink += uint64(prio)
+		bid, _ := fr.FlowModBufferID()
+		sink += uint64(bid)
+	})
+	if allocs != 0 {
+		t.Fatalf("frame accessors allocate: %v allocs/op (sink %d)", allocs, sink)
+	}
+}
+
+// TestReadRawIntoZeroAllocSteadyState pins that re-reading frames into a
+// recycled buffer does not allocate once the buffer has grown to fit.
+func TestReadRawIntoZeroAllocSteadyState(t *testing.T) {
+	raw, err := Marshal(1, &PacketIn{BufferID: NoBuffer, InPort: 1, Data: bytes.Repeat([]byte{0xab}, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bytes.NewReader(nil)
+	buf := GetBuffer()
+	allocs := testing.AllocsPerRun(1000, func() {
+		stream.Reset(raw)
+		buf, err = ReadRawInto(stream, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ReadRawInto allocates in steady state: %v allocs/op", allocs)
+	}
+	if !bytes.Equal(buf, raw) {
+		t.Fatal("ReadRawInto corrupted the frame")
+	}
+	PutBuffer(buf)
+}
+
+func TestReadRawIntoGrowsAndErrors(t *testing.T) {
+	big, err := Marshal(1, &EchoRequest{Data: bytes.Repeat([]byte{1}, 1000)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRawInto(bytes.NewReader(big), make([]byte, 0, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("grown read corrupted the frame")
+	}
+
+	if _, err := ReadRawInto(bytes.NewReader(big[:4]), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("short header err = %v", err)
+	}
+	if _, err := ReadRawInto(bytes.NewReader(big[:20]), nil); err != io.ErrUnexpectedEOF {
+		t.Fatalf("short body err = %v", err)
+	}
+	bad := append([]byte(nil), big...)
+	bad[2], bad[3] = 0, 3
+	if _, err := ReadRawInto(bytes.NewReader(bad), nil); err != ErrBadLength {
+		t.Fatalf("bad length err = %v", err)
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	b := GetBuffer()
+	if len(b) != 0 || cap(b) < HeaderLen {
+		t.Fatalf("GetBuffer: len=%d cap=%d", len(b), cap(b))
+	}
+	b = append(b, []byte("0123456789abcdef")...)
+	PutBuffer(b)
+	// Oversized and nil buffers must be rejected without panicking.
+	PutBuffer(nil)
+	PutBuffer(make([]byte, 0, poolRetainMax+1))
+}

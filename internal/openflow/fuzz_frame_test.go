@@ -1,0 +1,166 @@
+package openflow
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzFrameViewDifferential pins the zero-copy Frame view against the full
+// codec: for arbitrary input, every Frame accessor must agree with what
+// openflow.Unmarshal decodes (same values), and whenever Unmarshal accepts
+// a frame NewFrame must too. NewFrame is deliberately laxer than Unmarshal
+// — it validates only header framing, leaving bodies lazy — so accessors
+// additionally must never panic on frames whose bodies Unmarshal rejects.
+func FuzzFrameViewDifferential(f *testing.F) {
+	addFuzzSeeds(f)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, ferr := NewFrame(data)
+		hdr, msg, uerr := Unmarshal(data)
+
+		if uerr == nil && ferr != nil {
+			t.Fatalf("Unmarshal accepted a %s frame NewFrame rejected: %v", hdr.Type, ferr)
+		}
+		if ferr != nil {
+			return
+		}
+
+		// Header fields come straight from the wire in both views.
+		if fr.Version() != hdr.Version || fr.Type() != hdr.Type ||
+			fr.Len() != int(hdr.Length) || fr.Xid() != hdr.Xid {
+			t.Fatalf("header mismatch: frame (%d %s len=%d xid=%d) vs header %+v",
+				fr.Version(), fr.Type(), fr.Len(), fr.Xid(), hdr)
+		}
+		if !bytes.Equal(fr.Bytes(), data[:hdr.Length]) {
+			t.Fatal("Bytes() does not view the framed bytes")
+		}
+
+		// Exercise every accessor: on body-invalid frames they must simply
+		// not panic; on fully valid frames they must agree with the struct.
+		fmCmd, fmCmdOK := fr.FlowModCommand()
+		fmIdle, _ := fr.FlowModIdleTimeout()
+		fmHard, _ := fr.FlowModHardTimeout()
+		fmPrio, _ := fr.FlowModPriority()
+		fmBuf, _ := fr.FlowModBufferID()
+		fmOut, _ := fr.FlowModOutPort()
+		fmCookie, _ := fr.FlowModCookie()
+		match, matchOK := fr.Match()
+		piBuf, piOK := fr.PacketInBufferID()
+		piTotal, _ := fr.PacketInTotalLen()
+		piPort, _ := fr.PacketInInPort()
+		piReason, _ := fr.PacketInReason()
+		piData, _ := fr.PacketInData()
+		poBuf, poOK := fr.PacketOutBufferID()
+		poPort, _ := fr.PacketOutInPort()
+		echo, echoOK := fr.EchoData()
+
+		if uerr != nil {
+			return
+		}
+
+		fh, fm, merr := fr.Materialize()
+		if merr != nil || fh != hdr {
+			t.Fatalf("Materialize diverged from Unmarshal: %v %+v vs %+v", merr, fh, hdr)
+		}
+		if fm.Type() != msg.Type() {
+			t.Fatalf("Materialize type %s vs %s", fm.Type(), msg.Type())
+		}
+
+		switch m := msg.(type) {
+		case *FlowMod:
+			if !fmCmdOK || !matchOK {
+				t.Fatal("FLOW_MOD accessors failed on a frame Unmarshal accepted")
+			}
+			if fmCmd != m.Command || fmIdle != m.IdleTimeout || fmHard != m.HardTimeout ||
+				fmPrio != m.Priority || fmBuf != m.BufferID || fmOut != m.OutPort ||
+				fmCookie != m.Cookie {
+				t.Fatalf("FLOW_MOD field mismatch: frame vs %+v", m)
+			}
+			if match != m.Match {
+				t.Fatalf("FLOW_MOD match mismatch: %+v vs %+v", match, m.Match)
+			}
+		case *FlowRemoved:
+			if !matchOK {
+				t.Fatal("FLOW_REMOVED Match() failed on a frame Unmarshal accepted")
+			}
+			if match != m.Match {
+				t.Fatalf("FLOW_REMOVED match mismatch: %+v vs %+v", match, m.Match)
+			}
+		case *PacketIn:
+			if !piOK {
+				t.Fatal("PACKET_IN accessors failed on a frame Unmarshal accepted")
+			}
+			if piBuf != m.BufferID || piTotal != m.TotalLen || piPort != m.InPort || piReason != m.Reason {
+				t.Fatalf("PACKET_IN field mismatch: frame vs %+v", m)
+			}
+			if !bytes.Equal(piData, m.Data) {
+				t.Fatalf("PACKET_IN data mismatch: %x vs %x", piData, m.Data)
+			}
+		case *PacketOut:
+			if !poOK {
+				t.Fatal("PACKET_OUT accessors failed on a frame Unmarshal accepted")
+			}
+			if poBuf != m.BufferID || poPort != m.InPort {
+				t.Fatalf("PACKET_OUT field mismatch: frame vs %+v", m)
+			}
+		case *EchoRequest:
+			if !echoOK || !bytes.Equal(echo, m.Data) {
+				t.Fatalf("ECHO_REQUEST data mismatch: %x vs %x", echo, m.Data)
+			}
+		case *EchoReply:
+			if !echoOK || !bytes.Equal(echo, m.Data) {
+				t.Fatalf("ECHO_REPLY data mismatch: %x vs %x", echo, m.Data)
+			}
+		}
+
+		// The mutation path (Materialize + AppendMessage with the original
+		// xid) must stay byte-compatible with the old Marshal codec.
+		old, err := Marshal(hdr.Xid, msg)
+		if err != nil {
+			return
+		}
+		appended, err := AppendMessage(GetBuffer(), hdr.Xid, fm)
+		if err != nil {
+			t.Fatalf("AppendMessage failed where Marshal succeeded: %v", err)
+		}
+		if !bytes.Equal(appended, old) {
+			t.Fatalf("AppendMessage not byte-compatible with Marshal:\n%x\n%x", appended, old)
+		}
+		PutBuffer(appended)
+	})
+}
+
+// TestNewFrameRejectsBadFraming pins the header validation split between
+// NewFrame and Unmarshal.
+func TestNewFrameRejectsBadFraming(t *testing.T) {
+	raw, err := Marshal(9, &EchoRequest{Data: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFrame(raw); err != nil {
+		t.Fatalf("valid frame rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+		want   error
+	}{
+		{"short", func(b []byte) {}, ErrTruncated},
+		{"bad version", func(b []byte) { b[0] = 0x04 }, ErrBadVersion},
+		{"unknown type", func(b []byte) { b[1] = 99 }, ErrUnknownType},
+		{"length below header", func(b []byte) { b[2], b[3] = 0, 4 }, ErrBadLength},
+		{"length beyond data", func(b []byte) { b[2], b[3] = 0xff, 0xff }, ErrTruncated},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), raw...)
+		if tc.name == "short" {
+			b = b[:4]
+		}
+		tc.mutate(b)
+		if _, err := NewFrame(b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

@@ -5,11 +5,10 @@ import (
 	"testing"
 )
 
-// FuzzUnmarshal feeds arbitrary bytes through the frame decoder; it must
-// never panic, and whatever decodes must re-encode to an equivalent frame.
-func FuzzUnmarshal(f *testing.F) {
-	// Seed with one valid frame of every message type.
-	seeds := []Message{
+// fuzzSeedMessages returns one valid message of every type — the shared
+// seed corpus for FuzzUnmarshal and FuzzFrameViewDifferential.
+func fuzzSeedMessages() []Message {
+	return []Message{
 		&Hello{},
 		&ErrorMsg{ErrType: 3, Code: 1, Data: []byte{1}},
 		&EchoRequest{Data: []byte("seed")},
@@ -36,7 +35,13 @@ func FuzzUnmarshal(f *testing.F) {
 		&QueueGetConfigRequest{Port: 1},
 		&QueueGetConfigReply{Port: 1},
 	}
-	for _, m := range seeds {
+}
+
+// addFuzzSeeds registers the shared corpus: one frame per message type
+// plus framing edge cases.
+func addFuzzSeeds(f *testing.F) {
+	f.Helper()
+	for _, m := range fuzzSeedMessages() {
 		raw, err := Marshal(1, m)
 		if err != nil {
 			f.Fatal(err)
@@ -45,6 +50,12 @@ func FuzzUnmarshal(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0x01, 14, 0x00, 0x09, 0, 0, 0, 0, 0xff}) // short flow mod
+}
+
+// FuzzUnmarshal feeds arbitrary bytes through the frame decoder; it must
+// never panic, and whatever decodes must re-encode to an equivalent frame.
+func FuzzUnmarshal(f *testing.F) {
+	addFuzzSeeds(f)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		hdr, msg, err := Unmarshal(data)

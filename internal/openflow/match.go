@@ -299,23 +299,15 @@ func (m Match) marshal(w *writer) {
 	w.u16(m.TPDst)
 }
 
-// unmarshal parses the 40-byte wire encoding of the match.
+// unmarshal parses the 40-byte wire encoding of the match. It defers to
+// decodeMatch (shared with the zero-copy Frame view) so the typed path
+// pays no per-field allocations either.
 func (m *Match) unmarshal(r *reader) {
-	m.Wildcards = r.u32()
-	m.InPort = r.u16()
-	copy(m.DLSrc[:], r.bytes(6))
-	copy(m.DLDst[:], r.bytes(6))
-	m.DLVLAN = r.u16()
-	m.DLVLANPCP = r.u8()
-	r.skip(1)
-	m.DLType = r.u16()
-	m.NWTOS = r.u8()
-	m.NWProto = r.u8()
-	r.skip(2)
-	copy(m.NWSrc[:], r.bytes(4))
-	copy(m.NWDst[:], r.bytes(4))
-	m.TPSrc = r.u16()
-	m.TPDst = r.u16()
+	if r.err != nil || r.remaining() < matchLen && r.fail() {
+		return
+	}
+	*m = decodeMatch(r.b[r.off:])
+	r.off += matchLen
 }
 
 // String renders the non-wildcarded fields, e.g.

@@ -133,18 +133,10 @@ type Message interface {
 // Marshal encodes msg into a complete framed OpenFlow message with the given
 // transaction id.
 func Marshal(xid uint32, msg Message) ([]byte, error) {
-	buf := make([]byte, HeaderLen, HeaderLen+64)
-	buf, err := msg.marshalBody(buf)
+	buf, err := AppendMessage(make([]byte, 0, HeaderLen+64), xid, msg)
 	if err != nil {
-		return nil, fmt.Errorf("marshal %s: %w", msg.Type(), err)
+		return nil, err
 	}
-	if len(buf) > MaxMessageLen {
-		return nil, fmt.Errorf("marshal %s: message length %d exceeds maximum: %w", msg.Type(), len(buf), ErrBadLength)
-	}
-	buf[0] = Version
-	buf[1] = uint8(msg.Type())
-	binary.BigEndian.PutUint16(buf[2:4], uint16(len(buf)))
-	binary.BigEndian.PutUint32(buf[4:8], xid)
 	return buf, nil
 }
 
@@ -245,20 +237,8 @@ func newMessage(t Type) (Message, error) {
 // body, so it is usable even when the payload must be treated as opaque
 // (e.g. the injector without the READMESSAGE capability).
 func ReadRaw(r io.Reader) ([]byte, error) {
-	hdr := make([]byte, HeaderLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, err
-	}
-	length := binary.BigEndian.Uint16(hdr[2:4])
-	if int(length) < HeaderLen {
-		return nil, ErrBadLength
-	}
-	buf := make([]byte, length)
-	copy(buf, hdr)
-	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
-		if errors.Is(err, io.EOF) {
-			err = io.ErrUnexpectedEOF
-		}
+	buf, err := ReadRawInto(r, nil)
+	if err != nil {
 		return nil, err
 	}
 	return buf, nil

@@ -514,7 +514,11 @@ func (c *ctrlConn) writePump() {
 		case <-c.closed:
 			return
 		case buf := <-c.outCh:
-			if _, err := c.conn.Write(buf); err != nil {
+			// The pump owns each queued buffer; the conn has copied the
+			// bytes by the time Write returns, so recycle immediately.
+			_, err := c.conn.Write(buf)
+			openflow.PutBuffer(buf)
+			if err != nil {
 				c.close()
 				return
 			}
@@ -522,32 +526,38 @@ func (c *ctrlConn) writePump() {
 	}
 }
 
-// send queues a message, blocking while there is room.
+// send queues a message, blocking while there is room. The frame is
+// marshalled into a pooled buffer that the write pump recycles.
 func (c *ctrlConn) send(xid uint32, msg openflow.Message) error {
-	buf, err := openflow.Marshal(xid, msg)
+	buf, err := openflow.AppendMessage(openflow.GetBuffer(), xid, msg)
 	if err != nil {
+		openflow.PutBuffer(buf)
 		return err
 	}
 	select {
 	case c.outCh <- buf:
 		return nil
 	case <-c.closed:
+		openflow.PutBuffer(buf)
 		return net.ErrClosed
 	}
 }
 
 // sendAsync queues a message without blocking, reporting success.
 func (c *ctrlConn) sendAsync(xid uint32, msg openflow.Message) bool {
-	buf, err := openflow.Marshal(xid, msg)
+	buf, err := openflow.AppendMessage(openflow.GetBuffer(), xid, msg)
 	if err != nil {
+		openflow.PutBuffer(buf)
 		return false
 	}
 	select {
 	case c.outCh <- buf:
 		return true
 	case <-c.closed:
+		openflow.PutBuffer(buf)
 		return false
 	default:
+		openflow.PutBuffer(buf)
 		return false
 	}
 }
@@ -648,8 +658,12 @@ func (s *Switch) runSession() error {
 	}()
 	defer func() { <-proberDone }()
 
+	// One pooled read buffer serves the whole session: decoded messages do
+	// not alias it, so the read loop allocates no per-message buffers.
+	mr := openflow.NewMessageReader(conn.conn)
+	defer mr.Close()
 	for {
-		hdr, msg, err := openflow.ReadMessage(conn.conn)
+		hdr, msg, err := mr.Read()
 		if err != nil {
 			return fmt.Errorf("read: %w", err)
 		}
