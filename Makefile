@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race smoke grid-smoke fuzz-smoke bench clean
+.PHONY: ci vet build test race smoke grid-smoke fabric-smoke fuzz-smoke bench clean
 
-ci: vet build test race fuzz-smoke smoke grid-smoke
+ci: vet build test race fuzz-smoke smoke grid-smoke fabric-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +35,17 @@ grid-smoke:
 	@test -s /tmp/attain-grid-smoke/results.jsonl
 	@grep -q '"status":"ok"' /tmp/attain-grid-smoke/results.jsonl
 
+# Fabric smoke: a 50-switch leaf-spine fabric through the campaign CLI
+# under the LLDP-poisoning attack — asserts full control-plane and
+# discovery convergence plus the poisoning deviation signal (phantom
+# links in the controller's topology view).
+fabric-smoke:
+	$(GO) run ./cmd/attain-campaign -spec examples/campaign/fabric-smoke.json -out /tmp/attain-fabric-smoke
+	@test -s /tmp/attain-fabric-smoke/fabric.csv
+	@grep -q '"connected":true' /tmp/attain-fabric-smoke/results.jsonl
+	@grep -q '"discovery_converged":true' /tmp/attain-fabric-smoke/results.jsonl
+	@grep -q '"deviation":true' /tmp/attain-fabric-smoke/results.jsonl
+
 # Short fuzz pass over every Fuzz target (go's -fuzz wants exactly one
 # match per invocation, hence one line per target).
 FUZZTIME ?= 10s
@@ -56,6 +67,8 @@ bench:
 	{ $(GO) test ./internal/core/inject/ -run='^$$' -bench='BenchmarkInjector' -benchtime=$(BENCHTIME) -benchmem; \
 	  $(GO) test . -run='^$$' -bench=CampaignWorkers -benchtime=1x -benchmem; } \
 	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_msgpath.json
+	$(GO) test ./internal/topo/ -run='^$$' -bench='BenchmarkFabricBringup' -benchtime=50x -benchmem \
+	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_fabric.json
 
 clean:
-	rm -rf /tmp/attain-smoke /tmp/attain-grid-smoke
+	rm -rf /tmp/attain-smoke /tmp/attain-grid-smoke /tmp/attain-fabric-smoke

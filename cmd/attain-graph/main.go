@@ -13,6 +13,8 @@
 //	attain-graph -example interruption           # Figure 12b
 //	attain-graph -system sys.attain -kind summary
 //	attain-graph -system sys.attain -attack states.attain
+//	attain-graph -topo fattree:4                 # generated topology, DOT
+//	attain-graph -topo leafspine:4x12x2 -format json
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"attain/internal/core/lang"
 	"attain/internal/core/model"
 	"attain/internal/experiment"
+	"attain/internal/topo"
 )
 
 func main() {
@@ -38,8 +41,14 @@ func run() error {
 	kind := flag.String("kind", "", "what to render for a system: nd, nc, or summary")
 	systemPath := flag.String("system", "", "system model file to render")
 	attackPath := flag.String("attack", "", "attack states file to render as a state graph")
+	topoDesc := flag.String("topo", "", `generated topology to render, e.g. "fattree:4", "leafspine:4x12x2", "jellyfish:50x5"`)
+	topoSeed := flag.Int64("seed", 1, "generator seed for -topo")
+	format := flag.String("format", "dot", "-topo output format: dot or json")
 	flag.Parse()
 
+	if *topoDesc != "" {
+		return renderTopo(*topoDesc, *topoSeed, *format)
+	}
 	if *example != "" {
 		return renderExample(*example, *kind)
 	}
@@ -67,6 +76,28 @@ func run() error {
 		return nil
 	}
 	return renderSystem(sys, *kind)
+}
+
+// renderTopo generates a topology from its descriptor and renders it as
+// Graphviz DOT or canonical JSON.
+func renderTopo(desc string, seed int64, format string) error {
+	g, err := topo.Parse(desc, seed)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "dot":
+		fmt.Print(g.DOT())
+	case "json":
+		data, err := g.CanonicalJSON()
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+	default:
+		return fmt.Errorf("unknown -format %q (want dot or json)", format)
+	}
+	return nil
 }
 
 func renderSystem(sys *model.System, kind string) error {

@@ -30,6 +30,7 @@ import (
 	"attain/internal/experiment"
 	"attain/internal/monitor"
 	"attain/internal/switchsim"
+	"attain/internal/topo"
 )
 
 // Kind selects which paper experiment a scenario runs.
@@ -42,6 +43,10 @@ const (
 	// KindInterruption runs the §VII-C timeline (Table II access checks)
 	// under the Figure 12 attack.
 	KindInterruption Kind = "interruption"
+	// KindFabric runs a whole generated topology in one process
+	// (internal/topo) under a topology-level attack, sweeping fabric sizes
+	// from tens to 1,000+ switches.
+	KindFabric Kind = "fabric"
 )
 
 // Attack condition names for suppression-kind scenarios, materialized by
@@ -82,12 +87,15 @@ type Scenario struct {
 	Index int
 	// Name uniquely identifies the scenario within the campaign.
 	Name string
-	// Kind selects the experiment; Attack applies to suppression-kind
-	// scenarios, FailMode to interruption-kind ones.
+	// Kind selects the experiment; Attack applies to suppression- and
+	// fabric-kind scenarios, FailMode to interruption-kind ones.
 	Kind     Kind
 	Attack   string
 	Profile  controller.Profile
 	FailMode switchsim.FailMode
+	// Topology is the generator descriptor for fabric-kind scenarios
+	// (e.g. "leafspine:4x12x2", "fattree:8").
+	Topology string
 	// TimeScale speeds up the scenario's private virtual clock.
 	TimeScale int
 	// Trial numbers stochastic repeats of the same cell, from 1.
@@ -107,6 +115,7 @@ type Scenario struct {
 type Outcome struct {
 	Suppression  *experiment.SuppressionResult
 	Interruption *experiment.InterruptionResult
+	Fabric       *topo.FabricResult
 }
 
 // Status classifies how a scenario ended.
@@ -172,6 +181,18 @@ func (r *Report) InterruptionResults() []*experiment.InterruptionResult {
 	for _, res := range r.Results {
 		if res.Outcome != nil && res.Outcome.Interruption != nil {
 			out = append(out, res.Outcome.Interruption)
+		}
+	}
+	return out
+}
+
+// FabricResults returns the successful fabric outcomes in matrix order,
+// ready for WriteFabricCSV.
+func (r *Report) FabricResults() []*topo.FabricResult {
+	var out []*topo.FabricResult
+	for _, res := range r.Results {
+		if res.Outcome != nil && res.Outcome.Fabric != nil {
+			out = append(out, res.Outcome.Fabric)
 		}
 	}
 	return out

@@ -11,6 +11,7 @@ import (
 	"attain/internal/dataplane"
 	"attain/internal/experiment"
 	"attain/internal/monitor"
+	"attain/internal/topo"
 )
 
 // ExecuteFunc runs one scenario to an outcome. Implementations must be
@@ -44,6 +45,12 @@ func Execute(ctx context.Context, sc Scenario) (*Outcome, error) {
 			return nil, Infra(err)
 		}
 		return &Outcome{Interruption: res}, nil
+	case KindFabric:
+		res, err := topo.RunScenario(sc.fabricConfig())
+		if err != nil {
+			return nil, Infra(err)
+		}
+		return &Outcome{Fabric: res}, nil
 	default:
 		return nil, fmt.Errorf("campaign: unknown scenario kind %q", sc.Kind)
 	}
@@ -110,6 +117,35 @@ func (sc Scenario) interruptionConfig() experiment.InterruptionConfig {
 		EchoTimeout:     w.EchoTimeout,
 		StochasticSeed:  sc.Seed,
 		Trace:           sc.Trace,
+	}
+}
+
+// fabricConfig maps the scenario onto a topo fabric scenario. The
+// workload's Settle bounds the attack observation window.
+func (sc Scenario) fabricConfig() topo.ScenarioConfig {
+	observe := sc.Workload.Settle
+	if observe <= 0 {
+		observe = 5 * time.Second
+	}
+	return topo.ScenarioConfig{
+		Topology:  sc.Topology,
+		Profile:   sc.Profile,
+		Attack:    sc.Attack,
+		Seed:      sc.Seed,
+		TimeScale: sc.TimeScale,
+		Observe:   observe,
+		// Fast discovery pacing keeps big-fabric sweeps tractable; the
+		// poison attack rides the echo heartbeat, so keep it brisk too.
+		// Note the intervals are virtual time: at high TimeScale their
+		// wall-clock load multiplies, so sweep 500+ switch fabrics at
+		// low scale (the convergence metrics are virtual either way).
+		ProbeInterval: 100 * time.Millisecond,
+		EchoInterval:  250 * time.Millisecond,
+		// Thousand-switch bring-up bursts thousands of handshakes through
+		// one process; give convergence more wall headroom than the
+		// 30s default (the runner's scenario deadline still applies).
+		ConnectTimeout:  2 * time.Minute,
+		DiscoverTimeout: 2 * time.Minute,
 	}
 }
 

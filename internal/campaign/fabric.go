@@ -1,0 +1,48 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"attain/internal/topo"
+)
+
+// WriteFabricCSV renders fabric-kind outcomes as CSV, one row per
+// scenario in matrix order: topology shape, per-size convergence
+// latencies (virtual milliseconds), the discovery audit, and the attack
+// deviation verdict. Plotting connect_ms/discover_ms against switches
+// gives the fabric-scale convergence curve.
+func WriteFabricCSV(w io.Writer, results []*topo.FabricResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"topology", "profile", "attack", "switches", "links", "hosts",
+		"connect_ms", "discover_ms", "discovered", "phantom", "missing",
+		"port_status_events", "flaps", "deviation",
+	}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{
+			r.Topology,
+			r.Profile,
+			r.Attack,
+			strconv.Itoa(r.Switches),
+			strconv.Itoa(r.Links),
+			strconv.Itoa(r.Hosts),
+			strconv.FormatFloat(r.ConnectMS, 'f', 3, 64),
+			strconv.FormatFloat(r.DiscoverMS, 'f', 3, 64),
+			strconv.Itoa(r.DiscoveredLinks),
+			strconv.Itoa(r.PhantomLinks),
+			strconv.Itoa(r.MissingLinks),
+			strconv.FormatUint(r.PortStatusEvents, 10),
+			strconv.Itoa(r.FlapsApplied),
+			strconv.FormatBool(r.Deviation),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,164 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/topo"
+)
+
+func TestMatrixFabricExpansion(t *testing.T) {
+	m := Matrix{
+		Kinds:         []Kind{KindFabric},
+		Profiles:      []controller.Profile{controller.ProfileFloodlight},
+		Topologies:    []string{"linear:3x1", "ring:4x1"},
+		FabricAttacks: []string{topo.AttackBaseline, topo.AttackLLDPPoison},
+		Seed:          1,
+	}
+	scenarios := m.Expand()
+	if len(scenarios) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4", len(scenarios))
+	}
+	want := []string{
+		"fabric/floodlight/linear:3x1/baseline#1",
+		"fabric/floodlight/linear:3x1/lldp-poison#1",
+		"fabric/floodlight/ring:4x1/baseline#1",
+		"fabric/floodlight/ring:4x1/lldp-poison#1",
+	}
+	for i, sc := range scenarios {
+		if sc.Name != want[i] {
+			t.Errorf("scenario %d = %q, want %q", i, sc.Name, want[i])
+		}
+		if sc.Topology == "" || sc.Kind != KindFabric {
+			t.Errorf("scenario %d missing fabric coordinates: %+v", i, sc)
+		}
+		if sc.Seed == 0 {
+			t.Errorf("scenario %d has zero seed", i)
+		}
+	}
+}
+
+func TestSpecFabricAxes(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "fabric-sweep",
+		"kinds": ["fabric"],
+		"profiles": ["floodlight"],
+		"topologies": ["leafspine:2x3x1", "fattree:4"],
+		"fabric_attacks": ["baseline", "lldp-poison", "link-flap", "fingerprint"]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Topologies) != 2 || len(m.FabricAttacks) != 4 {
+		t.Fatalf("axes = %d topologies, %d attacks", len(m.Topologies), len(m.FabricAttacks))
+	}
+	if got := len(m.Expand()); got != 8 {
+		t.Fatalf("expanded %d scenarios, want 8", got)
+	}
+
+	if _, err := (&Spec{Topologies: []string{"donut:9"}}).Matrix(); err == nil {
+		t.Error("bad topology descriptor accepted")
+	}
+	if _, err := (&Spec{FabricAttacks: []string{"teleport"}}).Matrix(); err == nil {
+		t.Error("bad fabric attack accepted")
+	}
+}
+
+func TestWriteFabricCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteFabricCSV(&buf, []*topo.FabricResult{{
+		Topology: "linear:3x1", Profile: "floodlight", Attack: "lldp-poison",
+		Switches: 3, Links: 2, Hosts: 3,
+		ConnectMS: 1.5, DiscoverMS: 20.25,
+		DiscoveredLinks: 4, PhantomLinks: 2,
+		Deviation: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "topology,profile,attack,switches") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "lldp-poison") || !strings.Contains(lines[1], "true") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestFabricCampaignEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fabrics in -short mode")
+	}
+	m := Matrix{
+		Kinds:         []Kind{KindFabric},
+		Profiles:      []controller.Profile{controller.ProfileFloodlight},
+		Topologies:    []string{"linear:3x1", "leafspine:2x3x1"},
+		FabricAttacks: []string{topo.AttackBaseline, topo.AttackLLDPPoison},
+		TimeScale:     10,
+		Seed:          7,
+		Workload:      Workload{Settle: 500 * time.Millisecond},
+	}
+	scenarios := m.Expand()
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(RunnerConfig{
+		Workers: 2,
+		Timeout: 2 * time.Minute,
+		Retries: 1,
+		Store:   store,
+	})
+	report, err := r.Run(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := report.Failed(); len(failed) != 0 {
+		t.Fatalf("failures: %s", report.Summary())
+	}
+
+	results := report.FabricResults()
+	if len(results) != 4 {
+		t.Fatalf("fabric outcomes = %d, want 4", len(results))
+	}
+	for _, res := range results {
+		if !res.Connected || !res.DiscoveryConverged {
+			t.Errorf("%s/%s did not converge: %+v", res.Topology, res.Attack, res)
+		}
+		switch res.Attack {
+		case topo.AttackBaseline:
+			if res.Deviation {
+				t.Errorf("%s baseline deviated: %+v", res.Topology, res)
+			}
+		case topo.AttackLLDPPoison:
+			// The acceptance signal: poisoning visibly corrupts the
+			// controller's topology view at fabric scale.
+			if !res.Deviation || res.PhantomLinks == 0 {
+				t.Errorf("%s poison produced no phantom links: %+v", res.Topology, res)
+			}
+		}
+	}
+
+	data, err := os.ReadFile(filepath.Join(dir, FabricFile))
+	if err != nil {
+		t.Fatalf("fabric.csv missing: %v", err)
+	}
+	rows := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(rows) != 5 { // header + 4 scenarios
+		t.Fatalf("fabric.csv rows = %d, want 5:\n%s", len(rows), data)
+	}
+}

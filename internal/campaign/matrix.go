@@ -7,6 +7,7 @@ import (
 
 	"attain/internal/controller"
 	"attain/internal/switchsim"
+	"attain/internal/topo"
 )
 
 // Matrix describes a campaign as axes whose cross-product Expand turns
@@ -22,6 +23,13 @@ type Matrix struct {
 	Attacks []string
 	// FailModes defaults to {fail-safe, fail-secure} — the Table II pair.
 	FailModes []switchsim.FailMode
+	// Topologies is the fabric-kind sweep axis: generator descriptors in
+	// ascending size ("linear:10", ..., "fattree:16"). Defaults to a small
+	// three-point leaf-spine sweep.
+	Topologies []string
+	// FabricAttacks is the fabric-kind attack axis; defaults to
+	// {baseline, lldp-poison}.
+	FabricAttacks []string
 	// TimeScale applies to every scenario (0 = paper real time).
 	TimeScale int
 	// Trials repeats every cell with the same derived seed axis (≥1).
@@ -64,6 +72,14 @@ func (m Matrix) Expand() []Scenario {
 	if trials < 1 {
 		trials = 1
 	}
+	topologies := m.Topologies
+	if len(topologies) == 0 {
+		topologies = []string{"leafspine:2x3x1", "leafspine:3x6x1", "leafspine:4x12x1"}
+	}
+	fabricAttacks := m.FabricAttacks
+	if len(fabricAttacks) == 0 {
+		fabricAttacks = []string{topo.AttackBaseline, topo.AttackLLDPPoison}
+	}
 
 	var out []Scenario
 	add := func(sc Scenario) {
@@ -82,6 +98,15 @@ func (m Matrix) Expand() []Scenario {
 				for _, mode := range failModes {
 					for trial := 1; trial <= trials; trial++ {
 						add(Scenario{Kind: kind, Profile: profile, FailMode: mode, Trial: trial})
+					}
+				}
+			case KindFabric:
+				for _, topology := range topologies {
+					for _, attack := range fabricAttacks {
+						for trial := 1; trial <= trials; trial++ {
+							add(Scenario{Kind: kind, Profile: profile, Topology: topology,
+								Attack: attack, Trial: trial})
+						}
 					}
 				}
 			default:
@@ -104,6 +129,9 @@ func scenarioName(sc Scenario) string {
 	axis := sc.Attack
 	if sc.Kind == KindInterruption {
 		axis = "fail-" + sc.FailMode.String()
+	}
+	if sc.Kind == KindFabric {
+		return fmt.Sprintf("%s/%s/%s/%s#%d", sc.Kind, sc.Profile, sc.Topology, axis, sc.Trial)
 	}
 	return fmt.Sprintf("%s/%s/%s#%d", sc.Kind, sc.Profile, axis, sc.Trial)
 }

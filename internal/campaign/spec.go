@@ -9,6 +9,7 @@ import (
 
 	"attain/internal/controller"
 	"attain/internal/switchsim"
+	"attain/internal/topo"
 )
 
 // Spec is the JSON campaign description accepted by cmd/attain-campaign.
@@ -35,6 +36,12 @@ type Spec struct {
 	Profiles  []string `json:"profiles,omitempty"`
 	Attacks   []string `json:"attacks,omitempty"`
 	FailModes []string `json:"fail_modes,omitempty"`
+	// Topologies and FabricAttacks are the fabric-kind axes: generator
+	// descriptors ("leafspine:4x12x2", "fattree:8", ...) crossed with
+	// topology-level attacks (baseline, lldp-poison, link-flap,
+	// fingerprint).
+	Topologies    []string `json:"topologies,omitempty"`
+	FabricAttacks []string `json:"fabric_attacks,omitempty"`
 	TimeScale int      `json:"time_scale,omitempty"`
 	Trials    int      `json:"trials,omitempty"`
 	Seed      int64    `json:"seed,omitempty"`
@@ -143,6 +150,29 @@ func (s *Spec) Matrix() (Matrix, error) {
 		}
 		m.FailModes = append(m.FailModes, mode)
 	}
+	for _, desc := range s.Topologies {
+		// Validate eagerly with the campaign seed so typos fail at spec
+		// load, not mid-campaign (descriptor grammar errors are
+		// seed-independent).
+		if _, err := topo.Parse(desc, s.Seed); err != nil {
+			return Matrix{}, err
+		}
+		m.Topologies = append(m.Topologies, desc)
+	}
+	for _, name := range s.FabricAttacks {
+		ok := false
+		for _, known := range topo.FabricAttackNames() {
+			if name == known {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return Matrix{}, fmt.Errorf("campaign: unknown fabric attack %q (want %v)",
+				name, topo.FabricAttackNames())
+		}
+		m.FabricAttacks = append(m.FabricAttacks, name)
+	}
 	return m, nil
 }
 
@@ -159,10 +189,10 @@ func (s *Spec) RunnerConfig() RunnerConfig {
 // ParseKind resolves a spec kind name.
 func ParseKind(name string) (Kind, error) {
 	switch Kind(name) {
-	case KindSuppression, KindInterruption:
+	case KindSuppression, KindInterruption, KindFabric:
 		return Kind(name), nil
 	default:
-		return "", fmt.Errorf("campaign: unknown kind %q (want suppression or interruption)", name)
+		return "", fmt.Errorf("campaign: unknown kind %q (want suppression, interruption, or fabric)", name)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"attain/internal/experiment"
 	"attain/internal/monitor"
+	"attain/internal/topo"
 )
 
 // Artifact file names written under the store directory.
@@ -21,6 +22,9 @@ const (
 	ResultsFile = "results.jsonl"
 	Fig11File   = "fig11.csv"
 	TableIIFile = "table2.csv"
+	// FabricFile aggregates fabric-kind scenarios: per-size convergence
+	// latency and attack-deviation columns.
+	FabricFile  = "fabric.csv"
 	SummaryFile = "summary.txt"
 	// TracesDir holds per-scenario telemetry traces (scenarios run with
 	// Trace enabled), one JSONL file per scenario.
@@ -219,6 +223,11 @@ func (s *Store) Finish(report *Report) error {
 			return experiment.WriteTableIICSV(f, inter)
 		})
 	}
+	if fabric := report.FabricResults(); len(fabric) > 0 {
+		writeFile(FabricFile, func(f *os.File) error {
+			return WriteFabricCSV(f, fabric)
+		})
+	}
 	writeFile(SummaryFile, func(f *os.File) error {
 		_, err := f.WriteString(report.Summary())
 		return err
@@ -294,8 +303,12 @@ type Record struct {
 	StartedAt  string  `json:"started_at"`
 	DurationMS float64 `json:"duration_ms"`
 
+	// Topology is the generator descriptor for fabric-kind scenarios.
+	Topology string `json:"topology,omitempty"`
+
 	Suppression  *SuppressionRecord  `json:"suppression,omitempty"`
 	Interruption *InterruptionRecord `json:"interruption,omitempty"`
+	Fabric       *topo.FabricResult  `json:"fabric,omitempty"`
 	// TraceFile is the store-relative path of the scenario's telemetry
 	// trace, when the scenario ran with Trace enabled.
 	TraceFile string `json:"trace_file,omitempty"`
@@ -342,9 +355,13 @@ func newRecord(res ScenarioResult) Record {
 	if sc.Kind == KindInterruption {
 		rec.FailMode = sc.FailMode.String()
 	}
+	if sc.Kind == KindFabric {
+		rec.Topology = sc.Topology
+	}
 	if res.Outcome == nil {
 		return rec
 	}
+	rec.Fabric = res.Outcome.Fabric
 	if r := res.Outcome.Suppression; r != nil {
 		rec.Suppression = &SuppressionRecord{
 			ThroughputMbps:  r.Iperf.ThroughputSummary(),

@@ -36,6 +36,13 @@ type ConnHook interface {
 	SwitchDown(sw *SwitchConn)
 }
 
+// StatusHook is an optional App extension notified of PORT_STATUS events.
+// Topology discovery uses it to react to link churn.
+type StatusHook interface {
+	// PortStatus handles one PORT_STATUS from a connected switch.
+	PortStatus(sw *SwitchConn, ps *openflow.PortStatus)
+}
+
 // Config describes a controller instance.
 type Config struct {
 	// Name is a human-readable identifier, e.g. "c1".
@@ -346,7 +353,11 @@ func (c *Controller) dispatch(sw *SwitchConn, hdr openflow.Header, msg openflow.
 		if c.cfg.SingleThreaded {
 			c.eventMu.Unlock()
 		}
-	case *openflow.FlowRemoved, *openflow.PortStatus, *openflow.ErrorMsg,
+	case *openflow.PortStatus:
+		if hook, ok := c.cfg.App.(StatusHook); ok {
+			hook.PortStatus(sw, m)
+		}
+	case *openflow.FlowRemoved, *openflow.ErrorMsg,
 		*openflow.EchoReply, *openflow.BarrierReply, *openflow.StatsReply,
 		*openflow.GetConfigReply:
 		// Accepted and ignored by the base framework.

@@ -439,7 +439,7 @@ func (ex *executor) modify(act lang.Action, ev *event, view *lang.MessageView, e
 		})
 		return out
 	case lang.InjectMessage:
-		msg, err := buildTemplate(a.Template)
+		msg, err := ex.inj.buildTemplate(a.Template)
 		if err != nil {
 			logErr("%v", err)
 			return out

@@ -59,6 +59,11 @@ type Config struct {
 	// later messages can overtake a delayed one — for pipeline liveness,
 	// the §VIII-C consistency/latency trade-off in miniature.
 	AsyncDelays bool
+	// Templates adds per-instance message templates consulted by
+	// INJECTNEWMESSAGE actions before the global vocabulary. Fabric-level
+	// attacks use this to register crafted frames (e.g. a poisoned LLDP
+	// PACKET_IN) scoped to one experiment.
+	Templates map[string]func() openflow.Message
 	// LeanLog skips the per-message log event (and its formatted detail
 	// string) on the hot path while keeping counters and per-type message
 	// counts exact. Rule, state, error, and session events are always

@@ -28,13 +28,24 @@ var messageTemplates = map[string]func() openflow.Message{
 	},
 }
 
-// buildTemplate constructs a named template message.
+// buildTemplate constructs a message from the global template vocabulary.
 func buildTemplate(name string) (openflow.Message, error) {
 	fn, ok := messageTemplates[name]
 	if !ok {
 		return nil, fmt.Errorf("inject: unknown message template %q", name)
 	}
 	return fn(), nil
+}
+
+// buildTemplate constructs a named template message, consulting the
+// injector's per-instance templates (Config.Templates) before the global
+// vocabulary. Fabric-level attacks register crafted frames — e.g. a
+// poisoned LLDP PACKET_IN — without widening the global namespace.
+func (inj *Injector) buildTemplate(name string) (openflow.Message, error) {
+	if fn, ok := inj.cfg.Templates[name]; ok {
+		return fn(), nil
+	}
+	return buildTemplate(name)
 }
 
 // TemplateNames lists the known injection templates (for documentation and

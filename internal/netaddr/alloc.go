@@ -1,0 +1,165 @@
+package netaddr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is returned by the allocators when their address space (or
+// configured limit) is used up.
+var ErrExhausted = errors.New("netaddr: address space exhausted")
+
+// splitmix64 advances a splitmix64 state and returns the next value in the
+// stream. It is the standard 64-bit mixing generator: every seed yields a
+// full-period, well-distributed sequence, so allocators derived from
+// different seeds hand out disjoint-looking blocks deterministically.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DefaultDPIDLimit caps a DPIDAllocator when no explicit limit is set.
+// 2^20 datapaths is far beyond any single-process fabric.
+const DefaultDPIDLimit = 1 << 20
+
+// DPIDAllocator hands out unique, non-zero OpenFlow datapath ids from a
+// seeded deterministic stream. The same seed always yields the same DPID
+// sequence, and every returned id is collision-checked against the set
+// already handed out (including ids registered with Reserve), so topology
+// generators never produce duplicate datapaths.
+type DPIDAllocator struct {
+	state uint64
+	used  map[uint64]struct{}
+	limit int
+}
+
+// NewDPIDAllocator returns an allocator whose sequence is determined by
+// seed. limit caps the number of allocations; 0 means DefaultDPIDLimit.
+func NewDPIDAllocator(seed int64, limit int) *DPIDAllocator {
+	if limit <= 0 {
+		limit = DefaultDPIDLimit
+	}
+	return &DPIDAllocator{
+		state: uint64(seed) ^ 0xd1b54a32d192ed03,
+		used:  make(map[uint64]struct{}),
+		limit: limit,
+	}
+}
+
+// Reserve marks a DPID as taken so Alloc never returns it. Reserving an
+// already-reserved id is a no-op. Reserved ids count against the limit.
+func (a *DPIDAllocator) Reserve(dpid uint64) {
+	a.used[dpid] = struct{}{}
+}
+
+// Alloc returns the next unique DPID, masked to 48 bits (the conventional
+// MAC-derived datapath range) and never zero. It fails with ErrExhausted
+// once the allocator's limit is reached.
+func (a *DPIDAllocator) Alloc() (uint64, error) {
+	if len(a.used) >= a.limit {
+		return 0, fmt.Errorf("%w: %d DPIDs allocated", ErrExhausted, len(a.used))
+	}
+	for {
+		id := splitmix64(&a.state) & 0xffff_ffff_ffff
+		if id == 0 {
+			continue
+		}
+		if _, dup := a.used[id]; dup {
+			continue
+		}
+		a.used[id] = struct{}{}
+		return id, nil
+	}
+}
+
+// Allocated reports how many ids (allocated plus reserved) are in use.
+func (a *DPIDAllocator) Allocated() int { return len(a.used) }
+
+// macBlockSize is the per-block MAC space: the low 3 octets, giving 2^24
+// addresses per seeded block.
+const macBlockSize = 1 << 24
+
+// MACAllocator hands out unique unicast MAC addresses from a seeded
+// locally-administered block. The top three octets are derived from the
+// seed (with the locally-administered bit set and the multicast bit
+// clear), the low three count up, so one allocator covers 2^24 hosts and
+// two allocators with different seeds draw from different blocks. Every
+// address is collision-checked against Reserve'd ones.
+type MACAllocator struct {
+	prefix [3]byte
+	next   uint32
+	space  uint32
+	used   map[MAC]struct{}
+}
+
+// NewMACAllocator returns a MAC allocator for the seed's block.
+func NewMACAllocator(seed int64) *MACAllocator {
+	state := uint64(seed) ^ 0x9492bca84b0bd7b5
+	v := splitmix64(&state)
+	return &MACAllocator{
+		// Locally administered (bit 1 set), unicast (bit 0 clear).
+		prefix: [3]byte{byte(v)&0xfe | 0x02, byte(v >> 8), byte(v >> 16)},
+		space:  macBlockSize,
+		used:   make(map[MAC]struct{}),
+	}
+}
+
+// Reserve marks an address as taken so Alloc never returns it.
+func (a *MACAllocator) Reserve(m MAC) {
+	a.used[m] = struct{}{}
+}
+
+// Alloc returns the next unique MAC in the block, failing with
+// ErrExhausted when the block's 2^24 addresses are used up.
+func (a *MACAllocator) Alloc() (MAC, error) {
+	for a.next < a.space {
+		n := a.next
+		a.next++
+		m := MAC{a.prefix[0], a.prefix[1], a.prefix[2], byte(n >> 16), byte(n >> 8), byte(n)}
+		if _, dup := a.used[m]; dup {
+			continue
+		}
+		a.used[m] = struct{}{}
+		return m, nil
+	}
+	return MAC{}, fmt.Errorf("%w: MAC block %02x:%02x:%02x used up",
+		ErrExhausted, a.prefix[0], a.prefix[1], a.prefix[2])
+}
+
+// Allocated reports how many addresses (allocated plus reserved) are in
+// use.
+func (a *MACAllocator) Allocated() int { return len(a.used) }
+
+// IPv4Allocator hands out sequential host addresses from a /8-style pool
+// starting at base, skipping .0 and .255 host octets so every address is a
+// plain unicast host address. The zero value is not usable; construct with
+// NewIPv4Allocator.
+type IPv4Allocator struct {
+	next uint32
+	end  uint32
+}
+
+// NewIPv4Allocator returns an allocator that walks base+1, base+2, ...
+// within base's /8.
+func NewIPv4Allocator(base IPv4) *IPv4Allocator {
+	start := base.Uint32()
+	return &IPv4Allocator{next: start + 1, end: (start | 0x00ff_ffff) - 1}
+}
+
+// Alloc returns the next host address, failing with ErrExhausted at the
+// end of the pool.
+func (a *IPv4Allocator) Alloc() (IPv4, error) {
+	for a.next <= a.end {
+		v := a.next
+		a.next++
+		low := byte(v)
+		if low == 0 || low == 255 {
+			continue
+		}
+		return IPv4FromUint32(v), nil
+	}
+	return IPv4{}, fmt.Errorf("%w: IPv4 pool used up", ErrExhausted)
+}

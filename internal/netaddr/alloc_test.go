@@ -1,0 +1,166 @@
+package netaddr
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDPIDAllocatorDeterministicAndUnique(t *testing.T) {
+	a := NewDPIDAllocator(42, 0)
+	b := NewDPIDAllocator(42, 0)
+	seen := make(map[uint64]struct{})
+	for i := 0; i < 10_000; i++ {
+		ida, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		idb, err := b.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if ida != idb {
+			t.Fatalf("same seed diverged at %d: %#x vs %#x", i, ida, idb)
+		}
+		if ida == 0 {
+			t.Fatalf("allocated zero DPID at %d", i)
+		}
+		if ida>>48 != 0 {
+			t.Fatalf("DPID %#x exceeds 48 bits", ida)
+		}
+		if _, dup := seen[ida]; dup {
+			t.Fatalf("duplicate DPID %#x at %d", ida, i)
+		}
+		seen[ida] = struct{}{}
+	}
+	if a.Allocated() != 10_000 {
+		t.Fatalf("Allocated = %d, want 10000", a.Allocated())
+	}
+}
+
+func TestDPIDAllocatorSeedsDiffer(t *testing.T) {
+	a, _ := NewDPIDAllocator(1, 0).Alloc()
+	b, _ := NewDPIDAllocator(2, 0).Alloc()
+	if a == b {
+		t.Fatalf("seeds 1 and 2 produced the same first DPID %#x", a)
+	}
+}
+
+func TestDPIDAllocatorReserveExcludes(t *testing.T) {
+	probe := NewDPIDAllocator(7, 0)
+	first, _ := probe.Alloc()
+
+	a := NewDPIDAllocator(7, 0)
+	a.Reserve(first)
+	got, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == first {
+		t.Fatalf("Alloc returned reserved DPID %#x", first)
+	}
+}
+
+func TestDPIDAllocatorExhaustion(t *testing.T) {
+	a := NewDPIDAllocator(3, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := a.Alloc(); err != nil {
+			t.Fatalf("alloc %d failed before limit: %v", i, err)
+		}
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted past limit, got %v", err)
+	}
+}
+
+func TestMACAllocatorUniqueUnicastLocal(t *testing.T) {
+	a := NewMACAllocator(42)
+	b := NewMACAllocator(42)
+	seen := make(map[MAC]struct{})
+	for i := 0; i < 10_000; i++ {
+		ma, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		mb, _ := b.Alloc()
+		if ma != mb {
+			t.Fatalf("same seed diverged at %d: %s vs %s", i, ma, mb)
+		}
+		if ma[0]&0x01 != 0 {
+			t.Fatalf("multicast bit set on %s", ma)
+		}
+		if ma[0]&0x02 == 0 {
+			t.Fatalf("locally-administered bit clear on %s", ma)
+		}
+		if _, dup := seen[ma]; dup {
+			t.Fatalf("duplicate MAC %s at %d", ma, i)
+		}
+		seen[ma] = struct{}{}
+	}
+}
+
+func TestMACAllocatorBlocksDisjointPrefix(t *testing.T) {
+	a, _ := NewMACAllocator(1).Alloc()
+	b, _ := NewMACAllocator(2).Alloc()
+	if a[0] == b[0] && a[1] == b[1] && a[2] == b[2] {
+		t.Fatalf("seeds 1 and 2 landed in the same block: %s vs %s", a, b)
+	}
+}
+
+func TestMACAllocatorReserveAndExhaustion(t *testing.T) {
+	a := NewMACAllocator(9)
+	a.space = 4 // shrink the block to make exhaustion testable
+	first := MAC{a.prefix[0], a.prefix[1], a.prefix[2], 0, 0, 0}
+	a.Reserve(first)
+	for i := 0; i < 3; i++ {
+		m, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+		if m == first {
+			t.Fatalf("Alloc returned reserved MAC %s", m)
+		}
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+}
+
+func TestIPv4Allocator(t *testing.T) {
+	a := NewIPv4Allocator(IPv4{10, 0, 0, 0})
+	got, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != (IPv4{10, 0, 0, 1}) {
+		t.Fatalf("first = %s, want 10.0.0.1", got)
+	}
+	// Walk across the .255/.0 boundary: addresses 10.0.0.2 .. 10.0.1.2
+	// skip 10.0.0.255 and 10.0.1.0.
+	var prev IPv4 = got
+	for i := 0; i < 256; i++ {
+		ip, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ip[3] == 0 || ip[3] == 255 {
+			t.Fatalf("allocated network/broadcast-style address %s", ip)
+		}
+		if ip.Uint32() <= prev.Uint32() {
+			t.Fatalf("non-increasing allocation %s after %s", ip, prev)
+		}
+		prev = ip
+	}
+}
+
+func TestIPv4AllocatorExhaustion(t *testing.T) {
+	a := NewIPv4Allocator(IPv4{10, 0, 0, 0})
+	a.end = a.next + 2
+	for {
+		if _, err := a.Alloc(); err != nil {
+			if !errors.Is(err, ErrExhausted) {
+				t.Fatalf("want ErrExhausted, got %v", err)
+			}
+			return
+		}
+	}
+}

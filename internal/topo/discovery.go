@@ -1,0 +1,217 @@
+package topo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"attain/internal/controller"
+	"attain/internal/dataplane"
+	"attain/internal/netaddr"
+	"attain/internal/openflow"
+	"attain/internal/telemetry"
+)
+
+// EtherTypeLLDP is the IEEE 802.1AB link-layer discovery EtherType.
+const EtherTypeLLDP uint16 = 0x88cc
+
+// lldpMulticast is the nearest-bridge LLDP destination address.
+var lldpMulticast = netaddr.MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
+
+// lldpTTL is the advertised neighbor lifetime in seconds.
+const lldpTTL = 120
+
+// MarshalLLDP builds an LLDP frame advertising (dpid, port): chassis-id
+// TLV (locally-assigned, 8-byte big-endian DPID), port-id TLV
+// (locally-assigned, 2-byte port), and TTL TLV — the minimal mandatory
+// set controllers key discovery on.
+func MarshalLLDP(dpid uint64, port uint16, src netaddr.MAC) []byte {
+	tlv := func(b []byte, typ uint8, val []byte) []byte {
+		b = binary.BigEndian.AppendUint16(b, uint16(typ)<<9|uint16(len(val)))
+		return append(b, val...)
+	}
+	var chassis [9]byte
+	chassis[0] = 7 // subtype: locally assigned
+	binary.BigEndian.PutUint64(chassis[1:], dpid)
+	var portID [3]byte
+	portID[0] = 7
+	binary.BigEndian.PutUint16(portID[1:], port)
+
+	payload := make([]byte, 0, 24)
+	payload = tlv(payload, 1, chassis[:])
+	payload = tlv(payload, 2, portID[:])
+	payload = tlv(payload, 3, []byte{0, lldpTTL})
+	payload = tlv(payload, 0, nil) // end of LLDPDU
+	eth := dataplane.Ethernet{Dst: lldpMulticast, Src: src, EtherType: EtherTypeLLDP, Payload: payload}
+	return eth.Marshal()
+}
+
+// UnmarshalLLDP extracts the advertised (dpid, port) from an LLDP frame
+// built by MarshalLLDP (or any frame using the same locally-assigned
+// subtypes). ok is false for non-LLDP or malformed frames.
+func UnmarshalLLDP(frame []byte) (dpid uint64, port uint16, ok bool) {
+	eth, err := dataplane.UnmarshalEthernet(frame)
+	if err != nil || eth.EtherType != EtherTypeLLDP {
+		return 0, 0, false
+	}
+	b := eth.Payload
+	var haveChassis, havePort bool
+	for len(b) >= 2 {
+		hdr := binary.BigEndian.Uint16(b[:2])
+		typ, n := uint8(hdr>>9), int(hdr&0x1ff)
+		b = b[2:]
+		if len(b) < n {
+			return 0, 0, false
+		}
+		val := b[:n]
+		b = b[n:]
+		switch typ {
+		case 0:
+			return dpid, port, haveChassis && havePort
+		case 1:
+			if n == 9 && val[0] == 7 {
+				dpid = binary.BigEndian.Uint64(val[1:])
+				haveChassis = true
+			}
+		case 2:
+			if n == 3 && val[0] == 7 {
+				port = binary.BigEndian.Uint16(val[1:])
+				havePort = true
+			}
+		}
+	}
+	return dpid, port, haveChassis && havePort
+}
+
+// DiscLink is one directed adjacency learned from an LLDP PACKET_IN: the
+// advertised source endpoint and the (switch, port) the frame arrived on.
+type DiscLink struct {
+	SrcDPID uint64
+	SrcPort uint16
+	DstDPID uint64
+	DstPort uint16
+}
+
+func (l DiscLink) String() string {
+	return fmt.Sprintf("%#x:%d->%#x:%d", l.SrcDPID, l.SrcPort, l.DstDPID, l.DstPort)
+}
+
+// Discovery wraps a controller application with LLDP topology discovery:
+// LLDP PACKET_INs are consumed into a link table (the fabric's probe loop
+// originates the frames via PACKET_OUT), everything else passes through to
+// the wrapped profile. It also counts PORT_STATUS churn via the
+// controller's StatusHook extension.
+type Discovery struct {
+	inner controller.App
+	tel   *telemetry.Telemetry
+
+	mu         sync.Mutex
+	links      map[DiscLink]struct{}
+	portEvents uint64
+}
+
+// NewDiscovery wraps app with discovery.
+func NewDiscovery(app controller.App, tel *telemetry.Telemetry) *Discovery {
+	return &Discovery{inner: app, tel: tel, links: make(map[DiscLink]struct{})}
+}
+
+// Name identifies the wrapped profile plus the discovery layer.
+func (d *Discovery) Name() string { return d.inner.Name() + "+discovery" }
+
+// PacketIn consumes LLDP frames into the link table and delegates the
+// rest to the wrapped application.
+func (d *Discovery) PacketIn(sw *controller.SwitchConn, pi *openflow.PacketIn) {
+	if dpid, port, ok := UnmarshalLLDP(pi.Data); ok {
+		link := DiscLink{SrcDPID: dpid, SrcPort: port, DstDPID: sw.DPID(), DstPort: pi.InPort}
+		d.mu.Lock()
+		_, known := d.links[link]
+		if !known {
+			d.links[link] = struct{}{}
+		}
+		d.mu.Unlock()
+		if !known {
+			d.tel.Emit(telemetry.Event{
+				Layer: telemetry.LayerFabric, Kind: telemetry.KindLink,
+				Node: fmt.Sprintf("%#x", sw.DPID()), Detail: "discovered " + link.String(),
+			})
+		}
+		return
+	}
+	d.inner.PacketIn(sw, pi)
+}
+
+// SwitchUp delegates to the wrapped application.
+func (d *Discovery) SwitchUp(sw *controller.SwitchConn) {
+	if hook, ok := d.inner.(controller.ConnHook); ok {
+		hook.SwitchUp(sw)
+	}
+}
+
+// SwitchDown delegates to the wrapped application.
+func (d *Discovery) SwitchDown(sw *controller.SwitchConn) {
+	if hook, ok := d.inner.(controller.ConnHook); ok {
+		hook.SwitchDown(sw)
+	}
+}
+
+// PortStatus counts link churn observed by the controller.
+func (d *Discovery) PortStatus(sw *controller.SwitchConn, ps *openflow.PortStatus) {
+	d.mu.Lock()
+	d.portEvents++
+	d.mu.Unlock()
+	d.tel.Counter("fabric.port_status").Inc()
+	if hook, ok := d.inner.(controller.StatusHook); ok {
+		hook.PortStatus(sw, ps)
+	}
+}
+
+// Links snapshots the learned directed adjacencies.
+func (d *Discovery) Links() []DiscLink {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]DiscLink, 0, len(d.links))
+	for l := range d.links {
+		out = append(out, l)
+	}
+	return out
+}
+
+// LinkCount returns the number of learned directed adjacencies.
+func (d *Discovery) LinkCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.links)
+}
+
+// PortStatusEvents returns the PORT_STATUS messages seen.
+func (d *Discovery) PortStatusEvents() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.portEvents
+}
+
+// Audit compares the learned adjacencies against the ground-truth graph.
+// Every graph link should be discovered in both directions; anything else
+// in the table is a phantom (the LLDP-poisoning detection signal).
+func (d *Discovery) Audit(g *Graph) (discovered, phantom, missing int) {
+	truth := make(map[DiscLink]struct{}, 2*len(g.Links))
+	dpid := make(map[string]uint64, len(g.Switches))
+	for _, sw := range g.Switches {
+		dpid[sw.Name] = sw.DPID
+	}
+	for _, l := range g.Links {
+		truth[DiscLink{dpid[l.A.Switch], l.A.Port, dpid[l.B.Switch], l.B.Port}] = struct{}{}
+		truth[DiscLink{dpid[l.B.Switch], l.B.Port, dpid[l.A.Switch], l.A.Port}] = struct{}{}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for l := range d.links {
+		if _, ok := truth[l]; ok {
+			discovered++
+		} else {
+			phantom++
+		}
+	}
+	missing = len(truth) - discovered
+	return discovered, phantom, missing
+}

@@ -1,0 +1,430 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/controller"
+	"attain/internal/core/inject"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+	"attain/internal/switchsim"
+	"attain/internal/telemetry"
+)
+
+// LinkMode selects how data-plane links are realized.
+type LinkMode int
+
+const (
+	// LinkAuto uses netem links for small fabrics and direct delivery
+	// beyond DirectThreshold switches.
+	LinkAuto LinkMode = iota
+	// LinkNetem wires every link through a netem.Link, honouring the
+	// graph's latency/bandwidth/loss profiles.
+	LinkNetem
+	// LinkDirect delivers frames synchronously between switches, ignoring
+	// link profiles. Cheapest per link; the right choice for 1,000-switch
+	// sweeps where control-plane behaviour, not data-plane timing, is
+	// under test.
+	LinkDirect
+)
+
+// DirectThreshold is the switch count at which LinkAuto switches from
+// netem links to direct delivery.
+const DirectThreshold = 200
+
+// FabricConfig describes one fabric instantiation.
+type FabricConfig struct {
+	// Graph is the validated topology to instantiate.
+	Graph *Graph
+	// Profile selects the controller implementation under test.
+	Profile controller.Profile
+	// Clock drives every component; defaults to the real clock.
+	Clock clock.Clock
+	// Transport supplies the control plane; defaults to a fresh
+	// MemTransport.
+	Transport netem.Transport
+	// Telemetry, when non-nil, receives fabric bring-up/convergence events
+	// plus the per-component streams of every switch, the controller, and
+	// the injector.
+	Telemetry *telemetry.Telemetry
+	// Attack, when non-nil, interposes the injector on every control
+	// channel running this attack description. Nil connects switches to
+	// the controller directly (baseline).
+	Attack *lang.Attack
+	// Attacker is the capability model for Attack; defaults to full
+	// capabilities on every connection when Attack is set.
+	Attacker *model.AttackerModel
+	// Templates adds per-experiment injection templates (e.g. the
+	// poisoned-LLDP PACKET_IN) to the injector's vocabulary.
+	Templates map[string]func() openflow.Message
+	// LinkMode selects the data-plane realization (default LinkAuto).
+	LinkMode LinkMode
+	// ProbeInterval paces the controller's LLDP discovery rounds
+	// (default 200ms).
+	ProbeInterval time.Duration
+	// ProcessingDelay overrides the profile's per-PACKET_IN compute time.
+	ProcessingDelay time.Duration
+	// EchoInterval overrides the switches' liveness probe period; larger
+	// values cut idle control-plane chatter in big fabrics.
+	EchoInterval time.Duration
+	// StochasticSeed seeds the injector's probabilistic rules.
+	StochasticSeed int64
+}
+
+// ControllerAddr is the fabric controller's control-plane address on
+// in-memory transports.
+const ControllerAddr = "fabric:c1"
+
+// Fabric is a whole topology running in one process: N switchsim
+// datapaths wired per the graph, one shared controller profile wrapped in
+// LLDP discovery, and (optionally) the injector interposed on every
+// control channel.
+type Fabric struct {
+	cfg   FabricConfig
+	clk   clock.Clock
+	tr    netem.Transport
+	graph *Graph
+	sys   *model.System
+
+	Ctrl *controller.Controller
+	Disc *Discovery
+	Inj  *inject.Injector
+
+	switches map[string]*switchsim.Switch
+	links    []*netem.Link
+	// flappers holds, per graph link, the two (switch, port) pairs to
+	// toggle for scripted churn.
+	flappers [][2]flapEnd
+
+	hostFrames atomic.Uint64
+	started    bool
+	stop       chan struct{}
+	wg         sync.WaitGroup
+}
+
+type flapEnd struct {
+	sw   *switchsim.Switch
+	port uint16
+}
+
+// NewFabric validates the graph and wires every component. Call Start to
+// bring the fabric up and Stop to tear it down.
+func NewFabric(cfg FabricConfig) (*Fabric, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("topo: FabricConfig.Graph is required")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.New()
+	}
+	if cfg.Transport == nil {
+		cfg.Transport = netem.NewMemTransport()
+	}
+	if cfg.Profile == 0 {
+		cfg.Profile = controller.ProfileFloodlight
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 200 * time.Millisecond
+	}
+	if cfg.ProcessingDelay <= 0 {
+		switch cfg.Profile {
+		case controller.ProfilePOX:
+			cfg.ProcessingDelay = 3 * time.Millisecond
+		case controller.ProfileRyu:
+			cfg.ProcessingDelay = 2 * time.Millisecond
+		default:
+			cfg.ProcessingDelay = time.Millisecond
+		}
+	}
+	mode := cfg.LinkMode
+	if mode == LinkAuto {
+		if len(cfg.Graph.Switches) >= DirectThreshold {
+			mode = LinkDirect
+		} else {
+			mode = LinkNetem
+		}
+	}
+
+	f := &Fabric{
+		cfg:      cfg,
+		clk:      cfg.Clock,
+		tr:       cfg.Transport,
+		graph:    cfg.Graph,
+		sys:      cfg.Graph.System(),
+		switches: make(map[string]*switchsim.Switch, len(cfg.Graph.Switches)),
+		stop:     make(chan struct{}),
+	}
+	f.sys.Controllers[0].ListenAddr = ControllerAddr
+
+	f.Disc = NewDiscovery(controller.NewLearningSwitch(cfg.Profile), cfg.Telemetry)
+	f.Ctrl = controller.New(controller.Config{
+		Name:            "c1",
+		ListenAddr:      ControllerAddr,
+		Transport:       f.tr,
+		App:             f.Disc,
+		ProcessingDelay: cfg.ProcessingDelay,
+		SingleThreaded:  cfg.Profile == controller.ProfilePOX,
+		Telemetry:       cfg.Telemetry,
+	}, f.clk)
+
+	// Control path: through the injector when an attack is configured,
+	// straight to the controller otherwise.
+	ctrlAddrFor := func(conn model.Conn) string { return ControllerAddr }
+	if cfg.Attack != nil {
+		attacker := cfg.Attacker
+		if attacker == nil {
+			attacker = FullAttackerModel(f.sys)
+		}
+		inj, err := inject.New(inject.Config{
+			System:         f.sys,
+			Attacker:       attacker,
+			Attack:         cfg.Attack,
+			Transport:      f.tr,
+			Clock:          f.clk,
+			StochasticSeed: cfg.StochasticSeed,
+			Telemetry:      cfg.Telemetry,
+			Templates:      cfg.Templates,
+			LeanLog:        true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.Inj = inj
+		ctrlAddrFor = inj.ProxyAddrFor
+	}
+
+	for _, sw := range f.graph.Switches {
+		conn := model.Conn{Controller: "c1", Switch: model.NodeID(sw.Name)}
+		f.switches[sw.Name] = switchsim.New(switchsim.Config{
+			Name:           sw.Name,
+			DPID:           sw.DPID,
+			ControllerAddr: ctrlAddrFor(conn),
+			Transport:      f.tr,
+			EchoInterval:   cfg.EchoInterval,
+			Telemetry:      cfg.Telemetry,
+		}, f.clk)
+	}
+
+	// Data plane: switch-to-switch links per the graph, host ports
+	// terminated in a frame counter.
+	for i, l := range f.graph.Links {
+		swA, swB := f.switches[l.A.Switch], f.switches[l.B.Switch]
+		name := fmt.Sprintf("%s:%d-%s:%d", l.A.Switch, l.A.Port, l.B.Switch, l.B.Port)
+		switch mode {
+		case LinkDirect:
+			// Synchronous delivery through late-bound closures: both input
+			// functions exist only after both AttachPort calls, and frames
+			// flow only after Start, so the assignments are safely ordered.
+			var inA, inB func([]byte)
+			inA = swA.AttachPort(l.A.Port, name, func(frame []byte) {
+				if inB != nil {
+					inB(append([]byte(nil), frame...))
+				}
+			})
+			inB = swB.AttachPort(l.B.Port, name, func(frame []byte) {
+				if inA != nil {
+					inA(append([]byte(nil), frame...))
+				}
+			})
+		default:
+			nl := netem.NewLink(f.clk, l.Profile.NetemConfig(f.graph.Seed+int64(i)))
+			f.links = append(f.links, nl)
+			a, b := nl.A(), nl.B()
+			inA := swA.AttachPort(l.A.Port, name, a.Send)
+			inB := swB.AttachPort(l.B.Port, name, b.Send)
+			a.SetReceiver(inA)
+			b.SetReceiver(inB)
+		}
+		f.flappers = append(f.flappers, [2]flapEnd{
+			{sw: swA, port: l.A.Port},
+			{sw: swB, port: l.B.Port},
+		})
+	}
+	for _, h := range f.graph.Hosts {
+		sw := f.switches[h.Switch]
+		sw.AttachPort(h.Port, h.Name, func([]byte) { f.hostFrames.Add(1) })
+	}
+	return f, nil
+}
+
+// Graph returns the topology being run.
+func (f *Fabric) Graph() *Graph { return f.graph }
+
+// System returns the derived core system model.
+func (f *Fabric) System() *model.System { return f.sys }
+
+// Switch returns a datapath by graph name.
+func (f *Fabric) Switch(name string) *switchsim.Switch { return f.switches[name] }
+
+// HostFrames returns the number of data-plane frames delivered to host
+// attachment points.
+func (f *Fabric) HostFrames() uint64 { return f.hostFrames.Load() }
+
+// Start brings the fabric up: controller, injector (if any), every
+// switch, and the LLDP probe loop.
+func (f *Fabric) Start() error {
+	if err := f.Ctrl.Start(); err != nil {
+		return fmt.Errorf("topo: start controller: %w", err)
+	}
+	if f.Inj != nil {
+		if err := f.Inj.Start(); err != nil {
+			f.Ctrl.Stop()
+			return fmt.Errorf("topo: start injector: %w", err)
+		}
+	}
+	for _, sw := range f.switches {
+		sw.Start()
+	}
+	f.started = true
+	f.wg.Add(1)
+	go f.probeLoop()
+	return nil
+}
+
+// Stop tears the fabric down in reverse order and waits for the probe
+// loop to exit. Safe to call once.
+func (f *Fabric) Stop() {
+	close(f.stop)
+	f.wg.Wait()
+	for _, sw := range f.switches {
+		sw.Stop()
+	}
+	if f.Inj != nil {
+		f.Inj.Stop()
+	}
+	f.Ctrl.Stop()
+	for _, l := range f.links {
+		l.Close()
+	}
+}
+
+// WaitConnected blocks until every switch completes its control-channel
+// handshake, returning the virtual-clock duration it took. The timeout is
+// wall time.
+func (f *Fabric) WaitConnected(timeout time.Duration) (time.Duration, error) {
+	start := f.clk.Now()
+	deadline := time.Now().Add(timeout)
+	for {
+		if len(f.Ctrl.Switches()) == len(f.switches) {
+			d := f.clk.Now().Sub(start)
+			f.cfg.Telemetry.Emit(telemetry.Event{
+				Layer: telemetry.LayerFabric, Kind: telemetry.KindConverge,
+				Node: "c1", Detail: fmt.Sprintf("connected %d switches in %s", len(f.switches), d),
+			})
+			return d, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("topo: %d/%d switches connected after %s",
+				len(f.Ctrl.Switches()), len(f.switches), timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// WaitDiscovery blocks until the controller has learned at least target
+// directed adjacencies (2 per graph link for full convergence), returning
+// the virtual-clock duration and whether the target was reached before
+// the wall-time timeout.
+func (f *Fabric) WaitDiscovery(target int, timeout time.Duration) (time.Duration, bool) {
+	start := f.clk.Now()
+	deadline := time.Now().Add(timeout)
+	for {
+		if f.Disc.LinkCount() >= target {
+			d := f.clk.Now().Sub(start)
+			f.cfg.Telemetry.Emit(telemetry.Event{
+				Layer: telemetry.LayerFabric, Kind: telemetry.KindConverge,
+				Node: "c1", Detail: fmt.Sprintf("discovered %d adjacencies in %s", f.Disc.LinkCount(), d),
+			})
+			return d, true
+		}
+		if time.Now().After(deadline) {
+			return f.clk.Now().Sub(start), false
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// FlapStorm runs a scripted link-flap storm: rounds passes over count
+// seeded-random links, taking each down and back up with interval between
+// transitions. Every transition emits a PORT_STATUS from both endpoint
+// switches. Returns the number of down/up flaps applied.
+func (f *Fabric) FlapStorm(seed int64, count, rounds int, interval time.Duration) int {
+	if count > len(f.flappers) {
+		count = len(f.flappers)
+	}
+	if count == 0 || rounds == 0 {
+		return 0
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x666c6170))
+	idx := rng.Perm(len(f.flappers))[:count]
+	flaps := 0
+	for r := 0; r < rounds; r++ {
+		for _, down := range []bool{true, false} {
+			for _, i := range idx {
+				for _, end := range f.flappers[i] {
+					end.sw.SetLinkDown(end.port, down)
+				}
+				if down {
+					flaps++
+					f.cfg.Telemetry.Emit(telemetry.Event{
+						Layer: telemetry.LayerFabric, Kind: telemetry.KindLink,
+						Detail: fmt.Sprintf("flap link %d round %d", i, r),
+					})
+				}
+			}
+			select {
+			case <-f.stop:
+				return flaps
+			case <-f.clk.After(interval):
+			}
+		}
+	}
+	return flaps
+}
+
+// probeLoop periodically originates LLDP discovery: one PACKET_OUT per
+// (connected switch, physical port) per round, exactly the pattern of
+// real controllers' topology modules.
+func (f *Fabric) probeLoop() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-f.clk.After(f.cfg.ProbeInterval):
+		}
+		for dpid, sw := range f.Ctrl.Switches() {
+			for _, p := range sw.Ports() {
+				if p.PortNo >= openflow.PortMax {
+					continue
+				}
+				_ = sw.Send(&openflow.PacketOut{
+					BufferID: openflow.NoBuffer,
+					InPort:   openflow.PortNone,
+					Actions:  []openflow.Action{openflow.ActionOutput{Port: p.PortNo, MaxLen: 0xffff}},
+					Data:     MarshalLLDP(dpid, p.PortNo, p.HWAddr),
+				})
+			}
+		}
+	}
+}
+
+// FullAttackerModel grants every capability on every control-plane
+// connection — the fabric default, where the attacker owns the injection
+// point outright.
+func FullAttackerModel(sys *model.System) *model.AttackerModel {
+	am := model.NewAttackerModel()
+	for _, conn := range sys.ControlPlane {
+		am.Grant(conn, model.AllCapabilities)
+	}
+	return am
+}

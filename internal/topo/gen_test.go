@@ -1,0 +1,236 @@
+package topo
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden topology files")
+
+// TestGoldenGraphs pins the full serialized output of every generator
+// family: the same descriptor and seed must produce byte-identical
+// canonical JSON forever. Regenerate intentionally with -update.
+func TestGoldenGraphs(t *testing.T) {
+	cases := []struct {
+		file string
+		desc string
+		seed int64
+	}{
+		{"linear_4x1.json", "linear:4x1", 7},
+		{"ring_5.json", "ring:5", 7},
+		{"leafspine_2x3x2.json", "leafspine:2x3x2", 7},
+		{"fattree_4.json", "fattree:4", 7},
+		{"jellyfish_8x3x1.json", "jellyfish:8x3x1", 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			g, err := Parse(tc.desc, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := g.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.file)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Fatalf("graph for %q seed %d diverged from golden %s;\nrun 'go test ./internal/topo -run TestGoldenGraphs -update' if intentional.\ngot:\n%s", tc.desc, tc.seed, tc.file, got)
+			}
+		})
+	}
+}
+
+// TestGeneratorsDeterministic double-builds each family with the same
+// seed and requires identical bytes, and with a different seed requires
+// different DPIDs.
+func TestGeneratorsDeterministic(t *testing.T) {
+	descs := []string{"linear:10x2", "ring:12", "leafspine:4x8x4", "fattree:6", "jellyfish:20x4x1"}
+	for _, desc := range descs {
+		a, err := Parse(desc, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		b, err := Parse(desc, 99)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		ja, _ := a.CanonicalJSON()
+		jb, _ := b.CanonicalJSON()
+		if string(ja) != string(jb) {
+			t.Fatalf("%s: same seed produced different graphs", desc)
+		}
+		c, err := Parse(desc, 100)
+		if err != nil {
+			t.Fatalf("%s: %v", desc, err)
+		}
+		if c.Switches[0].DPID == a.Switches[0].DPID {
+			t.Fatalf("%s: seeds 99 and 100 produced the same first DPID %#x", desc, a.Switches[0].DPID)
+		}
+	}
+}
+
+func TestFatTreeCounts(t *testing.T) {
+	for _, k := range []int{2, 4, 6, 8} {
+		g, err := FatTree(k, 1)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		wantSw := 5 * k * k / 4
+		wantHosts := k * k * k / 4
+		wantLinks := k * k * k / 2
+		if len(g.Switches) != wantSw {
+			t.Errorf("k=%d: %d switches, want %d", k, len(g.Switches), wantSw)
+		}
+		if len(g.Hosts) != wantHosts {
+			t.Errorf("k=%d: %d hosts, want %d", k, len(g.Hosts), wantHosts)
+		}
+		if len(g.Links) != wantLinks {
+			t.Errorf("k=%d: %d links, want %d", k, len(g.Links), wantLinks)
+		}
+		// Core and aggregation switches have switch-degree k; edge
+		// switches use k/2 ports for switches and k/2 for hosts.
+		deg := g.Degrees()
+		for _, sw := range g.Switches {
+			want := k
+			if sw.Tier == "edge" {
+				want = k / 2
+			}
+			if deg[sw.Name] != want {
+				t.Errorf("k=%d: switch %s (%s) degree %d, want %d", k, sw.Name, sw.Tier, deg[sw.Name], want)
+			}
+		}
+	}
+	if _, err := FatTree(3, 1); err == nil {
+		t.Error("odd k accepted")
+	}
+}
+
+func TestLeafSpineShape(t *testing.T) {
+	g, err := LeafSpine(4, 10, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Switches) != 14 || len(g.Links) != 40 || len(g.Hosts) != 30 {
+		t.Fatalf("got %d switches, %d links, %d hosts", len(g.Switches), len(g.Links), len(g.Hosts))
+	}
+	deg := g.Degrees()
+	for _, sw := range g.Switches {
+		want := 10
+		if sw.Tier == "leaf" {
+			want = 4
+		}
+		if deg[sw.Name] != want {
+			t.Errorf("%s (%s) degree %d, want %d", sw.Name, sw.Tier, deg[sw.Name], want)
+		}
+	}
+}
+
+func TestJellyfishRegularity(t *testing.T) {
+	for _, tc := range []struct{ n, d int }{{10, 3}, {20, 4}, {50, 5}, {64, 6}} {
+		g, err := Jellyfish(tc.n, tc.d, 0, 123)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		for name, deg := range g.Degrees() {
+			if deg != tc.d {
+				t.Errorf("n=%d d=%d: switch %s degree %d", tc.n, tc.d, name, deg)
+			}
+		}
+		if len(g.Links) != tc.n*tc.d/2 {
+			t.Errorf("n=%d d=%d: %d links, want %d", tc.n, tc.d, len(g.Links), tc.n*tc.d/2)
+		}
+	}
+	if _, err := Jellyfish(5, 3, 0, 1); err == nil {
+		t.Error("odd n*d accepted")
+	}
+	if _, err := Jellyfish(4, 4, 0, 1); err == nil {
+		t.Error("d >= n accepted")
+	}
+}
+
+// TestValidateCatchesCorruption mutates valid graphs into each invariant
+// violation and checks Validate rejects them.
+func TestValidateCatchesCorruption(t *testing.T) {
+	fresh := func() *Graph {
+		g, err := LeafSpine(2, 3, 1, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	mutations := []struct {
+		name    string
+		mutate  func(*Graph)
+		errPart string
+	}{
+		{"dup dpid", func(g *Graph) { g.Switches[1].DPID = g.Switches[0].DPID }, "share DPID"},
+		{"zero dpid", func(g *Graph) { g.Switches[0].DPID = 0 }, "zero DPID"},
+		{"dup name", func(g *Graph) { g.Switches[1].Name = g.Switches[0].Name }, "duplicate switch name"},
+		{"dangling link", func(g *Graph) { g.Links[0].A.Switch = "ghost" }, "undeclared switch"},
+		{"port clash", func(g *Graph) { g.Links[1].A = g.Links[0].A }, "claimed by both"},
+		{"self loop", func(g *Graph) { g.Links[0].B.Switch = g.Links[0].A.Switch }, "self-loop"},
+		{"disconnected", func(g *Graph) {
+			g.Links = g.Links[:0]
+			g.Hosts = g.Hosts[:0]
+		}, "disconnected"},
+		{"dangling host", func(g *Graph) { g.Hosts[0].Switch = "ghost" }, "undeclared switch"},
+	}
+	for _, m := range mutations {
+		g := fresh()
+		m.mutate(g)
+		err := g.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted corrupted graph", m.name)
+		} else if !strings.Contains(err.Error(), m.errPart) {
+			t.Errorf("%s: error %q does not mention %q", m.name, err, m.errPart)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, desc := range []string{"", "linear", "linear:abc", "fattree:4x2", "mesh:4", "leafspine:4", "linear:-1"} {
+		if _, err := Parse(desc, 1); err == nil {
+			t.Errorf("Parse(%q) succeeded", desc)
+		}
+	}
+}
+
+func TestSystemConversion(t *testing.T) {
+	g, err := LeafSpine(2, 2, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := g.System()
+	if err := sys.Validate(); err != nil {
+		t.Fatalf("converted system invalid: %v", err)
+	}
+	if len(sys.Switches) != 4 || len(sys.Hosts) != 4 || len(sys.ControlPlane) != 4 {
+		t.Fatalf("got %d switches, %d hosts, %d conns", len(sys.Switches), len(sys.Hosts), len(sys.ControlPlane))
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, err := Linear(2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := g.DOT()
+	for _, want := range []string{"graph \"linear:2x1\"", "\"s1\" -- \"s2\"", "\"h1\" -- \"s1\""} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/controller"
+	"attain/internal/telemetry"
+)
+
+// ScenarioConfig describes one fabric-scale experiment: a topology, a
+// controller profile, and a topology-level attack, plus timing knobs.
+// Both campaign's fabric kind and cmd/attain-fabric run through it.
+type ScenarioConfig struct {
+	// Topology is a generator descriptor, e.g. "leafspine:4x12x2".
+	Topology string
+	// Profile selects the controller under test.
+	Profile controller.Profile
+	// Attack names the topology-level attack (see FabricAttackNames);
+	// empty means AttackBaseline.
+	Attack string
+	// Seed drives topology generation and every stochastic choice.
+	Seed int64
+	// TimeScale speeds the scenario's virtual clock (0/1 = real time).
+	TimeScale int
+	// Observe is the wall-time window the attack (or baseline) is given
+	// to show effects after discovery converges (default 3s).
+	Observe time.Duration
+	// ConnectTimeout / DiscoverTimeout bound convergence in wall time
+	// (default 30s each).
+	ConnectTimeout  time.Duration
+	DiscoverTimeout time.Duration
+	// ProbeInterval / EchoInterval tune discovery pacing and control
+	// heartbeats (virtual time). Defaults: 200ms probes, 500ms echoes —
+	// fast heartbeats double as the poison attack's injection trigger.
+	ProbeInterval time.Duration
+	EchoInterval  time.Duration
+	// LinkMode selects the data-plane realization (default LinkAuto).
+	LinkMode LinkMode
+	// Telemetry, when non-nil, receives the full fabric event stream.
+	Telemetry *telemetry.Telemetry
+}
+
+// FabricResult is the outcome of one fabric scenario: topology shape,
+// convergence latencies, the discovery audit, and attack-specific
+// observations. Deviation is true when the attack produced a detectable
+// divergence from ground truth at the controller.
+type FabricResult struct {
+	Topology string `json:"topology"`
+	Profile  string `json:"profile"`
+	Attack   string `json:"attack"`
+	Switches int    `json:"switches"`
+	Links    int    `json:"links"`
+	Hosts    int    `json:"hosts"`
+
+	// Connected reports full control-plane bring-up; ConnectMS is its
+	// virtual-clock latency.
+	Connected bool    `json:"connected"`
+	ConnectMS float64 `json:"connect_ms"`
+	// DiscoveryConverged reports that every graph link was learned in
+	// both directions; DiscoverMS is the virtual-clock latency.
+	DiscoveryConverged bool    `json:"discovery_converged"`
+	DiscoverMS         float64 `json:"discover_ms"`
+
+	// Audit of the controller's link table against ground truth.
+	DiscoveredLinks int `json:"discovered_links"`
+	PhantomLinks    int `json:"phantom_links"`
+	MissingLinks    int `json:"missing_links"`
+
+	// PortStatusEvents counts PORT_STATUS churn seen by the controller;
+	// FlapsApplied counts scripted link-down transitions.
+	PortStatusEvents uint64 `json:"port_status_events"`
+	FlapsApplied     int    `json:"flaps_applied"`
+
+	// Fingerprint carries the prober's feature vector for
+	// AttackFingerprint runs.
+	Fingerprint *FingerprintResult `json:"fingerprint,omitempty"`
+
+	// Deviation is the scenario's headline verdict: did the attack
+	// observably corrupt the controller's view (phantom links, untracked
+	// churn, correct fingerprint extraction)?
+	Deviation bool   `json:"deviation"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// RunScenario generates the topology, brings the fabric up, waits for
+// control-plane and discovery convergence, runs the configured attack's
+// observation phase, and audits the controller's resulting view.
+func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
+	if cfg.Attack == "" {
+		cfg.Attack = AttackBaseline
+	}
+	if cfg.Observe <= 0 {
+		cfg.Observe = 3 * time.Second
+	}
+	if cfg.ConnectTimeout <= 0 {
+		cfg.ConnectTimeout = 30 * time.Second
+	}
+	if cfg.DiscoverTimeout <= 0 {
+		cfg.DiscoverTimeout = 30 * time.Second
+	}
+	if cfg.EchoInterval <= 0 {
+		cfg.EchoInterval = 500 * time.Millisecond
+	}
+	if cfg.Profile == 0 {
+		cfg.Profile = controller.ProfileFloodlight
+	}
+
+	g, err := Parse(cfg.Topology, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	var clk clock.Clock
+	if cfg.TimeScale > 1 {
+		clk = clock.NewScaled(cfg.TimeScale)
+	} else {
+		clk = clock.New()
+	}
+
+	fcfg := FabricConfig{
+		Graph:          g,
+		Profile:        cfg.Profile,
+		Clock:          clk,
+		Telemetry:      cfg.Telemetry,
+		LinkMode:       cfg.LinkMode,
+		ProbeInterval:  cfg.ProbeInterval,
+		EchoInterval:   cfg.EchoInterval,
+		StochasticSeed: cfg.Seed,
+	}
+	switch cfg.Attack {
+	case AttackBaseline, AttackLinkFlap, AttackFingerprint:
+		// No injector interposition.
+	case AttackLLDPPoison:
+		sys := g.System()
+		fcfg.Attack = LLDPPoisonAttack(sys, nil)
+		fcfg.Templates = PhantomTemplates(g)
+	default:
+		return nil, fmt.Errorf("topo: unknown fabric attack %q (want %v)", cfg.Attack, FabricAttackNames())
+	}
+
+	f, err := NewFabric(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Start(); err != nil {
+		return nil, err
+	}
+	defer f.Stop()
+
+	res := &FabricResult{
+		Topology: g.Name,
+		Profile:  cfg.Profile.String(),
+		Attack:   cfg.Attack,
+		Switches: len(g.Switches),
+		Links:    len(g.Links),
+		Hosts:    len(g.Hosts),
+	}
+
+	connectD, err := f.WaitConnected(cfg.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	res.Connected = true
+	res.ConnectMS = float64(connectD) / float64(time.Millisecond)
+
+	discoverD, ok := f.WaitDiscovery(2*len(g.Links), cfg.DiscoverTimeout)
+	res.DiscoveryConverged = ok
+	res.DiscoverMS = float64(discoverD) / float64(time.Millisecond)
+	if !ok {
+		res.Detail = fmt.Sprintf("discovery: %d/%d adjacencies before timeout", f.Disc.LinkCount(), 2*len(g.Links))
+	}
+
+	// Attack observation phase.
+	switch cfg.Attack {
+	case AttackLLDPPoison:
+		// The injector fabricates one phantom LLDP PACKET_IN per switch
+		// heartbeat; wait until the controller's table is poisoned.
+		deadline := time.Now().Add(cfg.Observe)
+		for {
+			if _, phantom, _ := f.Disc.Audit(g); phantom > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	case AttackLinkFlap:
+		// Half the links (at least one), three down/up rounds.
+		count := len(g.Links) / 2
+		if count < 1 {
+			count = 1
+		}
+		res.FlapsApplied = f.FlapStorm(cfg.Seed, count, 3, 50*time.Millisecond)
+		// Let the last PORT_STATUS wave reach the controller.
+		deadline := time.Now().Add(cfg.Observe)
+		for f.Disc.PortStatusEvents() < 2*uint64(res.FlapsApplied) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	case AttackFingerprint:
+		fp, err := Fingerprint(FingerprintConfig{
+			Addr:      ControllerAddr,
+			Transport: f.tr,
+			Clock:     clk,
+			Burst:     4,
+		})
+		if err != nil {
+			res.Detail = "fingerprint: " + err.Error()
+		} else {
+			res.Fingerprint = fp
+		}
+	default:
+		time.Sleep(cfg.Observe / 3)
+	}
+
+	res.DiscoveredLinks, res.PhantomLinks, res.MissingLinks = f.Disc.Audit(g)
+	res.PortStatusEvents = f.Disc.PortStatusEvents()
+
+	switch cfg.Attack {
+	case AttackLLDPPoison:
+		res.Deviation = res.PhantomLinks > 0
+		if res.Deviation {
+			res.Detail = fmt.Sprintf("controller learned %d phantom links", res.PhantomLinks)
+		}
+	case AttackLinkFlap:
+		res.Deviation = res.PortStatusEvents > 0 && res.FlapsApplied > 0
+		if res.Deviation {
+			res.Detail = fmt.Sprintf("%d flaps produced %d PORT_STATUS events", res.FlapsApplied, res.PortStatusEvents)
+		}
+	case AttackFingerprint:
+		res.Deviation = res.Fingerprint != nil && res.Fingerprint.Guess == res.Profile
+		if res.Deviation {
+			res.Detail = fmt.Sprintf("fingerprinted %s (median %.2fms, burst %.2f)",
+				res.Fingerprint.Guess, res.Fingerprint.MedianMS, res.Fingerprint.BurstFactor)
+		}
+	default:
+		res.Deviation = res.PhantomLinks > 0 || (res.DiscoveryConverged && res.MissingLinks > 0)
+	}
+	return res, nil
+}
