@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race smoke grid-smoke fabric-smoke fuzz-smoke bench clean
+.PHONY: ci vet build test race smoke grid-smoke fabric-smoke fuzz-smoke loadgen-smoke bench clean
 
-ci: vet build test race fuzz-smoke smoke grid-smoke fabric-smoke
+ci: vet build test race fuzz-smoke smoke grid-smoke fabric-smoke loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -46,6 +46,18 @@ fabric-smoke:
 	@grep -q '"discovery_converged":true' /tmp/attain-fabric-smoke/results.jsonl
 	@grep -q '"deviation":true' /tmp/attain-fabric-smoke/results.jsonl
 
+# Sustained-load smoke: a small-scale pumps-vs-sharded duel through
+# cmd/attain-loadgen, gated against the committed BENCH_sustained.json by
+# benchcmp. Only the conns=200 entries overlap with the smoke run (the
+# committed file's 10k-conn headline entries have different names, so they
+# print but don't gate); the loose tolerance absorbs shared-CI noise while
+# still catching a sharded core that lost its batching advantage.
+loadgen-smoke:
+	$(GO) run ./cmd/attain-loadgen -conns 200 -duration 1s -warmup 300ms \
+	| $(GO) run ./docs/perf/benchjson > /tmp/attain-loadgen-smoke.json
+	@grep -q 'sustained_speedup/conns=200' /tmp/attain-loadgen-smoke.json
+	$(GO) run ./docs/perf/benchcmp -tolerance 0.5 BENCH_sustained.json /tmp/attain-loadgen-smoke.json
+
 # Short fuzz pass over every Fuzz target (go's -fuzz wants exactly one
 # match per invocation, hence one line per target).
 FUZZTIME ?= 10s
@@ -69,6 +81,9 @@ bench:
 	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_msgpath.json
 	$(GO) test ./internal/topo/ -run='^$$' -bench='BenchmarkFabricBringup' -benchtime=50x -benchmem \
 	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_fabric.json
+	{ $(GO) run ./cmd/attain-loadgen; \
+	  $(GO) run ./cmd/attain-loadgen -conns 200 -duration 2s -warmup 500ms; } \
+	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_sustained.json
 
 clean:
 	rm -rf /tmp/attain-smoke /tmp/attain-grid-smoke /tmp/attain-fabric-smoke

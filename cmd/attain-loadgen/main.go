@@ -1,0 +1,499 @@
+// Command attain-loadgen is the injector's sustained-load harness: it
+// stands up one in-process injector over buffered in-memory conns, drives
+// tens of thousands of mock switch connections at a target offered load,
+// and reports sustained throughput, delivery latency percentiles, and
+// per-shard queue depth. Its whole point is an apples-to-apples duel
+// between the two injector cores — the legacy goroutine-per-session pump
+// path and the sharded batch-draining loops — measured by the exact same
+// traffic generator.
+//
+// Usage:
+//
+//	attain-loadgen                          # both cores, 10k conns, open loop
+//	attain-loadgen -mode sharded -shards 8  # one core, explicit shard count
+//	attain-loadgen -conns 200 -duration 1s  # CI smoke scale
+//	attain-loadgen | go run ./docs/perf/benchjson > BENCH_sustained.json
+//
+// Human-readable progress goes to stderr; stdout carries Go
+// benchmark-format lines (BenchmarkSustained/mode=...) so the run pipes
+// straight into docs/perf/benchjson and diffs with docs/perf/benchcmp.
+package main
+
+import (
+	"bufio"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"attain/internal/clock"
+	"attain/internal/core/inject"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netaddr"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+	"attain/internal/telemetry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "attain-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// loadCfg is one measurement's knobs, shared verbatim by both cores.
+type loadCfg struct {
+	conns    int
+	rate     float64 // total offered msgs/sec; 0 = open loop
+	duration time.Duration
+	warmup   time.Duration
+	shards   int
+	batch    int
+	senders  int
+	ring     int
+	events   int
+}
+
+func run() error {
+	cfg := loadCfg{}
+	mode := flag.String("mode", "both", "injector core to drive: sharded, pumps, or both")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the measured windows")
+	flag.IntVar(&cfg.conns, "conns", 10000, "concurrent mock switch connections")
+	flag.Float64Var(&cfg.rate, "rate", 0, "total offered load in msgs/sec (0 = open loop, saturate)")
+	flag.DurationVar(&cfg.duration, "duration", 3*time.Second, "measurement window after warmup")
+	flag.DurationVar(&cfg.warmup, "warmup", 1*time.Second, "warmup before measuring")
+	flag.IntVar(&cfg.shards, "shards", 4, "shard count for the sharded core")
+	flag.IntVar(&cfg.batch, "batch", 256, "max frames per shard loop iteration")
+	flag.IntVar(&cfg.senders, "senders", 4, "traffic generator worker goroutines")
+	flag.IntVar(&cfg.ring, "ring", 8192, "per-direction conn ring buffer bytes")
+	flag.IntVar(&cfg.events, "events", 16384, "injector event queue capacity (per shard / pump executor)")
+	flag.Parse()
+
+	if cfg.conns < 1 || cfg.senders < 1 || cfg.shards < 1 {
+		return fmt.Errorf("conns, senders, and shards must be positive")
+	}
+	var modes []string
+	switch *mode {
+	case "both":
+		modes = []string{"pumps", "sharded"}
+	case "sharded", "pumps":
+		modes = []string{*mode}
+	default:
+		return fmt.Errorf("unknown -mode %q (want sharded, pumps, or both)", *mode)
+	}
+
+	// Bench-format headers so benchjson records the machine.
+	fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	results := map[string]result{}
+	for _, m := range modes {
+		fmt.Fprintf(os.Stderr, "== %s: %d conns, %s offered, %s measure (+%s warmup)\n",
+			m, cfg.conns, offeredLabel(cfg.rate), cfg.duration, cfg.warmup)
+		res, err := runLoad(cfg, m == "sharded")
+		if err != nil {
+			return fmt.Errorf("%s: %w", m, err)
+		}
+		res.mode = m
+		results[m] = res
+		report(res)
+	}
+	if sh, ok := results["sharded"]; ok {
+		if pu, ok := results["pumps"]; ok && pu.msgsPerSec() > 0 {
+			fmt.Fprintf(os.Stderr, "== sharded/pumps sustained throughput: %.2fx\n",
+				sh.msgsPerSec()/pu.msgsPerSec())
+		}
+	}
+	return nil
+}
+
+func offeredLabel(rate float64) string {
+	if rate <= 0 {
+		return "open-loop"
+	}
+	return fmt.Sprintf("%.0f msgs/s", rate)
+}
+
+// result is one core's measured window.
+type result struct {
+	mode           string
+	conns          int
+	sent, received uint64
+	elapsed        time.Duration
+	p50, p99, p999 time.Duration
+	queueDepthMax  int64
+	stalls         uint64
+	imbalance      uint64
+	batchP50       int64
+}
+
+func (r result) msgsPerSec() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.received) / r.elapsed.Seconds()
+}
+
+func report(r result) {
+	fmt.Fprintf(os.Stderr,
+		"   sustained %.0f msgs/s (%d delivered / %s), latency p50=%s p99=%s p999=%s\n",
+		r.msgsPerSec(), r.received, r.elapsed.Round(time.Millisecond), r.p50, r.p99, r.p999)
+	if r.mode == "sharded" {
+		fmt.Fprintf(os.Stderr, "   shard queue depth max=%d, batch p50=%d frames, stalls=%d, imbalance=%d\n",
+			r.queueDepthMax, r.batchP50, r.stalls, r.imbalance)
+	}
+	nsPerOp := 0.0
+	if r.received > 0 {
+		nsPerOp = float64(r.elapsed.Nanoseconds()) / float64(r.received)
+	}
+	// One benchmark-format line per mode: iterations = delivered messages,
+	// ns/op = wall time per delivered message, plus custom units benchjson
+	// keeps in its Extra map.
+	fmt.Printf("BenchmarkSustained/mode=%s/conns=%d \t%8d\t%8.1f ns/op\t%12.0f msgs/s\t%8d p50-ns\t%8d p99-ns\t%8d p999-ns\t%8d qdepth-max\n",
+		r.mode, r.conns, r.received, nsPerOp,
+		r.msgsPerSec(), r.p50.Nanoseconds(), r.p99.Nanoseconds(), r.p999.Nanoseconds(), r.queueDepthMax)
+}
+
+// syntheticSystem builds a model with n switches on one controller. The
+// two hosts exist only to satisfy the model's |H| >= 2 invariant.
+func syntheticSystem(n int) *model.System {
+	sys := &model.System{
+		Controllers: []model.Controller{{ID: "c1", ListenAddr: "c1"}},
+		Hosts: []model.Host{
+			{ID: "h1", MAC: netaddr.MAC{0, 0, 0, 0, 0, 1}, IP: netaddr.IPv4{10, 0, 0, 1}},
+			{ID: "h2", MAC: netaddr.MAC{0, 0, 0, 0, 0, 2}, IP: netaddr.IPv4{10, 0, 0, 2}},
+		},
+	}
+	sys.Switches = make([]model.Switch, n)
+	sys.ControlPlane = make([]model.Conn, n)
+	for i := 0; i < n; i++ {
+		id := model.NodeID(fmt.Sprintf("s%d", i+1))
+		sys.Switches[i] = model.Switch{ID: id, DPID: uint64(i + 1), Ports: []uint16{1}}
+		sys.ControlPlane[i] = model.Conn{Controller: "c1", Switch: id}
+	}
+	return sys
+}
+
+// passthroughAttack is the no-op attack: every frame traverses the full
+// evaluate-and-deliver path but nothing matches, so the harness measures
+// the proxy core itself.
+func passthroughAttack() *lang.Attack {
+	a := lang.NewAttack("loadgen-passthrough", "s0")
+	a.AddState(&lang.State{Name: "s0"})
+	return a
+}
+
+// collector is one controller-side connection's receive loop state. The
+// samples slice is owned by its receiver goroutine until the WaitGroup
+// drains; latencies are decimated 1-in-16 to keep measurement-window
+// allocation churn off the measured path.
+type collector struct {
+	samples []int64
+	seen    uint64
+}
+
+const sampleEvery = 16
+
+// runLoad wires up one injector (sharded or pump core), drives it, and
+// tears everything down again.
+func runLoad(cfg loadCfg, sharded bool) (result, error) {
+	tr := netem.NewBufferedMemTransport(cfg.ring)
+	tele := telemetry.New(telemetry.Options{TraceCapacity: 1024})
+
+	shards := 0
+	if sharded {
+		shards = cfg.shards
+	}
+	inj, err := inject.New(inject.Config{
+		System:      syntheticSystem(cfg.conns),
+		Attack:      passthroughAttack(),
+		Transport:   tr,
+		Clock:       clock.New(),
+		LeanLog:     true,
+		LogLimit:    4096,
+		Telemetry:   tele,
+		Shards:      shards,
+		Batch:       cfg.batch,
+		EventBuffer: cfg.events,
+	})
+	if err != nil {
+		return result{}, err
+	}
+
+	// Fake controller: accept every proxied connection and time-stamp-check
+	// the echo stream coming out of the injector.
+	ln, err := tr.Listen("c1")
+	if err != nil {
+		return result{}, err
+	}
+	var (
+		recording atomic.Bool
+		received  atomic.Uint64
+		sent      atomic.Uint64
+		recvWG    sync.WaitGroup
+		collMu    sync.Mutex
+		colls     []*collector
+	)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			co := &collector{samples: make([]int64, 0, 256)}
+			collMu.Lock()
+			colls = append(colls, co)
+			collMu.Unlock()
+			recvWG.Add(1)
+			go func() {
+				defer recvWG.Done()
+				receiver(c, co, &recording, &received)
+			}()
+		}
+	}()
+
+	if err := inj.Start(); err != nil {
+		ln.Close()
+		return result{}, err
+	}
+
+	// Dial every mock switch. Each dial makes the injector accept, dial
+	// the controller, and stand up a session before traffic starts.
+	swConns := make([]net.Conn, cfg.conns)
+	for i := range swConns {
+		conn := model.Conn{Controller: "c1", Switch: model.NodeID(fmt.Sprintf("s%d", i+1))}
+		c, err := tr.Dial(inj.ProxyAddrFor(conn))
+		if err != nil {
+			return result{}, fmt.Errorf("dial conn %d: %w", i, err)
+		}
+		swConns[i] = c
+	}
+	fmt.Fprintf(os.Stderr, "   %d connections up, %d goroutines\n", cfg.conns, runtime.NumGoroutine())
+
+	// Traffic generators: each worker owns an interleaved slice of conns
+	// and pushes pre-marshaled echo frames, patching an 8-byte send
+	// timestamp into the body. Writes block when a conn's ring fills —
+	// offered load beyond the core's capacity turns into backpressure,
+	// and the measured quantity is what the core actually sustains.
+	stop := make(chan struct{})
+	var sendWG sync.WaitGroup
+	perWorker := cfg.rate / float64(cfg.senders)
+	for w := 0; w < cfg.senders; w++ {
+		mine := make([]net.Conn, 0, cfg.conns/cfg.senders+1)
+		for i := w; i < cfg.conns; i += cfg.senders {
+			mine = append(mine, swConns[i])
+		}
+		sendWG.Add(1)
+		go func() {
+			defer sendWG.Done()
+			sender(mine, perWorker, stop, &recording, &sent)
+		}()
+	}
+
+	// Sample shard queue depths while measuring.
+	var depthMax atomic.Int64
+	sampleStop := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	if sharded {
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			gauges := make([]*telemetry.Gauge, shards)
+			for i := range gauges {
+				gauges[i] = tele.Gauge(fmt.Sprintf("injector.shard.%d.queue_depth", i))
+			}
+			tick := time.NewTicker(20 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-sampleStop:
+					return
+				case <-tick.C:
+					for _, g := range gauges {
+						if v := g.Value(); v > depthMax.Load() {
+							depthMax.Store(v)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Warmup, then the measured window.
+	time.Sleep(cfg.warmup)
+	recording.Store(true)
+	t0 := time.Now()
+	time.Sleep(cfg.duration)
+	recording.Store(false)
+	elapsed := time.Since(t0)
+	res := result{
+		conns:    cfg.conns,
+		sent:     sent.Load(),
+		received: received.Load(),
+		elapsed:  elapsed,
+	}
+
+	// Teardown: stop senders, close the switch side, stop the injector
+	// (closing its controller-side conns), then drain the receivers.
+	close(stop)
+	sendWG.Wait()
+	close(sampleStop)
+	sampleWG.Wait()
+	for _, c := range swConns {
+		c.Close()
+	}
+	inj.Stop()
+	ln.Close()
+	recvWG.Wait()
+
+	res.queueDepthMax = depthMax.Load()
+	if sharded {
+		for i := 0; i < shards; i++ {
+			res.stalls += tele.Counter(fmt.Sprintf("injector.shard.%d.stalls", i)).Value()
+			if p := tele.Histogram(fmt.Sprintf("injector.shard.%d.batch_size", i)).Quantile(0.5); p > res.batchP50 {
+				res.batchP50 = p
+			}
+		}
+		res.imbalance = tele.Counter("injector.shards.imbalance").Value()
+	}
+
+	collMu.Lock()
+	all := make([]int64, 0, 1024)
+	for _, co := range colls {
+		all = append(all, co.samples...)
+	}
+	collMu.Unlock()
+	res.p50, res.p99, res.p999 = percentiles(all)
+	return res, nil
+}
+
+// senderBurst is how many frames a sender packs into one Conn.Write. One
+// timestamp read and one ring operation cover the burst, keeping generator
+// overhead off the measured path (the per-frame latency error is the burst
+// assembly time, nanoseconds against millisecond-scale queueing).
+const senderBurst = 16
+
+// sender drives one worker's connections round-robin at perSec offered
+// load (0 = open loop). The 16-byte echo frame is marshaled once; each
+// burst is assembled in a reused buffer with the send timestamp patched
+// into every frame body, so the generator allocates nothing in steady
+// state and measured allocation pressure belongs to the injector.
+func sender(conns []net.Conn, perSec float64, stop <-chan struct{}, recording *atomic.Bool, sent *atomic.Uint64) {
+	wire, err := openflow.Marshal(0, &openflow.EchoRequest{Data: make([]byte, 8)})
+	if err != nil || len(wire) < 16 {
+		panic("loadgen: echo template marshal failed")
+	}
+	frame := len(wire)
+	burst := make([]byte, 0, senderBurst*frame)
+	start := time.Now()
+	var sentN uint64
+	idx := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		due := sentN + 16*senderBurst // open loop: bounded run between stop checks
+		if perSec > 0 {
+			due = uint64(perSec * time.Since(start).Seconds())
+			if due <= sentN {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+		}
+		for sentN < due {
+			n := senderBurst
+			if rem := due - sentN; rem < uint64(n) {
+				n = int(rem)
+			}
+			binary.BigEndian.PutUint64(wire[8:], uint64(time.Now().UnixNano()))
+			burst = burst[:0]
+			for j := 0; j < n; j++ {
+				burst = append(burst, wire...)
+			}
+			if _, err := conns[idx].Write(burst); err != nil {
+				return
+			}
+			idx++
+			if idx == len(conns) {
+				idx = 0
+			}
+			sentN += uint64(n)
+			if recording.Load() {
+				sent.Add(uint64(n))
+			}
+		}
+	}
+}
+
+// receiver drains one controller-side conn, counting deliveries and
+// sampling end-to-end latency from the timestamp the sender patched into
+// each echo body. The read buffer is pooled and reused for every frame.
+func receiver(c net.Conn, co *collector, recording *atomic.Bool, received *atomic.Uint64) {
+	defer c.Close()
+	buf := openflow.GetBuffer()
+	defer openflow.PutBuffer(buf)
+	// The bufio layer turns per-frame ring reads into occasional bulk
+	// copies, so receive-side overhead doesn't mask the injector cores'
+	// difference.
+	br := bufio.NewReaderSize(c, 4096)
+	for {
+		raw, err := openflow.ReadRawInto(br, buf)
+		if err != nil {
+			return
+		}
+		if !recording.Load() {
+			continue
+		}
+		received.Add(1)
+		co.seen++
+		if co.seen%sampleEvery != 0 || len(raw) < 16 {
+			continue
+		}
+		ts := int64(binary.BigEndian.Uint64(raw[8:16]))
+		if lat := time.Now().UnixNano() - ts; lat > 0 {
+			co.samples = append(co.samples, lat)
+		}
+	}
+}
+
+// percentiles sorts the merged latency samples and reads exact p50, p99,
+// and p999 — no bucketing, the sample count is small enough to keep whole.
+func percentiles(samples []int64) (p50, p99, p999 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	at := func(q float64) time.Duration {
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return time.Duration(samples[i])
+	}
+	return at(0.50), at(0.99), at(0.999)
+}

@@ -32,19 +32,41 @@ type executor struct {
 	view lang.MessageView
 	env  lang.Env
 	out  []outMsg
+	// sh is the shard whose loop drives this executor, nil for the legacy
+	// single-threaded core. Deliveries to sessions owned by sh skip the
+	// write queue and go straight onto the shard's pending lists.
+	sh *shard
+	// typeCounts accumulates lean-log per-type message counts within one
+	// shard batch, published in bulk by shard.flushBook. Nil in pump mode,
+	// where CountType pays the log lock per message.
+	typeCounts map[string]uint64
+	// batchNow is the clock reading taken once per shard batch; message
+	// views and verdict events within the batch share it instead of each
+	// reading the clock. Zero in pump mode (per-message reads).
+	batchNow time.Time
 }
 
-func newExecutor(inj *Injector) *executor {
-	state := inj.cfg.State
-	if state == nil {
-		state = newLocalState(inj.cfg.Attack.Start)
+// now returns the executor's notion of the current time: the batch
+// snapshot in a shard loop, a fresh clock read otherwise.
+func (ex *executor) now() time.Time {
+	if !ex.batchNow.IsZero() {
+		return ex.batchNow
 	}
-	return &executor{
+	return ex.inj.clk.Now()
+}
+
+func newExecutor(inj *Injector, store StateStore, seed int64, sh *shard) *executor {
+	ex := &executor{
 		inj:     inj,
-		state:   state,
-		storage: state.Storage(),
-		rng:     rand.New(rand.NewSource(inj.cfg.StochasticSeed)),
+		state:   store,
+		storage: store.Storage(),
+		rng:     rand.New(rand.NewSource(seed)),
+		sh:      sh,
 	}
+	if sh != nil {
+		ex.typeCounts = make(map[string]uint64, 32)
+	}
+	return ex
 }
 
 func (ex *executor) currentState() string { return ex.state.CurrentState() }
@@ -78,8 +100,7 @@ func (ex *executor) run() {
 			if ev.done != nil {
 				close(ev.done)
 			}
-			*ev = event{}
-			eventPool.Put(ev)
+			ev.recycle()
 		}
 	}
 }
@@ -111,14 +132,36 @@ func (d *disposition) verdict() string {
 // buffer that ends up with no owner (dropped or replaced originals) is
 // recycled before returning.
 func (ex *executor) process(ev *event) {
-	granted := ex.inj.cfg.Attacker.CapsFor(ev.conn)
+	// The session caches the conn-keyed lookups (grant, counters, stats);
+	// fall back to the maps for events without a bound session.
+	var granted model.CapabilitySet
+	var ctrs *connCounters
+	if sess := ev.sess; sess != nil && sess.ctrs != nil {
+		granted, ctrs = sess.caps, sess.ctrs
+	} else {
+		granted = ex.inj.cfg.Attacker.CapsFor(ev.conn)
+		ctrs = ex.inj.countersFor(ev.conn)
+	}
 	view := ex.resetView(ev, granted)
-	ctrs := ex.inj.countersFor(ev.conn)
 	ctrs.seen.Inc()
 	var disp disposition
-	ex.inj.log.Count(ev.conn, func(s *Stats) { s.Seen++ })
+	// Seen bookkeeping: the shard loop accumulates per session and
+	// publishes once per batch (flushBook); the pump path pays the log
+	// lock per message.
+	switch {
+	case ex.sh != nil && ev.sess != nil && ev.sess.stats != nil:
+		ex.sh.noteSeen(ev.sess)
+	case ev.sess != nil && ev.sess.stats != nil:
+		ex.inj.log.CountRef(ev.sess.stats, func(s *Stats) { s.Seen++ })
+	default:
+		ex.inj.log.Count(ev.conn, func(s *Stats) { s.Seen++ })
+	}
 	if ex.inj.cfg.LeanLog {
-		ex.inj.log.CountType(view.TypeName())
+		if ex.sh != nil {
+			ex.typeCounts[view.TypeName()]++
+		} else {
+			ex.inj.log.CountType(view.TypeName())
+		}
 	} else {
 		ex.inj.log.Add(Event{
 			At: view.Timestamp, Kind: EventMessage, Conn: ev.conn,
@@ -205,11 +248,11 @@ func (ex *executor) process(ev *event) {
 		ctrs.passthrough.Inc()
 	}
 	if ex.inj.tele.Enabled() {
-		ex.inj.tele.Emit(telemetry.Event{
+		ex.inj.tele.EmitAt(telemetry.Event{
 			Layer: telemetry.LayerInjector, Kind: telemetry.KindVerdict,
 			Conn: ctrs.label, MsgType: view.TypeName(),
 			Verdict: disp.verdict(),
-		})
+		}, ex.now())
 	}
 
 	// Deliver the outgoing message list (lines 19-21). Delivery takes
@@ -240,7 +283,10 @@ func (ex *executor) process(ev *event) {
 						return
 					case <-ex.inj.clk.After(m.delay):
 					}
-					ex.deliver(evSess, evConn, m)
+					// Deliberately not ex.deliver: this goroutine is off the
+					// shard loop, so it must never touch shard-local pending
+					// lists — deliverAsync routes through the write queue.
+					ex.inj.deliverAsync(evSess, evConn, m)
 				}()
 				continue
 			}
@@ -264,30 +310,58 @@ func (ex *executor) process(ev *event) {
 }
 
 // deliver writes one outgoing message to its session, taking ownership of
-// m.raw: on any failure to hand the buffer to a write pump it is recycled
-// here.
+// m.raw. On a shard loop, deliveries to sessions the shard owns append
+// straight to the pending flush lists — no queue, no handoff; everything
+// else (cross-shard sessions, pump mode) goes through deliverAsync.
 func (ex *executor) deliver(evSess *session, evConn model.Conn, m outMsg) {
+	if ex.sh != nil {
+		sess := evSess
+		if m.conn != evConn || sess == nil {
+			sess = ex.inj.sessionFor(m.conn)
+		}
+		if sess != nil && sess.sh == ex.sh {
+			// Delivered is counted at flush time, amortized per batch.
+			ex.sh.queueLocal(sess, m.dir, m.raw)
+			return
+		}
+	}
+	ex.inj.deliverAsync(evSess, evConn, m)
+}
+
+// deliverAsync is the goroutine-safe delivery path: it hands the buffer to
+// the session's write queue (pump channel or owning shard's intake) and
+// recycles it on any failure. Safe to call from async-delay timers and
+// foreign shard loops alike.
+func (inj *Injector) deliverAsync(evSess *session, evConn model.Conn, m outMsg) {
 	sess := evSess
 	if m.conn != evConn || sess == nil {
-		sess = ex.inj.sessionFor(m.conn)
+		sess = inj.sessionFor(m.conn)
 	}
 	if sess == nil {
 		openflow.PutBuffer(m.raw)
-		ex.inj.log.Add(Event{
-			At: ex.inj.clk.Now(), Kind: EventError, Conn: m.conn,
+		inj.log.Add(Event{
+			At: inj.clk.Now(), Kind: EventError, Conn: m.conn,
 			Detail: "no live session for outgoing message",
 		})
 		return
 	}
 	if err := sess.write(m.dir, m.raw); err != nil {
 		openflow.PutBuffer(m.raw)
-		ex.inj.log.Add(Event{
-			At: ex.inj.clk.Now(), Kind: EventError, Conn: m.conn,
+		inj.log.Add(Event{
+			At: inj.clk.Now(), Kind: EventError, Conn: m.conn,
 			Detail: fmt.Sprintf("deliver: %v", err),
 		})
 		return
 	}
-	ex.inj.log.Count(m.conn, func(s *Stats) { s.Delivered++ })
+	// Sharded sessions count Delivered when their owning shard flushes the
+	// frame; pump-mode sessions count here, on queue handoff.
+	if sess.sh == nil {
+		if sess.stats != nil {
+			inj.log.CountRef(sess.stats, func(s *Stats) { s.Delivered++ })
+		} else {
+			inj.log.Count(m.conn, func(s *Stats) { s.Delivered++ })
+		}
+	}
 }
 
 // resetView rebuilds the executor's scratch message view for one event.
@@ -299,7 +373,7 @@ func (ex *executor) resetView(ev *event, granted model.CapabilitySet) *lang.Mess
 	*view = lang.MessageView{
 		Conn:      ev.conn,
 		Direction: ev.dir,
-		Timestamp: ex.inj.clk.Now(),
+		Timestamp: ex.now(),
 		Length:    len(ev.raw),
 		ID:        ex.inj.nextMsgID(),
 	}

@@ -278,11 +278,18 @@ func TestDelayMessage(t *testing.T) {
 	}
 }
 
-// newHarnessCfg is newHarness with extra injector config tweaks.
+// newHarnessCfg is newHarness with extra injector config tweaks, over the
+// default net.Pipe transport (synchronous rendezvous, strictest ordering).
 func newHarnessCfg(t *testing.T, attack *lang.Attack, caps model.CapabilitySet, tweak func(*Config)) *harness {
 	t.Helper()
+	return newHarnessTr(t, attack, caps, netem.NewMemTransport(), tweak)
+}
+
+// newHarnessTr is newHarnessCfg with the transport injectable — sharded
+// tests use buffered conns so batched flushes don't rendezvous per frame.
+func newHarnessTr(t *testing.T, attack *lang.Attack, caps model.CapabilitySet, tr *netem.MemTransport, tweak func(*Config)) *harness {
+	t.Helper()
 	sys := model.Figure3System()
-	tr := netem.NewMemTransport()
 	conn := model.Conn{Controller: "c1", Switch: "s1"}
 	am := model.NewAttackerModel()
 	am.Grant(conn, caps)

@@ -1,6 +1,7 @@
 package inject
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -70,6 +71,18 @@ type Config struct {
 	// logged. With LeanLog set and telemetry disabled, steady-state
 	// passthrough proxying performs zero heap allocations per message.
 	LeanLog bool
+	// Shards selects the sharded batch-draining core: sessions are
+	// assigned to one of Shards event loops at accept time (seeded by
+	// StochasticSeed, so assignment is reproducible), each loop owning its
+	// sessions' conns and executor state shared-nothing and draining
+	// frames in batches with one vectored flush per touched session. Zero
+	// keeps the per-session pump path — the right choice for low session
+	// counts and for attacks that need the paper's global total order
+	// (sharding orders events totally per shard, the §VIII-C trade-off).
+	Shards int
+	// Batch bounds how many frames one shard loop iteration processes
+	// between flushes (default 256). Only meaningful with Shards > 0.
+	Batch int
 }
 
 // DefaultProxyAddr names proxy listen addresses for in-memory transports.
@@ -88,6 +101,11 @@ type Injector struct {
 	// counters maps each proxied connection to its pre-resolved telemetry
 	// counters; read-only after New.
 	counters map[model.Conn]*connCounters
+	// shards holds the batch-draining event loops (empty in pump mode);
+	// read-only after New. imbalance counts skew observations between the
+	// busiest and idlest shard (see shard.observeImbalance).
+	shards    []*shard
+	imbalance *telemetry.Counter
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -111,6 +129,17 @@ type Injector struct {
 // processing it.
 var eventPool = sync.Pool{New: func() interface{} { return new(event) }}
 
+// recycle drops the event's pointer fields and returns it to the pool.
+// Only the pointers need clearing (GC retention); whole-struct clears
+// (*ev = event{}) showed up as duffcopy on the hot path, and every pool
+// user overwrites all fields with a full literal on Get.
+func (ev *event) recycle() {
+	ev.raw = nil
+	ev.sess = nil
+	ev.done = nil
+	eventPool.Put(ev)
+}
+
 // event is one unit of work for the executor: a proxied message or a
 // session-control notification.
 type event struct {
@@ -126,10 +155,17 @@ type event struct {
 }
 
 // session is one live proxied control-plane connection: the accepted
-// switch-side conn and the dialed controller-side conn. Outbound bytes go
-// through buffered per-direction write pumps so the single-threaded
-// executor never head-of-line blocks on a slow peer — the role the OS
-// socket buffers played for the paper's Python injector.
+// switch-side conn and the dialed controller-side conn.
+//
+// In pump mode (the default), outbound bytes go through buffered
+// per-direction write pump goroutines so the single-threaded executor
+// never head-of-line blocks on a slow peer — the role the OS socket
+// buffers played for the paper's Python injector.
+//
+// In sharded mode (sh != nil) there are no pumps: the owning shard's loop
+// appends outgoing frames to the per-direction pending lists during a
+// batch and writes each direction with one vectored flush at batch end.
+// The pending fields are owned by the shard loop exclusively.
 type session struct {
 	conn       model.Conn
 	switchSide net.Conn
@@ -138,23 +174,67 @@ type session struct {
 	toCtrl     chan []byte
 	closeOnce  sync.Once
 	closed     chan struct{}
+	// onDrop, when non-nil, is called with the number of queued outbound
+	// frames recycled unsent at shutdown (write-pump drain or a failed
+	// shard flush), so drops stay visible in the counters.
+	onDrop func(n int)
+
+	// Hot-path caches resolved once at open (see Injector.bindSession):
+	// the attacker's capability grant, the telemetry counters, and the
+	// log's stats record for this connection. Grants and the counters map
+	// are immutable after New, so caching preserves semantics while the
+	// per-message path skips three Conn-keyed map lookups.
+	caps  model.CapabilitySet
+	ctrs  *connCounters
+	stats *Stats
+	// batchSeen accumulates Seen counts within one shard batch, published
+	// in bulk by shard.flushBook. Owned by the shard loop.
+	batchSeen uint64
+
+	// Sharded-mode state (nil/unused in pump mode).
+	sh         *shard
+	pendSwitch [][]byte
+	pendCtrl   [][]byte
+	pendQueued bool
 }
 
-func newSession(conn model.Conn, swConn, ctrlConn net.Conn) *session {
+func newSession(conn model.Conn, swConn, ctrlConn net.Conn, sh *shard) *session {
 	s := &session{
 		conn:       conn,
 		switchSide: swConn,
 		ctrlSide:   ctrlConn,
-		toSwitch:   make(chan []byte, 4096),
-		toCtrl:     make(chan []byte, 4096),
 		closed:     make(chan struct{}),
+		sh:         sh,
 	}
-	go s.pumpOut(s.toSwitch, swConn)
-	go s.pumpOut(s.toCtrl, ctrlConn)
+	if sh == nil {
+		s.toSwitch = make(chan []byte, 4096)
+		s.toCtrl = make(chan []byte, 4096)
+		go s.pumpOut(s.toSwitch, swConn)
+		go s.pumpOut(s.toCtrl, ctrlConn)
+	}
 	return s
 }
 
 func (s *session) pumpOut(ch chan []byte, dst net.Conn) {
+	// On any exit, recycle frames still queued behind the pump and count
+	// them as drops — they were accepted by write() but never delivered.
+	// (A racing write() can still slip a frame in after this drain; that
+	// buffer is simply garbage-collected, the pool is best-effort.)
+	defer func() {
+		dropped := 0
+		for {
+			select {
+			case buf := <-ch:
+				openflow.PutBuffer(buf)
+				dropped++
+			default:
+				if dropped > 0 && s.onDrop != nil {
+					s.onDrop(dropped)
+				}
+				return
+			}
+		}
+	}()
 	for {
 		select {
 		case <-s.closed:
@@ -182,9 +262,14 @@ func (s *session) close() {
 	})
 }
 
-// write queues raw bytes toward the given direction's destination,
-// blocking only if the 4096-message buffer is full.
+// write queues raw bytes toward the given direction's destination, taking
+// ownership of raw. In pump mode it blocks only if the 4096-message buffer
+// is full; in sharded mode it enqueues a write event on the owning shard's
+// loop (safe from any goroutine) which delivers it in a later batch flush.
 func (s *session) write(dir lang.Direction, raw []byte) error {
+	if s.sh != nil {
+		return s.sh.enqueueWrite(s, dir, raw)
+	}
 	ch := s.toSwitch
 	if dir == lang.SwitchToController {
 		ch = s.toCtrl
@@ -220,6 +305,12 @@ func New(cfg Config) (*Injector, error) {
 	if err := cfg.Attack.Validate(cfg.System, cfg.Attacker); err != nil {
 		return nil, err
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = defaultBatch
+	}
 	inj := &Injector{
 		cfg:      cfg,
 		clk:      cfg.Clock,
@@ -231,9 +322,26 @@ func New(cfg Config) (*Injector, error) {
 		stop:     make(chan struct{}),
 	}
 	inj.counters = buildConnCounters(inj.tele, inj.proxiedConns())
-	inj.exec = newExecutor(inj)
+	// σ and Δ live in one store shared by every executor — the legacy
+	// single-threaded one and (in sharded mode) each shard's — so state
+	// transitions and deque storage stay consistent across shards.
+	store := cfg.State
+	if store == nil {
+		store = newLocalState(cfg.Attack.Start)
+	}
+	inj.exec = newExecutor(inj, store, cfg.StochasticSeed, nil)
+	if cfg.Shards > 0 {
+		inj.imbalance = inj.tele.Counter("injector.shards.imbalance")
+		inj.shards = make([]*shard, cfg.Shards)
+		for i := range inj.shards {
+			inj.shards[i] = newShard(inj, i, store)
+		}
+	}
 	return inj, nil
 }
+
+// Sharded reports whether the injector runs the batch-draining core.
+func (inj *Injector) Sharded() bool { return len(inj.shards) > 0 }
 
 // Log exposes the injector's event log.
 func (inj *Injector) Log() *Log { return inj.log }
@@ -282,11 +390,22 @@ func (inj *Injector) Start() error {
 			inj.acceptLoop(conn, ln)
 		}()
 	}
-	inj.wg.Add(1)
-	go func() {
-		defer inj.wg.Done()
-		inj.exec.run()
-	}()
+	if inj.Sharded() {
+		for _, sh := range inj.shards {
+			sh := sh
+			inj.wg.Add(1)
+			go func() {
+				defer inj.wg.Done()
+				sh.run()
+			}()
+		}
+	} else {
+		inj.wg.Add(1)
+		go func() {
+			defer inj.wg.Done()
+			inj.exec.run()
+		}()
+	}
 	inj.started = true
 	return nil
 }
@@ -341,7 +460,11 @@ func (inj *Injector) acceptLoop(conn model.Conn, ln net.Listener) {
 		}
 		// Serve this session to completion before accepting the switch's
 		// next reconnect (a switch has one control channel at a time).
-		inj.serveSession(sess)
+		if sess.sh != nil {
+			inj.serveSessionSharded(sess)
+		} else {
+			inj.serveSession(sess)
+		}
 	}
 }
 
@@ -355,7 +478,12 @@ func (inj *Injector) openSession(conn model.Conn, swConn net.Conn) (*session, er
 	if err != nil {
 		return nil, err
 	}
-	sess := newSession(conn, swConn, ctrlConn)
+	sess := newSession(conn, swConn, ctrlConn, inj.shardFor(conn))
+	inj.bindSession(sess)
+	sess.onDrop = func(n int) {
+		sess.ctrs.dropped.Add(uint64(n))
+		inj.log.CountRef(sess.stats, func(s *Stats) { s.Dropped += uint64(n) })
+	}
 	inj.mu.Lock()
 	inj.sessions[conn] = sess
 	inj.mu.Unlock()
@@ -367,11 +495,17 @@ func (inj *Injector) openSession(conn model.Conn, swConn net.Conn) (*session, er
 	return sess, nil
 }
 
+// readBufSize sizes the per-reader bufio layer: one locked ring/socket
+// read pulls in a run of small frames instead of two per frame (header,
+// body). Frames larger than the buffer degrade gracefully to direct reads.
+const readBufSize = 4096
+
 // serveSession pumps both directions into the executor until either side
 // closes.
 func (inj *Injector) serveSession(sess *session) {
 	var wg sync.WaitGroup
-	pump := func(src net.Conn, dir lang.Direction) {
+	pump := func(conn net.Conn, dir lang.Direction) {
+		src := bufio.NewReaderSize(conn, readBufSize)
 		defer wg.Done()
 		for {
 			// Each frame is read into a pooled buffer whose ownership moves
@@ -399,7 +533,45 @@ func (inj *Injector) serveSession(sess *session) {
 	go pump(sess.switchSide, lang.SwitchToController)
 	go pump(sess.ctrlSide, lang.ControllerToSwitch)
 	wg.Wait()
+	inj.finishSession(sess)
+}
 
+// serveSessionSharded reads both directions into the owning shard's intake
+// queue until either side closes. Two reader goroutines remain per session
+// (a blocking Read must not stall other sessions), but the write side has
+// no goroutines at all: the shard loop flushes outbound frames in batches.
+func (inj *Injector) serveSessionSharded(sess *session) {
+	var wg sync.WaitGroup
+	read := func(conn net.Conn, dir lang.Direction) {
+		defer wg.Done()
+		src := bufio.NewReaderSize(conn, readBufSize)
+		sh := sess.sh
+		for {
+			raw, err := openflow.ReadRawInto(src, openflow.GetBuffer())
+			if err != nil {
+				openflow.PutBuffer(raw)
+				sess.close()
+				return
+			}
+			ev := eventPool.Get().(*event)
+			*ev = event{kind: EventMessage, conn: sess.conn, dir: dir, raw: raw, sess: sess}
+			if !sh.enqueue(ev) {
+				openflow.PutBuffer(raw)
+				ev.recycle()
+				sess.close()
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go read(sess.switchSide, lang.SwitchToController)
+	go read(sess.ctrlSide, lang.ControllerToSwitch)
+	wg.Wait()
+	inj.finishSession(sess)
+}
+
+// finishSession deregisters a served session and records its close.
+func (inj *Injector) finishSession(sess *session) {
 	inj.mu.Lock()
 	if inj.sessions[sess.conn] == sess {
 		delete(inj.sessions, sess.conn)
@@ -410,6 +582,15 @@ func (inj *Injector) serveSession(sess *session) {
 		Layer: telemetry.LayerInjector, Kind: telemetry.KindSession,
 		Conn: connLabel(sess.conn), Detail: "closed",
 	})
+}
+
+// bindSession resolves the session's per-connection hot-path caches: the
+// capability grant, telemetry counters, and log stats record, all of which
+// are fixed for the connection's lifetime.
+func (inj *Injector) bindSession(sess *session) {
+	sess.caps = inj.cfg.Attacker.CapsFor(sess.conn)
+	sess.ctrs = inj.countersFor(sess.conn)
+	sess.stats = inj.log.StatsRef(sess.conn)
 }
 
 // sessionFor returns the live session for conn, if any.
@@ -447,6 +628,17 @@ func (inj *Injector) proxiedConns() []model.Conn {
 // enqueued after a Barrier issued later. Callers needing to observe the
 // effects of specific messages should poll on the observable effect.
 func (inj *Injector) Barrier() {
+	if inj.Sharded() {
+		// One no-op event per shard: each loop closes its done channel
+		// after draining everything enqueued before it.
+		for _, sh := range inj.shards {
+			done := make(chan struct{})
+			if sh.enqueueBarrier(done) {
+				<-done
+			}
+		}
+		return
+	}
 	done := make(chan struct{})
 	ev := &event{kind: EventConn, done: done}
 	select {

@@ -145,6 +145,39 @@ func (l *Log) Count(conn model.Conn, update func(*Stats)) {
 	l.mu.Unlock()
 }
 
+// StatsRef returns the live stats record for conn, creating it on first
+// use. The pointer is stable for the log's lifetime; mutate it only under
+// the log's lock via CountRef or CountBatch. Sessions resolve their record
+// once at open so the per-message path skips the map lookup.
+func (l *Log) StatsRef(conn model.Conn) *Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.stats[conn]
+	if !ok {
+		st = &Stats{}
+		l.stats[conn] = st
+	}
+	return st
+}
+
+// CountRef is Count for a pre-resolved StatsRef record: same lock, no map
+// lookup.
+func (l *Log) CountRef(st *Stats, update func(*Stats)) {
+	l.mu.Lock()
+	update(st)
+	l.mu.Unlock()
+}
+
+// CountBatch runs fn under the stats lock. fn may mutate any number of
+// StatsRef records and add to the per-type message counts through the map
+// it receives — one lock round-trip publishes a whole batch of bookkeeping
+// that Count/CountType would pay per message.
+func (l *Log) CountBatch(fn func(types map[string]uint64)) {
+	l.mu.Lock()
+	fn(l.byType)
+	l.mu.Unlock()
+}
+
 // Stats returns a snapshot of the counters for conn.
 func (l *Log) Stats(conn model.Conn) Stats {
 	l.mu.Lock()

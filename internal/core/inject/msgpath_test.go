@@ -38,6 +38,7 @@ func pumpless(t testing.TB, attack *lang.Attack, caps model.CapabilitySet, tweak
 		toCtrl:   make(chan []byte, 64),
 		closed:   make(chan struct{}),
 	}
+	inj.bindSession(sess)
 	return inj, sess
 }
 

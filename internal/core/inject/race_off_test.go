@@ -1,0 +1,5 @@
+//go:build !race
+
+package inject
+
+const raceEnabled = false

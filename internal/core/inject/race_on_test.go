@@ -1,0 +1,7 @@
+//go:build race
+
+package inject
+
+// raceEnabled reports that this test binary was built with -race, which
+// makes sync.Pool drop items at random — allocation pins cannot hold.
+const raceEnabled = true

@@ -1,0 +1,508 @@
+package inject
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+	"attain/internal/telemetry"
+)
+
+// defaultBatch bounds how many events one shard loop iteration processes
+// between flushes when Config.Batch is unset.
+const defaultBatch = 256
+
+// flushChunk caps how many coalesced bytes one vectored flush writes per
+// Conn.Write call, bounding the shard's persistent flush buffer.
+const flushChunk = 256 << 10
+
+// eventWrite is the internal event kind carrying an outbound frame to the
+// shard that owns its destination session (cross-shard deliveries, async
+// delays, fabric injections). It never appears in the log.
+const eventWrite EventKind = 100
+
+// shard is one batch-draining event loop of the sharded injector core.
+//
+// Sessions are bound to a shard at accept time; the shard's single loop
+// goroutine then owns those sessions' outbound conns and all mutable
+// executor state (rule evaluation scratch, RNG, pending write lists), so
+// steady-state processing is shared-nothing: the only cross-goroutine
+// touch points are the intake queue and the σ/Δ StateStore, which is
+// shared by design (attack state is global, §VIII-C).
+//
+// Compared with the per-session pump path (2 reader + 2 writer goroutines
+// and 2 channel hops per message), a shard wakes up once, drains every
+// queued event in one pass, and writes each touched session's frames with
+// one coalesced Conn.Write per direction — the per-message scheduler
+// handoffs that dominate the pump design are amortized over the batch.
+type shard struct {
+	inj  *Injector
+	id   int
+	exec *executor
+
+	// intake is the cross-goroutine queue: readers append under mu, the
+	// loop swaps it against spare (slice ping-pong, so steady state
+	// allocates neither). space wakes producers blocked on a full queue;
+	// wake (capacity 1) wakes the loop when the queue goes non-empty.
+	mu       sync.Mutex
+	space    *sync.Cond
+	intake   []*event
+	spare    []*event
+	stopped  bool
+	wake     chan struct{}
+	queueMax int
+
+	// Loop-owned state: sessions with pending outbound frames this batch,
+	// sessions with unpublished Seen counts, the reusable coalescing
+	// buffer, and collected barrier channels. bookFn is the pre-built
+	// CountBatch closure so flushBook allocates nothing per batch.
+	touched []*session
+	counted []*session
+	flush   []byte
+	dones   []chan struct{}
+	bookFn  func(types map[string]uint64)
+
+	// processed counts messages handled by this shard's loop; read by
+	// sibling shards for imbalance observation.
+	processed atomic.Uint64
+	batchN    uint64
+
+	msgs    *telemetry.Counter
+	batches *telemetry.Counter
+	stalls  *telemetry.Counter
+	depth   *telemetry.Gauge
+	batchSz *telemetry.Histogram
+}
+
+func newShard(inj *Injector, id int, store StateStore) *shard {
+	sh := &shard{
+		inj:      inj,
+		id:       id,
+		wake:     make(chan struct{}, 1),
+		queueMax: inj.cfg.EventBuffer,
+		intake:   make([]*event, 0, inj.cfg.EventBuffer),
+		spare:    make([]*event, 0, inj.cfg.EventBuffer),
+		touched:  make([]*session, 0, 64),
+		flush:    make([]byte, 0, flushChunk),
+		msgs:     inj.tele.Counter(fmt.Sprintf("injector.shard.%d.msgs", id)),
+		batches:  inj.tele.Counter(fmt.Sprintf("injector.shard.%d.batches", id)),
+		stalls:   inj.tele.Counter(fmt.Sprintf("injector.shard.%d.stalls", id)),
+		depth:    inj.tele.Gauge(fmt.Sprintf("injector.shard.%d.queue_depth", id)),
+		batchSz:  inj.tele.Histogram(fmt.Sprintf("injector.shard.%d.batch_size", id)),
+	}
+	sh.counted = make([]*session, 0, 64)
+	sh.space = sync.NewCond(&sh.mu)
+	sh.exec = newExecutor(inj, store, shardSeed(inj.cfg.StochasticSeed, id), sh)
+	sh.bookFn = func(types map[string]uint64) {
+		for _, sess := range sh.counted {
+			sess.stats.Seen += sess.batchSeen
+			sess.batchSeen = 0
+		}
+		for t, n := range sh.exec.typeCounts {
+			types[t] += n
+		}
+	}
+	return sh
+}
+
+// noteSeen accumulates one Seen count for sess, deferred to the batch's
+// flushBook. Loop-owned.
+func (sh *shard) noteSeen(sess *session) {
+	if sess.batchSeen == 0 {
+		sh.counted = append(sh.counted, sess)
+	}
+	sess.batchSeen++
+}
+
+// flushBook publishes the batch's accumulated Seen and per-type message
+// counts in one log lock round-trip — bookkeeping the pump path pays per
+// message, amortized over the batch here. Counts become externally visible
+// at batch boundaries, matching the Delivered-at-flush semantics.
+func (sh *shard) flushBook() {
+	if len(sh.counted) == 0 && len(sh.exec.typeCounts) == 0 {
+		return
+	}
+	sh.inj.log.CountBatch(sh.bookFn)
+	clear(sh.exec.typeCounts)
+	sh.counted = sh.counted[:0]
+}
+
+// shardSeed derives shard i's RNG seed. Shard 0 keeps the configured seed
+// unchanged so a one-shard run draws the exact sequence the legacy
+// single-executor path would — stochastic attacks stay bit-reproducible
+// across the two cores. Higher shards mix in their index (splitmix64
+// finalizer) so they draw independent sequences.
+func shardSeed(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	z := uint64(seed) + uint64(i)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// shardFor maps a control-plane connection to its owning shard (nil in
+// pump mode). The assignment hashes the connection identity seeded by
+// StochasticSeed, so it is deterministic for a given config — rerunning an
+// experiment lands every session on the same shard — while different seeds
+// explore different placements.
+func (inj *Injector) shardFor(conn model.Conn) *shard {
+	if !inj.Sharded() {
+		return nil
+	}
+	h := uint64(inj.cfg.StochasticSeed) ^ 0x9E3779B97F4A7C15
+	for _, s := range [2]string{string(conn.Controller), string(conn.Switch)} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 0x100000001B3
+		}
+		h ^= 0xFF
+		h *= 0x100000001B3
+	}
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return inj.shards[h%uint64(len(inj.shards))]
+}
+
+// signal wakes the shard loop if it is (or is about to start) waiting.
+// The channel holds one token, so signaling a busy loop is free and the
+// token is never lost.
+func (sh *shard) signal() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// enqueue hands an inbound message event to the shard, blocking while the
+// queue is at capacity (backpressure toward the reading session, the role
+// the bounded events channel plays in pump mode). It reports false once
+// the shard has stopped; the caller keeps ownership of ev and its buffer.
+func (sh *shard) enqueue(ev *event) bool {
+	sh.mu.Lock()
+	for len(sh.intake) >= sh.queueMax && !sh.stopped {
+		sh.stalls.Inc()
+		sh.space.Wait()
+	}
+	if sh.stopped {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.intake = append(sh.intake, ev)
+	wasEmpty := len(sh.intake) == 1
+	sh.depth.Set(int64(len(sh.intake)))
+	sh.mu.Unlock()
+	if wasEmpty {
+		sh.signal()
+	}
+	return true
+}
+
+// enqueueWrite queues an outbound frame for delivery by the owning shard's
+// loop, taking ownership of raw on success. Unlike enqueue it never blocks
+// on a full queue: write events originate from other shard loops (and
+// async-delay timers), and blocking one loop on another's backpressure
+// could deadlock a cross-shard delivery cycle. Writes also never expand
+// into more work, so the queue overshoot is bounded by in-flight traffic.
+func (sh *shard) enqueueWrite(sess *session, dir lang.Direction, raw []byte) error {
+	ev := eventPool.Get().(*event)
+	*ev = event{kind: eventWrite, conn: sess.conn, dir: dir, raw: raw, sess: sess}
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		ev.recycle()
+		return net.ErrClosed
+	}
+	sh.intake = append(sh.intake, ev)
+	wasEmpty := len(sh.intake) == 1
+	sh.depth.Set(int64(len(sh.intake)))
+	sh.mu.Unlock()
+	if wasEmpty {
+		sh.signal()
+	}
+	return nil
+}
+
+// enqueueBarrier queues a no-op event whose done channel the loop closes
+// after the flush that ends its batch, reporting false if the shard has
+// already stopped (done will not be closed by the loop then).
+func (sh *shard) enqueueBarrier(done chan struct{}) bool {
+	ev := eventPool.Get().(*event)
+	*ev = event{kind: EventConn, done: done}
+	sh.mu.Lock()
+	if sh.stopped {
+		sh.mu.Unlock()
+		ev.recycle()
+		return false
+	}
+	sh.intake = append(sh.intake, ev)
+	wasEmpty := len(sh.intake) == 1
+	sh.mu.Unlock()
+	if wasEmpty {
+		sh.signal()
+	}
+	return true
+}
+
+// run is the shard loop: wait for work, drain it in batches, repeat until
+// the injector stops.
+func (sh *shard) run() {
+	defer sh.drainShutdown()
+	for {
+		batch := sh.waitWork()
+		if batch == nil {
+			return
+		}
+		sh.drainBatch(batch)
+	}
+}
+
+// waitWork blocks until events are queued, then takes the whole queue in
+// one swap. Returns nil when the injector is stopping and the queue is
+// empty.
+func (sh *shard) waitWork() []*event {
+	sh.mu.Lock()
+	for len(sh.intake) == 0 {
+		if sh.stopped {
+			sh.mu.Unlock()
+			return nil
+		}
+		sh.mu.Unlock()
+		select {
+		case <-sh.wake:
+		case <-sh.inj.stop:
+			// Mark stopped and keep draining whatever is queued; the next
+			// pass through an empty queue exits.
+			sh.mu.Lock()
+			sh.stopped = true
+			sh.mu.Unlock()
+			sh.space.Broadcast()
+		}
+		sh.mu.Lock()
+	}
+	batch := sh.intake
+	sh.intake = sh.spare[:0]
+	sh.spare = batch
+	sh.depth.Set(0)
+	sh.mu.Unlock()
+	sh.space.Broadcast()
+	return batch
+}
+
+// drainBatch processes one queue swap's worth of events: executor
+// processing for messages, pending-list appends for writes, then one
+// vectored flush per touched session per Batch-sized chunk. Barrier done
+// channels close only after the flush that covers their batch, so a
+// Barrier observer sees every prior frame on the wire.
+func (sh *shard) drainBatch(events []*event) {
+	max := sh.inj.cfg.Batch
+	for len(events) > 0 {
+		n := len(events)
+		if n > max {
+			n = max
+		}
+		chunk := events[:n]
+		events = events[n:]
+		// One clock read covers the whole chunk: view timestamps and
+		// verdict events quantize to batch boundaries (executor.now).
+		sh.exec.batchNow = sh.inj.clk.Now()
+		msgs := 0
+		for _, ev := range chunk {
+			switch ev.kind {
+			case EventMessage:
+				sh.exec.process(ev)
+				msgs++
+			case eventWrite:
+				sh.queueLocal(ev.sess, ev.dir, ev.raw)
+			}
+			if ev.done != nil {
+				sh.dones = append(sh.dones, ev.done)
+			}
+			ev.recycle()
+		}
+		sh.flushAll()
+		sh.flushBook()
+		for i, done := range sh.dones {
+			close(done)
+			sh.dones[i] = nil
+		}
+		sh.dones = sh.dones[:0]
+		sh.batchSz.Observe(int64(n))
+		sh.batches.Inc()
+		if msgs > 0 {
+			sh.msgs.Add(uint64(msgs))
+			sh.processed.Add(uint64(msgs))
+		}
+		sh.batchN++
+		if sh.batchN%64 == 0 && len(sh.inj.shards) > 1 {
+			sh.observeImbalance()
+		}
+	}
+}
+
+// queueLocal appends an outbound frame to its session's pending list for
+// the batch-end flush. Loop-goroutine only. Ownership of raw transfers
+// here: frames for a closed session are recycled and counted as drops.
+func (sh *shard) queueLocal(sess *session, dir lang.Direction, raw []byte) {
+	select {
+	case <-sess.closed:
+		openflow.PutBuffer(raw)
+		if sess.onDrop != nil {
+			sess.onDrop(1)
+		}
+		return
+	default:
+	}
+	if dir == lang.SwitchToController {
+		sess.pendCtrl = append(sess.pendCtrl, raw)
+	} else {
+		sess.pendSwitch = append(sess.pendSwitch, raw)
+	}
+	if !sess.pendQueued {
+		sess.pendQueued = true
+		sh.touched = append(sh.touched, sess)
+	}
+}
+
+// flushAll writes every touched session's pending frames, one coalesced
+// write per direction.
+func (sh *shard) flushAll() {
+	for i, sess := range sh.touched {
+		sh.flushDir(sess, sess.ctrlSide, sess.pendCtrl)
+		sess.pendCtrl = sess.pendCtrl[:0]
+		sh.flushDir(sess, sess.switchSide, sess.pendSwitch)
+		sess.pendSwitch = sess.pendSwitch[:0]
+		sess.pendQueued = false
+		sh.touched[i] = nil
+	}
+	sh.touched = sh.touched[:0]
+}
+
+// flushDir coalesces frames into the shard's persistent buffer and writes
+// them with as few Conn.Write calls as flushChunk allows — usually one.
+// Every frame buffer is recycled here regardless of outcome; on a write
+// error the session is closed and the unwritten tail counted as drops.
+// Delivered is counted once per flush instead of once per frame, which is
+// where the pump path spent its per-message mutex hits.
+func (sh *shard) flushDir(sess *session, dst net.Conn, frames [][]byte) {
+	if len(frames) == 0 {
+		return
+	}
+	var werr error
+	written, pending := 0, 0
+	buf := sh.flush[:0]
+	flushBuf := func() {
+		if werr != nil || len(buf) == 0 {
+			return
+		}
+		if _, err := dst.Write(buf); err != nil {
+			werr = err
+		} else {
+			written += pending
+		}
+		pending = 0
+		buf = buf[:0]
+	}
+	for _, fr := range frames {
+		if werr == nil {
+			if len(buf) > 0 && len(buf)+len(fr) > flushChunk {
+				flushBuf()
+			}
+			if werr == nil {
+				buf = append(buf, fr...)
+				pending++
+			}
+		}
+		openflow.PutBuffer(fr)
+	}
+	flushBuf()
+	sh.flush = buf[:0]
+	if written > 0 {
+		n := uint64(written)
+		if sess.stats != nil {
+			sh.inj.log.CountRef(sess.stats, func(s *Stats) { s.Delivered += n })
+		} else {
+			sh.inj.log.Count(sess.conn, func(s *Stats) { s.Delivered += n })
+		}
+	}
+	if werr != nil {
+		sess.close()
+		if dropped := len(frames) - written; dropped > 0 && sess.onDrop != nil {
+			sess.onDrop(dropped)
+		}
+	}
+}
+
+// drainShutdown runs when the loop exits: mark the shard stopped, release
+// blocked producers, and recycle everything still queued or pending so
+// pooled buffers are not leaked across an injector restart.
+func (sh *shard) drainShutdown() {
+	sh.mu.Lock()
+	sh.stopped = true
+	intake := sh.intake
+	sh.intake = nil
+	sh.mu.Unlock()
+	sh.space.Broadcast()
+	for _, ev := range intake {
+		switch ev.kind {
+		case EventMessage:
+			openflow.PutBuffer(ev.raw)
+		case eventWrite:
+			openflow.PutBuffer(ev.raw)
+			if ev.sess != nil && ev.sess.onDrop != nil {
+				ev.sess.onDrop(1)
+			}
+		}
+		if ev.done != nil {
+			close(ev.done)
+		}
+		ev.recycle()
+	}
+	for i, sess := range sh.touched {
+		dropped := len(sess.pendSwitch) + len(sess.pendCtrl)
+		for _, fr := range sess.pendSwitch {
+			openflow.PutBuffer(fr)
+		}
+		for _, fr := range sess.pendCtrl {
+			openflow.PutBuffer(fr)
+		}
+		sess.pendSwitch, sess.pendCtrl = sess.pendSwitch[:0], sess.pendCtrl[:0]
+		sess.pendQueued = false
+		if dropped > 0 && sess.onDrop != nil {
+			sess.onDrop(dropped)
+		}
+		sh.touched[i] = nil
+	}
+	sh.touched = sh.touched[:0]
+	// Publish any Seen/type counts the final partial batch accumulated.
+	sh.flushBook()
+}
+
+// observeImbalance samples all shards' processed counts and bumps the
+// injector-wide imbalance counter when the busiest shard is more than
+// twice the idlest (plus one batch of slack, so short runs don't trip it).
+// Sampled every 64 batches, so the cost is noise.
+func (sh *shard) observeImbalance() {
+	min, max := ^uint64(0), uint64(0)
+	for _, other := range sh.inj.shards {
+		p := other.processed.Load()
+		if p < min {
+			min = p
+		}
+		if p > max {
+			max = p
+		}
+	}
+	if max > 2*min+uint64(sh.inj.cfg.Batch) {
+		sh.inj.imbalance.Inc()
+	}
+}

@@ -1,0 +1,387 @@
+package inject
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/netem"
+	"attain/internal/openflow"
+)
+
+// shardedHarness builds a harness over buffered conns with the sharded
+// core enabled.
+func shardedHarness(t *testing.T, attack *lang.Attack, caps model.CapabilitySet, shards int, tweak func(*Config)) *harness {
+	t.Helper()
+	return newHarnessTr(t, attack, caps, netem.NewBufferedMemTransport(0), func(cfg *Config) {
+		cfg.Shards = shards
+		if tweak != nil {
+			tweak(cfg)
+		}
+	})
+}
+
+func TestShardedPassthroughAndStats(t *testing.T) {
+	h := shardedHarness(t, trivialAttack(), model.AllCapabilities, 2, nil)
+	if !h.inj.Sharded() {
+		t.Fatal("injector not sharded")
+	}
+	h.sw.send(t, 1, &openflow.Hello{})
+	if hd, _ := h.ctrl.expect(t); hd.Type != openflow.TypeHello {
+		t.Errorf("controller got %s", hd.Type)
+	}
+	h.ctrl.send(t, 2, &openflow.EchoRequest{Data: []byte("x")})
+	if hd, _ := h.sw.expect(t); hd.Type != openflow.TypeEchoRequest {
+		t.Errorf("switch got %s", hd.Type)
+	}
+	// Xids preserved byte-for-byte through the batched flush.
+	h.sw.send(t, 77, &openflow.BarrierRequest{})
+	if hd, _ := h.ctrl.expect(t); hd.Xid != 77 {
+		t.Errorf("xid = %d, want 77", hd.Xid)
+	}
+	h.inj.Barrier()
+	st := h.inj.Log().Stats(h.conn)
+	if st.Seen != 3 || st.Delivered != 3 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestShardedScopedDropAndCounters(t *testing.T) {
+	// Drop everything on (c1,s1); (c1,s2) — possibly on another shard —
+	// must be untouched, and per-conn stats must hold after Barrier.
+	attack := oneRuleAttack(lang.True, model.AllCapabilities, lang.DropMessage{})
+	h := shardedHarness(t, attack, model.AllCapabilities, 2, nil)
+	sw2, ctrl2 := h.openSecondConn(t)
+
+	h.sw.send(t, 1, &openflow.Hello{})
+	h.ctrl.expectNone(t, 100*time.Millisecond)
+	sw2.send(t, 2, &openflow.Hello{})
+	if hd, _ := ctrl2.expect(t); hd.Type != openflow.TypeHello {
+		t.Errorf("(c1,s2) controller got %s", hd.Type)
+	}
+	h.inj.Barrier()
+	if st := h.inj.Log().Stats(h.conn); st.Dropped != 1 || st.Delivered != 0 {
+		t.Errorf("(c1,s1) stats = %+v", st)
+	}
+	conn2 := model.Conn{Controller: "c1", Switch: "s2"}
+	if st := h.inj.Log().Stats(conn2); st.Delivered != 1 || st.Dropped != 0 {
+		t.Errorf("(c1,s2) stats = %+v", st)
+	}
+}
+
+// TestShardAssignmentDeterministic pins reproducibility of placement: the
+// same seed maps every connection to the same shard on every run, and the
+// hash actually spreads connections.
+func TestShardAssignmentDeterministic(t *testing.T) {
+	attack := trivialAttack()
+	mk := func(seed int64) *Injector {
+		inj, _ := pumpless(t, attack, model.AllCapabilities, func(cfg *Config) {
+			cfg.Shards = 4
+			cfg.StochasticSeed = seed
+		})
+		return inj
+	}
+	a, b := mk(42), mk(42)
+	used := map[int]bool{}
+	for _, c := range []string{"c1", "c2", "c3", "c4"} {
+		for _, s := range []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"} {
+			conn := model.Conn{Controller: model.NodeID(c), Switch: model.NodeID(s)}
+			sa, sb := a.shardFor(conn), b.shardFor(conn)
+			if sa.id != sb.id {
+				t.Fatalf("conn %s: shard %d vs %d across same-seed injectors", conn, sa.id, sb.id)
+			}
+			used[sa.id] = true
+		}
+	}
+	if len(used) < 2 {
+		t.Errorf("32 conns all hashed to %d shard(s)", len(used))
+	}
+	// Shard 0 draws the exact RNG sequence of the legacy single executor.
+	if shardSeed(777, 0) != 777 {
+		t.Error("shardSeed(seed, 0) must be the identity")
+	}
+	if shardSeed(777, 1) == 777 || shardSeed(777, 1) == shardSeed(777, 2) {
+		t.Error("sibling shard seeds must differ")
+	}
+}
+
+// TestShardedDeterminismMatchesPumpPath pins the headline reproducibility
+// claim: for the same stochastic seed, the sharded core and the legacy
+// pump path make the identical per-message verdict sequence — the same
+// messages dropped, the same subset delivered in the same order.
+func TestShardedDeterminismMatchesPumpPath(t *testing.T) {
+	run := func(shards int) []uint32 {
+		a := lang.NewAttack("stochastic", "s0")
+		a.AddState(&lang.State{
+			Name: "s0",
+			Rules: []*lang.Rule{{
+				Name:    "coinflip",
+				Conns:   []model.Conn{{Controller: "c1", Switch: "s1"}},
+				Caps:    model.AllCapabilities,
+				Cond:    isType("ECHO_REQUEST"),
+				Prob:    0.5,
+				Actions: []lang.Action{lang.DropMessage{}},
+			}},
+		})
+		h := newHarnessTr(t, a, model.AllCapabilities, netem.NewBufferedMemTransport(0), func(cfg *Config) {
+			cfg.Shards = shards
+			cfg.StochasticSeed = 42
+		})
+		const n = 150
+		for i := 0; i < n; i++ {
+			h.sw.send(t, uint32(i+1), &openflow.EchoRequest{})
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) && h.inj.Log().Stats(h.conn).Seen < n {
+			time.Sleep(2 * time.Millisecond)
+		}
+		h.inj.Barrier()
+		st := h.inj.Log().Stats(h.conn)
+		if st.Seen != n {
+			t.Fatalf("shards=%d: seen = %d, want %d", shards, st.Seen, n)
+		}
+		if st.Dropped == 0 || st.Dropped == n {
+			t.Fatalf("shards=%d: dropped = %d, want a strict subset", shards, st.Dropped)
+		}
+		xids := make([]uint32, 0, n)
+		for uint64(len(xids)) < n-st.Dropped {
+			select {
+			case raw, ok := <-h.ctrl.got:
+				if !ok {
+					t.Fatalf("shards=%d: controller closed early", shards)
+				}
+				hd, _, err := openflow.Unmarshal(raw)
+				if err != nil {
+					t.Fatal(err)
+				}
+				xids = append(xids, hd.Xid)
+			case <-time.After(5 * time.Second):
+				t.Fatalf("shards=%d: got %d of %d survivors", shards, len(xids), n-st.Dropped)
+			}
+		}
+		return xids
+	}
+
+	pump := run(0)
+	sharded := run(1)
+	if len(pump) != len(sharded) {
+		t.Fatalf("survivor counts differ: pump %d, sharded %d", len(pump), len(sharded))
+	}
+	for i := range pump {
+		if pump[i] != sharded[i] {
+			t.Fatalf("verdict sequences diverge at %d: pump xid %d, sharded xid %d", i, pump[i], sharded[i])
+		}
+	}
+}
+
+// TestShardedConcurrentSessions hammers two proxied connections from both
+// directions through the sharded core — the race-detector stress for the
+// intake queue, cross-session flushes, and pooled buffer recycling.
+func TestShardedConcurrentSessions(t *testing.T) {
+	attack := oneRuleAttack(isType("PACKET_IN"), model.AllCapabilities, lang.DuplicateMessage{})
+	h := shardedHarness(t, attack, model.AllCapabilities, 2, nil)
+	sw2, ctrl2 := h.openSecondConn(t)
+
+	const n = 200
+	var wg sync.WaitGroup
+	send := func(p *fakePeer, mk func(i int) openflow.Message) {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			p.send(t, uint32(i+1), mk(i))
+		}
+	}
+	wg.Add(4)
+	go send(h.sw, func(i int) openflow.Message {
+		return &openflow.PacketIn{BufferID: uint32(i), InPort: 1, Reason: openflow.PacketInReasonNoMatch}
+	})
+	go send(h.ctrl, func(i int) openflow.Message { return &openflow.EchoRequest{} })
+	go send(sw2, func(i int) openflow.Message { return &openflow.EchoReply{} })
+	go send(ctrl2, func(i int) openflow.Message {
+		return &openflow.FlowMod{Match: openflow.MatchAll(), BufferID: openflow.NoBuffer, OutPort: openflow.PortNone}
+	})
+	wg.Wait()
+
+	recv := func(p *fakePeer, want int) int {
+		got := 0
+		for got < want {
+			select {
+			case _, ok := <-p.got:
+				if !ok {
+					t.Fatal("peer closed early")
+				}
+				got++
+			case <-time.After(5 * time.Second):
+				return got
+			}
+		}
+		return got
+	}
+	// PACKET_INs on (c1,s1) are duplicated: 2n frames at the controller.
+	if got := recv(h.ctrl, 2*n); got != 2*n {
+		t.Errorf("ctrl got %d frames, want %d", got, 2*n)
+	}
+	if got := recv(h.sw, n); got != n {
+		t.Errorf("sw got %d frames, want %d", got, n)
+	}
+	if got := recv(ctrl2, n); got != n {
+		t.Errorf("ctrl2 got %d frames, want %d", got, n)
+	}
+	if got := recv(sw2, n); got != n {
+		t.Errorf("sw2 got %d frames, want %d", got, n)
+	}
+}
+
+// discardConn swallows writes; reads report EOF. It stands in for a peer
+// in benchmarks and alloc tests where only the write side matters.
+type discardConn struct{}
+
+func (discardConn) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (discardConn) Write(p []byte) (int, error) { return len(p), nil }
+func (discardConn) Close() error                { return nil }
+func (discardConn) LocalAddr() net.Addr         { return nil }
+func (discardConn) RemoteAddr() net.Addr        { return nil }
+func (discardConn) SetDeadline(time.Time) error { return nil }
+func (c discardConn) SetReadDeadline(time.Time) error {
+	return nil
+}
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// shardedLoopback builds a sharded injector (not started) plus a session
+// bound to shard 0 over discard conns, for driving the shard loop inline.
+func shardedLoopback(t testing.TB, attack *lang.Attack) (*Injector, *shard, *session) {
+	inj, _ := pumpless(t, attack, model.AllCapabilities, func(cfg *Config) { cfg.Shards = 1 })
+	sh := inj.shards[0]
+	sess := &session{
+		conn:       model.Conn{Controller: "c1", Switch: "s1"},
+		switchSide: discardConn{},
+		ctrlSide:   discardConn{},
+		closed:     make(chan struct{}),
+		sh:         sh,
+	}
+	inj.bindSession(sess)
+	return inj, sh, sess
+}
+
+// TestShardedBatchZeroAlloc pins the sharded steady state at zero heap
+// allocations per message: enqueue, batch drain, rule evaluation against
+// the lazy frame view, and the coalesced flush all run on pooled or
+// shard-persistent memory.
+func TestShardedBatchZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race mode makes sync.Pool (event recycling) drop items at random")
+	}
+	attack := oneRuleAttack(isType("PACKET_IN"), model.AllCapabilities, lang.DropMessage{})
+	_, sh, sess := shardedLoopback(t, attack)
+	wire, err := openflow.Marshal(7, &openflow.FlowMod{
+		Match: openflow.MatchAll(), BufferID: openflow.NoBuffer, OutPort: openflow.PortNone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func() {
+		for i := 0; i < 16; i++ {
+			ev := eventPool.Get().(*event)
+			*ev = event{kind: EventMessage, conn: sess.conn, dir: lang.SwitchToController, raw: append(openflow.GetBuffer(), wire...), sess: sess}
+			if !sh.enqueue(ev) {
+				t.Fatal("shard refused event")
+			}
+		}
+		sh.drainBatch(sh.waitWork())
+	}
+	step() // warm up stats maps, pools, and pending-list capacity
+	if allocs := testing.AllocsPerRun(500, step); allocs != 0 {
+		t.Fatalf("sharded batch path allocates: %v allocs/op", allocs)
+	}
+}
+
+// TestPumpShutdownRecyclesQueuedFrames pins the pump-mode shutdown fix:
+// frames still queued behind a blocked write pump are returned to the
+// buffer pool and surface in the drop counter instead of leaking silently.
+func TestPumpShutdownRecyclesQueuedFrames(t *testing.T) {
+	bs := &blockConn{closed: make(chan struct{})}
+	bc := &blockConn{closed: make(chan struct{})}
+	sess := newSession(model.Conn{Controller: "c1", Switch: "s1"}, bs, bc, nil)
+	var drops atomic.Int64
+	sess.onDrop = func(n int) { drops.Add(int64(n)) }
+	for i := 0; i < 4; i++ {
+		buf := append(openflow.GetBuffer(), make([]byte, 16)...)
+		if err := sess.write(lang.SwitchToController, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait until the pump holds one frame blocked in Write, leaving three
+	// queued, so the expected drop count is exact.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && len(sess.toCtrl) != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if q := len(sess.toCtrl); q != 3 {
+		t.Fatalf("queued = %d, want 3", q)
+	}
+	sess.close()
+	for time.Now().Before(deadline) && drops.Load() != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	if got := drops.Load(); got != 3 {
+		t.Fatalf("dropped = %d, want 3", got)
+	}
+}
+
+// blockConn blocks Write (and Read) until Close, then fails them — a peer
+// that never drains, forcing frames to pile up behind the write pump.
+type blockConn struct {
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (c *blockConn) Read(p []byte) (int, error) {
+	<-c.closed
+	return 0, io.EOF
+}
+
+func (c *blockConn) Write(p []byte) (int, error) {
+	<-c.closed
+	return 0, io.ErrClosedPipe
+}
+
+func (c *blockConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *blockConn) LocalAddr() net.Addr              { return nil }
+func (c *blockConn) RemoteAddr() net.Addr             { return nil }
+func (c *blockConn) SetDeadline(time.Time) error      { return nil }
+func (c *blockConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *blockConn) SetWriteDeadline(time.Time) error { return nil }
+
+// BenchmarkInjectorShardedBatch measures the sharded core's per-message
+// cost: enqueue into the intake queue, batch drain through the executor,
+// and the coalesced flush, in Batch-sized chunks as the loop runs them.
+func BenchmarkInjectorShardedBatch(b *testing.B) {
+	attack := oneRuleAttack(isType("PACKET_IN"), model.AllCapabilities, lang.DropMessage{})
+	_, sh, sess := shardedLoopback(b, attack)
+	wire := benchWire(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(wire)))
+	b.ResetTimer()
+	const chunk = 256
+	for done := 0; done < b.N; {
+		n := chunk
+		if b.N-done < n {
+			n = b.N - done
+		}
+		for j := 0; j < n; j++ {
+			ev := eventPool.Get().(*event)
+			*ev = event{kind: EventMessage, conn: sess.conn, dir: lang.SwitchToController, raw: append(openflow.GetBuffer(), wire...), sess: sess}
+			sh.enqueue(ev)
+		}
+		sh.drainBatch(sh.waitWork())
+		done += n
+	}
+}

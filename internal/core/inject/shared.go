@@ -1,7 +1,7 @@
 package inject
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"attain/internal/core/lang"
 )
@@ -11,7 +11,7 @@ import (
 // total ordering. A SharedState passed to several injector instances — each
 // proxying a disjoint subset of N_C — realizes the distributed runtime
 // injector sketched in §VIII-C: σ and Δ stay consistent across instances
-// (sequential consistency via a single lock), while event ordering is total
+// (σ is one atomic cell, Δ locks internally), while event ordering is total
 // only per instance, exactly the trade-off the paper discusses.
 type StateStore interface {
 	// CurrentState returns σ.
@@ -22,30 +22,25 @@ type StateStore interface {
 	Storage() *lang.Storage
 }
 
-// localState is the default single-instance store.
+// localState is the default single-instance store. σ is a single atomic
+// pointer: every executor reads it once per message, so the read must not
+// take a lock — state transitions are rare, reads are the hot path.
 type localState struct {
-	mu      sync.Mutex
-	current string
+	current atomic.Pointer[string]
 	storage *lang.Storage
 }
 
 var _ StateStore = (*localState)(nil)
 
 func newLocalState(start string) *localState {
-	return &localState{current: start, storage: lang.NewStorage()}
+	s := &localState{storage: lang.NewStorage()}
+	s.current.Store(&start)
+	return s
 }
 
-func (s *localState) CurrentState() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.current
-}
+func (s *localState) CurrentState() string { return *s.current.Load() }
 
-func (s *localState) SetState(state string) {
-	s.mu.Lock()
-	s.current = state
-	s.mu.Unlock()
-}
+func (s *localState) SetState(state string) { s.current.Store(&state) }
 
 func (s *localState) Storage() *lang.Storage { return s.storage }
 
@@ -58,5 +53,7 @@ type SharedState struct {
 // participating injector must be configured with an attack whose start
 // state matches.
 func NewSharedState(start string) *SharedState {
-	return &SharedState{localState{current: start, storage: lang.NewStorage()}}
+	s := &SharedState{localState{storage: lang.NewStorage()}}
+	s.current.Store(&start)
+	return s
 }

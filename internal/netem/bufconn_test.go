@@ -1,0 +1,164 @@
+package netem
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBufConnRoundTrip(t *testing.T) {
+	a, b := newBufConnPair(64)
+	msg := []byte("hello, fabric")
+	go func() {
+		if _, err := a.Write(msg); err != nil {
+			t.Error(err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(b, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestBufConnWriteDoesNotRendezvous pins the property the sharded flush
+// relies on: a write smaller than the ring returns without a concurrent
+// reader.
+func TestBufConnWriteDoesNotRendezvous(t *testing.T) {
+	a, b := newBufConnPair(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := a.Write(make([]byte, 512)); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("buffered write blocked without a reader")
+	}
+	got, err := io.ReadAll(io.LimitReader(b, 512))
+	if err != nil || len(got) != 512 {
+		t.Fatalf("read %d bytes, err %v", len(got), err)
+	}
+}
+
+// TestBufConnBackpressure pins that writes beyond the ring capacity block
+// until the reader drains, then complete.
+func TestBufConnBackpressure(t *testing.T) {
+	a, b := newBufConnPair(16)
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := a.Write(make([]byte, 64))
+		wrote <- err
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("oversized write returned early (err %v)", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := io.ReadFull(b, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-wrote; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBufConnWrapAround pushes several ring lengths of data through a tiny
+// ring to exercise start/wrap arithmetic.
+func TestBufConnWrapAround(t *testing.T) {
+	a, b := newBufConnPair(7)
+	const total = 1000
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			if _, err := a.Write([]byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	buf := make([]byte, 2)
+	for i := 0; i < total; i++ {
+		if _, err := io.ReadFull(b, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i) || buf[1] != byte(i>>8) {
+			t.Fatalf("frame %d corrupted: % x", i, buf)
+		}
+	}
+	wg.Wait()
+}
+
+func TestBufConnCloseSemantics(t *testing.T) {
+	a, b := newBufConnPair(64)
+	if _, err := a.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	_ = a.Close()
+	// Peer drains buffered bytes, then sees EOF.
+	got, err := io.ReadAll(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "tail" {
+		t.Fatalf("drained %q", got)
+	}
+	// Writing toward the closed endpoint fails.
+	if _, err := b.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+	// Our own reads after Close fail too.
+	if _, err := a.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after close succeeded")
+	}
+}
+
+// TestBufferedMemTransport runs the listener/dial path over buffered pairs.
+func TestBufferedMemTransport(t *testing.T) {
+	tr := NewBufferedMemTransport(256)
+	ln, err := tr.Listen("ctl:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan error, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			accepted <- err
+			return
+		}
+		buf := make([]byte, 4)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			accepted <- err
+			return
+		}
+		_, err = c.Write(bytes.ToUpper(buf))
+		accepted <- err
+	}()
+	c, err := tr.Dial("ctl:a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "PING" {
+		t.Fatalf("got %q", buf)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -40,18 +40,35 @@ var ErrAddrInUse = errors.New("netem: address already in use")
 // address.
 var ErrConnRefused = errors.New("netem: connection refused")
 
-// MemTransport is an in-process transport built on net.Pipe. Addresses are
-// arbitrary strings scoped to one MemTransport instance.
+// MemTransport is an in-process transport. Addresses are arbitrary strings
+// scoped to one MemTransport instance. The default connection pair is
+// net.Pipe (synchronous rendezvous, the strictest ordering for tests);
+// NewBufferedMemTransport swaps in ring-buffered pairs so writers are
+// decoupled from reader pace — what a kernel socket buffer provides on a
+// real network, and what batched flushes need to not stall per frame.
 type MemTransport struct {
 	mu        sync.Mutex
 	listeners map[string]*memListener
+	newPair   func() (client, server net.Conn)
 }
 
 var _ Transport = (*MemTransport)(nil)
 
-// NewMemTransport returns an empty in-memory network.
+// NewMemTransport returns an empty in-memory network over net.Pipe pairs.
 func NewMemTransport() *MemTransport {
-	return &MemTransport{listeners: make(map[string]*memListener)}
+	return &MemTransport{
+		listeners: make(map[string]*memListener),
+		newPair:   func() (net.Conn, net.Conn) { return net.Pipe() },
+	}
+}
+
+// NewBufferedMemTransport returns an in-memory network whose connections
+// buffer size bytes per direction (size <= 0 uses DefaultBufConnSize).
+func NewBufferedMemTransport(size int) *MemTransport {
+	return &MemTransport{
+		listeners: make(map[string]*memListener),
+		newPair:   func() (net.Conn, net.Conn) { return newBufConnPair(size) },
+	}
 }
 
 // Listen implements Transport.
@@ -79,7 +96,7 @@ func (t *MemTransport) Dial(addr string) (net.Conn, error) {
 	if l == nil {
 		return nil, fmt.Errorf("%w: %s", ErrConnRefused, addr)
 	}
-	client, server := net.Pipe()
+	client, server := t.newPair()
 	select {
 	case l.acceptCh <- server:
 		return client, nil

@@ -1,0 +1,244 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauge is an instantaneous level (queue depth, live sessions). Unlike a
+// Counter it can move both ways; Set/Add are single atomic operations. The
+// nil *Gauge is the disabled gauge: every method no-ops, Value returns 0.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name ("" when nil).
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with 2^(i-1) < v <= 2^i (bucket 0 counts v <= 1).
+// 2^31 exceeds any batch size or queue depth the injector can produce, and
+// overflow lands in the last bucket.
+const histBuckets = 32
+
+// Histogram is a power-of-two-bucketed distribution (batch sizes, queue
+// depths). Observe is one atomic add on the matching bucket plus one on the
+// sum, so hot paths can record every batch. The nil *Histogram no-ops.
+type Histogram struct {
+	name    string
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Name returns the histogram's registered name ("" when nil).
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}
+
+// bucketFor maps v to its power-of-two bucket index.
+func bucketFor(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(v - 1)) // smallest i with 2^i >= v
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// Observe records one value (negatives clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketFor(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bucket returns the count in bucket i (observations <= 2^i, above the
+// previous bucket's bound).
+func (h *Histogram) Bucket(i int) uint64 {
+	if h == nil || i < 0 || i >= histBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1) of the
+// observed distribution: the bucket upper bound 2^i of the bucket the
+// quantile falls in. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return int64(1) << uint(i)
+		}
+	}
+	return int64(1) << (histBuckets - 1)
+}
+
+// metricsRegistry holds named gauges and histograms alongside the counter
+// registry. Lookup is locked; the metrics themselves are lock-free.
+type metricsRegistry struct {
+	mu    sync.Mutex
+	gauge map[string]*Gauge
+	hist  map[string]*Histogram
+}
+
+// Gauge returns the gauge registered under name in r, creating it on first
+// use. The nil *Registry hands out nil gauges.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.metrics.mu.Lock()
+	defer r.metrics.mu.Unlock()
+	if r.metrics.gauge == nil {
+		r.metrics.gauge = make(map[string]*Gauge)
+	}
+	g, ok := r.metrics.gauge[name]
+	if !ok {
+		g = &Gauge{name: name}
+		r.metrics.gauge[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. The nil *Registry hands out nil histograms.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.metrics.mu.Lock()
+	defer r.metrics.mu.Unlock()
+	if r.metrics.hist == nil {
+		r.metrics.hist = make(map[string]*Histogram)
+	}
+	h, ok := r.metrics.hist[name]
+	if !ok {
+		h = &Histogram{name: name}
+		r.metrics.hist[name] = h
+	}
+	return h
+}
+
+// metricsSnapshot folds gauges and histogram summaries into a counter-style
+// snapshot map: gauges appear under their name, histograms as
+// name.count/name.sum/name.p50/name.p99 (quantiles are power-of-two bucket
+// upper bounds). Negative gauge values clamp to 0 in the unsigned map.
+func (r *Registry) metricsSnapshot(out map[string]uint64) {
+	r.metrics.mu.Lock()
+	gauges := make([]*Gauge, 0, len(r.metrics.gauge))
+	for _, g := range r.metrics.gauge {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.metrics.hist))
+	for _, h := range r.metrics.hist {
+		hists = append(hists, h)
+	}
+	r.metrics.mu.Unlock()
+	for _, g := range gauges {
+		v := g.Value()
+		if v < 0 {
+			v = 0
+		}
+		out[g.name] = uint64(v)
+	}
+	for _, h := range hists {
+		out[h.name+".count"] = h.Count()
+		out[h.name+".sum"] = h.Sum()
+		out[h.name+".p50"] = uint64(h.Quantile(0.50))
+		out[h.name+".p99"] = uint64(h.Quantile(0.99))
+	}
+}
+
+// Gauge returns the named gauge, creating it on first use. On a nil
+// receiver it returns a nil *Gauge, whose methods are no-ops.
+func (t *Telemetry) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Gauge(name)
+}
+
+// Histogram returns the named histogram, creating it on first use. On a
+// nil receiver it returns a nil *Histogram, whose methods are no-ops.
+func (t *Telemetry) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	return t.reg.Histogram(name)
+}

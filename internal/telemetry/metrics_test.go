@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+func TestNilGaugeAndHistogramAreInert(t *testing.T) {
+	var g *Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 0 || g.Name() != "" {
+		t.Fatal("nil gauge not inert")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 || h.Name() != "" {
+		t.Fatal("nil histogram not inert")
+	}
+	var tele *Telemetry
+	if tele.Gauge("x") != nil || tele.Histogram("x") != nil {
+		t.Fatal("nil telemetry handed out live metrics")
+	}
+	var reg *Registry
+	if reg.Gauge("x") != nil || reg.Histogram("x") != nil {
+		t.Fatal("nil registry handed out live metrics")
+	}
+}
+
+func TestGaugeSetAddValue(t *testing.T) {
+	tele := New(Options{})
+	g := tele.Gauge("q.depth")
+	if g2 := tele.Gauge("q.depth"); g2 != g {
+		t.Fatal("gauge lookup is not get-or-create")
+	}
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Fatalf("value = %d, want 6", g.Value())
+	}
+	snap := tele.Snapshot()
+	if snap["q.depth"] != 6 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Negative levels clamp to zero in the unsigned snapshot.
+	g.Set(-5)
+	if v := tele.Snapshot()["q.depth"]; v != 0 {
+		t.Fatalf("negative gauge snapshot = %d, want 0", v)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	tele := New(Options{})
+	h := tele.Histogram("batch")
+	for _, v := range []int64{1, 1, 2, 3, 8, 100, -1} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 115 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	// Buckets: v<=1 -> 0, v=2 -> 1, v=3 -> 2, v=8 -> 3, v=100 -> 7.
+	want := map[int]uint64{0: 3, 1: 1, 2: 1, 3: 1, 7: 1}
+	for i, n := range want {
+		if got := h.Bucket(i); got != n {
+			t.Errorf("bucket %d = %d, want %d", i, got, n)
+		}
+	}
+	// p50 of 7 obs is the 4th smallest (0,1,1,2,...): bucket 1 -> bound 2.
+	if q := h.Quantile(0.5); q != 2 {
+		t.Errorf("p50 = %d, want 2", q)
+	}
+	// p99 lands on the largest observation's bucket: 2^7 = 128 >= 100.
+	if q := h.Quantile(0.99); q != 128 {
+		t.Errorf("p99 = %d, want 128", q)
+	}
+	snap := tele.Snapshot()
+	if snap["batch.count"] != 7 || snap["batch.sum"] != 115 || snap["batch.p99"] != 128 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestHistogramOverflowClampsToLastBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 40)
+	if got := h.Bucket(histBuckets - 1); got != 1 {
+		t.Fatalf("overflow bucket = %d, want 1", got)
+	}
+	if q := h.Quantile(1.0); q != int64(1)<<(histBuckets-1) {
+		t.Fatalf("quantile = %d", q)
+	}
+}

@@ -49,11 +49,13 @@ func (c *Counter) Value() uint64 {
 	return c.v.Load()
 }
 
-// Registry holds named counters. Lookup is locked; the counters themselves
-// are lock-free. The nil *Registry hands out nil counters.
+// Registry holds named counters, gauges, and histograms. Lookup is locked;
+// the metrics themselves are lock-free. The nil *Registry hands out nil
+// metrics.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	metrics  metricsRegistry
 }
 
 // NewRegistry creates an empty registry.
@@ -92,17 +94,19 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Snapshot returns the current value of every counter by name.
+// Snapshot returns the current value of every counter by name, plus gauge
+// levels and histogram summaries (see metricsSnapshot).
 func (r *Registry) Snapshot() map[string]uint64 {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make(map[string]uint64, len(r.counters))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
+	r.mu.Unlock()
+	r.metricsSnapshot(out)
 	return out
 }
 

@@ -165,7 +165,19 @@ func (t *Telemetry) Emit(ev Event) {
 	if t == nil {
 		return
 	}
-	ev.TUS = int64(t.clk.Now().Sub(t.start) / time.Microsecond)
+	t.EmitAt(ev, t.clk.Now())
+}
+
+// EmitAt is Emit with a caller-supplied timestamp. Batch loops read the
+// clock once per drain cycle and stamp every event in the batch with it,
+// trading per-event timestamp precision (events quantize to batch
+// boundaries) for one clock read per batch. Global event order is still
+// exact: it comes from the trace's atomic sequence, not the timestamp.
+func (t *Telemetry) EmitAt(ev Event, now time.Time) {
+	if t == nil {
+		return
+	}
+	ev.TUS = int64(now.Sub(t.start) / time.Microsecond)
 	t.trace.emit(ev)
 }
 

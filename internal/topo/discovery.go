@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"time"
 
+	"attain/internal/clock"
 	"attain/internal/controller"
 	"attain/internal/dataplane"
 	"attain/internal/netaddr"
@@ -81,6 +83,58 @@ func UnmarshalLLDP(frame []byte) (dpid uint64, port uint16, ok bool) {
 		}
 	}
 	return dpid, port, haveChassis && havePort
+}
+
+// ProbeWheel paces a fabric's LLDP discovery rounds on a single timer.
+//
+// The naive probe loop wakes once per interval and bursts one PACKET_OUT
+// per (switch, port) for the whole fabric — at 1,000 switches that is a
+// thundering herd of frames in one scheduling instant, followed by an
+// idle interval. The wheel divides the interval into slots and fires the
+// probe callback once per slot tick, so each switch (hashed to a slot by
+// its DPID) is still probed exactly once per interval but the fabric's
+// probe traffic is spread evenly across it. One goroutine and one pending
+// timer serve the entire fabric regardless of switch count.
+type ProbeWheel struct {
+	clk   clock.Clock
+	tick  time.Duration
+	slots int
+	probe func(slot int)
+}
+
+// NewProbeWheel builds a wheel firing probe(slot) for each of slots
+// evenly-spaced ticks per interval. slots < 1 collapses to a single slot
+// (the naive whole-fabric round).
+func NewProbeWheel(clk clock.Clock, interval time.Duration, slots int, probe func(slot int)) *ProbeWheel {
+	if slots < 1 {
+		slots = 1
+	}
+	tick := interval / time.Duration(slots)
+	if tick <= 0 {
+		tick = interval
+	}
+	return &ProbeWheel{clk: clk, tick: tick, slots: slots, probe: probe}
+}
+
+// Slots returns the wheel's slot count.
+func (w *ProbeWheel) Slots() int { return w.slots }
+
+// Tick returns the wheel's per-slot period.
+func (w *ProbeWheel) Tick() time.Duration { return w.tick }
+
+// Run drives the wheel until stop closes. It is the caller's goroutine:
+// probe callbacks execute inline between ticks.
+func (w *ProbeWheel) Run(stop <-chan struct{}) {
+	slot := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-w.clk.After(w.tick):
+		}
+		w.probe(slot)
+		slot = (slot + 1) % w.slots
+	}
 }
 
 // DiscLink is one directed adjacency learned from an LLDP PACKET_IN: the

@@ -67,8 +67,13 @@ type FabricConfig struct {
 	// LinkMode selects the data-plane realization (default LinkAuto).
 	LinkMode LinkMode
 	// ProbeInterval paces the controller's LLDP discovery rounds
-	// (default 200ms).
+	// (default 200ms). Every switch is probed once per interval.
 	ProbeInterval time.Duration
+	// ProbeSlots spreads each discovery round across this many timer-wheel
+	// slots within ProbeInterval, replacing the whole-fabric probe burst
+	// with evenly paced per-slot batches (default: one slot per 32
+	// switches, capped at 16). 1 restores the single-burst behaviour.
+	ProbeSlots int
 	// ProcessingDelay overrides the profile's per-PACKET_IN compute time.
 	ProcessingDelay time.Duration
 	// EchoInterval overrides the switches' liveness probe period; larger
@@ -134,6 +139,15 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	}
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 200 * time.Millisecond
+	}
+	if cfg.ProbeSlots <= 0 {
+		cfg.ProbeSlots = (len(cfg.Graph.Switches) + 31) / 32
+		if cfg.ProbeSlots > 16 {
+			cfg.ProbeSlots = 16
+		}
+		if cfg.ProbeSlots < 1 {
+			cfg.ProbeSlots = 1
+		}
 	}
 	if cfg.ProcessingDelay <= 0 {
 		switch cfg.Profile {
@@ -391,31 +405,45 @@ func (f *Fabric) FlapStorm(seed int64, count, rounds int, interval time.Duration
 	return flaps
 }
 
-// probeLoop periodically originates LLDP discovery: one PACKET_OUT per
-// (connected switch, physical port) per round, exactly the pattern of
-// real controllers' topology modules.
+// probeLoop originates LLDP discovery on the fabric's probe wheel: each
+// connected switch is probed (one PACKET_OUT per physical port, the
+// pattern of real controllers' topology modules) once per ProbeInterval,
+// in the wheel slot its DPID hashes to — batched pacing instead of a
+// whole-fabric burst, on one timer for the entire fabric.
 func (f *Fabric) probeLoop() {
 	defer f.wg.Done()
-	for {
-		select {
-		case <-f.stop:
-			return
-		case <-f.clk.After(f.cfg.ProbeInterval):
-		}
+	slots := uint64(f.cfg.ProbeSlots)
+	rounds := f.cfg.Telemetry.Counter("fabric.probe.slots")
+	frames := f.cfg.Telemetry.Counter("fabric.probe.frames")
+	wheel := NewProbeWheel(f.clk, f.cfg.ProbeInterval, f.cfg.ProbeSlots, func(slot int) {
+		rounds.Inc()
 		for dpid, sw := range f.Ctrl.Switches() {
-			for _, p := range sw.Ports() {
-				if p.PortNo >= openflow.PortMax {
-					continue
-				}
-				_ = sw.Send(&openflow.PacketOut{
-					BufferID: openflow.NoBuffer,
-					InPort:   openflow.PortNone,
-					Actions:  []openflow.Action{openflow.ActionOutput{Port: p.PortNo, MaxLen: 0xffff}},
-					Data:     MarshalLLDP(dpid, p.PortNo, p.HWAddr),
-				})
+			if dpid%slots != uint64(slot) {
+				continue
 			}
+			frames.Add(f.probeSwitch(dpid, sw))
 		}
+	})
+	wheel.Run(f.stop)
+}
+
+// probeSwitch sends one LLDP PACKET_OUT per physical port of sw and
+// returns the number of probes sent.
+func (f *Fabric) probeSwitch(dpid uint64, sw *controller.SwitchConn) uint64 {
+	var sent uint64
+	for _, p := range sw.Ports() {
+		if p.PortNo >= openflow.PortMax {
+			continue
+		}
+		_ = sw.Send(&openflow.PacketOut{
+			BufferID: openflow.NoBuffer,
+			InPort:   openflow.PortNone,
+			Actions:  []openflow.Action{openflow.ActionOutput{Port: p.PortNo, MaxLen: 0xffff}},
+			Data:     MarshalLLDP(dpid, p.PortNo, p.HWAddr),
+		})
+		sent++
 	}
+	return sent
 }
 
 // FullAttackerModel grants every capability on every control-plane

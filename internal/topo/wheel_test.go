@@ -1,0 +1,73 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"attain/internal/clock"
+)
+
+// TestProbeWheelPacing pins the wheel's core contract: slots fire in
+// round-robin order, one per tick, with tick = interval/slots — so a full
+// interval covers every slot exactly once instead of bursting the fabric
+// in one instant.
+func TestProbeWheelPacing(t *testing.T) {
+	mock := clock.NewMock(time.Unix(0, 0))
+	fired := make(chan int, 16)
+	w := NewProbeWheel(mock, 100*time.Millisecond, 4, func(slot int) { fired <- slot })
+	if w.Slots() != 4 || w.Tick() != 25*time.Millisecond {
+		t.Fatalf("slots=%d tick=%s", w.Slots(), w.Tick())
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(stop)
+	}()
+
+	next := func() int {
+		t.Helper()
+		// Wait for the wheel to arm its timer before advancing.
+		deadline := time.Now().Add(2 * time.Second)
+		for mock.Waiters() == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		mock.Advance(25 * time.Millisecond)
+		select {
+		case s := <-fired:
+			return s
+		case <-time.After(2 * time.Second):
+			t.Fatal("slot never fired")
+			return -1
+		}
+	}
+	// Two full revolutions: 0,1,2,3,0,1,2,3.
+	for rev := 0; rev < 2; rev++ {
+		for want := 0; want < 4; want++ {
+			if got := next(); got != want {
+				t.Fatalf("rev %d: fired slot %d, want %d", rev, got, want)
+			}
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("wheel did not stop")
+	}
+}
+
+// TestProbeWheelDegenerateSlots pins the guard rails: slots < 1 collapses
+// to one slot, and a tick that would round to zero falls back to the full
+// interval.
+func TestProbeWheelDegenerateSlots(t *testing.T) {
+	mock := clock.NewMock(time.Unix(0, 0))
+	w := NewProbeWheel(mock, 100*time.Millisecond, 0, func(int) {})
+	if w.Slots() != 1 || w.Tick() != 100*time.Millisecond {
+		t.Errorf("slots=%d tick=%s, want 1 and 100ms", w.Slots(), w.Tick())
+	}
+	w = NewProbeWheel(mock, 2*time.Nanosecond, 4, func(int) {})
+	if w.Tick() != 2*time.Nanosecond {
+		t.Errorf("tick=%s, want fallback to the full interval", w.Tick())
+	}
+}
