@@ -77,7 +77,10 @@ func run() error {
 	if *trace {
 		matrix.Trace = true
 	}
-	scenarios := matrix.Expand()
+	scenarios, err := matrix.Scenarios()
+	if err != nil {
+		return err
+	}
 
 	if *dryRun {
 		for _, sc := range scenarios {

@@ -91,7 +91,11 @@ func loadScenarios(specPath string, trace bool) (*campaign.Spec, []campaign.Scen
 	if trace {
 		matrix.Trace = true
 	}
-	return spec, matrix.Expand(), nil
+	scenarios, err := matrix.Scenarios()
+	if err != nil {
+		return nil, nil, err
+	}
+	return spec, scenarios, nil
 }
 
 // finishCampaign prints the aggregate views and artifact location, as

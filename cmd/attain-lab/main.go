@@ -106,7 +106,11 @@ func runMatrix(m campaign.Matrix, o options, sub string) (*campaign.Report, erro
 		}
 		cfg.Store = store
 	}
-	report, err := campaign.NewRunner(cfg).Run(context.Background(), m.Expand())
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		return nil, err
+	}
+	report, err := campaign.NewRunner(cfg).Run(context.Background(), scenarios)
 	if err != nil {
 		return nil, err
 	}

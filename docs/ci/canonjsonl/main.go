@@ -1,0 +1,71 @@
+// Command canonjsonl projects a campaign results.jsonl stream onto its
+// deterministic fields and re-marshals each record with sorted keys, so
+// two equal-seed campaign runs can be compared byte-for-byte even though
+// wall-clock and fabric-timing fields legitimately differ between runs.
+//
+// Usage:
+//
+//	go run ./docs/ci/canonjsonl < results.jsonl > projected.jsonl
+//	go run ./docs/ci/canonjsonl -keep index,name,synth < results.jsonl
+//
+// The default projection keeps the scenario coordinates, status, and the
+// synth program identity (per-program seed + DSL digest) — the fields a
+// determinism check must find identical across same-seed runs and shards.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	keep := flag.String("keep", "index,name,kind,profile,attack,topology,seed,status,synth",
+		"comma-separated top-level fields to keep")
+	flag.Parse()
+	if err := run(strings.Split(*keep, ",")); err != nil {
+		fmt.Fprintln(os.Stderr, "canonjsonl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(keep []string) error {
+	keepSet := make(map[string]bool, len(keep))
+	for _, k := range keep {
+		if k = strings.TrimSpace(k); k != "" {
+			keepSet[k] = true
+		}
+	}
+	out := bufio.NewWriter(os.Stdout)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(line, &m); err != nil {
+			return fmt.Errorf("bad record: %v", err)
+		}
+		for k := range m {
+			if !keepSet[k] {
+				delete(m, k)
+			}
+		}
+		b, err := json.Marshal(m)
+		if err != nil {
+			return err
+		}
+		out.Write(b)
+		out.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return out.Flush()
+}

@@ -1,0 +1,83 @@
+// Command coverfloor gates per-package statement coverage. It reads
+// `go test -cover` output on stdin, echoes it, and fails if any package
+// named in a floor argument is missing from the input or reports coverage
+// below its floor.
+//
+// Usage:
+//
+//	go test -cover ./... | go run ./docs/ci/coverfloor \
+//	    attain/internal/core/lang=90 attain/internal/core/compile=90
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "coverfloor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	floors := make(map[string]float64, len(args))
+	for _, arg := range args {
+		pkg, val, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("floor %q: want <package>=<percent>", arg)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("floor %q: %v", arg, err)
+		}
+		floors[pkg] = f
+	}
+	if len(floors) == 0 {
+		return fmt.Errorf("no floors given")
+	}
+
+	got := make(map[string]float64)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		// "ok  attain/internal/core/lang  0.01s  coverage: 92.3% of statements"
+		if !strings.HasPrefix(line, "ok") {
+			continue
+		}
+		fields := strings.Fields(line)
+		for i, f := range fields {
+			if f == "coverage:" && i+1 < len(fields) && i >= 1 {
+				pct, err := strconv.ParseFloat(strings.TrimSuffix(fields[i+1], "%"), 64)
+				if err == nil {
+					got[fields[1]] = pct
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	var failed []string
+	for pkg, floor := range floors {
+		pct, ok := got[pkg]
+		if !ok {
+			failed = append(failed, fmt.Sprintf("%s: no coverage reported (package missing from input?)", pkg))
+			continue
+		}
+		if pct < floor {
+			failed = append(failed, fmt.Sprintf("%s: coverage %.1f%% below floor %.1f%%", pkg, pct, floor))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("coverage floors violated:\n  %s", strings.Join(failed, "\n  "))
+	}
+	return nil
+}

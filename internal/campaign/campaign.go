@@ -47,6 +47,12 @@ const (
 	// (internal/topo) under a topology-level attack, sweeping fabric sizes
 	// from tens to 1,000+ switches.
 	KindFabric Kind = "fabric"
+	// KindSynth runs a seeded generated attack program (internal/synth)
+	// against a generated topology: the program is regenerated from
+	// (SynthSeed, SynthIndex), compiled through the real text-DSL parser,
+	// and interposed on the fabric's control plane with a detection hook
+	// scoring fabricated traffic.
+	KindSynth Kind = "synth"
 )
 
 // Attack condition names for suppression-kind scenarios, materialized by
@@ -102,8 +108,14 @@ type Scenario struct {
 	Trial int
 	// Seed drives the scenario's probabilistic rules (Rule.Prob); derived
 	// from the campaign seed and the scenario name by Matrix.Expand.
-	Seed     int64
-	Workload Workload
+	Seed int64
+	// SynthIndex and SynthSeed identify the generated program of a
+	// synth-kind scenario: the executor regenerates program SynthIndex
+	// from the campaign-level base seed SynthSeed, so any grid shard
+	// reconstructs the identical program from the spec alone.
+	SynthIndex int
+	SynthSeed  int64
+	Workload   Workload
 	// Trace enables telemetry for the scenario's testbed; the flushed
 	// JSONL trace lands on the outcome and the Store writes it under
 	// traces/.
@@ -111,11 +123,25 @@ type Scenario struct {
 }
 
 // Outcome is what a successfully executed scenario produced; exactly one
-// field is set, matching the scenario kind.
+// of Suppression/Interruption/Fabric is set, matching the scenario kind
+// (synth-kind scenarios set Fabric plus the Synth sidecar describing the
+// regenerated program).
 type Outcome struct {
 	Suppression  *experiment.SuppressionResult
 	Interruption *experiment.InterruptionResult
 	Fabric       *topo.FabricResult
+	Synth        *SynthInfo
+}
+
+// SynthInfo records which generated program a synth-kind scenario ran, in
+// enough detail to audit shard equivalence: Seed is the per-program seed
+// derived from the campaign base, SHA256 digests the emitted DSL.
+type SynthInfo struct {
+	Index  int    `json:"index"`
+	Seed   int64  `json:"seed"`
+	SHA256 string `json:"sha256"`
+	States int    `json:"states"`
+	Rules  int    `json:"rules"`
 }
 
 // Status classifies how a scenario ended.

@@ -51,6 +51,8 @@ func Execute(ctx context.Context, sc Scenario) (*Outcome, error) {
 			return nil, Infra(err)
 		}
 		return &Outcome{Fabric: res}, nil
+	case KindSynth:
+		return sc.synthOutcome()
 	default:
 		return nil, fmt.Errorf("campaign: unknown scenario kind %q", sc.Kind)
 	}

@@ -30,6 +30,13 @@ type Matrix struct {
 	// FabricAttacks is the fabric-kind attack axis; defaults to
 	// {baseline, lldp-poison}.
 	FabricAttacks []string
+	// SynthCount is the number of generated attack programs the synth
+	// kind sweeps (≥1); each program index becomes its own axis value.
+	SynthCount int
+	// SynthSeed is the base seed for the program generator. Per-program
+	// seeds are derived from (SynthSeed, index) inside internal/synth, so
+	// every grid shard regenerates identical programs from the spec.
+	SynthSeed int64
 	// TimeScale applies to every scenario (0 = paper real time).
 	TimeScale int
 	// Trials repeats every cell with the same derived seed axis (≥1).
@@ -80,6 +87,10 @@ func (m Matrix) Expand() []Scenario {
 	if len(fabricAttacks) == 0 {
 		fabricAttacks = []string{topo.AttackBaseline, topo.AttackLLDPPoison}
 	}
+	synthCount := m.SynthCount
+	if synthCount < 1 {
+		synthCount = 1
+	}
 
 	var out []Scenario
 	add := func(sc Scenario) {
@@ -109,6 +120,16 @@ func (m Matrix) Expand() []Scenario {
 						}
 					}
 				}
+			case KindSynth:
+				for _, topology := range topologies {
+					for i := 0; i < synthCount; i++ {
+						for trial := 1; trial <= trials; trial++ {
+							add(Scenario{Kind: kind, Profile: profile, Topology: topology,
+								Attack:     fmt.Sprintf("synth-%06d", i),
+								SynthIndex: i, SynthSeed: m.SynthSeed, Trial: trial})
+						}
+					}
+				}
 			default:
 				for _, attack := range attacks {
 					for trial := 1; trial <= trials; trial++ {
@@ -123,6 +144,23 @@ func (m Matrix) Expand() []Scenario {
 	return out
 }
 
+// Scenarios expands the matrix and validates the result: every scenario
+// name must be unique, because artifacts (results.jsonl rows, trace
+// files) are keyed by name and a collision would silently overwrite one
+// cell's record with another's. Prefer this over Expand at entry points.
+func (m Matrix) Scenarios() ([]Scenario, error) {
+	out := m.Expand()
+	seen := make(map[string]int, len(out))
+	for _, sc := range out {
+		if prev, dup := seen[sc.Name]; dup {
+			return nil, fmt.Errorf("campaign: duplicate scenario name %q (indexes %d and %d); deduplicate the matrix axes",
+				sc.Name, prev, sc.Index)
+		}
+		seen[sc.Name] = sc.Index
+	}
+	return out, nil
+}
+
 // scenarioName derives the scenario's stable identifier from its
 // coordinates.
 func scenarioName(sc Scenario) string {
@@ -130,7 +168,7 @@ func scenarioName(sc Scenario) string {
 	if sc.Kind == KindInterruption {
 		axis = "fail-" + sc.FailMode.String()
 	}
-	if sc.Kind == KindFabric {
+	if sc.Kind == KindFabric || sc.Kind == KindSynth {
 		return fmt.Sprintf("%s/%s/%s/%s#%d", sc.Kind, sc.Profile, sc.Topology, axis, sc.Trial)
 	}
 	return fmt.Sprintf("%s/%s/%s#%d", sc.Kind, sc.Profile, axis, sc.Trial)

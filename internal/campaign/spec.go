@@ -42,9 +42,14 @@ type Spec struct {
 	// fingerprint).
 	Topologies    []string `json:"topologies,omitempty"`
 	FabricAttacks []string `json:"fabric_attacks,omitempty"`
-	TimeScale int      `json:"time_scale,omitempty"`
-	Trials    int      `json:"trials,omitempty"`
-	Seed      int64    `json:"seed,omitempty"`
+	// SynthCount and SynthSeed parameterize the synth kind: SynthCount
+	// generated programs per (profile, topology) cell, all derived from
+	// the base SynthSeed so any worker regenerates identical programs.
+	SynthCount int   `json:"synth_count,omitempty"`
+	SynthSeed  int64 `json:"synth_seed,omitempty"`
+	TimeScale  int   `json:"time_scale,omitempty"`
+	Trials     int   `json:"trials,omitempty"`
+	Seed       int64 `json:"seed,omitempty"`
 	// Full selects the paper's full trial counts (60 ping / 30 iperf).
 	Full bool `json:"full,omitempty"`
 	// Trace enables per-scenario telemetry traces, written by the Store
@@ -115,11 +120,16 @@ func ParseSpec(data []byte) (*Spec, error) {
 // Matrix resolves the spec's axes into an expandable Matrix.
 func (s *Spec) Matrix() (Matrix, error) {
 	m := Matrix{
-		TimeScale: s.TimeScale,
-		Trials:    s.Trials,
-		Seed:      s.Seed,
-		Workload:  Workload{Full: s.Full},
-		Trace:     s.Trace,
+		SynthCount: s.SynthCount,
+		SynthSeed:  s.SynthSeed,
+		TimeScale:  s.TimeScale,
+		Trials:     s.Trials,
+		Seed:       s.Seed,
+		Workload:   Workload{Full: s.Full},
+		Trace:      s.Trace,
+	}
+	if s.SynthCount < 0 {
+		return Matrix{}, fmt.Errorf("campaign: synth_count must be >= 0, got %d", s.SynthCount)
 	}
 	for _, name := range s.Kinds {
 		kind, err := ParseKind(name)
@@ -189,10 +199,10 @@ func (s *Spec) RunnerConfig() RunnerConfig {
 // ParseKind resolves a spec kind name.
 func ParseKind(name string) (Kind, error) {
 	switch Kind(name) {
-	case KindSuppression, KindInterruption, KindFabric:
+	case KindSuppression, KindInterruption, KindFabric, KindSynth:
 		return Kind(name), nil
 	default:
-		return "", fmt.Errorf("campaign: unknown kind %q (want suppression, interruption, or fabric)", name)
+		return "", fmt.Errorf("campaign: unknown kind %q (want suppression, interruption, fabric, or synth)", name)
 	}
 }
 

@@ -24,7 +24,11 @@ const (
 	TableIIFile = "table2.csv"
 	// FabricFile aggregates fabric-kind scenarios: per-size convergence
 	// latency and attack-deviation columns.
-	FabricFile  = "fabric.csv"
+	FabricFile = "fabric.csv"
+	// DetectFile aggregates detection-scored scenarios (synth programs,
+	// the pktin-flood family): per-scenario TP/FP/FN/TN with derived
+	// precision/recall.
+	DetectFile  = "detect.csv"
 	SummaryFile = "summary.txt"
 	// TracesDir holds per-scenario telemetry traces (scenarios run with
 	// Trace enabled), one JSONL file per scenario.
@@ -228,6 +232,11 @@ func (s *Store) Finish(report *Report) error {
 			return WriteFabricCSV(f, fabric)
 		})
 	}
+	if det := report.DetectionResults(); len(det) > 0 {
+		writeFile(DetectFile, func(f *os.File) error {
+			return WriteDetectCSV(f, det)
+		})
+	}
 	writeFile(SummaryFile, func(f *os.File) error {
 		_, err := f.WriteString(report.Summary())
 		return err
@@ -309,6 +318,9 @@ type Record struct {
 	Suppression  *SuppressionRecord  `json:"suppression,omitempty"`
 	Interruption *InterruptionRecord `json:"interruption,omitempty"`
 	Fabric       *topo.FabricResult  `json:"fabric,omitempty"`
+	// Synth identifies the generated program a synth-kind scenario ran
+	// (per-program seed + DSL digest), for shard-equivalence audits.
+	Synth *SynthInfo `json:"synth,omitempty"`
 	// TraceFile is the store-relative path of the scenario's telemetry
 	// trace, when the scenario ran with Trace enabled.
 	TraceFile string `json:"trace_file,omitempty"`
@@ -355,13 +367,14 @@ func newRecord(res ScenarioResult) Record {
 	if sc.Kind == KindInterruption {
 		rec.FailMode = sc.FailMode.String()
 	}
-	if sc.Kind == KindFabric {
+	if sc.Kind == KindFabric || sc.Kind == KindSynth {
 		rec.Topology = sc.Topology
 	}
 	if res.Outcome == nil {
 		return rec
 	}
 	rec.Fabric = res.Outcome.Fabric
+	rec.Synth = res.Outcome.Synth
 	if r := res.Outcome.Suppression; r != nil {
 		rec.Suppression = &SuppressionRecord{
 			ThroughputMbps:  r.Iperf.ThroughputSummary(),

@@ -1,0 +1,142 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"attain/internal/core/compile"
+	"attain/internal/core/inject"
+	"attain/internal/synth"
+	"attain/internal/topo"
+)
+
+// synthOutcome executes a synth-kind scenario: regenerate program
+// SynthIndex from the campaign base seed, re-enter it through the real
+// text-DSL parser, then interpose it on a generated fabric with the
+// packet-in rate detector scoring fabricated traffic. Convergence
+// failures under a hostile generated program are results, not errors
+// (TolerateDisruption), so campaigns record them instead of retrying.
+func (sc Scenario) synthOutcome() (*Outcome, error) {
+	g, err := topo.Parse(sc.Topology, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sys := g.System()
+	// Scenario-local template vocabulary: the phantom-LLDP and flood
+	// constructors, materialized per graph. Global injector templates
+	// (hello, echo_request, ...) resolve by name without an entry here.
+	tmpl := topo.PhantomTemplates(g)
+	for name, fn := range topo.FloodTemplates(g) {
+		tmpl[name] = fn
+	}
+	names := inject.TemplateNames()
+	for name := range tmpl {
+		names = append(names, name)
+	}
+	gen, err := synth.New(synth.Config{
+		Seed:  sc.SynthSeed,
+		Vocab: synth.SystemVocabulary(sys, names...),
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := gen.Program(sc.SynthIndex)
+	if err != nil {
+		return nil, err
+	}
+	// Run exactly what the emitted DSL says, not the in-memory structure
+	// the generator built: reparse through the production front end.
+	attack, err := compile.ParseAttack(prog.DSL, sys)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: generated program %s does not reparse: %w", sc.Attack, err)
+	}
+	cfg := sc.fabricConfig()
+	cfg.Program = attack
+	cfg.ProgramTemplates = tmpl
+	cfg.Detector = &inject.PacketInRateDetector{}
+	cfg.TolerateDisruption = true
+	// A hostile generated program may legitimately wedge bring-up; don't
+	// spend the fabric sweep's two-minute allowance discovering that.
+	cfg.ConnectTimeout = 20 * time.Second
+	cfg.DiscoverTimeout = 20 * time.Second
+	res, err := topo.RunScenario(cfg)
+	if err != nil {
+		return nil, Infra(err)
+	}
+	rules := 0
+	for _, name := range prog.Attack.StateNames() {
+		rules += len(prog.Attack.States[name].Rules)
+	}
+	info := &SynthInfo{
+		Index:  prog.Index,
+		Seed:   prog.Seed,
+		SHA256: prog.SHA256(),
+		States: len(prog.Attack.States),
+		Rules:  rules,
+	}
+	return &Outcome{Fabric: res, Synth: info}, nil
+}
+
+// DetectionRow pairs a scenario's identity with its fabric result for
+// detect.csv; only scenarios whose run carried a detection score appear.
+type DetectionRow struct {
+	Name   string
+	Kind   Kind
+	Result *topo.FabricResult
+}
+
+// DetectionResults returns the successful outcomes that carried a
+// detection score, in matrix order, ready for WriteDetectCSV.
+func (r *Report) DetectionResults() []DetectionRow {
+	var out []DetectionRow
+	for _, res := range r.Results {
+		if res.Outcome != nil && res.Outcome.Fabric != nil && res.Outcome.Fabric.Detection != nil {
+			out = append(out, DetectionRow{
+				Name:   res.Scenario.Name,
+				Kind:   res.Scenario.Kind,
+				Result: res.Outcome.Fabric,
+			})
+		}
+	}
+	return out
+}
+
+// WriteDetectCSV renders detection-scored outcomes as CSV, one row per
+// scenario in matrix order: the scenario coordinates, how many fabricated
+// frames the attack delivered, and the detector's confusion matrix with
+// derived precision/recall. This is the campaign's detector scorecard
+// across the generated attack population.
+func WriteDetectCSV(w io.Writer, rows []DetectionRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scenario", "kind", "profile", "attack", "topology",
+		"injected_frames", "tp", "fp", "fn", "tn", "precision", "recall",
+	}); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		r, d := row.Result, row.Result.Detection
+		rec := []string{
+			row.Name,
+			string(row.Kind),
+			r.Profile,
+			r.Attack,
+			r.Topology,
+			strconv.FormatUint(r.InjectedFrames, 10),
+			strconv.FormatUint(d.TP, 10),
+			strconv.FormatUint(d.FP, 10),
+			strconv.FormatUint(d.FN, 10),
+			strconv.FormatUint(d.TN, 10),
+			strconv.FormatFloat(d.Precision(), 'f', 4, 64),
+			strconv.FormatFloat(d.Recall(), 'f', 4, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

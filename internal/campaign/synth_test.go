@@ -1,0 +1,218 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/controller"
+	"attain/internal/core/inject"
+	"attain/internal/topo"
+)
+
+func TestMatrixSynthExpansion(t *testing.T) {
+	m := Matrix{
+		Kinds:      []Kind{KindSynth},
+		Profiles:   []controller.Profile{controller.ProfileFloodlight},
+		Topologies: []string{"linear:3x1"},
+		SynthCount: 3,
+		SynthSeed:  42,
+		Seed:       1,
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 3 {
+		t.Fatalf("expanded %d scenarios, want 3", len(scenarios))
+	}
+	want := []string{
+		"synth/floodlight/linear:3x1/synth-000000#1",
+		"synth/floodlight/linear:3x1/synth-000001#1",
+		"synth/floodlight/linear:3x1/synth-000002#1",
+	}
+	for i, sc := range scenarios {
+		if sc.Name != want[i] {
+			t.Errorf("scenario %d = %q, want %q", i, sc.Name, want[i])
+		}
+		if sc.SynthIndex != i || sc.SynthSeed != 42 {
+			t.Errorf("scenario %d synth coords = (%d, %d), want (%d, 42)",
+				i, sc.SynthIndex, sc.SynthSeed, i)
+		}
+	}
+}
+
+// TestScenariosRejectsDuplicateNames is the satellite-4 regression:
+// a matrix whose axes repeat a value used to silently overwrite one
+// cell's artifacts with another's; Scenarios must refuse it.
+func TestScenariosRejectsDuplicateNames(t *testing.T) {
+	m := Matrix{
+		Kinds:    []Kind{KindSuppression},
+		Profiles: []controller.Profile{controller.ProfileFloodlight},
+		Attacks:  []string{AttackBaseline, AttackBaseline},
+		Seed:     1,
+	}
+	if _, err := m.Scenarios(); err == nil || !strings.Contains(err.Error(), "duplicate scenario name") {
+		t.Fatalf("duplicate axis accepted: %v", err)
+	}
+	m.Attacks = []string{AttackBaseline, AttackSuppression}
+	if _, err := m.Scenarios(); err != nil {
+		t.Fatalf("clean matrix rejected: %v", err)
+	}
+}
+
+func TestSpecSynthAxes(t *testing.T) {
+	spec, err := ParseSpec([]byte(`{
+		"name": "synth-sweep",
+		"kinds": ["synth"],
+		"profiles": ["floodlight"],
+		"topologies": ["linear:3x1"],
+		"synth_count": 5,
+		"synth_seed": 42
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := spec.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SynthCount != 5 || m.SynthSeed != 42 {
+		t.Fatalf("synth axes = (%d, %d), want (5, 42)", m.SynthCount, m.SynthSeed)
+	}
+	if got := len(m.Expand()); got != 5 {
+		t.Fatalf("expanded %d scenarios, want 5", got)
+	}
+	if _, err := ParseKind("synth"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Spec{SynthCount: -1}).Matrix(); err == nil {
+		t.Error("negative synth_count accepted")
+	}
+}
+
+func TestWriteDetectCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteDetectCSV(&buf, []DetectionRow{{
+		Name: "synth/floodlight/linear:3x1/synth-000000#1",
+		Kind: KindSynth,
+		Result: &topo.FabricResult{
+			Topology: "linear:3x1", Profile: "floodlight", Attack: "synth-000000",
+			InjectedFrames: 12,
+			Detection:      &inject.DetectionScore{TP: 10, FP: 2, FN: 2, TN: 40},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d, want 2", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,kind,profile,attack,topology,injected_frames,tp,fp,fn,tn,precision,recall") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "synth-000000") || !strings.Contains(lines[1], "0.8333") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+// TestSynthCampaignEndToEnd runs a small generated-program campaign
+// through the real pipeline: regenerate → reparse → fabric → detection
+// scoring → detect.csv. Program identity (per-program seed + DSL digest)
+// must land in results.jsonl for shard-equivalence audits.
+func TestSynthCampaignEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fabrics in -short mode")
+	}
+	m := Matrix{
+		Kinds:      []Kind{KindSynth},
+		Profiles:   []controller.Profile{controller.ProfileFloodlight},
+		Topologies: []string{"linear:3x1"},
+		SynthCount: 3,
+		SynthSeed:  42,
+		TimeScale:  10,
+		Seed:       7,
+		Workload:   Workload{Settle: 500 * time.Millisecond},
+	}
+	scenarios, err := m.Scenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(RunnerConfig{
+		Workers: 2,
+		Timeout: 2 * time.Minute,
+		Retries: 1,
+		Store:   store,
+	})
+	report, err := r.Run(context.Background(), scenarios)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := report.Failed(); len(failed) != 0 {
+		t.Fatalf("failures: %s", report.Summary())
+	}
+
+	seen := make(map[string]bool)
+	for _, res := range report.Results {
+		o := res.Outcome
+		if o == nil || o.Fabric == nil || o.Synth == nil {
+			t.Fatalf("%s missing synth outcome: %+v", res.Scenario.Name, o)
+		}
+		if o.Synth.SHA256 == "" || o.Synth.Seed == 0 || o.Synth.States < 2 || o.Synth.Rules < 1 {
+			t.Errorf("%s synth info incomplete: %+v", res.Scenario.Name, o.Synth)
+		}
+		seen[o.Synth.SHA256] = true
+		if o.Fabric.Detection == nil {
+			t.Errorf("%s carried no detection score", res.Scenario.Name)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("distinct program digests = %d, want 3", len(seen))
+	}
+
+	// detect.csv aggregates every scored scenario.
+	data, err := os.ReadFile(filepath.Join(dir, DetectFile))
+	if err != nil {
+		t.Fatalf("detect.csv missing: %v", err)
+	}
+	rows := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(rows) != 4 { // header + 3 scenarios
+		t.Fatalf("detect.csv rows = %d, want 4:\n%s", len(rows), data)
+	}
+
+	// results.jsonl records identify the program that ran.
+	jl, err := os.ReadFile(filepath.Join(dir, ResultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withSynth int
+	for _, line := range bytes.Split(bytes.TrimSpace(jl), []byte("\n")) {
+		var rec struct {
+			Topology string     `json:"topology"`
+			Synth    *SynthInfo `json:"synth"`
+		}
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Synth != nil {
+			withSynth++
+			if rec.Topology == "" {
+				t.Errorf("synth record missing topology: %s", line)
+			}
+		}
+	}
+	if withSynth != 3 {
+		t.Errorf("results.jsonl synth records = %d, want 3", withSynth)
+	}
+}

@@ -357,6 +357,22 @@ func (ap *attackParser) parseAction() (lang.Action, error) {
 			return nil, err
 		}
 		return lang.ModifyField{Field: field, Value: val}, nil
+	case "modifyMetadata", "modifymetadata":
+		field, err := ap.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if !lang.KnownProperty(field) {
+			return nil, ap.errf(t, "unknown message property %q", field)
+		}
+		if err := ap.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := ap.parseOperand()
+		if err != nil {
+			return nil, err
+		}
+		return lang.ModifyMetadata{Field: field, Value: val}, nil
 	case "inject":
 		template, err := ap.expectIdent()
 		if err != nil {

@@ -1,0 +1,478 @@
+package compile
+
+// Error-path backfill for the coverage ratchet: every diagnostic the
+// lexer and the three DSL parsers can emit is pinned here with a
+// malformed input, alongside the accepted spellings (case variants,
+// optional keywords) that the happy-path tests don't reach.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+const covSystemSrc = `system "cov" {
+  controller c1 addr "127.0.0.1:6653"
+  switch s1 dpid 1 ports 1 2
+  host h1 mac 0a:00:00:00:00:01 ip 10.0.0.1
+  host h2 mac 0a:00:00:00:00:02 ip 10.0.0.2
+  link h1 -- s1:1
+  link h2 -- s1:2
+  conn c1 s1
+}`
+
+func covSystem(t *testing.T) *model.System {
+	t.Helper()
+	sys, err := ParseSystem(covSystemSrc)
+	if err != nil {
+		t.Fatalf("ParseSystem(fixture): %v", err)
+	}
+	return sys
+}
+
+// wantErr asserts err is non-nil and mentions the given fragment.
+func wantErr(t *testing.T, err error, frag string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected error containing %q, got nil", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	cases := map[tokenKind]string{
+		tokEOF:        "end of input",
+		tokIdent:      "identifier",
+		tokNumber:     "number",
+		tokDuration:   "duration",
+		tokString:     "string",
+		tokPunct:      "punctuation",
+		tokenKind(99): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("tokenKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lexAll(`"a\nb\t\"c\\d"`)
+	if err != nil {
+		t.Fatalf("lexAll: %v", err)
+	}
+	if toks[0].kind != tokString || toks[0].text != "a\nb\t\"c\\d" {
+		t.Fatalf("lexed %q (%s), want escaped string", toks[0].text, toks[0].kind)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{`"unterminated`, "unterminated string"},
+		{`"dangling\`, "dangling escape"},
+		{`"bad\q"`, "unknown escape"},
+		{"\"nl\nx\"", "newline in string"},
+		{"@", "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := lexAll(tc.src)
+		wantErr(t, err, tc.frag)
+	}
+}
+
+func TestLexPunctAndNumberForms(t *testing.T) {
+	toks, err := lexAll(`!= <= >= -- ( ) { } , ; = < > + - 0x1f 5s 10.0.0.1 0a:00:00:00:00:01`)
+	if err != nil {
+		t.Fatalf("lexAll: %v", err)
+	}
+	kinds := map[string]tokenKind{
+		"0x1f": tokNumber, "5s": tokDuration,
+		"10.0.0.1": tokIdent, "0a:00:00:00:00:01": tokIdent,
+	}
+	for _, tok := range toks[:15] {
+		if tok.kind != tokPunct {
+			t.Errorf("token %q lexed as %s, want punctuation", tok.text, tok.kind)
+		}
+	}
+	for _, tok := range toks[15:19] {
+		if want := kinds[tok.text]; tok.kind != want {
+			t.Errorf("token %q lexed as %s, want %s", tok.text, tok.kind, want)
+		}
+	}
+}
+
+func TestParseSystemErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"lex error", `system "x" { @ }`, "unexpected character"},
+		{"wrong keyword", `model "x" {}`, `expected "system"`},
+		{"name not string", `system x {}`, "expected string"},
+		{"missing brace", `system "x" conn`, `expected "{"`},
+		{"non-ident decl", `system "x" { 5 }`, "expected declaration"},
+		{"unknown decl", `system "x" { widget w1 }`, "unknown declaration"},
+		{"controller missing addr", `system "x" { controller c1 port }`, `expected "addr"`},
+		{"switch dpid not number", `system "x" { switch s1 dpid x ports 1 }`, "expected number"},
+		{"switch no ports", `system "x" { switch s1 dpid 1 ports }`, "declares no ports"},
+		{"bad mac", `system "x" { host h1 mac banana ip 10.0.0.1 }`, ""},
+		{"bad ip", `system "x" { host h1 mac 0a:00:00:00:00:01 ip banana }`, ""},
+		{"endpoint not ident", `system "x" { link -- s1:1 }`, "expected link endpoint"},
+		{"endpoint bad port", `system "x" { link s1:99999 -- h1 }`, "invalid port"},
+		{"link missing dashes", `system "x" { link h1 s1:1 }`, `expected "--"`},
+		{"conn not ident", `system "x" { conn c1 5 }`, "expected identifier"},
+		{"validation", `system "x" { controller c1 addr "a" conn c1 s9 }`, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSystem(tc.src)
+			if tc.frag == "" {
+				if err == nil {
+					t.Fatal("expected error, got nil")
+				}
+				return
+			}
+			wantErr(t, err, tc.frag)
+		})
+	}
+}
+
+func TestParseAttackerErrors(t *testing.T) {
+	sys := covSystem(t)
+	cases := []struct {
+		name, src, frag string
+		sys             *model.System
+	}{
+		{"lex error", "attacker { @ }", "unexpected character", nil},
+		{"wrong keyword", "attack {}", `expected "attacker"`, nil},
+		{"missing brace", "attacker grant", `expected "{"`, nil},
+		{"not grant", "attacker { allow (c1,s1) notls }", `expected "grant"`, nil},
+		{"conn missing paren", "attacker { grant c1,s1 notls }", `expected "("`, nil},
+		{"conn missing comma", "attacker { grant (c1 s1) notls }", `expected ","`, nil},
+		{"conn switch not ident", "attacker { grant (c1,5) notls }", "expected identifier", nil},
+		{"conn missing close", "attacker { grant (c1,s1 notls }", `expected ")"`, nil},
+		{"caps not ident", "attacker { grant (c1,s1) 5 }", "expected capability set", nil},
+		{"caps unknown", "attacker { grant (c1,s1) bogus }", "", nil},
+		{"caps list tail not ident", "attacker { grant (c1,s1) DROPMESSAGE, 5 }", "expected identifier", nil},
+		{"validate unknown switch", "attacker { grant (c1,s9) notls }", "", sys},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAttacker(tc.src, tc.sys)
+			if tc.frag == "" {
+				if err == nil {
+					t.Fatal("expected error, got nil")
+				}
+				return
+			}
+			wantErr(t, err, tc.frag)
+		})
+	}
+}
+
+func TestParseAttackerCapsList(t *testing.T) {
+	am, err := ParseAttacker("attacker { grant (c1,s1) DROPMESSAGE,PASSMESSAGE }", nil)
+	if err != nil {
+		t.Fatalf("ParseAttacker: %v", err)
+	}
+	caps := am.CapsFor(model.Conn{Controller: "c1", Switch: "s1"})
+	if !caps.Has(model.CapDropMessage) || !caps.Has(model.CapPassMessage) {
+		t.Fatalf("comma-separated grant lost capabilities: %v", caps)
+	}
+}
+
+func TestParseAttackErrors(t *testing.T) {
+	head := `attack "x" start s0 { state s0 { rule r1 on (c1,s1) caps notls `
+	cases := []struct{ name, src, frag string }{
+		{"lex error", `attack "x" @`, "unexpected character"},
+		{"wrong keyword", `attac "x"`, `expected "attack"`},
+		{"name not string", `attack 5`, "expected string"},
+		{"missing start", `attack "x" begin s0`, `expected "start"`},
+		{"start not ident", `attack "x" start 5`, `expected identifier, got number "5"`},
+		{"start is string", `attack "x" start "s0"`, `expected identifier, got string`},
+		{"missing brace", `attack "x" start s0 state`, `expected "{"`},
+		{"not state", `attack "x" start s0 { 5 }`, `expected "state"`},
+		{"state name not ident", `attack "x" start s0 { state 5 }`, "expected identifier"},
+		{"state missing brace", `attack "x" start s0 { state a rule }`, `expected "{"`},
+		{"not rule", `attack "x" start s0 { state a { foo } }`, `expected "rule"`},
+		{"rule name not ident", `attack "x" start s0 { state a { rule 5 } }`, "expected identifier"},
+		{"rule missing on", `attack "x" start s0 { state a { rule r1 caps } }`, `expected "on"`},
+		{"rule missing caps", `attack "x" start s0 { state a { rule r1 on (c1,s1) prob } }`, `expected "caps"`},
+		{"caps not ident", `attack "x" start s0 { state a { rule r1 on (c1,s1) caps 5 } }`, "expected capability set"},
+		{"caps unknown", `attack "x" start s0 { state a { rule r1 on (c1,s1) caps bogus } }`, ""},
+		{"caps list tail", `attack "x" start s0 { state a { rule r1 on (c1,s1) caps DROPMESSAGE, 5 } }`, "expected identifier"},
+		{"prob not number", head + `prob "x" { when true } } }`, "expected probability"},
+		{"prob unparsable", head + `prob 0.2.5 { when true } } }`, "invalid probability"},
+		{"rule missing brace", head + `when`, `expected "{"`},
+		{"rule missing when", head + `{ do pass } } }`, `expected "when"`},
+		{"rule bad cond", head + `{ when @ } } }`, "unexpected character"},
+		{"rule unterminated", head + `{ when true do pass; drop`, `expected "}"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseAttack(tc.src, nil)
+			if tc.frag == "" {
+				if err == nil {
+					t.Fatal("expected error, got nil")
+				}
+				return
+			}
+			wantErr(t, err, tc.frag)
+		})
+	}
+}
+
+func TestParseAttackRuleForms(t *testing.T) {
+	src := `attack "forms" start s0 {
+  state s0 {
+    rule r1 on (c1,s1), (c1,s2) caps notls prob 0.25 {
+      when true
+    }
+    rule r2 on (c1,s1) caps DROPMESSAGE,PASSMESSAGE prob 1 {
+      when true
+      do pass
+    }
+  }
+}`
+	attack, err := ParseAttack(src, nil)
+	if err != nil {
+		t.Fatalf("ParseAttack: %v", err)
+	}
+	rules := attack.States["s0"].Rules
+	if len(rules[0].Conns) != 2 {
+		t.Fatalf("rule r1 conns = %v, want 2 entries", rules[0].Conns)
+	}
+	if rules[0].Prob != 0.25 || rules[1].Prob != 1 {
+		t.Fatalf("probs = %v, %v; want 0.25, 1", rules[0].Prob, rules[1].Prob)
+	}
+	if len(rules[0].Actions) != 0 || len(rules[1].Actions) != 1 {
+		t.Fatalf("action counts = %d, %d; want 0, 1", len(rules[0].Actions), len(rules[1].Actions))
+	}
+}
+
+func TestParseActionsStringForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want lang.Action
+	}{
+		{"drop", lang.DropMessage{}},
+		{"pass", lang.PassMessage{}},
+		{"duplicate", lang.DuplicateMessage{}},
+		{"fuzz", lang.FuzzMessage{}},
+		{"fuzz 7", lang.FuzzMessage{Seed: 7}},
+		{"delay 1s", lang.DelayMessage{D: time.Second}},
+		{"sleep 250ms", lang.Sleep{D: 250 * time.Millisecond}},
+		{"sleep 5", lang.Sleep{D: 5 * time.Second}},
+		{"goto done", lang.GotoState{State: "done"}},
+		{`syscmd h1 "reboot"`, lang.SysCmd{Host: "h1", Cmd: "reboot"}},
+		{"store q front", lang.StoreMessage{Deque: "q", Front: true}},
+		{"store q end", lang.StoreMessage{Deque: "q"}},
+		{"store q", lang.StoreMessage{Deque: "q"}},
+		{"sendStored q end", lang.SendStored{Deque: "q", FromEnd: true}},
+		{"sendstored q front", lang.SendStored{Deque: "q"}},
+		{"sendstored q", lang.SendStored{Deque: "q"}},
+		{"prepend(q, 1)", lang.DequePush{Deque: "q", Front: true, Value: lang.Lit{Value: int64(1)}}},
+		{"append(q, 1)", lang.DequePush{Deque: "q", Value: lang.Lit{Value: int64(1)}}},
+		{"shift(q)", lang.DequeDiscard{Deque: "q"}},
+		{"pop(q)", lang.DequeDiscard{Deque: "q", FromEnd: true}},
+		{"modify msg.xid = 5", lang.ModifyField{Field: "msg.xid", Value: lang.Lit{Value: int64(5)}}},
+		{"modifyMetadata msg.source = c1", lang.ModifyMetadata{Field: "msg.source", Value: lang.Lit{Value: "c1"}}},
+		{"modifymetadata msg.xid = 1", lang.ModifyMetadata{Field: "msg.xid", Value: lang.Lit{Value: int64(1)}}},
+		{"inject tmpl s2c", lang.InjectMessage{Template: "tmpl", Direction: lang.SwitchToController}},
+		{"inject tmpl c2s", lang.InjectMessage{Template: "tmpl", Direction: lang.ControllerToSwitch}},
+		{"inject tmpl", lang.InjectMessage{Template: "tmpl", Direction: lang.ControllerToSwitch}},
+	}
+	sys := covSystem(t)
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			acts, err := ParseActionsString(tc.src, sys)
+			if err != nil {
+				t.Fatalf("ParseActionsString(%q): %v", tc.src, err)
+			}
+			if len(acts) != 1 || acts[0] != tc.want {
+				t.Fatalf("parsed %#v, want %#v", acts, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseActionsStringErrors(t *testing.T) {
+	cases := []struct{ src, frag string }{
+		{"frobnicate", "unknown action"},
+		{"5", "expected action"},
+		{"fuzz 0xgg", "invalid number"},
+		{`delay "x"`, "expected duration"},
+		{"sleep 5zz", "invalid duration"},
+		{"sleep 0xgg", "invalid duration"},
+		{"goto 5", "expected identifier"},
+		{"syscmd 5", "expected identifier"},
+		{"syscmd h1 5", "expected string"},
+		{"store 5", "expected identifier"},
+		{"sendstored 5", "expected identifier"},
+		{"prepend q, 1)", `expected "("`},
+		{"prepend(5, 1)", "expected identifier"},
+		{"prepend(q 1)", `expected ","`},
+		{"prepend(q, @)", "unexpected character"},
+		{"append(q, 1", `expected ")"`},
+		{"shift q)", `expected "("`},
+		{"shift(5)", "expected identifier"},
+		{"pop(q", `expected ")"`},
+		{"modify 5 = 1", "expected identifier"},
+		{"modify bogus = 1", "unknown message property"},
+		{"modify msg.xid 1", `expected "="`},
+		{"modifymetadata bogus = 1", "unknown message property"},
+		{"inject 5", "expected identifier"},
+		{"pass extra", "trailing input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			_, err := ParseActionsString(tc.src, nil)
+			wantErr(t, err, tc.frag)
+		})
+	}
+}
+
+func TestParseExprStringForms(t *testing.T) {
+	sys := covSystem(t)
+	cases := []struct {
+		src  string
+		want string // formatted round-trip via Expr.String
+	}{
+		{"true", "true"},
+		{"false", "false"},
+		{"host(h1)", `"10.0.0.1"`},
+		{"hostmac(h1)", `"0a:00:00:00:00:01"`},
+		{"examineFront(q)", "examineFront(q)"},
+		{"examinefront(q)", "examineFront(q)"},
+		{"examineEnd(q)", "examineEnd(q)"},
+		{"examineend(q)", "examineEnd(q)"},
+		{"shift(q) = 1", "(shift(q) = 1)"},
+		{"pop(q) = 1", "(pop(q) = 1)"},
+		{"-5 < 0", "(-5 < 0)"},
+		{"(1 + 2) - 3 >= 0", "(((1 + 2) - 3) >= 0)"},
+		{`msg.type != "HELLO"`, `(msg.type != "HELLO")`},
+		{"msg.xid in {1, 2, 3}", "(msg.xid in {1, 2, 3})"},
+		{"not true and false or msg.xid <= 2", "(((not true) and false) or (msg.xid <= 2))"},
+		{"msg.source = s1", `(msg.source = "s1")`},
+		{"msg.source = c1", `(msg.source = "c1")`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			e, err := ParseExprString(tc.src, sys)
+			if err != nil {
+				t.Fatalf("ParseExprString(%q): %v", tc.src, err)
+			}
+			if got := e.String(); got != tc.want {
+				t.Fatalf("round-trip %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseExprStringErrors(t *testing.T) {
+	sys := covSystem(t)
+	cases := []struct {
+		src, frag string
+		sys       *model.System
+	}{
+		{"@", "unexpected character", nil},
+		{"host(h1)", "requires a system model", nil},
+		{"hostmac(h1)", "requires a system model", nil},
+		{"host(h9)", "unknown host", sys},
+		{"hostmac(h9)", "unknown host", sys},
+		{"host h1)", `expected "("`, nil},
+		{"host(5)", "expected identifier", nil},
+		{"host(h1", `expected ")"`, sys},
+		{"examineFront q)", `expected "("`, nil},
+		{"examineFront(5)", "expected identifier", nil},
+		{"examineFront(q", `expected ")"`, nil},
+		{"shift q)", `expected "("`, nil},
+		{"shift(5)", "expected identifier", nil},
+		{"shift(q", `expected ")"`, nil},
+		{"bogusident", "unknown identifier", nil},
+		{"s9", "unknown identifier", sys},
+		{"{", `unexpected "{" in expression`, nil},
+		{`- "x"`, "expected number", nil},
+		{"0xgg", "invalid number", nil},
+		{"(1 = 1", `expected ")"`, nil},
+		{"1 in 2", `expected "{"`, nil},
+		{"1 in {1, 2", `expected "}"`, nil},
+		{"1 = ", "unexpected end of input in expression", nil},
+		{"1 + ", "in expression", nil},
+		{"not @", "unexpected character", nil},
+		{"true and @", "unexpected character", nil},
+		{"true or @", "unexpected character", nil},
+		{"1 in {@}", "unexpected character", nil},
+		{"1 = 1 extra", "trailing input", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			_, err := ParseExprString(tc.src, tc.sys)
+			wantErr(t, err, tc.frag)
+		})
+	}
+}
+
+const covAttackerSrc = `attacker { grant (c1,s1) notls }`
+
+const covAttackSrc = `attack "cov" start s0 {
+  state s0 {
+    rule r1 on (c1,s1) caps notls {
+      when msg.type = "PACKET_IN"
+      do drop
+    }
+  }
+}`
+
+func TestCompileErrorWrapping(t *testing.T) {
+	if _, err := Compile("nope", covAttackerSrc, covAttackSrc); err == nil ||
+		!strings.Contains(err.Error(), "system model:") {
+		t.Fatalf("bad system error = %v, want prefix \"system model:\"", err)
+	}
+	if _, err := Compile(covSystemSrc, "nope", covAttackSrc); err == nil ||
+		!strings.Contains(err.Error(), "attack model:") {
+		t.Fatalf("bad attacker error = %v, want prefix \"attack model:\"", err)
+	}
+	if _, err := Compile(covSystemSrc, covAttackerSrc, "nope"); err == nil ||
+		!strings.Contains(err.Error(), "attack states:") {
+		t.Fatalf("bad attack error = %v, want prefix \"attack states:\"", err)
+	}
+	// Cross-validation: the attack needs a conn the attacker never granted.
+	ungranted := strings.ReplaceAll(covAttackSrc, "on (c1,s1)", "on (c1,s2)")
+	if _, err := Compile(covSystemSrc, covAttackerSrc, ungranted); err == nil ||
+		!strings.Contains(err.Error(), "attack states:") {
+		t.Fatalf("validation error = %v, want prefix \"attack states:\"", err)
+	}
+}
+
+func TestCompileFrontEndDispatch(t *testing.T) {
+	// The Compile* wrappers route XML-looking sources to the XML parsers.
+	if _, err := CompileSystem("<system"); err == nil {
+		t.Fatal("CompileSystem accepted truncated XML")
+	}
+	if _, err := CompileAttack("<attack", nil); err == nil {
+		t.Fatal("CompileAttack accepted truncated XML")
+	}
+	am, err := CompileAttacker(`<attacker><grant controller="c1" switch="s1" caps="notls"/></attacker>`, nil)
+	if err != nil {
+		t.Fatalf("CompileAttacker(xml): %v", err)
+	}
+	if got := am.CapsFor(model.Conn{Controller: "c1", Switch: "s1"}); got != model.AllCapabilities {
+		t.Fatalf("xml grant caps = %v, want all", got)
+	}
+}
+
+func TestParseAttackerXMLErrors(t *testing.T) {
+	if _, err := ParseAttackerXML("<attacker", nil); err == nil {
+		t.Fatal("expected error for truncated XML")
+	}
+	if _, err := ParseAttackerXML(`<attacker><grant controller="c1" switch="s1" caps="bogus"/></attacker>`, nil); err == nil {
+		t.Fatal("expected error for unknown capability")
+	}
+	sys := covSystem(t)
+	if _, err := ParseAttackerXML(`<attacker><grant controller="c1" switch="s9" caps="notls"/></attacker>`, sys); err == nil {
+		t.Fatal("expected validation error for unknown switch")
+	}
+}

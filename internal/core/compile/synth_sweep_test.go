@@ -1,0 +1,125 @@
+package compile_test
+
+// Generative differential sweep (external test package: internal/synth
+// imports compile, so the generator can only be used from _test). Every
+// synthesized program must round-trip the text front end byte-identically
+// and compile to the same structure through both the text-DSL and XML
+// front ends — the generator is the fuzzer, the two parsers check each
+// other.
+
+import (
+	"testing"
+
+	"attain/internal/core/compile"
+	"attain/internal/core/inject"
+	"attain/internal/synth"
+	"attain/internal/topo"
+)
+
+func sweepGenerator(t *testing.T, seed int64) *synth.Generator {
+	t.Helper()
+	g, err := topo.Parse("linear:3x1", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := g.System()
+	names := inject.TemplateNames()
+	for name := range topo.PhantomTemplates(g) {
+		names = append(names, name)
+	}
+	for name := range topo.FloodTemplates(g) {
+		names = append(names, name)
+	}
+	gen, err := synth.New(synth.Config{Seed: seed, Vocab: synth.SystemVocabulary(sys, names...)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+func TestSynthSweepTextRoundTripByteIdentical(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	gen := sweepGenerator(t, 42)
+	sys := gen.System()
+	for i := 0; i < n; i++ {
+		prog, err := gen.Program(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reparsed, err := compile.ParseAttack(prog.DSL, sys)
+		if err != nil {
+			t.Fatalf("program %d does not reparse: %v\n%s", i, err, prog.DSL)
+		}
+		if got := compile.FormatAttack(reparsed); got != prog.DSL {
+			t.Fatalf("program %d format round trip drifted:\n--- emitted ---\n%s--- reformatted ---\n%s", i, prog.DSL, got)
+		}
+		if got, want := reparsed.Describe(), prog.Attack.Describe(); got != want {
+			t.Fatalf("program %d structure drifted:\n%s\nvs\n%s", i, want, got)
+		}
+	}
+}
+
+func TestSynthSweepXMLFrontEndAgrees(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	gen := sweepGenerator(t, 42)
+	sys := gen.System()
+	for i := 0; i < n; i++ {
+		prog, err := gen.Program(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xmlSrc, err := compile.FormatAttackXML(prog.Attack)
+		if err != nil {
+			t.Fatalf("program %d does not format as XML: %v", i, err)
+		}
+		fromXML, err := compile.ParseAttackXML(xmlSrc, sys)
+		if err != nil {
+			t.Fatalf("program %d XML does not reparse: %v\n%s", i, err, xmlSrc)
+		}
+		if got, want := fromXML.Describe(), prog.Attack.Describe(); got != want {
+			t.Fatalf("program %d: XML front end disagrees with generator:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+// TestSynthSweepCompileBothFrontEnds feeds each generated program through
+// the whole compiler twice — once as text DSL, once as XML — alongside
+// formatted system and attacker sources, and requires identical compiled
+// structure. This is the full three-file pipeline the paper's §IV
+// describes, exercised by generated inputs.
+func TestSynthSweepCompileBothFrontEnds(t *testing.T) {
+	n := 1000
+	if testing.Short() {
+		n = 100
+	}
+	gen := sweepGenerator(t, 7)
+	sysSrc := compile.FormatSystem(gen.System(), "sweep")
+	attackerSrc := compile.FormatAttacker(gen.Attacker())
+	for i := 0; i < n; i++ {
+		prog, err := gen.Program(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := compile.Compile(sysSrc, attackerSrc, prog.DSL)
+		if err != nil {
+			t.Fatalf("program %d text compile: %v\n%s", i, err, prog.DSL)
+		}
+		xmlSrc, err := compile.FormatAttackXML(prog.Attack)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := compile.Compile(sysSrc, attackerSrc, xmlSrc)
+		if err != nil {
+			t.Fatalf("program %d XML compile: %v\n%s", i, err, xmlSrc)
+		}
+		if got, want := p2.Attack.Describe(), p1.Attack.Describe(); got != want {
+			t.Fatalf("program %d: compiled structure differs across front ends:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}

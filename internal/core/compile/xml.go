@@ -173,9 +173,9 @@ type xmlRule struct {
 	Name  string  `xml:"name,attr"`
 	Conns string  `xml:"conns,attr"`
 	Caps  string  `xml:"caps,attr"`
-	Prob  float64 `xml:"prob,attr"`
+	Prob  float64 `xml:"prob,attr,omitempty"`
 	When  string  `xml:"when"`
-	Do    string  `xml:"do"`
+	Do    string  `xml:"do,omitempty"`
 }
 
 // ParseAttackXML parses the attack states XML schema.
@@ -205,16 +205,57 @@ func ParseAttackXML(src string, sys *model.System) (*lang.Attack, error) {
 				return nil, fmt.Errorf("compile: rule %s <when>: %w", xr.Name, err)
 			}
 			rule.Cond = cond
-			actions, err := ParseActionsString(strings.TrimSpace(xr.Do), sys)
-			if err != nil {
-				return nil, fmt.Errorf("compile: rule %s <do>: %w", xr.Name, err)
+			// <do> is optional, like the DSL's action list: a rule may only
+			// observe.
+			if do := strings.TrimSpace(xr.Do); do != "" {
+				actions, err := ParseActionsString(do, sys)
+				if err != nil {
+					return nil, fmt.Errorf("compile: rule %s <do>: %w", xr.Name, err)
+				}
+				rule.Actions = actions
 			}
-			rule.Actions = actions
 			st.Rules = append(st.Rules, rule)
 		}
 		attack.AddState(st)
 	}
 	return attack, nil
+}
+
+// FormatAttackXML renders an attack in the XML schema ParseAttackXML
+// accepts. Conditionals and action lists are emitted as DSL text inside
+// <when>/<do> (the shared grammar), so an attack formatted here and one
+// formatted by FormatAttack compile to structurally identical programs —
+// the differential the synth property tests exercise.
+func FormatAttackXML(a *lang.Attack) (string, error) {
+	doc := xmlAttack{Name: a.Name, Start: a.Start}
+	for _, name := range a.StateNames() {
+		st := a.States[name]
+		xs := xmlState{Name: name}
+		for _, rule := range st.Rules {
+			conns := make([]string, len(rule.Conns))
+			for i, c := range rule.Conns {
+				conns[i] = fmt.Sprintf("(%s,%s)", c.Controller, c.Switch)
+			}
+			acts := make([]string, len(rule.Actions))
+			for i, act := range rule.Actions {
+				acts[i] = act.String()
+			}
+			xs.Rules = append(xs.Rules, xmlRule{
+				Name:  rule.Name,
+				Conns: strings.Join(conns, " "),
+				Caps:  formatCaps(rule.Caps),
+				Prob:  rule.Prob,
+				When:  rule.Cond.String(),
+				Do:    strings.Join(acts, "; "),
+			})
+		}
+		doc.States = append(doc.States, xs)
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("compile: format attack xml: %w", err)
+	}
+	return string(out) + "\n", nil
 }
 
 // parseConnList parses "(c1,s1) (c1,s2)".

@@ -1,0 +1,129 @@
+package inject
+
+import (
+	"testing"
+	"time"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+// constVerdict flags every observed frame (or none): the two degenerate
+// detectors that make the ground-truth bookkeeping fully predictable.
+type constVerdict struct{ flag bool }
+
+func (d constVerdict) Observe(DetectionSample) bool { return d.flag }
+
+func detectionHarness(t *testing.T, hook DetectionHook) *harness {
+	t.Helper()
+	attack := oneRuleAttack(isType("ECHO_REQUEST"), model.AllCapabilities,
+		lang.PassMessage{},
+		lang.InjectMessage{Template: "pktin", Direction: lang.SwitchToController})
+	return newHarnessCfg(t, attack, model.AllCapabilities, func(cfg *Config) {
+		cfg.Detection = hook
+		cfg.Templates = map[string]func() openflow.Message{
+			"pktin": func() openflow.Message {
+				return &openflow.PacketIn{
+					BufferID: openflow.NoBuffer, TotalLen: 64, InPort: 1,
+					Reason: openflow.PacketInReasonNoMatch, Data: make([]byte, 64),
+				}
+			},
+		}
+	})
+}
+
+// TestDetectionGroundTruth pins the scoring contract: fabricated frames
+// (INJECTNEWMESSAGE output) are ground-truth positives, proxied frames are
+// negatives, and the hook's verdict lands in the right confusion-matrix
+// cell. An all-flagging detector turns every fabrication into a TP and
+// every genuine frame into an FP; a never-flagging one inverts that.
+func TestDetectionGroundTruth(t *testing.T) {
+	const n = 5
+	run := func(t *testing.T, flag bool) DetectionScore {
+		h := detectionHarness(t, constVerdict{flag: flag})
+		for i := 0; i < n; i++ {
+			h.sw.send(t, uint32(i+1), &openflow.EchoRequest{})
+			// Each echo passes through and triggers one fabricated
+			// PACKET_IN; both reach the controller side.
+			if hdr, _ := h.ctrl.expect(t); hdr.Type != openflow.TypeEchoRequest {
+				t.Fatalf("frame %d: got %s, want ECHO_REQUEST", i, hdr.Type)
+			}
+			if hdr, _ := h.ctrl.expect(t); hdr.Type != openflow.TypePacketIn {
+				t.Fatalf("frame %d: got %s, want PACKET_IN", i, hdr.Type)
+			}
+		}
+		return h.inj.DetectionScore()
+	}
+
+	score := run(t, true)
+	if score.TP != n || score.FP != n || score.FN != 0 || score.TN != 0 {
+		t.Fatalf("all-flagging detector scored %+v, want TP=%d FP=%d", score, n, n)
+	}
+	if p := score.Precision(); p != 0.5 {
+		t.Fatalf("precision %g, want 0.5", p)
+	}
+	if r := score.Recall(); r != 1 {
+		t.Fatalf("recall %g, want 1", r)
+	}
+
+	score = run(t, false)
+	if score.TP != 0 || score.FP != 0 || score.FN != n || score.TN != n {
+		t.Fatalf("never-flagging detector scored %+v, want FN=%d TN=%d", score, n, n)
+	}
+	if score.Precision() != 0 || score.Recall() != 0 {
+		t.Fatalf("degenerate precision/recall not zero: %+v", score)
+	}
+	if score.Observed() != 2*n {
+		t.Fatalf("observed %d frames, want %d", score.Observed(), 2*n)
+	}
+}
+
+func TestPacketInRateDetector(t *testing.T) {
+	d := &PacketInRateDetector{Window: time.Second, Threshold: 3}
+	conn := model.Conn{Controller: "c1", Switch: "s1"}
+	t0 := time.Unix(100, 0)
+	sample := func(typ openflow.Type, at time.Time) DetectionSample {
+		return DetectionSample{Conn: conn, Direction: lang.SwitchToController, Type: typ, Length: 72, Time: at}
+	}
+
+	// Below threshold inside one window: silent. The frame that crosses
+	// the threshold and everything after it in the window: flagged.
+	for i := 0; i < 3; i++ {
+		if d.Observe(sample(openflow.TypePacketIn, t0.Add(time.Duration(i)*time.Millisecond))) {
+			t.Fatalf("frame %d flagged below threshold", i)
+		}
+	}
+	if !d.Observe(sample(openflow.TypePacketIn, t0.Add(4*time.Millisecond))) {
+		t.Fatal("threshold-crossing frame not flagged")
+	}
+	if !d.Observe(sample(openflow.TypePacketIn, t0.Add(5*time.Millisecond))) {
+		t.Fatal("over-threshold frame not flagged")
+	}
+
+	// A new window resets the count.
+	if d.Observe(sample(openflow.TypePacketIn, t0.Add(1100*time.Millisecond))) {
+		t.Fatal("first frame of a fresh window flagged")
+	}
+
+	// Other message types never trip a PACKET_IN detector, regardless of rate.
+	for i := 0; i < 20; i++ {
+		if d.Observe(sample(openflow.TypeEchoRequest, t0)) {
+			t.Fatal("non-PACKET_IN frame flagged")
+		}
+	}
+
+	// Separate connections get separate buckets.
+	other := model.Conn{Controller: "c1", Switch: "s2"}
+	s := sample(openflow.TypePacketIn, t0.Add(6*time.Millisecond))
+	s.Conn = other
+	if d.Observe(s) {
+		t.Fatal("fresh connection inherited another connection's count")
+	}
+
+	// The zero value works with defaults.
+	var zero PacketInRateDetector
+	if zero.Observe(sample(openflow.TypePacketIn, t0)) {
+		t.Fatal("zero-value detector flagged the first frame")
+	}
+}

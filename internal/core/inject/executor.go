@@ -255,6 +255,15 @@ func (ex *executor) process(ev *event) {
 		}, ex.now())
 	}
 
+	// Detection observation pass: every outgoing frame — forwarded,
+	// rewritten, duplicated, or fabricated — is shown to the detection
+	// hook before delivery consumes the buffers, so detectors see exactly
+	// what reaches the wire and verdicts are scored against ground truth
+	// (fromCurrent) while it is still attached to each entry.
+	if ex.inj.cfg.Detection != nil {
+		ex.observeDetection(out)
+	}
+
 	// Deliver the outgoing message list (lines 19-21). Delivery takes
 	// ownership of each entry's buffer; if the original frame is still
 	// owned here afterwards (dropped, or replaced by a rewrite), recycle it.

@@ -83,6 +83,10 @@ type Config struct {
 	// Batch bounds how many frames one shard loop iteration processes
 	// between flushes (default 256). Only meaningful with Shards > 0.
 	Batch int
+	// Detection, when non-nil, observes every frame the injector emits
+	// onto the control channel and is scored against ground truth (see
+	// DetectionHook). With Shards > 0 the hook is called concurrently.
+	Detection DetectionHook
 }
 
 // DefaultProxyAddr names proxy listen addresses for in-memory transports.
@@ -119,9 +123,12 @@ type Injector struct {
 	// frames were proxied, and forwarded frames keep their xid bytes
 	// untouched.
 	injectXid atomic.Uint32
-	events    chan *event
-	stop      chan struct{}
-	wg        sync.WaitGroup
+	// Detection confusion matrix (see detect.go). Atomics: shard loops
+	// score concurrently.
+	detTP, detFP, detFN, detTN atomic.Uint64
+	events                     chan *event
+	stop                       chan struct{}
+	wg                         sync.WaitGroup
 }
 
 // eventPool recycles executor events: the pump allocates nothing per

@@ -1,0 +1,336 @@
+package lang
+
+// Back-filled unit tests for the language surface the generative sweeps
+// exercise indirectly: action/expression String forms (the DSL emission
+// contract), capability requirements, deque-expression evaluation, value
+// coercion, and the vocabulary introspection accessors.
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+func TestActionStrings(t *testing.T) {
+	cases := []struct {
+		action Action
+		want   string
+	}{
+		{DropMessage{}, "drop"},
+		{PassMessage{}, "pass"},
+		{DelayMessage{D: 5 * time.Millisecond}, "delay 5ms"},
+		{DuplicateMessage{}, "duplicate"},
+		{FuzzMessage{}, "fuzz"},
+		{FuzzMessage{Seed: 9}, "fuzz 9"},
+		{ModifyField{Field: PropXid, Value: Lit{Value: int64(3)}}, "modify msg.xid = 3"},
+		{ModifyMetadata{Field: PropLength, Value: Lit{Value: int64(8)}}, "modifyMetadata msg.length = 8"},
+		{InjectMessage{Template: "hello", Direction: SwitchToController}, "inject hello s2c"},
+		{SendStored{Deque: "d1"}, "sendStored d1 front"},
+		{SendStored{Deque: "d1", FromEnd: true}, "sendStored d1 end"},
+		{StoreMessage{Deque: "d2"}, "store d2 end"},
+		{StoreMessage{Deque: "d2", Front: true}, "store d2 front"},
+		{DequePush{Deque: "c", Value: Lit{Value: int64(1)}}, "append(c, 1)"},
+		{DequePush{Deque: "c", Front: true, Value: Lit{Value: int64(1)}}, "prepend(c, 1)"},
+		{DequeDiscard{Deque: "c"}, "shift(c)"},
+		{DequeDiscard{Deque: "c", FromEnd: true}, "pop(c)"},
+		{GotoState{State: "sigma2"}, "goto sigma2"},
+		{Sleep{D: time.Second}, "sleep 1s"},
+		{SysCmd{Host: "h1", Cmd: "probe latency"}, `syscmd h1 "probe latency"`},
+	}
+	for _, c := range cases {
+		if got := c.action.String(); got != c.want {
+			t.Errorf("%T String() = %q, want %q", c.action, got, c.want)
+		}
+	}
+}
+
+func TestExprStringsAndCaps(t *testing.T) {
+	typeIs := Cmp{Op: OpEq, L: Prop{Name: PropType}, R: Lit{Value: "HELLO"}}
+	lenGt := Cmp{Op: OpGt, L: Prop{Name: PropLength}, R: Lit{Value: int64(8)}}
+	cases := []struct {
+		expr Expr
+		str  string
+		caps model.CapabilitySet
+	}{
+		{And{Exprs: []Expr{typeIs, lenGt}}, `((msg.type = "HELLO") and (msg.length > 8))`,
+			model.Caps(model.CapReadMessage, model.CapReadMessageMetadata)},
+		{Or{Exprs: []Expr{typeIs, lenGt}}, `((msg.type = "HELLO") or (msg.length > 8))`,
+			model.Caps(model.CapReadMessage, model.CapReadMessageMetadata)},
+		{Not{Expr: lenGt}, "(not (msg.length > 8))", model.Caps(model.CapReadMessageMetadata)},
+		{In{L: Prop{Name: PropLength}, Set: []Expr{Lit{Value: int64(1)}, Lit{Value: int64(2)}}},
+			"(msg.length in {1, 2})", model.Caps(model.CapReadMessageMetadata)},
+		{Arith{Op: OpAdd, L: Lit{Value: int64(1)}, R: Lit{Value: int64(2)}}, "(1 + 2)", model.NoCapabilities},
+		{Arith{Op: OpSub, L: Lit{Value: int64(1)}, R: Lit{Value: int64(2)}}, "(1 - 2)", model.NoCapabilities},
+		{Lit{Value: "x"}, `"x"`, model.NoCapabilities},
+		{DequeRead{Deque: "d"}, "examineFront(d)", model.NoCapabilities},
+		{DequeRead{Deque: "d", End: true}, "examineEnd(d)", model.NoCapabilities},
+		{DequeTake{Deque: "d"}, "shift(d)", model.NoCapabilities},
+		{DequeTake{Deque: "d", End: true}, "pop(d)", model.NoCapabilities},
+	}
+	for _, c := range cases {
+		if got := c.expr.String(); got != c.str {
+			t.Errorf("%T String() = %q, want %q", c.expr, got, c.str)
+		}
+		if got := c.expr.RequiredCaps(); got != c.caps {
+			t.Errorf("%T RequiredCaps() = %v, want %v", c.expr, got, c.caps)
+		}
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{
+		OpEq: "=", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+		CmpOp(0): "?",
+	}
+	for op, s := range want {
+		if got := op.String(); got != s {
+			t.Errorf("CmpOp(%d).String() = %q, want %q", op, got, s)
+		}
+	}
+	if got := OpAdd.String(); got != "+" {
+		t.Errorf("OpAdd = %q", got)
+	}
+	if got := OpSub.String(); got != "-" {
+		t.Errorf("OpSub = %q", got)
+	}
+}
+
+func TestDequeTakeEval(t *testing.T) {
+	st := NewStorage()
+	st.Deque("d").Append(int64(7))
+	st.Deque("d").Append(int64(8))
+	env := &Env{Storage: st}
+
+	v, err := DequeTake{Deque: "d"}.Eval(env)
+	if err != nil || v != int64(7) {
+		t.Fatalf("shift = %v, %v", v, err)
+	}
+	v, err = DequeTake{Deque: "d", End: true}.Eval(env)
+	if err != nil || v != int64(8) {
+		t.Fatalf("pop = %v, %v", v, err)
+	}
+	// Taking from an empty deque yields 0, the counter-idiom base case.
+	v, err = DequeTake{Deque: "d"}.Eval(env)
+	if err != nil || v != int64(0) {
+		t.Fatalf("empty shift = %v, %v", v, err)
+	}
+	v, err = DequeRead{Deque: "d"}.Eval(env)
+	if err != nil || v != int64(0) {
+		t.Fatalf("empty examine = %v, %v", v, err)
+	}
+	if _, err := (DequeTake{Deque: "d"}).Eval(&Env{}); err == nil {
+		t.Fatal("DequeTake without storage did not error")
+	}
+	if _, err := (DequeRead{Deque: "d"}).Eval(&Env{}); err == nil {
+		t.Fatal("DequeRead without storage did not error")
+	}
+}
+
+func TestHasSideEffects(t *testing.T) {
+	take := DequeTake{Deque: "d"}
+	pure := Lit{Value: int64(1)}
+	cases := []struct {
+		expr Expr
+		want bool
+	}{
+		{take, true},
+		{pure, false},
+		{And{Exprs: []Expr{pure, take}}, true},
+		{And{Exprs: []Expr{pure, pure}}, false},
+		{Or{Exprs: []Expr{take, pure}}, true},
+		{Or{Exprs: []Expr{pure}}, false},
+		{Not{Expr: take}, true},
+		{Cmp{Op: OpEq, L: pure, R: take}, true},
+		{Cmp{Op: OpEq, L: pure, R: pure}, false},
+		{Arith{Op: OpAdd, L: take, R: pure}, true},
+		{In{L: take, Set: []Expr{pure}}, true},
+		{In{L: pure, Set: []Expr{take}}, true},
+		{In{L: pure, Set: []Expr{pure}}, false},
+	}
+	for _, c := range cases {
+		if got := HasSideEffects(c.expr); got != c.want {
+			t.Errorf("HasSideEffects(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestStorageSnapshotAndNames(t *testing.T) {
+	st := NewStorage()
+	st.Deque("a").Append(int64(1))
+	st.Deque("a").Prepend(int64(0))
+	st.Deque("b").Append("x")
+
+	snap := st.Deque("a").Snapshot()
+	if len(snap) != 2 || snap[0] != int64(0) || snap[1] != int64(1) {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it does not touch the deque.
+	snap[0] = int64(99)
+	if v, _ := st.Deque("a").ExamineFront(); v != int64(0) {
+		t.Fatalf("snapshot aliased storage: front = %v", v)
+	}
+
+	names := st.Names()
+	sort.Strings(names)
+	if !reflect.DeepEqual(names, []string{"a", "b"}) {
+		t.Fatalf("names = %v", names)
+	}
+
+	err := st.WithDeque("c", func(d *Deque) error {
+		d.Append(int64(5))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := st.Deque("c").ExamineEnd(); v != int64(5) {
+		t.Fatalf("WithDeque result = %v", v)
+	}
+}
+
+func TestValueCoercion(t *testing.T) {
+	eq := []struct {
+		a, b Value
+		want bool
+	}{
+		{int64(3), 3, true},
+		{uint16(7), int64(7), true},
+		{uint32(7), uint64(7), true},
+		{int64(3), int64(4), false},
+		{"a", "a", true},
+		{"a", "b", false},
+		{true, true, true},
+		{true, false, false},
+		{int64(1), "1", false},
+		{nil, nil, false},
+	}
+	for _, c := range eq {
+		if got := equalValues(c.a, c.b); got != c.want {
+			t.Errorf("equalValues(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+	if _, ok := asInt("nope"); ok {
+		t.Error("asInt coerced a string")
+	}
+	if got := formatValue("s"); got != `"s"` {
+		t.Errorf("formatValue string = %q", got)
+	}
+	if got := formatValue(&Captured{View: MessageView{ID: 4}}); got != "<msg 4>" {
+		t.Errorf("formatValue captured = %q", got)
+	}
+	if got := formatValue(int64(2)); got != "2" {
+		t.Errorf("formatValue int = %q", got)
+	}
+}
+
+func TestMessageViewFrameLifecycle(t *testing.T) {
+	raw, err := openflow.Marshal(1, &openflow.EchoRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := openflow.NewFrame(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v MessageView
+	if _, ok := v.Frame(); ok {
+		t.Fatal("zero view claims a frame")
+	}
+	v.SetFrame(f)
+	if _, ok := v.Frame(); !ok {
+		t.Fatal("SetFrame did not attach")
+	}
+	if v.TypeName() != "ECHO_REQUEST" {
+		t.Fatalf("TypeName = %q", v.TypeName())
+	}
+	v.ClearFrame()
+	if _, ok := v.Frame(); ok {
+		t.Fatal("ClearFrame did not detach")
+	}
+	if v.TypeName() != "OPAQUE" {
+		t.Fatalf("TypeName after clear = %q", v.TypeName())
+	}
+	if v.Materialize() {
+		t.Fatal("materialized without payload")
+	}
+}
+
+func TestBoxedValueFallbacks(t *testing.T) {
+	if got := directionValue(Direction(9)); got != "?" {
+		t.Errorf("unknown direction = %v", got)
+	}
+	if got := directionValue(ControllerToSwitch); got != "c2s" {
+		t.Errorf("c2s = %v", got)
+	}
+	if got := typeValue(openflow.Type(250)); got != openflow.Type(250).String() {
+		t.Errorf("unknown type = %v", got)
+	}
+	if got := commandValue(openflow.FlowModCommand(99)); got != openflow.FlowModCommand(99).String() {
+		t.Errorf("unknown command = %v", got)
+	}
+	if got := reasonValue(openflow.PacketInReason(99)); got != openflow.PacketInReason(99).String() {
+		t.Errorf("unknown reason = %v", got)
+	}
+}
+
+func TestVocabularyAccessors(t *testing.T) {
+	props := Properties()
+	if len(props) != len(knownProps) {
+		t.Fatalf("Properties() = %d names, want %d", len(props), len(knownProps))
+	}
+	if !sort.StringsAreSorted(props) {
+		t.Fatal("Properties() not sorted")
+	}
+	for _, name := range props {
+		if !KnownProperty(name) {
+			t.Errorf("Properties() lists unknown %q", name)
+		}
+	}
+	if !MetadataProperty(PropLength) || MetadataProperty(PropType) {
+		t.Error("MetadataProperty misclassifies")
+	}
+	kinds := map[string]PropertyKind{
+		PropSource:     PropertyString,
+		PropDirection:  PropertyString,
+		PropLength:     PropertyInt,
+		PropType:       PropertyString,
+		PropFMCommand:  PropertyString,
+		PropPIReason:   PropertyString,
+		PropXid:        PropertyInt,
+		PropMatchTPSrc: PropertyInt,
+	}
+	for name, want := range kinds {
+		if got := PropertyKindOf(name); got != want {
+			t.Errorf("PropertyKindOf(%s) = %v, want %v", name, got, want)
+		}
+	}
+	// The prototype lists must each contain distinct types and match the
+	// compile-time interface checks in size.
+	seen := map[string]bool{}
+	for _, a := range ActionPrototypes() {
+		k := strings.TrimPrefix(reflect.TypeOf(a).String(), "lang.")
+		if seen[k] {
+			t.Errorf("duplicate action prototype %s", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 15 {
+		t.Errorf("action prototypes = %d, want 15", len(seen))
+	}
+	seen = map[string]bool{}
+	for _, e := range ExprPrototypes() {
+		k := strings.TrimPrefix(reflect.TypeOf(e).String(), "lang.")
+		if seen[k] {
+			t.Errorf("duplicate expr prototype %s", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("expr prototypes = %d, want 10", len(seen))
+	}
+}

@@ -1,0 +1,101 @@
+// Package synth generates seeded, reproducible, well-typed ATTAIN attack
+// programs. A Generator is a pure function of (base seed, program index):
+// the same pair always yields the byte-identical DSL text, regardless of
+// which worker or process asks, so grid shards can regenerate their slice
+// of a campaign independently (ROADMAP item 3).
+//
+// The generator draws its property and action vocabulary from the language
+// package's own introspection accessors (lang.Properties, lang.PropertyKindOf,
+// lang.ActionPrototypes) rather than a parallel hand-maintained list — a new
+// action or property shows up here as a loud generator error, not a silent
+// coverage gap. Programs are emitted as text DSL via compile.FormatAttack so
+// every one flows through the real parser → compiler → injector path.
+package synth
+
+import (
+	"sort"
+	"strings"
+
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+// Vocabulary is the pool of names a generator draws from: the system under
+// attack, its control-plane connections, message templates the injector can
+// materialize, and literal strings that make comparisons meaningful.
+type Vocabulary struct {
+	// System is the system model generated programs are validated against.
+	System *model.System
+	// Conns are the control-plane connections rules may watch.
+	Conns []model.Conn
+	// Templates are injectable message template names (inject actions are
+	// excluded from the action table when empty).
+	Templates []string
+	// Hosts are host node IDs usable as syscmd targets (syscmd is excluded
+	// from the action table when empty).
+	Hosts []string
+	// StringPool holds literal strings for comparisons and set membership:
+	// message type names, component IDs, directions.
+	StringPool []string
+	// Deques are the attack-local deque names programs manipulate.
+	Deques []string
+}
+
+// SystemVocabulary derives a Vocabulary from a system model. The string
+// pool combines the OpenFlow message-type vocabulary with the system's
+// component IDs and the two direction names; extraTemplates (typically
+// inject.TemplateNames() plus scenario-specific templates) become the
+// injectable template pool.
+func SystemVocabulary(sys *model.System, extraTemplates ...string) Vocabulary {
+	v := Vocabulary{System: sys}
+	v.Conns = append(v.Conns, sys.ControlPlane...)
+	for _, h := range sys.Hosts {
+		v.Hosts = append(v.Hosts, string(h.ID))
+	}
+	pool := MessageTypeNames()
+	for _, sw := range sys.Switches {
+		pool = append(pool, string(sw.ID))
+	}
+	for _, c := range sys.Controllers {
+		pool = append(pool, string(c.ID))
+	}
+	pool = append(pool, "s2c", "c2s")
+	v.StringPool = pool
+	seen := make(map[string]bool, len(extraTemplates))
+	for _, t := range extraTemplates {
+		if t != "" && !seen[t] {
+			seen[t] = true
+			v.Templates = append(v.Templates, t)
+		}
+	}
+	sort.Strings(v.Templates)
+	v.Deques = []string{"d1", "d2", "counter"}
+	return v
+}
+
+// Attacker returns the full attacker model for the vocabulary's
+// connections: every capability granted on every conn, so any well-typed
+// rule the generator emits validates (the campaign layer uses the same
+// model when running generated programs).
+func (v Vocabulary) Attacker() *model.AttackerModel {
+	am := model.NewAttackerModel()
+	for _, c := range v.Conns {
+		am.Grant(c, model.AllCapabilities)
+	}
+	return am
+}
+
+// MessageTypeNames introspects the OpenFlow message-type vocabulary: every
+// type whose String() form is a spec name (not the UNKNOWN_TYPE fallback),
+// in type-code order. Like lang.ActionPrototypes, this derives the pool
+// from the protocol package itself so it cannot drift.
+func MessageTypeNames() []string {
+	var names []string
+	for t := 0; t < 256; t++ {
+		s := openflow.Type(t).String()
+		if !strings.HasPrefix(s, "UNKNOWN_TYPE") {
+			names = append(names, s)
+		}
+	}
+	return names
+}

