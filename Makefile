@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: ci vet build test race cover smoke grid-smoke fabric-smoke synth-smoke fuzz-smoke fuzz-seed loadgen-smoke bench clean
+.PHONY: ci vet build test race cover smoke grid-smoke serve-smoke fabric-smoke synth-smoke fuzz-smoke fuzz-seed loadgen-smoke bench clean
 
-ci: vet build test race cover fuzz-smoke smoke grid-smoke fabric-smoke synth-smoke loadgen-smoke
+ci: vet build test race cover fuzz-smoke smoke grid-smoke serve-smoke fabric-smoke synth-smoke loadgen-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,12 +20,15 @@ race:
 	$(GO) test -race ./...
 
 # Coverage ratchet: the language core and its compiler are the packages
-# every generated program flows through, so their statement coverage is
-# gated with hard floors (coverfloor fails CI below them).
+# every generated program flows through, and the grid/service layer is
+# the durability substrate every distributed campaign rides, so their
+# statement coverage is gated with hard floors (coverfloor fails CI
+# below them).
 cover:
-	$(GO) test -cover ./internal/core/... > /tmp/attain-cover.txt
+	$(GO) test -cover ./internal/core/... ./internal/grid/... ./internal/gridsvc/... > /tmp/attain-cover.txt
 	$(GO) run ./docs/ci/coverfloor \
 		attain/internal/core/lang=90 attain/internal/core/compile=90 \
+		attain/internal/grid=80 attain/internal/gridsvc=80 \
 		< /tmp/attain-cover.txt
 
 # End-to-end smoke: one short interruption scenario through the campaign
@@ -43,6 +46,14 @@ grid-smoke:
 	$(GO) run ./cmd/attain-grid local -spec examples/campaign/grid-smoke.json -workers 2 -out /tmp/attain-grid-smoke
 	@test -s /tmp/attain-grid-smoke/results.jsonl
 	@grep -q '"status":"ok"' /tmp/attain-grid-smoke/results.jsonl
+
+# Service durability smoke: build attain-serve for real, submit a
+# campaign over HTTP, SIGKILL the service mid-run, restart it over the
+# same root, and assert the resumed campaign's results.jsonl is
+# byte-identical (modulo wall-clock fields) to an uninterrupted
+# single-process run — the checkpoint/restart contract end to end.
+serve-smoke:
+	$(GO) run ./docs/ci/servesmoke -spec examples/campaign/serve-smoke.json
 
 # Fabric smoke: a 50-switch leaf-spine fabric through the campaign CLI
 # under the LLDP-poisoning attack — asserts full control-plane and

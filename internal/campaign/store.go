@@ -244,6 +244,25 @@ func (s *Store) Finish(report *Report) error {
 	return errors.Join(errs...)
 }
 
+// Abort closes the JSONL stream without finalizing: no straggler flush, no
+// aggregate CSVs, no summary. results.jsonl is left as the contiguous
+// prefix Put has streamed so far — exactly what ResumeStore expects — so
+// an aborted campaign resumes where it stopped instead of recording the
+// remainder as skipped. Aborting an already-finished (or aborted) store is
+// a no-op.
+func (s *Store) Abort() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("campaign: close %s: %w", ResultsFile, err)
+	}
+	return nil
+}
+
 // writeTrace persists the outcome's telemetry trace (if any) under
 // TracesDir and stamps the record with the file's store-relative path.
 // Called with s.mu held.

@@ -127,3 +127,139 @@ func TestPacketInRateDetector(t *testing.T) {
 		t.Fatal("zero-value detector flagged the first frame")
 	}
 }
+
+func TestPacketInEWMADetector(t *testing.T) {
+	d := &PacketInEWMADetector{HalfLife: time.Second, Threshold: 3}
+	conn := model.Conn{Controller: "c1", Switch: "s1"}
+	t0 := time.Unix(100, 0)
+	sample := func(typ openflow.Type, at time.Time) DetectionSample {
+		return DetectionSample{Conn: conn, Direction: lang.SwitchToController, Type: typ, Length: 72, Time: at}
+	}
+
+	// A tight burst: levels 1, 2, 3 stay at the threshold; the fourth
+	// frame pushes past it and is flagged.
+	for i := 0; i < 3; i++ {
+		if d.Observe(sample(openflow.TypePacketIn, t0.Add(time.Duration(i)*time.Millisecond))) {
+			t.Fatalf("frame %d flagged below threshold", i)
+		}
+	}
+	if !d.Observe(sample(openflow.TypePacketIn, t0.Add(3*time.Millisecond))) {
+		t.Fatal("threshold-crossing frame not flagged")
+	}
+
+	// After many half-lives the level is back near zero.
+	if d.Observe(sample(openflow.TypePacketIn, t0.Add(20*time.Second))) {
+		t.Fatal("frame flagged after the level decayed away")
+	}
+
+	// Non-PACKET_IN types never count.
+	for i := 0; i < 20; i++ {
+		if d.Observe(sample(openflow.TypeEchoRequest, t0.Add(21*time.Second))) {
+			t.Fatal("non-PACKET_IN frame flagged")
+		}
+	}
+
+	// Connections decay independently.
+	s := sample(openflow.TypePacketIn, t0.Add(3*time.Millisecond))
+	s.Conn = model.Conn{Controller: "c1", Switch: "s2"}
+	if d.Observe(s) {
+		t.Fatal("fresh connection inherited another connection's level")
+	}
+
+	// The zero value works with defaults.
+	var zero PacketInEWMADetector
+	if zero.Observe(sample(openflow.TypePacketIn, t0)) {
+		t.Fatal("zero-value detector flagged the first frame")
+	}
+}
+
+// TestDetectorComparisonConfusionMatrix feeds the same labelled traffic
+// traces to the tumbling-window and EWMA detectors and compares their
+// confusion matrices. The traces are built so each detector's
+// characteristic weakness shows: a burst straddling a window boundary
+// splits its count across two tumbling windows and slips through, while
+// the EWMA level sees it whole; a sustained over-rate flood is caught by
+// both.
+func TestDetectorComparisonConfusionMatrix(t *testing.T) {
+	conn := model.Conn{Controller: "c1", Switch: "s1"}
+	type labelled struct {
+		s      DetectionSample
+		attack bool
+	}
+	score := func(hook DetectionHook, trace []labelled) DetectionScore {
+		var sc DetectionScore
+		for _, l := range trace {
+			switch flagged := hook.Observe(l.s); {
+			case flagged && l.attack:
+				sc.TP++
+			case flagged:
+				sc.FP++
+			case l.attack:
+				sc.FN++
+			default:
+				sc.TN++
+			}
+		}
+		return sc
+	}
+	pktIn := func(at time.Time, attack bool) labelled {
+		return labelled{s: DetectionSample{
+			Conn: conn, Direction: lang.SwitchToController,
+			Type: openflow.TypePacketIn, Length: 72, Time: at,
+		}, attack: attack}
+	}
+
+	// Trace 1: background of 2 genuine PACKET_INs per second anchors the
+	// tumbling window on whole seconds (the detector re-anchors at each
+	// reset, and the resets land on the on-the-second background frames),
+	// then a 12-frame attack burst straddles the t0+5s boundary — 6 frames
+	// just before, 6 just after. Each window sees at most 2+6 frames, so
+	// the tumbling detector (1 s, threshold 8) stays silent; the EWMA
+	// level (half-life 1 s, threshold 8) integrates the burst whole.
+	t0 := time.Unix(100, 0)
+	var straddle []labelled
+	for i := 0; i < 10; i++ {
+		straddle = append(straddle, pktIn(t0.Add(time.Duration(i)*500*time.Millisecond), false))
+	}
+	for i := 0; i < 12; i++ {
+		straddle = append(straddle, pktIn(t0.Add(4940*time.Millisecond).Add(time.Duration(i)*10*time.Millisecond), true))
+	}
+
+	tumbling := score(&PacketInRateDetector{Window: time.Second, Threshold: 8}, straddle)
+	ewma := score(&PacketInEWMADetector{HalfLife: time.Second, Threshold: 8}, straddle)
+	if tumbling.TP != 0 {
+		t.Errorf("tumbling window caught the straddling burst: %+v (the trace no longer straddles)", tumbling)
+	}
+	if ewma.TP == 0 {
+		t.Errorf("EWMA missed the straddling burst entirely: %+v", ewma)
+	}
+	if ewma.Recall() <= tumbling.Recall() {
+		t.Errorf("straddling burst: EWMA recall %.2f not above tumbling %.2f",
+			ewma.Recall(), tumbling.Recall())
+	}
+	if ewma.FP != 0 || tumbling.FP != 0 {
+		t.Errorf("background traffic flagged: tumbling %+v, ewma %+v", tumbling, ewma)
+	}
+
+	// Trace 2: a sustained flood of 40 attack frames in one second on top
+	// of the same background. Both detectors cross their thresholds and
+	// flag the bulk of it.
+	var flood []labelled
+	for i := 0; i < 4; i++ {
+		flood = append(flood, pktIn(t0.Add(time.Duration(i)*500*time.Millisecond), false))
+	}
+	for i := 0; i < 40; i++ {
+		flood = append(flood, pktIn(t0.Add(2*time.Second).Add(time.Duration(i)*25*time.Millisecond), true))
+	}
+	tumbling = score(&PacketInRateDetector{Window: time.Second, Threshold: 8}, flood)
+	ewma = score(&PacketInEWMADetector{HalfLife: time.Second, Threshold: 8}, flood)
+	if tumbling.Recall() < 0.5 {
+		t.Errorf("tumbling window recall %.2f on a sustained flood, want >= 0.5 (%+v)", tumbling.Recall(), tumbling)
+	}
+	if ewma.Recall() < 0.5 {
+		t.Errorf("EWMA recall %.2f on a sustained flood, want >= 0.5 (%+v)", ewma.Recall(), ewma)
+	}
+	if tumbling.FP != 0 || ewma.FP != 0 {
+		t.Errorf("flood background flagged: tumbling %+v, ewma %+v", tumbling, ewma)
+	}
+}

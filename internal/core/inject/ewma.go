@@ -1,0 +1,75 @@
+package inject
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"attain/internal/core/model"
+	"attain/internal/openflow"
+)
+
+// PacketInEWMADetector is the exponentially-decayed counterpart to
+// PacketInRateDetector: instead of counting PACKET_INs in tumbling
+// windows, it keeps a per-connection activity level that decays with a
+// configurable half-life and bumps by one on every PACKET_IN. A frame is
+// flagged when the level (including that frame) exceeds Threshold.
+//
+// The decay makes the detector window-phase-free: a burst that straddles
+// a tumbling-window boundary splits its count across two buckets and can
+// slip under a windowed threshold, but the decayed level sees the burst
+// whole. The trade-off is that a long steady stream just below the
+// windowed limit eventually accumulates here — for arrival rate r (per
+// second) the level converges to r·HalfLife/ln 2, so the steady-state
+// flagging rate is Threshold·ln 2/HalfLife per second.
+//
+// The zero value is usable; HalfLife defaults to one second and Threshold
+// to 50 (matching the rate detector's default budget). Frames of any type
+// other than PACKET_IN are never flagged.
+type PacketInEWMADetector struct {
+	// HalfLife is how long the activity level takes to decay to half
+	// (virtual time).
+	HalfLife time.Duration
+	// Threshold is the decayed PACKET_IN level per connection above which
+	// frames are flagged.
+	Threshold float64
+
+	mu     sync.Mutex
+	levels map[model.Conn]*ewmaLevel
+}
+
+type ewmaLevel struct {
+	last  time.Time
+	level float64
+}
+
+// Observe implements DetectionHook.
+func (d *PacketInEWMADetector) Observe(s DetectionSample) bool {
+	if s.Type != openflow.TypePacketIn {
+		return false
+	}
+	halfLife := d.HalfLife
+	if halfLife <= 0 {
+		halfLife = time.Second
+	}
+	threshold := d.Threshold
+	if threshold <= 0 {
+		threshold = 50
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.levels == nil {
+		d.levels = make(map[model.Conn]*ewmaLevel)
+	}
+	l := d.levels[s.Conn]
+	if l == nil {
+		l = &ewmaLevel{last: s.Time}
+		d.levels[s.Conn] = l
+	}
+	if dt := s.Time.Sub(l.last); dt > 0 {
+		l.level *= math.Exp2(-float64(dt) / float64(halfLife))
+		l.last = s.Time
+	}
+	l.level++
+	return l.level > threshold
+}

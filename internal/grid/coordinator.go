@@ -2,6 +2,7 @@ package grid
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,6 +13,46 @@ import (
 	"attain/internal/campaign"
 	"attain/internal/telemetry"
 )
+
+// ErrAborted is returned by Serve when the campaign was stopped via Abort:
+// artifacts are left un-finalized so the campaign can be resumed later.
+var ErrAborted = errors.New("grid: campaign aborted")
+
+// JournalSink observes the coordinator's durable state transitions, in
+// commit order. Implementations (internal/gridsvc's append-only journal)
+// persist them so a restarted coordinator can rebuild its lease table via
+// CoordinatorConfig.Restore. Methods are called with the coordinator lock
+// held — the transition must be durable before any frame that depends on
+// it is sent — so they must not call back into the coordinator.
+type JournalSink interface {
+	// Granted records a lease grant; steal marks a duplicate (work-steal)
+	// grant, which does not consume the requeue budget.
+	Granted(idx int, worker string, grant int, steal bool)
+	// Adopted records a lease re-adopted from a reconnecting worker or a
+	// pre-restart execution claimed by heartbeat.
+	Adopted(idx int, worker string)
+	// Requeued records a lost lease returning to the pending queue;
+	// failed marks requeue-budget exhaustion (the scenario is recorded
+	// failed instead of requeued).
+	Requeued(idx int, worker string, grants int, failed bool)
+	// Completed records a scenario reaching a final status.
+	Completed(idx int, status campaign.Status)
+}
+
+// Restore seeds a coordinator from a prior incarnation's persisted state:
+// the results.jsonl watermark (which scenarios already have records) and
+// the journal's requeue bookkeeping. Scenarios in Done are neither re-run
+// nor re-recorded; everything else starts pending, with grant counts and
+// exclusion sets carried over so requeue budgets survive the restart.
+type Restore struct {
+	// Done maps scenario index → recorded status for every scenario
+	// already present in the store's validated results.jsonl prefix.
+	Done map[int]campaign.Status
+	// Grants maps scenario index → grants consumed before the restart.
+	Grants map[int]int
+	// Excluded maps scenario index → workers that lost the scenario.
+	Excluded map[int][]string
+}
 
 // CoordinatorConfig tunes a campaign coordinator.
 type CoordinatorConfig struct {
@@ -33,10 +74,28 @@ type CoordinatorConfig struct {
 	// grantable again; it doubles per requeue and carries the scenario's
 	// seeded jitter (default 250 ms).
 	Backoff time.Duration
+	// StealBudget enables work stealing when > 0: once nothing is
+	// pending, a lease held longer than StealAfter may be re-granted to
+	// an idle worker, at most StealBudget times per scenario. First
+	// result wins; the duplicate is dropped.
+	StealBudget int
+	// StealAfter is the minimum age of a lease before it may be stolen
+	// (default LeaseTTL/2, so stealing undercuts expiry without
+	// duplicating work that is merely slow to schedule).
+	StealAfter time.Duration
 	// Runner is the execution policy workers adopt (Timeout, Retries,
 	// Backoff); Workers/Execute/Store/Progress are coordinator-side
 	// concerns and ignored here.
 	Runner campaign.RunnerConfig
+	// Journal, when set, receives every durable state transition.
+	Journal JournalSink
+	// Restore, when set, seeds the lease table from a prior run.
+	Restore *Restore
+	// DropOutcomes releases each result's Outcome once the store has
+	// recorded it, keeping coordinator memory flat for 10⁵-scenario
+	// campaigns. The final Report then carries statuses only, so the
+	// store's aggregate CSVs cover post-restart outcomes alone.
+	DropOutcomes bool
 	// Telemetry collects the grid counters and events (nil = disabled).
 	Telemetry *telemetry.Telemetry
 	// Progress, when set, receives one line per scenario completion and
@@ -51,19 +110,40 @@ const (
 	stateDone
 )
 
+// leaseHold is one worker's claim on a leased scenario. Work stealing
+// means a scenario can have several concurrent holders; the lease expires
+// per holder, and the scenario requeues only when the last holder is gone.
+type leaseHold struct {
+	deadline time.Time
+	granted  time.Time
+	steal    bool
+}
+
 // scenState is the coordinator's bookkeeping for one scenario.
 type scenState struct {
 	sc    campaign.Scenario
 	state int
-	// worker and deadline are valid while leased.
-	worker   string
-	deadline time.Time
+	// holders maps worker name → claim while leased.
+	holders map[string]*leaseHold
 	// notBefore delays re-grant of a requeued scenario (requeue backoff).
 	notBefore time.Time
-	// grants counts grants so far; excluded lists workers this scenario
-	// must avoid (they held it when it was lost).
+	// grants counts non-steal grants so far (the requeue budget); steals
+	// counts duplicate steal grants (the steal budget). excluded lists
+	// workers this scenario must avoid (they held it when it was lost).
 	grants   int
+	steals   int
 	excluded map[string]bool
+}
+
+// oldestGrant returns the earliest grant time among current holders.
+func (st *scenState) oldestGrant() time.Time {
+	var oldest time.Time
+	for _, h := range st.holders {
+		if oldest.IsZero() || h.granted.Before(oldest) {
+			oldest = h.granted
+		}
+	}
+	return oldest
 }
 
 // remoteWorker is a connected worker.
@@ -76,6 +156,31 @@ type remoteWorker struct {
 
 func (w *remoteWorker) free() int { return w.slots - len(w.leases) }
 
+// WorkerStatus is one connected worker's live state, for dashboards.
+type WorkerStatus struct {
+	Name  string `json:"name"`
+	Slots int    `json:"slots"`
+	// Leases is how many scenarios the worker currently holds;
+	// OldestLeaseAgeMS is how long its longest-held lease has been out.
+	Leases           int   `json:"leases"`
+	OldestLeaseAgeMS int64 `json:"oldest_lease_age_ms"`
+}
+
+// StatusSnapshot is a point-in-time view of a running campaign, cheap
+// enough to poll from a status endpoint.
+type StatusSnapshot struct {
+	Campaign  string `json:"campaign"`
+	Total     int    `json:"total"`
+	Done      int    `json:"done"`
+	Failed    int    `json:"failed"`
+	Pending   int    `json:"pending"`
+	Leased    int    `json:"leased"`
+	Remaining int    `json:"remaining"`
+	Finished  bool   `json:"finished"`
+	// Workers is sorted by name.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
 // Coordinator shards a campaign's scenarios across TCP workers under
 // heartbeat-refreshed leases and lands the results in an index-ordered
 // store, producing artifacts identical to a single-process run.
@@ -84,10 +189,18 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	scen      []*scenState
+	// scanFrom is the first index that might not be done: stateDone is
+	// permanent, so the prefix below it never needs scanning again. Keeps
+	// sweep amortized O(live scenarios) instead of O(campaign size) — the
+	// difference between flat and quadratic coordinator cost at 10⁵
+	// scenarios.
+	scanFrom  int
 	workers   map[string]*remoteWorker
 	results   []campaign.ScenarioResult
 	remaining int
+	failed    int
 	finished  bool
+	aborted   bool
 	done      chan struct{}
 
 	ctrLeased     *telemetry.Counter
@@ -98,11 +211,16 @@ type Coordinator struct {
 	ctrJoined     *telemetry.Counter
 	ctrLeft       *telemetry.Counter
 	ctrDuplicate  *telemetry.Counter
+	ctrStolen     *telemetry.Counter
+	ctrAdopted    *telemetry.Counter
+	gaugeWorkers  *telemetry.Gauge
+	gaugeLeases   *telemetry.Gauge
 	storeErr      error
 	progressCount int
 }
 
-// NewCoordinator builds a coordinator, applying config defaults.
+// NewCoordinator builds a coordinator, applying config defaults and any
+// Restore state.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	if cfg.LeaseTTL <= 0 {
 		cfg.LeaseTTL = DefaultLeaseTTL
@@ -112,6 +230,9 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.StealAfter <= 0 {
+		cfg.StealAfter = cfg.LeaseTTL / 2
 	}
 	c := &Coordinator{
 		cfg:       cfg,
@@ -128,11 +249,46 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		ctrJoined:    cfg.Telemetry.Counter("grid.workers_joined"),
 		ctrLeft:      cfg.Telemetry.Counter("grid.workers_left"),
 		ctrDuplicate: cfg.Telemetry.Counter("grid.results_duplicate"),
+		ctrStolen:    cfg.Telemetry.Counter("grid.scenarios_stolen"),
+		ctrAdopted:   cfg.Telemetry.Counter("grid.leases_adopted"),
+		gaugeWorkers: cfg.Telemetry.Gauge("grid.workers_connected"),
+		gaugeLeases:  cfg.Telemetry.Gauge("grid.leases_outstanding"),
 	}
 	cfg.Telemetry.Counter("grid.scenarios_total").Add(uint64(len(cfg.Scenarios)))
 	c.scen = make([]*scenState, len(cfg.Scenarios))
 	for i, sc := range cfg.Scenarios {
 		c.scen[i] = &scenState{sc: sc, excluded: make(map[string]bool)}
+	}
+	if r := cfg.Restore; r != nil {
+		for idx, status := range r.Done {
+			if idx < 0 || idx >= len(c.scen) {
+				continue
+			}
+			st := c.scen[idx]
+			if st.state == stateDone {
+				continue
+			}
+			st.state = stateDone
+			c.results[idx] = campaign.ScenarioResult{Scenario: st.sc, Status: status}
+			c.remaining--
+			if status == campaign.StatusFailed {
+				c.failed++
+			}
+		}
+		for idx, grants := range r.Grants {
+			if idx < 0 || idx >= len(c.scen) || c.scen[idx].state == stateDone {
+				continue
+			}
+			c.scen[idx].grants = grants
+		}
+		for idx, names := range r.Excluded {
+			if idx < 0 || idx >= len(c.scen) || c.scen[idx].state == stateDone {
+				continue
+			}
+			for _, name := range names {
+				c.scen[idx].excluded[name] = true
+			}
+		}
 	}
 	return c
 }
@@ -141,10 +297,23 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 // scenario ends done or failed, results stream into the store in index
 // order, and the report comes back exactly as campaign.Runner.Run would
 // shape it. Cancelling ctx stops granting, records unfinished scenarios
-// as skipped, and still finishes the store. Serve closes ln.
+// as skipped, and still finishes the store; Abort instead leaves the
+// store un-finalized (resumable) and returns ErrAborted. Serve closes ln.
 func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*campaign.Report, error) {
 	start := time.Now()
 	var conns sync.WaitGroup
+
+	// A fully-restored campaign (every scenario already recorded) is done
+	// before the first worker connects.
+	c.mu.Lock()
+	if c.remaining == 0 && !c.finished {
+		select {
+		case <-c.done:
+		default:
+			close(c.done)
+		}
+	}
+	c.mu.Unlock()
 
 	// Accept loop: runs until the listener closes (campaign end).
 	go func() {
@@ -163,6 +332,9 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) (*campaign.Rep
 
 	// Scheduler: expire stale leases, age requeue backoffs, grant work.
 	tick := c.cfg.LeaseTTL / 8
+	if c.cfg.StealBudget > 0 && c.cfg.StealAfter/2 < tick {
+		tick = c.cfg.StealAfter / 2
+	}
 	if tick < 5*time.Millisecond {
 		tick = 5 * time.Millisecond
 	}
@@ -184,15 +356,28 @@ loop:
 	// Shut down: no more grants, tell workers, close everything.
 	c.mu.Lock()
 	c.finished = true
+	aborted := c.aborted
 	for _, w := range c.workers {
 		go func(fc *frameConn) {
-			fc.write(&Frame{Type: FrameDone})
+			if !aborted {
+				fc.write(&Frame{Type: FrameDone})
+			}
 			fc.close()
 		}(w.conn)
 	}
 	c.mu.Unlock()
 	ln.Close()
 	conns.Wait()
+
+	if aborted {
+		// Crash-equivalent stop: leave results.jsonl a valid prefix for
+		// ResumeStore, skip aggregates, and report nothing — the journal
+		// and store carry everything a restart needs.
+		if c.cfg.Store != nil {
+			c.storeAbort()
+		}
+		return nil, ErrAborted
+	}
 
 	// Anything not done drains as skipped (cancellation path).
 	c.mu.Lock()
@@ -220,9 +405,79 @@ loop:
 	return report, storeErr
 }
 
+// storeAbort closes the store without finalizing (see campaign.Store.Abort).
+func (c *Coordinator) storeAbort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.cfg.Store.Abort(); err != nil && c.storeErr == nil {
+		c.storeErr = err
+	}
+}
+
+// Abort stops the campaign immediately without finalizing artifacts:
+// workers are disconnected without DONE, the store's results.jsonl is left
+// a valid resumable prefix (no skip records, no aggregates), and Serve
+// returns ErrAborted. Use it for crash-equivalent shutdown — a SIGTERM'd
+// service that will resume the campaign on restart.
+func (c *Coordinator) Abort() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.finished {
+		return
+	}
+	c.aborted = true
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
+// Status returns a live snapshot for dashboards and status endpoints.
+func (c *Coordinator) Status() StatusSnapshot {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := StatusSnapshot{
+		Campaign:  c.cfg.Campaign,
+		Total:     len(c.scen),
+		Remaining: c.remaining,
+		Failed:    c.failed,
+		Finished:  c.finished,
+	}
+	s.Done = s.Total - s.Remaining
+	for _, st := range c.scen {
+		switch st.state {
+		case statePending:
+			s.Pending++
+		case stateLeased:
+			s.Leased++
+		}
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := c.workers[name]
+		ws := WorkerStatus{Name: name, Slots: w.slots, Leases: len(w.leases)}
+		for idx := range w.leases {
+			if h := c.scen[idx].holders[name]; h != nil {
+				if age := now.Sub(h.granted).Milliseconds(); age > ws.OldestLeaseAgeMS {
+					ws.OldestLeaseAgeMS = age
+				}
+			}
+		}
+		s.Workers = append(s.Workers, ws)
+	}
+	return s
+}
+
 // handleConn speaks the protocol with one worker: HELLO/WELCOME handshake,
 // then heartbeats and results until the connection ends, at which point
-// every lease the worker still holds is requeued.
+// every lease the worker still holds is requeued (unless another holder
+// remains, or the worker reconnects with Resume and re-adopts them).
 func (c *Coordinator) handleConn(conn net.Conn) {
 	fc := newFrameConn(conn, c.cfg.Telemetry)
 	defer fc.close()
@@ -245,21 +500,36 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 		w.name = conn.RemoteAddr().String()
 	}
 
+	adopted := 0
 	c.mu.Lock()
 	if c.finished {
 		c.mu.Unlock()
 		fc.write(&Frame{Type: FrameDone})
 		return
 	}
-	if _, taken := c.workers[w.name]; taken {
-		w.name = w.name + "@" + conn.RemoteAddr().String()
+	if old, taken := c.workers[w.name]; taken {
+		if f.Hello.Resume {
+			// Reconnect: transfer the old connection's leases to the new
+			// one and retire the old conn. Its reader goroutine's
+			// dropWorker no-ops (the registry no longer points at it), so
+			// nothing is requeued.
+			w.leases = old.leases
+			adopted = len(old.leases)
+			go old.conn.close()
+		} else {
+			w.name = w.name + "@" + conn.RemoteAddr().String()
+		}
 	}
 	c.workers[w.name] = w
+	c.gaugeWorkers.Set(int64(len(c.workers)))
 	c.mu.Unlock()
 	c.ctrJoined.Inc()
+	if adopted > 0 {
+		c.ctrAdopted.Add(uint64(adopted))
+	}
 	c.cfg.Telemetry.Emit(telemetry.Event{
 		Layer: telemetry.LayerGrid, Kind: telemetry.KindWorker,
-		Node: w.name, Detail: fmt.Sprintf("joined slots=%d", slots)})
+		Node: w.name, Detail: fmt.Sprintf("joined slots=%d adopted=%d", slots, adopted)})
 
 	welcome := &Welcome{
 		Proto:       ProtoVersion,
@@ -294,6 +564,18 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 			if f.Result != nil {
 				c.applyResult(w, f.Result.Result)
 			}
+		case FrameResultBatch:
+			if f.ResultBatch == nil {
+				continue
+			}
+			results, err := f.ResultBatch.Decode()
+			if err != nil {
+				c.dropWorker(w, fmt.Sprintf("bad result batch: %v", err))
+				return
+			}
+			for _, res := range results {
+				c.applyResult(w, res)
+			}
 		case FrameBye:
 			c.dropWorker(w, "worker said bye")
 			return
@@ -304,26 +586,51 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 }
 
 // refreshLeases extends the deadlines of the leases the worker claims to
-// be executing. Leases the worker does not claim are left to expire.
+// be executing. Leases the worker does not claim are left to expire. A
+// claimed scenario the coordinator believes pending is re-adopted: after a
+// coordinator restart the worker is still executing a pre-restart grant,
+// and adopting it beats re-running the scenario elsewhere.
 func (c *Coordinator) refreshLeases(w *remoteWorker, busy []int) {
 	now := time.Now()
+	adopted := 0
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, idx := range busy {
 		if idx < 0 || idx >= len(c.scen) {
 			continue
 		}
 		st := c.scen[idx]
-		if st.state == stateLeased && st.worker == w.name {
-			st.deadline = now.Add(c.cfg.LeaseTTL)
+		switch st.state {
+		case stateLeased:
+			if h := st.holders[w.name]; h != nil {
+				h.deadline = now.Add(c.cfg.LeaseTTL)
+			}
+		case statePending:
+			st.state = stateLeased
+			if st.holders == nil {
+				st.holders = make(map[string]*leaseHold)
+			}
+			st.holders[w.name] = &leaseHold{deadline: now.Add(c.cfg.LeaseTTL), granted: now}
+			w.leases[idx] = true
+			adopted++
+			if c.cfg.Journal != nil {
+				c.cfg.Journal.Adopted(idx, w.name)
+			}
 		}
+	}
+	c.mu.Unlock()
+	if adopted > 0 {
+		c.ctrAdopted.Add(uint64(adopted))
+		c.cfg.Telemetry.Emit(telemetry.Event{
+			Layer: telemetry.LayerGrid, Kind: telemetry.KindLease,
+			Node: w.name, Detail: fmt.Sprintf("re-adopted %d in-flight leases", adopted)})
 	}
 }
 
 // applyResult lands one worker result: first result for a scenario wins
-// (a slow worker racing its own expired lease produces duplicates, which
-// are counted and dropped), the store streams it in index order, and the
-// freed slot is refilled immediately.
+// (a slow worker racing its own expired lease — or a steal racing the
+// original holder — produces duplicates, which are counted and dropped),
+// the store streams it in index order, and the freed slot is refilled
+// immediately.
 func (c *Coordinator) applyResult(w *remoteWorker, res campaign.ScenarioResult) {
 	idx := res.Scenario.Index
 	c.mu.Lock()
@@ -338,14 +645,30 @@ func (c *Coordinator) applyResult(w *remoteWorker, res campaign.ScenarioResult) 
 		c.ctrDuplicate.Inc()
 		return
 	}
+	// Release every holder (steals included) — their slots refill below.
+	for name := range st.holders {
+		if hw := c.workers[name]; hw != nil {
+			delete(hw.leases, idx)
+		}
+	}
+	st.holders = nil
 	st.state = stateDone
-	c.results[idx] = res
-	c.remaining--
-	remaining := c.remaining
 	if c.cfg.Store != nil {
 		if err := c.cfg.Store.Put(res); err != nil && c.storeErr == nil {
 			c.storeErr = err
 		}
+	}
+	if c.cfg.DropOutcomes {
+		res.Outcome = nil
+	}
+	c.results[idx] = res
+	c.remaining--
+	remaining := c.remaining
+	if res.Status == campaign.StatusFailed {
+		c.failed++
+	}
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.Completed(idx, res.Status)
 	}
 	c.progressCount++
 	count := c.progressCount
@@ -374,7 +697,8 @@ func (c *Coordinator) applyResult(w *remoteWorker, res campaign.ScenarioResult) 
 	}
 }
 
-// dropWorker unregisters a worker and requeues everything it still held.
+// dropWorker unregisters a worker and requeues everything it still held
+// and no other holder is still executing.
 func (c *Coordinator) dropWorker(w *remoteWorker, reason string) {
 	c.mu.Lock()
 	if c.workers[w.name] != w {
@@ -382,13 +706,18 @@ func (c *Coordinator) dropWorker(w *remoteWorker, reason string) {
 		return
 	}
 	delete(c.workers, w.name)
+	c.gaugeWorkers.Set(int64(len(c.workers)))
 	held := make([]int, 0, len(w.leases))
 	for idx := range w.leases {
 		held = append(held, idx)
 	}
 	sort.Ints(held)
 	for _, idx := range held {
-		c.requeueLocked(idx, w.name, fmt.Sprintf("worker %s lost: %s", w.name, reason))
+		st := c.scen[idx]
+		delete(st.holders, w.name)
+		if st.state == stateLeased && len(st.holders) == 0 {
+			c.requeueLocked(idx, w.name, fmt.Sprintf("worker %s lost: %s", w.name, reason))
+		}
 	}
 	remaining := c.remaining
 	c.mu.Unlock()
@@ -403,8 +732,9 @@ func (c *Coordinator) dropWorker(w *remoteWorker, reason string) {
 }
 
 // sweep is the scheduler pass: expire overdue leases, clear exclusion
-// sets that would deadlock a scenario, and grant pending work to free
-// slots. Frames are sent after the lock is released.
+// sets that would deadlock a scenario, grant pending work to free slots,
+// and — once nothing is pending — steal the longest-held leases for idle
+// workers. Frames are sent after the lock is released.
 func (c *Coordinator) sweep(now time.Time) {
 	type grant struct {
 		w     *remoteWorker
@@ -417,26 +747,51 @@ func (c *Coordinator) sweep(now time.Time) {
 		c.mu.Unlock()
 		return
 	}
-	// 1. Expire leases whose deadline passed without a heartbeat.
-	for idx, st := range c.scen {
-		if st.state == stateLeased && now.After(st.deadline) {
-			c.ctrExpired.Inc()
-			if w := c.workers[st.worker]; w != nil {
-				delete(w.leases, idx)
+	for c.scanFrom < len(c.scen) && c.scen[c.scanFrom].state == stateDone {
+		c.scanFrom++
+	}
+	// 1. Expire lease holders whose deadline passed without a heartbeat;
+	// the scenario requeues only when its last holder expires. Leased
+	// scenarios are never below scanFrom (done is permanent).
+	for idx := c.scanFrom; idx < len(c.scen); idx++ {
+		st := c.scen[idx]
+		if st.state != stateLeased {
+			continue
+		}
+		lastExpired := ""
+		for name, h := range st.holders {
+			if now.After(h.deadline) {
+				c.ctrExpired.Inc()
+				if w := c.workers[name]; w != nil {
+					delete(w.leases, idx)
+				}
+				delete(st.holders, name)
+				lastExpired = name
 			}
-			c.requeueLocked(idx, st.worker, fmt.Sprintf("lease expired on worker %s", st.worker))
+		}
+		if len(st.holders) == 0 && lastExpired != "" {
+			c.requeueLocked(idx, lastExpired, fmt.Sprintf("lease expired on worker %s", lastExpired))
 		}
 	}
 	// 2. Grant pending scenarios to workers with free slots. Workers are
 	// visited in name order purely for reproducible logs; artifacts do not
-	// depend on placement.
+	// depend on placement. With every slot occupied there is nothing to
+	// grant or steal, so the scans are skipped entirely.
 	names := make([]string, 0, len(c.workers))
-	for name := range c.workers {
+	totalFree := 0
+	for name, w := range c.workers {
 		names = append(names, name)
+		totalFree += w.free()
 	}
 	sort.Strings(names)
-	for idx, st := range c.scen {
-		if st.state != statePending || now.Before(st.notBefore) {
+	pending := 0
+	for idx := c.scanFrom; idx < len(c.scen) && totalFree > 0; idx++ {
+		st := c.scen[idx]
+		if st.state != statePending {
+			continue
+		}
+		pending++
+		if now.Before(st.notBefore) {
 			continue
 		}
 		// A scenario every connected worker is excluded from would wait
@@ -450,32 +805,98 @@ func (c *Coordinator) sweep(now time.Time) {
 				continue
 			}
 			st.state = stateLeased
-			st.worker = name
-			st.deadline = now.Add(c.cfg.LeaseTTL)
+			st.holders = map[string]*leaseHold{
+				name: {deadline: now.Add(c.cfg.LeaseTTL), granted: now},
+			}
 			st.grants++
 			w.leases[idx] = true
+			if c.cfg.Journal != nil {
+				c.cfg.Journal.Granted(idx, name, st.grants, false)
+			}
 			grants = append(grants, grant{w: w, lease: &Lease{Scenario: st.sc, Grant: st.grants}})
+			pending--
+			totalFree--
 			break
 		}
 	}
+	// 3. Work stealing: the pending queue has drained but slots are idle —
+	// re-grant the longest-held leases, oldest first, within the budget.
+	stolen := 0
+	if c.cfg.StealBudget > 0 && pending == 0 {
+		for _, name := range names {
+			w := c.workers[name]
+			for w.free() > 0 {
+				idx := c.stealCandidateLocked(name, now)
+				if idx < 0 {
+					break
+				}
+				st := c.scen[idx]
+				st.steals++
+				st.holders[name] = &leaseHold{deadline: now.Add(c.cfg.LeaseTTL), granted: now, steal: true}
+				w.leases[idx] = true
+				stolen++
+				if c.cfg.Journal != nil {
+					c.cfg.Journal.Granted(idx, name, st.grants, true)
+				}
+				grants = append(grants, grant{w: w, lease: &Lease{Scenario: st.sc, Grant: st.grants, Steal: true}})
+			}
+		}
+	}
+	leases := 0
+	for _, w := range c.workers {
+		leases += len(w.leases)
+	}
+	c.gaugeLeases.Set(int64(leases))
 	remaining := c.remaining
 	c.mu.Unlock()
 	// Expiry above may have exhausted the last scenario's requeue budget.
 	if remaining == 0 {
 		c.signalDone()
 	}
+	if stolen > 0 {
+		c.ctrStolen.Add(uint64(stolen))
+	}
 
 	for _, g := range grants {
-		c.ctrLeased.Inc()
+		if !g.lease.Steal {
+			c.ctrLeased.Inc()
+		}
 		c.cfg.Telemetry.Emit(telemetry.Event{
 			Layer: telemetry.LayerGrid, Kind: telemetry.KindLease,
-			Node: g.w.name, Detail: fmt.Sprintf("%s grant=%d", g.lease.Scenario.Name, g.lease.Grant)})
+			Node: g.w.name, Detail: fmt.Sprintf("%s grant=%d steal=%v", g.lease.Scenario.Name, g.lease.Grant, g.lease.Steal)})
 		if err := g.w.conn.write(&Frame{Type: FrameLease, Lease: g.lease}); err != nil {
 			// The reader goroutine will see the dead connection and
 			// requeue; nothing to do here.
 			continue
 		}
 	}
+}
+
+// stealCandidateLocked picks the leased scenario the named worker should
+// steal: the oldest-granted lease the worker does not already hold, is not
+// excluded from, whose steal budget is open, and whose current holders
+// have all held it past StealAfter. Returns -1 when nothing qualifies.
+// Called with c.mu held.
+func (c *Coordinator) stealCandidateLocked(name string, now time.Time) int {
+	best := -1
+	var bestGrant time.Time
+	for idx := c.scanFrom; idx < len(c.scen); idx++ {
+		st := c.scen[idx]
+		if st.state != stateLeased || st.excluded[name] || st.steals >= c.cfg.StealBudget {
+			continue
+		}
+		if _, holding := st.holders[name]; holding {
+			continue
+		}
+		oldest := st.oldestGrant()
+		if now.Sub(oldest) < c.cfg.StealAfter {
+			continue
+		}
+		if best < 0 || oldest.Before(bestGrant) {
+			best, bestGrant = idx, oldest
+		}
+	}
+	return best
 }
 
 // allExcludedLocked reports whether every connected worker is excluded
@@ -503,6 +924,7 @@ func (c *Coordinator) requeueLocked(idx int, worker, reason string) {
 	st.excluded[worker] = true
 	if st.grants > c.cfg.Requeues {
 		st.state = stateDone
+		st.holders = nil
 		res := campaign.ScenarioResult{
 			Scenario: st.sc,
 			Status:   campaign.StatusFailed,
@@ -511,10 +933,15 @@ func (c *Coordinator) requeueLocked(idx int, worker, reason string) {
 		}
 		c.results[idx] = res
 		c.remaining--
+		c.failed++
 		if c.cfg.Store != nil {
 			if err := c.cfg.Store.Put(res); err != nil && c.storeErr == nil {
 				c.storeErr = err
 			}
+		}
+		if c.cfg.Journal != nil {
+			c.cfg.Journal.Requeued(idx, worker, st.grants, true)
+			c.cfg.Journal.Completed(idx, campaign.StatusFailed)
 		}
 		c.ctrFailed.Inc()
 		c.cfg.Telemetry.Emit(telemetry.Event{
@@ -523,9 +950,18 @@ func (c *Coordinator) requeueLocked(idx int, worker, reason string) {
 		return
 	}
 	st.state = statePending
-	st.worker = ""
-	backoff := c.cfg.Backoff << (st.grants - 1)
+	st.holders = nil
+	shift := st.grants - 1
+	if shift < 0 {
+		shift = 0
+	} else if shift > 16 {
+		shift = 16
+	}
+	backoff := c.cfg.Backoff << shift
 	st.notBefore = time.Now().Add(backoff + campaign.RetryJitter(st.sc.Seed, st.grants, backoff))
+	if c.cfg.Journal != nil {
+		c.cfg.Journal.Requeued(idx, worker, st.grants, false)
+	}
 	c.ctrRequeued.Inc()
 	c.cfg.Telemetry.Emit(telemetry.Event{
 		Layer: telemetry.LayerGrid, Kind: telemetry.KindRequeue,

@@ -2,6 +2,8 @@ package grid
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -17,29 +19,34 @@ import (
 type FrameType string
 
 // The protocol's frame types. HELLO/WELCOME handshake a connection,
-// LEASE/RESULT move work, HEARTBEAT keeps leases alive, DONE tells a
-// worker the campaign is complete, BYE closes either side cleanly.
+// LEASE/RESULT/RESULT_BATCH move work, HEARTBEAT keeps leases alive, DONE
+// tells a worker the campaign is complete, BYE closes either side cleanly.
 const (
 	FrameHello     FrameType = "hello"
 	FrameWelcome   FrameType = "welcome"
 	FrameLease     FrameType = "lease"
 	FrameResult    FrameType = "result"
-	FrameHeartbeat FrameType = "heartbeat"
-	FrameDone      FrameType = "done"
-	FrameBye       FrameType = "bye"
+	// FrameResultBatch carries several completed scenarios in one frame,
+	// gzip-compressed, so large campaigns stream results without paying
+	// one JSON frame per scenario.
+	FrameResultBatch FrameType = "result_batch"
+	FrameHeartbeat   FrameType = "heartbeat"
+	FrameDone        FrameType = "done"
+	FrameBye         FrameType = "bye"
 )
 
 // Frame is the wire envelope: a type tag plus exactly one payload matching
 // it (DONE has none). Encoded as JSON behind a 4-byte big-endian length
 // prefix.
 type Frame struct {
-	Type      FrameType  `json:"type"`
-	Hello     *Hello     `json:"hello,omitempty"`
-	Welcome   *Welcome   `json:"welcome,omitempty"`
-	Lease     *Lease     `json:"lease,omitempty"`
-	Result    *Result    `json:"result,omitempty"`
-	Heartbeat *Heartbeat `json:"heartbeat,omitempty"`
-	Bye       *Bye       `json:"bye,omitempty"`
+	Type        FrameType    `json:"type"`
+	Hello       *Hello       `json:"hello,omitempty"`
+	Welcome     *Welcome     `json:"welcome,omitempty"`
+	Lease       *Lease       `json:"lease,omitempty"`
+	Result      *Result      `json:"result,omitempty"`
+	ResultBatch *ResultBatch `json:"result_batch,omitempty"`
+	Heartbeat   *Heartbeat   `json:"heartbeat,omitempty"`
+	Bye         *Bye         `json:"bye,omitempty"`
 }
 
 // Hello is the worker's opening frame.
@@ -50,6 +57,11 @@ type Hello struct {
 	Worker string `json:"worker"`
 	// Slots is how many scenarios the worker runs in parallel (≥1).
 	Slots int `json:"slots"`
+	// Resume marks a reconnect: the worker presents a name it used on an
+	// earlier connection and asks to re-adopt any leases still registered
+	// under it, instead of being renamed as a collision and leaving the
+	// old leases to time out.
+	Resume bool `json:"resume,omitempty"`
 }
 
 // Welcome is the coordinator's handshake reply. It carries the campaign's
@@ -77,12 +89,70 @@ type Lease struct {
 	// Grant counts grants of this scenario across the campaign (1 = first
 	// attempt anywhere).
 	Grant int `json:"grant"`
+	// Steal marks a duplicate grant of a scenario another worker still
+	// holds (work stealing): the first result to arrive wins, the loser is
+	// dropped as a duplicate.
+	Steal bool `json:"steal,omitempty"`
 }
 
 // Result returns one completed scenario, outcome and optional telemetry
 // trace included.
 type Result struct {
 	Result campaign.ScenarioResult `json:"result"`
+}
+
+// ResultBatch returns several completed scenarios in one frame. Records is
+// the gzip-compressed JSONL encoding (one campaign.ScenarioResult per
+// line): scenario outcomes compress well (repeated keys, sparse traces),
+// so batching keeps both the frame count and the bytes on the wire flat as
+// campaigns grow into the 10⁵-scenario range.
+type ResultBatch struct {
+	Count int `json:"count"`
+	// Records is base64 in the JSON envelope ([]byte marshaling), gzip
+	// underneath.
+	Records []byte `json:"records"`
+}
+
+// EncodeResultBatch packs results into a compressed batch payload.
+func EncodeResultBatch(results []campaign.ScenarioResult) (*ResultBatch, error) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	enc := json.NewEncoder(zw)
+	for i := range results {
+		if err := enc.Encode(&results[i]); err != nil {
+			return nil, fmt.Errorf("grid: encode result batch: %w", err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("grid: compress result batch: %w", err)
+	}
+	return &ResultBatch{Count: len(results), Records: buf.Bytes()}, nil
+}
+
+// Decode unpacks the batch, validating the record count against Count.
+func (b *ResultBatch) Decode() ([]campaign.ScenarioResult, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(b.Records))
+	if err != nil {
+		return nil, fmt.Errorf("grid: decompress result batch: %w", err)
+	}
+	out := make([]campaign.ScenarioResult, 0, b.Count)
+	dec := json.NewDecoder(zr)
+	for {
+		var res campaign.ScenarioResult
+		if err := dec.Decode(&res); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("grid: decode result batch: %w", err)
+		}
+		out = append(out, res)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("grid: result batch checksum: %w", err)
+	}
+	if len(out) != b.Count {
+		return nil, fmt.Errorf("grid: result batch carries %d records, header says %d", len(out), b.Count)
+	}
+	return out, nil
 }
 
 // Heartbeat refreshes the sender's leases.

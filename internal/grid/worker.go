@@ -16,10 +16,20 @@ import (
 // WorkerConfig tunes a grid worker.
 type WorkerConfig struct {
 	// Name identifies the worker to the coordinator (default: the local
-	// address of the connection).
+	// address of the first connection). The name must stay stable across
+	// reconnects — it is the key under which the coordinator re-adopts
+	// leases when RunLoop re-HELLOs with Resume.
 	Name string
 	// Slots is how many scenarios run in parallel (default 1).
 	Slots int
+	// BatchResults > 1 batches completed scenarios into gzip-compressed
+	// RESULT_BATCH frames, flushed when the batch fills or at each
+	// heartbeat, instead of one RESULT frame per scenario. 0 or 1 keeps
+	// the per-scenario frames.
+	BatchResults int
+	// Reconnect is RunLoop's base backoff between reconnect attempts
+	// (default 100 ms, doubling per failure up to 2 s).
+	Reconnect time.Duration
 	// Runner is the execution policy. Zero-valued Timeout/Retries/Backoff
 	// adopt the campaign policy the coordinator sends in WELCOME, so a
 	// bare worker behaves exactly like a single-process campaign slot;
@@ -32,13 +42,30 @@ type WorkerConfig struct {
 }
 
 // Worker connects to a coordinator, executes leased scenarios with the
-// campaign runner policy, and streams results back.
+// campaign runner policy, and streams results back. State that must
+// survive a reconnect — the worker's name, the set of in-flight scenario
+// indices, and any results the dead connection failed to deliver — lives
+// on the struct, so RunLoop can resume exactly where the lost connection
+// left off.
 type Worker struct {
 	cfg WorkerConfig
 
+	mu   sync.Mutex
+	name string
+	// fc is the live connection; nil while disconnected. Results finished
+	// during a disconnect stash until the next flush.
+	fc    *frameConn
+	busy  map[int]bool
+	batch []campaign.ScenarioResult
+	stash []campaign.ScenarioResult
+
+	inflight sync.WaitGroup
+
 	ctrLeases     *telemetry.Counter
 	ctrResults    *telemetry.Counter
+	ctrBatches    *telemetry.Counter
 	ctrHeartbeats *telemetry.Counter
+	ctrReconnects *telemetry.Counter
 }
 
 // NewWorker builds a worker, applying config defaults.
@@ -48,60 +75,126 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 	return &Worker{
 		cfg:           cfg,
+		busy:          make(map[int]bool),
 		ctrLeases:     cfg.Telemetry.Counter("grid.worker.leases_received"),
 		ctrResults:    cfg.Telemetry.Counter("grid.worker.results_sent"),
+		ctrBatches:    cfg.Telemetry.Counter("grid.worker.batches_sent"),
 		ctrHeartbeats: cfg.Telemetry.Counter("grid.worker.heartbeats_sent"),
+		ctrReconnects: cfg.Telemetry.Counter("grid.worker.reconnects"),
 	}
 }
 
 // Run dials the coordinator and works until the campaign completes (DONE),
 // the coordinator says BYE, or ctx is cancelled. A clean campaign end
 // returns nil; transport failures return the underlying error so callers
-// can decide whether to reconnect.
+// can decide whether to reconnect (or use RunLoop, which does).
 func (w *Worker) Run(ctx context.Context, addr string) error {
+	defer w.inflight.Wait()
+	_, err := w.run(ctx, addr, false)
+	return err
+}
+
+// RunLoop runs the worker with automatic reconnect: when the coordinator
+// connection is lost, the worker re-dials with backoff and re-HELLOs with
+// Resume set, so the coordinator transfers the previous connection's
+// leases instead of letting them expire; heartbeats then re-claim every
+// in-flight scenario and stashed results are re-delivered. Returns nil
+// when the campaign completes, the coordinator's rejection for terminal
+// handshake failures, or ctx's error once cancelled.
+func (w *Worker) RunLoop(ctx context.Context, addr string) error {
+	defer w.inflight.Wait()
+	backoff := w.cfg.Reconnect
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	wait := backoff
+	resume := false
+	for {
+		done, err := w.run(ctx, addr, resume)
+		if done {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		resume = true
+		w.ctrReconnects.Inc()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
+		}
+		if wait *= 2; wait > 2*time.Second {
+			wait = 2 * time.Second
+		}
+	}
+}
+
+// run works one connection. done reports that the campaign is over (or
+// the handshake was rejected outright) and reconnecting is pointless;
+// done=false with a non-nil error marks a transport failure a RunLoop
+// retry may recover from.
+func (w *Worker) run(ctx context.Context, addr string, resume bool) (done bool, err error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
-		return fmt.Errorf("grid: dial coordinator %s: %w", addr, err)
+		return false, fmt.Errorf("grid: dial coordinator %s: %w", addr, err)
 	}
 	fc := newFrameConn(conn, w.cfg.Telemetry)
 	defer fc.close()
 
-	name := w.cfg.Name
-	if name == "" {
-		name = conn.LocalAddr().String()
+	w.mu.Lock()
+	if w.name == "" {
+		w.name = w.cfg.Name
+		if w.name == "" {
+			w.name = conn.LocalAddr().String()
+		}
 	}
+	name := w.name
+	w.mu.Unlock()
+
 	if err := fc.write(&Frame{Type: FrameHello, Hello: &Hello{
-		Proto: ProtoVersion, Worker: name, Slots: w.cfg.Slots}}); err != nil {
-		return err
+		Proto: ProtoVersion, Worker: name, Slots: w.cfg.Slots, Resume: resume}}); err != nil {
+		return false, err
 	}
 	f, err := fc.read()
 	if err != nil {
-		return fmt.Errorf("grid: handshake: %w", err)
+		return false, fmt.Errorf("grid: handshake: %w", err)
 	}
 	switch f.Type {
 	case FrameWelcome:
 	case FrameDone:
-		return nil // campaign already over
+		return true, nil // campaign already over
 	case FrameBye:
 		reason := ""
 		if f.Bye != nil {
 			reason = f.Bye.Reason
 		}
-		return fmt.Errorf("grid: coordinator rejected worker: %s", reason)
+		return true, fmt.Errorf("grid: coordinator rejected worker: %s", reason)
 	default:
-		return fmt.Errorf("grid: expected welcome, got %s", f.Type)
+		return true, fmt.Errorf("grid: expected welcome, got %s", f.Type)
 	}
 	welcome := f.Welcome
 	if welcome == nil || welcome.Proto != ProtoVersion {
-		return fmt.Errorf("grid: protocol mismatch in welcome")
+		return true, fmt.Errorf("grid: protocol mismatch in welcome")
 	}
 
 	runner := campaign.NewRunner(w.applyPolicy(welcome))
 
-	// busy tracks in-flight scenario indices for heartbeats.
-	var mu sync.Mutex
-	busy := make(map[int]bool)
+	// Adopt the connection, then re-deliver anything the previous one
+	// failed to send.
+	w.mu.Lock()
+	w.fc = fc
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		if w.fc == fc {
+			w.fc = nil
+		}
+		w.mu.Unlock()
+	}()
+	w.flush()
+
 	heartbeat := time.Duration(welcome.HeartbeatMS) * time.Millisecond
 	if heartbeat <= 0 {
 		heartbeat = DefaultLeaseTTL / 3
@@ -109,7 +202,8 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 
 	// The heartbeat loop doubles as the cancellation watcher: on ctx
 	// cancellation it sends BYE and closes the connection, unblocking the
-	// read loop.
+	// read loop. Each tick also flushes the result batch, bounding batch
+	// latency by the heartbeat interval.
 	hbCtx, stopHB := context.WithCancel(context.Background())
 	defer stopHB()
 	go func() {
@@ -124,12 +218,13 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 				fc.close()
 				return
 			case <-ticker.C:
-				mu.Lock()
-				idxs := make([]int, 0, len(busy))
-				for idx := range busy {
+				w.flush()
+				w.mu.Lock()
+				idxs := make([]int, 0, len(w.busy))
+				for idx := range w.busy {
 					idxs = append(idxs, idx)
 				}
-				mu.Unlock()
+				w.mu.Unlock()
 				sort.Ints(idxs)
 				if fc.write(&Frame{Type: FrameHeartbeat, Heartbeat: &Heartbeat{Busy: idxs}}) == nil {
 					w.ctrHeartbeats.Inc()
@@ -138,15 +233,13 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 		}
 	}()
 
-	var inflight sync.WaitGroup
-	defer inflight.Wait()
 	for {
 		f, err := fc.read()
 		if err != nil {
 			if ctx.Err() != nil {
-				return ctx.Err()
+				return true, ctx.Err()
 			}
-			return fmt.Errorf("grid: coordinator connection: %w", err)
+			return false, fmt.Errorf("grid: coordinator connection: %w", err)
 		}
 		switch f.Type {
 		case FrameLease:
@@ -154,40 +247,128 @@ func (w *Worker) Run(ctx context.Context, addr string) error {
 				continue
 			}
 			sc := f.Lease.Scenario
+			w.mu.Lock()
+			if w.busy[sc.Index] {
+				// Already executing this scenario — a lease replayed
+				// across a reconnect, or a steal grant landing on the
+				// original holder. Running it twice here wins nothing.
+				w.mu.Unlock()
+				continue
+			}
+			w.busy[sc.Index] = true
+			w.mu.Unlock()
 			w.ctrLeases.Inc()
 			w.cfg.Telemetry.Emit(telemetry.Event{
 				Layer: telemetry.LayerGrid, Kind: telemetry.KindLease,
-				Node: name, Detail: fmt.Sprintf("%s grant=%d", sc.Name, f.Lease.Grant)})
-			mu.Lock()
-			busy[sc.Index] = true
-			mu.Unlock()
-			inflight.Add(1)
+				Node: name, Detail: fmt.Sprintf("%s grant=%d steal=%v", sc.Name, f.Lease.Grant, f.Lease.Steal)})
+			w.inflight.Add(1)
 			go func() {
-				defer inflight.Done()
+				defer w.inflight.Done()
 				res := runner.RunScenario(ctx, sc)
-				mu.Lock()
-				delete(busy, sc.Index)
-				mu.Unlock()
 				if w.cfg.Progress != nil {
 					fmt.Fprintf(w.cfg.Progress, "%-7s %-40s %8s\n",
 						res.Status, sc.Name, res.Duration.Round(time.Millisecond))
 				}
-				if fc.write(&Frame{Type: FrameResult, Result: &Result{Result: res}}) == nil {
-					w.ctrResults.Inc()
-					w.cfg.Telemetry.Emit(telemetry.Event{
-						Layer: telemetry.LayerGrid, Kind: telemetry.KindResult,
-						Node: name, Detail: fmt.Sprintf("%s status=%s", sc.Name, res.Status)})
-				}
+				w.deliver(res)
 			}()
 		case FrameDone:
+			w.flush()
 			fc.write(&Frame{Type: FrameBye, Bye: &Bye{Reason: "campaign complete"}})
-			return nil
+			return true, nil
 		case FrameBye:
-			return nil
+			return true, nil
 		default:
 			// Ignore unknown frames for forward compatibility.
 		}
 	}
+}
+
+// deliver hands one finished scenario to the coordinator: batched when
+// batching is on, as a single RESULT frame otherwise. Results that cannot
+// be sent (no connection, write failure) stash for the next flush — after
+// a reconnect, nothing is lost.
+func (w *Worker) deliver(res campaign.ScenarioResult) {
+	w.mu.Lock()
+	delete(w.busy, res.Scenario.Index)
+	if w.cfg.BatchResults > 1 {
+		w.batch = append(w.batch, res)
+		// Flush on a full batch — or as soon as nothing is left running:
+		// the coordinator refills slots only when results land, so sitting
+		// on a partial batch while idle would deadlock throughput against
+		// the coordinator's lease accounting until the next heartbeat.
+		full := len(w.batch) >= w.cfg.BatchResults || len(w.busy) == 0
+		w.mu.Unlock()
+		if full {
+			w.flush()
+		}
+		return
+	}
+	fc := w.fc
+	w.mu.Unlock()
+	if fc == nil || fc.write(&Frame{Type: FrameResult, Result: &Result{Result: res}}) != nil {
+		w.mu.Lock()
+		w.stash = append(w.stash, res)
+		w.mu.Unlock()
+		return
+	}
+	w.ctrResults.Inc()
+	w.emitResult(res)
+}
+
+// flush drains every undelivered result — the reconnect stash plus the
+// current batch — over the live connection, re-stashing whatever fails.
+func (w *Worker) flush() {
+	w.mu.Lock()
+	fc := w.fc
+	pending := w.stash
+	w.stash = nil
+	pending = append(pending, w.batch...)
+	w.batch = nil
+	w.mu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	if fc == nil {
+		w.restash(pending)
+		return
+	}
+	if w.cfg.BatchResults > 1 {
+		b, err := EncodeResultBatch(pending)
+		if err == nil {
+			err = fc.write(&Frame{Type: FrameResultBatch, ResultBatch: b})
+		}
+		if err != nil {
+			w.restash(pending)
+			return
+		}
+		w.ctrBatches.Inc()
+		w.ctrResults.Add(uint64(len(pending)))
+		for i := range pending {
+			w.emitResult(pending[i])
+		}
+		return
+	}
+	for i := range pending {
+		if fc.write(&Frame{Type: FrameResult, Result: &Result{Result: pending[i]}}) != nil {
+			w.restash(pending[i:])
+			return
+		}
+		w.ctrResults.Inc()
+		w.emitResult(pending[i])
+	}
+}
+
+// restash returns undelivered results to the front of the stash.
+func (w *Worker) restash(pending []campaign.ScenarioResult) {
+	w.mu.Lock()
+	w.stash = append(pending, w.stash...)
+	w.mu.Unlock()
+}
+
+func (w *Worker) emitResult(res campaign.ScenarioResult) {
+	w.cfg.Telemetry.Emit(telemetry.Event{
+		Layer: telemetry.LayerGrid, Kind: telemetry.KindResult,
+		Node: w.name, Detail: fmt.Sprintf("%s status=%s", res.Scenario.Name, res.Status)})
 }
 
 // applyPolicy merges the campaign policy from WELCOME under the worker's

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gridsvc
+
+const raceEnabled = false

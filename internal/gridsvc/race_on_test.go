@@ -1,0 +1,8 @@
+//go:build race
+
+package gridsvc
+
+// raceEnabled scales the large-campaign test down under the race
+// detector, whose memory and scheduling overhead makes 10^5 scenarios
+// needlessly slow — the streaming mechanism is identical either way.
+const raceEnabled = true
