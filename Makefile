@@ -25,10 +25,11 @@ race:
 # statement coverage is gated with hard floors (coverfloor fails CI
 # below them).
 cover:
-	$(GO) test -cover ./internal/core/... ./internal/grid/... ./internal/gridsvc/... > /tmp/attain-cover.txt
+	$(GO) test -cover ./internal/core/... ./internal/grid/... ./internal/gridsvc/... ./internal/topo/... > /tmp/attain-cover.txt
 	$(GO) run ./docs/ci/coverfloor \
 		attain/internal/core/lang=90 attain/internal/core/compile=90 \
 		attain/internal/grid=80 attain/internal/gridsvc=80 \
+		attain/internal/topo=80 \
 		< /tmp/attain-cover.txt
 
 # End-to-end smoke: one short interruption scenario through the campaign
@@ -55,16 +56,35 @@ grid-smoke:
 serve-smoke:
 	$(GO) run ./docs/ci/servesmoke -spec examples/campaign/serve-smoke.json
 
-# Fabric smoke: a 50-switch leaf-spine fabric through the campaign CLI
-# under the LLDP-poisoning attack — asserts full control-plane and
-# discovery convergence plus the poisoning deviation signal (phantom
-# links in the controller's topology view).
+# Fabric smoke, three gates:
+#  1. A leaf-spine fabric through the campaign CLI under LLDP poisoning —
+#     full control-plane and discovery convergence plus the deviation
+#     signal (phantom links in the controller's topology view).
+#  2. Shard invariance: the same campaign re-run shard-hosted
+#     (fabric_shards) must agree byte-for-byte with the goroutine-mode run
+#     on the shard-invariant projection of results.jsonl — shard count is
+#     an execution knob, never an outcome change.
+#  3. Large-fabric wall-time gate: a scaled-down jellyfish:1500x4
+#     poisoned convergence (the 5,000-switch headline's CI proxy) run at
+#     -benchtime=1x and compared against the committed BENCH_fabric.json
+#     by benchcmp. Only the 1500-switch entry overlaps (the 5,000 entries
+#     print but don't gate); the loose tolerance absorbs shared-CI noise
+#     while still catching a bring-up path that lost its batching.
+FABRIC_KEEP = index,name,kind,profile,attack,topology,seed,status,fabric.switches,fabric.links,fabric.hosts,fabric.connected,fabric.discovery_converged,fabric.deviation,fabric.flaps_applied
 fabric-smoke:
 	$(GO) run ./cmd/attain-campaign -spec examples/campaign/fabric-smoke.json -out /tmp/attain-fabric-smoke
 	@test -s /tmp/attain-fabric-smoke/fabric.csv
 	@grep -q '"connected":true' /tmp/attain-fabric-smoke/results.jsonl
 	@grep -q '"discovery_converged":true' /tmp/attain-fabric-smoke/results.jsonl
 	@grep -q '"deviation":true' /tmp/attain-fabric-smoke/results.jsonl
+	$(GO) run ./cmd/attain-campaign -spec examples/campaign/fabric-smoke-sharded.json -out /tmp/attain-fabric-smoke-sharded
+	$(GO) run ./docs/ci/canonjsonl -keep $(FABRIC_KEEP) < /tmp/attain-fabric-smoke/results.jsonl > /tmp/attain-fabric-proj-a
+	$(GO) run ./docs/ci/canonjsonl -keep $(FABRIC_KEEP) < /tmp/attain-fabric-smoke-sharded/results.jsonl > /tmp/attain-fabric-proj-b
+	cmp /tmp/attain-fabric-proj-a /tmp/attain-fabric-proj-b
+	$(GO) test ./internal/topo/ -run='^$$' -bench='BenchmarkFabricConverge/jellyfish:1500x4' -benchtime=1x -timeout=5m \
+	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > /tmp/attain-fabric-converge.json
+	@grep -q 'FabricConverge/jellyfish:1500x4' /tmp/attain-fabric-converge.json
+	$(GO) run ./docs/perf/benchcmp -tolerance 0.5 BENCH_fabric.json /tmp/attain-fabric-converge.json
 
 # Sustained-load smoke: a small-scale pumps-vs-sharded duel through
 # cmd/attain-loadgen, gated against the committed BENCH_sustained.json by
@@ -123,7 +143,8 @@ bench:
 	{ $(GO) test ./internal/core/inject/ -run='^$$' -bench='BenchmarkInjector' -benchtime=$(BENCHTIME) -benchmem; \
 	  $(GO) test . -run='^$$' -bench=CampaignWorkers -benchtime=1x -benchmem; } \
 	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_msgpath.json
-	$(GO) test ./internal/topo/ -run='^$$' -bench='BenchmarkFabricBringup' -benchtime=50x -benchmem \
+	{ $(GO) test ./internal/topo/ -run='^$$' -bench='BenchmarkFabricBringup' -benchtime=50x -benchmem; \
+	  $(GO) test ./internal/topo/ -run='^$$' -bench='BenchmarkFabricConverge' -benchtime=1x -timeout=10m; } \
 	| tee /dev/stderr | $(GO) run ./docs/perf/benchjson > BENCH_fabric.json
 	{ $(GO) run ./cmd/attain-loadgen; \
 	  $(GO) run ./cmd/attain-loadgen -conns 200 -duration 2s -warmup 500ms; } \
@@ -131,4 +152,4 @@ bench:
 
 clean:
 	rm -rf /tmp/attain-smoke /tmp/attain-grid-smoke /tmp/attain-fabric-smoke \
-		/tmp/attain-synth-smoke-a /tmp/attain-synth-smoke-b
+		/tmp/attain-fabric-smoke-sharded /tmp/attain-synth-smoke-a /tmp/attain-synth-smoke-b

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"attain/internal/campaign"
@@ -48,8 +49,23 @@ func run() error {
 	scale := flag.Int("scale", 0, "virtual time scale (0/1 = real time)")
 	observe := flag.Duration("observe", 3*time.Second, "attack observation window after discovery converges (wall time)")
 	timeout := flag.Duration("timeout", 60*time.Second, "bring-up and discovery convergence timeout (wall time)")
+	shards := flag.Int("shards", 0, "shard-hosted event loops for switches and injector (0 = goroutine per switch)")
+	wave := flag.Int("wave", 0, "max concurrent handshakes per bring-up wave with -shards (0 = default 256)")
 	asJSON := flag.Bool("json", false, "emit the full result as JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the scenario")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *topoDesc == "" {
 		flag.Usage()
@@ -69,6 +85,8 @@ func run() error {
 		Observe:         *observe,
 		ConnectTimeout:  *timeout,
 		DiscoverTimeout: *timeout,
+		Shards:          *shards,
+		WaveSize:        *wave,
 	})
 	if err != nil {
 		return err
@@ -86,6 +104,10 @@ func run() error {
 		res.ConnectMS, convergeWord(res.DiscoveryConverged), res.DiscoverMS)
 	fmt.Printf("  audit: %d/%d adjacencies, %d phantom, %d missing, %d port-status events\n",
 		res.DiscoveredLinks, 2*res.Links, res.PhantomLinks, res.MissingLinks, res.PortStatusEvents)
+	if *shards > 0 {
+		fmt.Printf("  shard-hosted: %d shards, %d bring-up waves, peak %d goroutines\n",
+			*shards, res.BringupWaves, res.PeakGoroutines)
+	}
 	if res.Attack != topo.AttackBaseline {
 		fmt.Printf("  attack %s: deviation=%v", res.Attack, res.Deviation)
 		if res.Detail != "" {

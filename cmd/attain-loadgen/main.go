@@ -61,6 +61,7 @@ type loadCfg struct {
 	senders  int
 	ring     int
 	events   int
+	wave     int
 }
 
 func run() error {
@@ -76,6 +77,7 @@ func run() error {
 	flag.IntVar(&cfg.senders, "senders", 4, "traffic generator worker goroutines")
 	flag.IntVar(&cfg.ring, "ring", 8192, "per-direction conn ring buffer bytes")
 	flag.IntVar(&cfg.events, "events", 16384, "injector event queue capacity (per shard / pump executor)")
+	flag.IntVar(&cfg.wave, "wave", 0, "dial connections in concurrent waves of this size (0 = sequential)")
 	flag.Parse()
 
 	if cfg.conns < 1 || cfg.senders < 1 || cfg.shards < 1 {
@@ -278,15 +280,48 @@ func runLoad(cfg loadCfg, sharded bool) (result, error) {
 	}
 
 	// Dial every mock switch. Each dial makes the injector accept, dial
-	// the controller, and stand up a session before traffic starts.
+	// the controller, and stand up a session before traffic starts. With
+	// -wave the dials run in bounded concurrent waves — the same staged
+	// bring-up shape the fabric uses, which at tens of thousands of conns
+	// is much faster than sequential without an unbounded dial burst.
 	swConns := make([]net.Conn, cfg.conns)
-	for i := range swConns {
+	dial := func(i int) error {
 		conn := model.Conn{Controller: "c1", Switch: model.NodeID(fmt.Sprintf("s%d", i+1))}
 		c, err := tr.Dial(inj.ProxyAddrFor(conn))
 		if err != nil {
-			return result{}, fmt.Errorf("dial conn %d: %w", i, err)
+			return fmt.Errorf("dial conn %d: %w", i, err)
 		}
 		swConns[i] = c
+		return nil
+	}
+	if cfg.wave > 0 {
+		var dialErr atomic.Value
+		for start := 0; start < cfg.conns; start += cfg.wave {
+			end := start + cfg.wave
+			if end > cfg.conns {
+				end = cfg.conns
+			}
+			var wg sync.WaitGroup
+			for i := start; i < end; i++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if err := dial(i); err != nil {
+						dialErr.Store(err)
+					}
+				}()
+			}
+			wg.Wait()
+			if err, ok := dialErr.Load().(error); ok {
+				return result{}, err
+			}
+		}
+	} else {
+		for i := range swConns {
+			if err := dial(i); err != nil {
+				return result{}, err
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "   %d connections up, %d goroutines\n", cfg.conns, runtime.NumGoroutine())
 

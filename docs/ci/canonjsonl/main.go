@@ -7,10 +7,15 @@
 //
 //	go run ./docs/ci/canonjsonl < results.jsonl > projected.jsonl
 //	go run ./docs/ci/canonjsonl -keep index,name,synth < results.jsonl
+//	go run ./docs/ci/canonjsonl -keep name,status,fabric.deviation < results.jsonl
 //
 // The default projection keeps the scenario coordinates, status, and the
 // synth program identity (per-program seed + DSL digest) — the fields a
 // determinism check must find identical across same-seed runs and shards.
+// A dotted entry like fabric.deviation keeps only that sub-field of a
+// nested object, which is how the fabric-smoke gate compares campaigns
+// run at different fabric_shards settings: shard count is an execution
+// knob, so the projected verdicts must match byte-for-byte.
 package main
 
 import (
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	keep := flag.String("keep", "index,name,kind,profile,attack,topology,seed,status,synth",
-		"comma-separated top-level fields to keep")
+		"comma-separated top-level fields to keep; parent.child keeps one sub-field of a nested object")
 	flag.Parse()
 	if err := run(strings.Split(*keep, ",")); err != nil {
 		fmt.Fprintln(os.Stderr, "canonjsonl:", err)
@@ -34,10 +39,20 @@ func main() {
 }
 
 func run(keep []string) error {
-	keepSet := make(map[string]bool, len(keep))
+	// keepSet maps a kept top-level field to the set of kept sub-fields;
+	// a nil set keeps the whole value.
+	keepSet := make(map[string]map[string]bool, len(keep))
 	for _, k := range keep {
-		if k = strings.TrimSpace(k); k != "" {
-			keepSet[k] = true
+		if k = strings.TrimSpace(k); k == "" {
+			continue
+		}
+		if top, sub, ok := strings.Cut(k, "."); ok {
+			if keepSet[top] == nil {
+				keepSet[top] = make(map[string]bool)
+			}
+			keepSet[top][sub] = true
+		} else if _, exists := keepSet[k]; !exists {
+			keepSet[k] = nil
 		}
 	}
 	out := bufio.NewWriter(os.Stdout)
@@ -52,9 +67,23 @@ func run(keep []string) error {
 		if err := json.Unmarshal(line, &m); err != nil {
 			return fmt.Errorf("bad record: %v", err)
 		}
-		for k := range m {
-			if !keepSet[k] {
+		for k, v := range m {
+			subs, kept := keepSet[k]
+			if !kept {
 				delete(m, k)
+				continue
+			}
+			if subs == nil {
+				continue
+			}
+			nested, ok := v.(map[string]any)
+			if !ok {
+				continue
+			}
+			for sk := range nested {
+				if !subs[sk] {
+					delete(nested, sk)
+				}
 			}
 		}
 		b, err := json.Marshal(m)

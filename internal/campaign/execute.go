@@ -136,18 +136,21 @@ func (sc Scenario) fabricConfig() topo.ScenarioConfig {
 		Seed:      sc.Seed,
 		TimeScale: sc.TimeScale,
 		Observe:   observe,
-		// Fast discovery pacing keeps big-fabric sweeps tractable; the
-		// poison attack rides the echo heartbeat, so keep it brisk too.
-		// Note the intervals are virtual time: at high TimeScale their
-		// wall-clock load multiplies, so sweep 500+ switch fabrics at
-		// low scale (the convergence metrics are virtual either way).
-		ProbeInterval: 100 * time.Millisecond,
-		EchoInterval:  250 * time.Millisecond,
+		// Pacing stays at RunScenario's defaults (200ms probes, 500ms
+		// echoes). Faster pacing shaves little wall time off small sweeps
+		// but its per-switch control load compounds with fabric size: at
+		// 5,000 switches, 250ms echoes through the injector starve the
+		// bring-up handshakes and convergence never completes. The
+		// intervals are virtual time: at high TimeScale their wall-clock
+		// load multiplies, so sweep 500+ switch fabrics at low scale
+		// (the convergence metrics are virtual either way).
 		// Thousand-switch bring-up bursts thousands of handshakes through
 		// one process; give convergence more wall headroom than the
 		// 30s default (the runner's scenario deadline still applies).
 		ConnectTimeout:  2 * time.Minute,
 		DiscoverTimeout: 2 * time.Minute,
+		Shards:          sc.Shards,
+		WaveSize:        sc.Wave,
 	}
 }
 

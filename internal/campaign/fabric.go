@@ -19,6 +19,7 @@ func WriteFabricCSV(w io.Writer, results []*topo.FabricResult) error {
 		"topology", "profile", "attack", "switches", "links", "hosts",
 		"connect_ms", "discover_ms", "discovered", "phantom", "missing",
 		"port_status_events", "flaps", "deviation",
+		"bringup_waves", "peak_goroutines",
 	}); err != nil {
 		return err
 	}
@@ -38,6 +39,8 @@ func WriteFabricCSV(w io.Writer, results []*topo.FabricResult) error {
 			strconv.FormatUint(r.PortStatusEvents, 10),
 			strconv.Itoa(r.FlapsApplied),
 			strconv.FormatBool(r.Deviation),
+			strconv.FormatUint(r.BringupWaves, 10),
+			strconv.FormatInt(r.PeakGoroutines, 10),
 		}
 		if err := cw.Write(row); err != nil {
 			return err

@@ -98,6 +98,70 @@ func TestWriteFabricCSV(t *testing.T) {
 	}
 }
 
+// runFabricShardCampaign runs a small fabric matrix at the given shard
+// count and returns the shard-invariant projection of results.jsonl.
+func runFabricShardCampaign(t *testing.T, shards int) []byte {
+	t.Helper()
+	m := Matrix{
+		Kinds:         []Kind{KindFabric},
+		Profiles:      []controller.Profile{controller.ProfileFloodlight},
+		Topologies:    []string{"linear:3x1"},
+		FabricAttacks: []string{topo.AttackBaseline, topo.AttackLLDPPoison},
+		TimeScale:     10,
+		Seed:          7,
+		FabricShards:  shards,
+		FabricWave:    2,
+	}
+	dir := t.TempDir()
+	store, err := NewStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(RunnerConfig{
+		Workers: 1,
+		Timeout: 2 * time.Minute,
+		Retries: 1,
+		Store:   store,
+	})
+	report, err := r.Run(context.Background(), m.Expand())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := report.Failed(); len(failed) != 0 {
+		t.Fatalf("shards=%d failures: %s", shards, report.Summary())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, ResultsFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proj, err := ShardInvariantJSONL(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proj
+}
+
+// TestFabricCampaignShardInvariance pins the campaign-artifact half of the
+// determinism contract: fabric_shards is an execution knob, so the
+// shard-invariant projection of results.jsonl must be byte-identical
+// whether switches ran goroutine-per-switch or shard-hosted.
+func TestFabricCampaignShardInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real fabrics in -short mode")
+	}
+	legacy := runFabricShardCampaign(t, 0)
+	sharded := runFabricShardCampaign(t, 2)
+	if !bytes.Equal(legacy, sharded) {
+		t.Fatalf("shard-invariant projections diverged:\nshards=0:\n%s\nshards=2:\n%s", legacy, sharded)
+	}
+	// The projection must still carry the verdicts it pins.
+	for _, want := range []string{`"deviation":true`, `"connected":true`, `"status":"ok"`} {
+		if !bytes.Contains(sharded, []byte(want)) {
+			t.Fatalf("projection lost %s:\n%s", want, sharded)
+		}
+	}
+}
+
 func TestFabricCampaignEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real fabrics in -short mode")

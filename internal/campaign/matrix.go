@@ -30,6 +30,12 @@ type Matrix struct {
 	// FabricAttacks is the fabric-kind attack axis; defaults to
 	// {baseline, lldp-poison}.
 	FabricAttacks []string
+	// FabricShards and FabricWave are execution knobs for fabric- and
+	// synth-kind scenarios (shard-hosted event loops and bring-up wave
+	// size); they never enter scenario names or seeds, so toggling them
+	// must not change any audit outcome.
+	FabricShards int
+	FabricWave   int
 	// SynthCount is the number of generated attack programs the synth
 	// kind sweeps (≥1); each program index becomes its own axis value.
 	SynthCount int
@@ -98,6 +104,8 @@ func (m Matrix) Expand() []Scenario {
 		sc.TimeScale = m.TimeScale
 		sc.Workload = m.Workload
 		sc.Trace = m.Trace
+		sc.Shards = m.FabricShards
+		sc.Wave = m.FabricWave
 		sc.Name = scenarioName(sc)
 		sc.Seed = DeriveSeed(m.Seed, sc.Name)
 		out = append(out, sc)

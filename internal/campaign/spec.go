@@ -42,6 +42,14 @@ type Spec struct {
 	// fingerprint).
 	Topologies    []string `json:"topologies,omitempty"`
 	FabricAttacks []string `json:"fabric_attacks,omitempty"`
+	// FabricShards and FabricWave configure shard-hosted execution for
+	// fabric- and synth-kind scenarios: FabricShards > 0 runs every
+	// switch and the injector on that many event loops (0 = legacy
+	// goroutine-per-switch mode), FabricWave bounds concurrent
+	// handshakes during bring-up. Execution knobs only — they never
+	// change scenario names, seeds, or audit outcomes.
+	FabricShards int `json:"fabric_shards,omitempty"`
+	FabricWave   int `json:"fabric_wave,omitempty"`
 	// SynthCount and SynthSeed parameterize the synth kind: SynthCount
 	// generated programs per (profile, topology) cell, all derived from
 	// the base SynthSeed so any worker regenerates identical programs.
@@ -120,13 +128,21 @@ func ParseSpec(data []byte) (*Spec, error) {
 // Matrix resolves the spec's axes into an expandable Matrix.
 func (s *Spec) Matrix() (Matrix, error) {
 	m := Matrix{
-		SynthCount: s.SynthCount,
-		SynthSeed:  s.SynthSeed,
-		TimeScale:  s.TimeScale,
-		Trials:     s.Trials,
-		Seed:       s.Seed,
-		Workload:   Workload{Full: s.Full},
-		Trace:      s.Trace,
+		FabricShards: s.FabricShards,
+		FabricWave:   s.FabricWave,
+		SynthCount:   s.SynthCount,
+		SynthSeed:    s.SynthSeed,
+		TimeScale:    s.TimeScale,
+		Trials:       s.Trials,
+		Seed:         s.Seed,
+		Workload:     Workload{Full: s.Full},
+		Trace:        s.Trace,
+	}
+	if s.FabricShards < 0 {
+		return Matrix{}, fmt.Errorf("campaign: fabric_shards must be >= 0, got %d", s.FabricShards)
+	}
+	if s.FabricWave < 0 {
+		return Matrix{}, fmt.Errorf("campaign: fabric_wave must be >= 0, got %d", s.FabricWave)
 	}
 	if s.SynthCount < 0 {
 		return Matrix{}, fmt.Errorf("campaign: synth_count must be >= 0, got %d", s.SynthCount)

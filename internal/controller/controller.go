@@ -159,6 +159,28 @@ func (c *Controller) Switches() map[uint64]*SwitchConn {
 	return out
 }
 
+// SwitchCount reports how many switches have completed the handshake —
+// cheaper than Switches() for convergence polling loops (no map copy).
+func (c *Controller) SwitchCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.switches)
+}
+
+// SwitchesInto appends every connected switch to buf (reset to length 0
+// first) and returns it, so periodic sweeps like the fabric probe loop
+// reuse one slice instead of copying the map every round. Order is map
+// order — callers needing determinism must sort.
+func (c *Controller) SwitchesInto(buf []*SwitchConn) []*SwitchConn {
+	buf = buf[:0]
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sw := range c.switches {
+		buf = append(buf, sw)
+	}
+	return buf
+}
+
 // Start begins accepting switch connections.
 func (c *Controller) Start() error {
 	c.mu.Lock()
@@ -429,6 +451,57 @@ func (sw *SwitchConn) sendXid(xid uint32, msg openflow.Message) error {
 	}
 	return err
 }
+
+// SendBatch marshals msgs into one pooled buffer and writes them with a
+// single lock acquisition and a single Conn.Write — the control-plane
+// analogue of the shard cores' coalesced flushes. The fabric probe loop
+// uses it to emit one LLDP PACKET_OUT per port in one write per switch.
+// Each message gets a fresh transaction id.
+func (sw *SwitchConn) SendBatch(msgs []openflow.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	buf := openflow.GetBuffer()
+	var err error
+	for _, msg := range msgs {
+		if buf, err = openflow.AppendMessage(buf, sw.ctrl.xid.Add(1), msg); err != nil {
+			openflow.PutBuffer(buf)
+			return err
+		}
+	}
+	sw.writeMu.Lock()
+	defer sw.writeMu.Unlock()
+	defer openflow.PutBuffer(buf)
+	if sw.closed {
+		return net.ErrClosed
+	}
+	if _, err = sw.conn.Write(buf); err != nil {
+		return err
+	}
+	var flowMods, packetOuts uint64
+	for _, msg := range msgs {
+		switch msg.(type) {
+		case *openflow.FlowMod:
+			flowMods++
+		case *openflow.PacketOut:
+			packetOuts++
+		}
+	}
+	if flowMods+packetOuts > 0 {
+		sw.ctrl.mu.Lock()
+		sw.ctrl.stats.FlowModsSent += flowMods
+		sw.ctrl.stats.PacketOutsSent += packetOuts
+		sw.ctrl.mu.Unlock()
+		sw.ctrl.ctrs.flowModsSent.Add(flowMods)
+		sw.ctrl.ctrs.packetOutsSent.Add(packetOuts)
+	}
+	return nil
+}
+
+// Close tears the connection down from the controller side; the switch
+// will observe the loss and redial. Primarily for tests and fault
+// injection.
+func (sw *SwitchConn) Close() { sw.close() }
 
 func (sw *SwitchConn) close() {
 	sw.writeMu.Lock()

@@ -184,7 +184,7 @@ func (ex *executor) process(ev *event) {
 
 	if state != nil {
 		for _, rule := range state.Rules {
-			if !rule.AppliesTo(ev.conn) {
+			if !ex.inj.ruleApplies(rule, ev.conn) {
 				continue
 			}
 			matched, err := ex.evalCond(rule.Cond, env)

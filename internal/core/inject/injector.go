@@ -105,6 +105,13 @@ type Injector struct {
 	// counters maps each proxied connection to its pre-resolved telemetry
 	// counters; read-only after New.
 	counters map[model.Conn]*connCounters
+	// ruleConns indexes each wide rule's watched-connection list as a set.
+	// Rule.AppliesTo is a linear scan — fine for the paper's handful of
+	// victim conns, but fabric attacks watch every connection, and at
+	// 5,000 switches an O(conns) scan per proxied frame dominates the
+	// whole injector. Read-only after New; rules watching few conns stay
+	// on the scan (a map lookup costs more than comparing two entries).
+	ruleConns map[*lang.Rule]map[model.Conn]struct{}
 	// shards holds the batch-draining event loops (empty in pump mode);
 	// read-only after New. imbalance counts skew observations between the
 	// busiest and idlest shard (see shard.observeImbalance).
@@ -329,6 +336,7 @@ func New(cfg Config) (*Injector, error) {
 		stop:     make(chan struct{}),
 	}
 	inj.counters = buildConnCounters(inj.tele, inj.proxiedConns())
+	inj.ruleConns = buildRuleConnSets(cfg.Attack)
 	// σ and Δ live in one store shared by every executor — the legacy
 	// single-threaded one and (in sharded mode) each shard's — so state
 	// transitions and deque storage stay consistent across shards.
@@ -345,6 +353,38 @@ func New(cfg Config) (*Injector, error) {
 		}
 	}
 	return inj, nil
+}
+
+// ruleSetThreshold is the watched-connection count above which a rule
+// gets a set index instead of AppliesTo's linear scan.
+const ruleSetThreshold = 8
+
+// buildRuleConnSets indexes the watched connections of every wide rule.
+func buildRuleConnSets(a *lang.Attack) map[*lang.Rule]map[model.Conn]struct{} {
+	sets := make(map[*lang.Rule]map[model.Conn]struct{})
+	for _, st := range a.States {
+		for _, rule := range st.Rules {
+			if len(rule.Conns) <= ruleSetThreshold {
+				continue
+			}
+			set := make(map[model.Conn]struct{}, len(rule.Conns))
+			for _, c := range rule.Conns {
+				set[c] = struct{}{}
+			}
+			sets[rule] = set
+		}
+	}
+	return sets
+}
+
+// ruleApplies reports whether rule watches conn, via the set index for
+// wide rules and Rule.AppliesTo for narrow ones.
+func (inj *Injector) ruleApplies(rule *lang.Rule, conn model.Conn) bool {
+	if set, ok := inj.ruleConns[rule]; ok {
+		_, watched := set[conn]
+		return watched
+	}
+	return rule.AppliesTo(conn)
 }
 
 // Sharded reports whether the injector runs the batch-draining core.

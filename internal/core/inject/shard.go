@@ -3,11 +3,11 @@ package inject
 import (
 	"fmt"
 	"net"
-	"sync"
 	"sync/atomic"
 
 	"attain/internal/core/lang"
 	"attain/internal/core/model"
+	"attain/internal/evloop"
 	"attain/internal/openflow"
 	"attain/internal/telemetry"
 )
@@ -18,7 +18,7 @@ const defaultBatch = 256
 
 // flushChunk caps how many coalesced bytes one vectored flush writes per
 // Conn.Write call, bounding the shard's persistent flush buffer.
-const flushChunk = 256 << 10
+const flushChunk = evloop.DefaultFlushChunk
 
 // eventWrite is the internal event kind carrying an outbound frame to the
 // shard that owns its destination session (cross-shard deliveries, async
@@ -39,30 +39,26 @@ const eventWrite EventKind = 100
 // queued event in one pass, and writes each touched session's frames with
 // one coalesced Conn.Write per direction — the per-message scheduler
 // handoffs that dominate the pump design are amortized over the batch.
+//
+// The queue-and-swap machinery lives in internal/evloop (shared with the
+// shard-hosted switch simulator); this file keeps only the injector's
+// event semantics on top of it.
 type shard struct {
 	inj  *Injector
 	id   int
 	exec *executor
 
-	// intake is the cross-goroutine queue: readers append under mu, the
-	// loop swaps it against spare (slice ping-pong, so steady state
-	// allocates neither). space wakes producers blocked on a full queue;
-	// wake (capacity 1) wakes the loop when the queue goes non-empty.
-	mu       sync.Mutex
-	space    *sync.Cond
-	intake   []*event
-	spare    []*event
-	stopped  bool
-	wake     chan struct{}
-	queueMax int
+	// q is the cross-goroutine intake: readers push under backpressure,
+	// the loop drains the whole queue in one slice swap.
+	q *evloop.Queue[*event]
 
 	// Loop-owned state: sessions with pending outbound frames this batch,
-	// sessions with unpublished Seen counts, the reusable coalescing
-	// buffer, and collected barrier channels. bookFn is the pre-built
-	// CountBatch closure so flushBook allocates nothing per batch.
+	// sessions with unpublished Seen counts, the write coalescer, and
+	// collected barrier channels. bookFn is the pre-built CountBatch
+	// closure so flushBook allocates nothing per batch.
 	touched []*session
 	counted []*session
-	flush   []byte
+	out     *evloop.Coalescer
 	dones   []chan struct{}
 	bookFn  func(types map[string]uint64)
 
@@ -73,29 +69,25 @@ type shard struct {
 
 	msgs    *telemetry.Counter
 	batches *telemetry.Counter
-	stalls  *telemetry.Counter
-	depth   *telemetry.Gauge
 	batchSz *telemetry.Histogram
 }
 
 func newShard(inj *Injector, id int, store StateStore) *shard {
 	sh := &shard{
-		inj:      inj,
-		id:       id,
-		wake:     make(chan struct{}, 1),
-		queueMax: inj.cfg.EventBuffer,
-		intake:   make([]*event, 0, inj.cfg.EventBuffer),
-		spare:    make([]*event, 0, inj.cfg.EventBuffer),
-		touched:  make([]*session, 0, 64),
-		flush:    make([]byte, 0, flushChunk),
-		msgs:     inj.tele.Counter(fmt.Sprintf("injector.shard.%d.msgs", id)),
-		batches:  inj.tele.Counter(fmt.Sprintf("injector.shard.%d.batches", id)),
-		stalls:   inj.tele.Counter(fmt.Sprintf("injector.shard.%d.stalls", id)),
-		depth:    inj.tele.Gauge(fmt.Sprintf("injector.shard.%d.queue_depth", id)),
-		batchSz:  inj.tele.Histogram(fmt.Sprintf("injector.shard.%d.batch_size", id)),
+		inj: inj,
+		id:  id,
+		q: evloop.NewQueue[*event](evloop.Config{
+			Capacity: inj.cfg.EventBuffer,
+			Stalls:   inj.tele.Counter(fmt.Sprintf("injector.shard.%d.stalls", id)),
+			Depth:    inj.tele.Gauge(fmt.Sprintf("injector.shard.%d.queue_depth", id)),
+		}),
+		touched: make([]*session, 0, 64),
+		out:     evloop.NewCoalescer(flushChunk),
+		msgs:    inj.tele.Counter(fmt.Sprintf("injector.shard.%d.msgs", id)),
+		batches: inj.tele.Counter(fmt.Sprintf("injector.shard.%d.batches", id)),
+		batchSz: inj.tele.Histogram(fmt.Sprintf("injector.shard.%d.batch_size", id)),
 	}
 	sh.counted = make([]*session, 0, 64)
-	sh.space = sync.NewCond(&sh.mu)
 	sh.exec = newExecutor(inj, store, shardSeed(inj.cfg.StochasticSeed, id), sh)
 	sh.bookFn = func(types map[string]uint64) {
 		for _, sess := range sh.counted {
@@ -173,38 +165,12 @@ func (inj *Injector) shardFor(conn model.Conn) *shard {
 	return inj.shards[h%uint64(len(inj.shards))]
 }
 
-// signal wakes the shard loop if it is (or is about to start) waiting.
-// The channel holds one token, so signaling a busy loop is free and the
-// token is never lost.
-func (sh *shard) signal() {
-	select {
-	case sh.wake <- struct{}{}:
-	default:
-	}
-}
-
 // enqueue hands an inbound message event to the shard, blocking while the
 // queue is at capacity (backpressure toward the reading session, the role
 // the bounded events channel plays in pump mode). It reports false once
 // the shard has stopped; the caller keeps ownership of ev and its buffer.
 func (sh *shard) enqueue(ev *event) bool {
-	sh.mu.Lock()
-	for len(sh.intake) >= sh.queueMax && !sh.stopped {
-		sh.stalls.Inc()
-		sh.space.Wait()
-	}
-	if sh.stopped {
-		sh.mu.Unlock()
-		return false
-	}
-	sh.intake = append(sh.intake, ev)
-	wasEmpty := len(sh.intake) == 1
-	sh.depth.Set(int64(len(sh.intake)))
-	sh.mu.Unlock()
-	if wasEmpty {
-		sh.signal()
-	}
-	return true
+	return sh.q.Push(ev)
 }
 
 // enqueueWrite queues an outbound frame for delivery by the owning shard's
@@ -216,18 +182,9 @@ func (sh *shard) enqueue(ev *event) bool {
 func (sh *shard) enqueueWrite(sess *session, dir lang.Direction, raw []byte) error {
 	ev := eventPool.Get().(*event)
 	*ev = event{kind: eventWrite, conn: sess.conn, dir: dir, raw: raw, sess: sess}
-	sh.mu.Lock()
-	if sh.stopped {
-		sh.mu.Unlock()
+	if !sh.q.PushNoWait(ev) {
 		ev.recycle()
 		return net.ErrClosed
-	}
-	sh.intake = append(sh.intake, ev)
-	wasEmpty := len(sh.intake) == 1
-	sh.depth.Set(int64(len(sh.intake)))
-	sh.mu.Unlock()
-	if wasEmpty {
-		sh.signal()
 	}
 	return nil
 }
@@ -238,17 +195,9 @@ func (sh *shard) enqueueWrite(sess *session, dir lang.Direction, raw []byte) err
 func (sh *shard) enqueueBarrier(done chan struct{}) bool {
 	ev := eventPool.Get().(*event)
 	*ev = event{kind: EventConn, done: done}
-	sh.mu.Lock()
-	if sh.stopped {
-		sh.mu.Unlock()
+	if !sh.q.PushQuiet(ev) {
 		ev.recycle()
 		return false
-	}
-	sh.intake = append(sh.intake, ev)
-	wasEmpty := len(sh.intake) == 1
-	sh.mu.Unlock()
-	if wasEmpty {
-		sh.signal()
 	}
 	return true
 }
@@ -270,32 +219,7 @@ func (sh *shard) run() {
 // one swap. Returns nil when the injector is stopping and the queue is
 // empty.
 func (sh *shard) waitWork() []*event {
-	sh.mu.Lock()
-	for len(sh.intake) == 0 {
-		if sh.stopped {
-			sh.mu.Unlock()
-			return nil
-		}
-		sh.mu.Unlock()
-		select {
-		case <-sh.wake:
-		case <-sh.inj.stop:
-			// Mark stopped and keep draining whatever is queued; the next
-			// pass through an empty queue exits.
-			sh.mu.Lock()
-			sh.stopped = true
-			sh.mu.Unlock()
-			sh.space.Broadcast()
-		}
-		sh.mu.Lock()
-	}
-	batch := sh.intake
-	sh.intake = sh.spare[:0]
-	sh.spare = batch
-	sh.depth.Set(0)
-	sh.mu.Unlock()
-	sh.space.Broadcast()
-	return batch
+	return sh.q.Drain(sh.inj.stop)
 }
 
 // drainBatch processes one queue swap's worth of events: executor
@@ -389,43 +313,15 @@ func (sh *shard) flushAll() {
 
 // flushDir coalesces frames into the shard's persistent buffer and writes
 // them with as few Conn.Write calls as flushChunk allows — usually one.
-// Every frame buffer is recycled here regardless of outcome; on a write
-// error the session is closed and the unwritten tail counted as drops.
+// Every frame buffer is recycled regardless of outcome; on a write error
+// the session is closed and the unwritten tail counted as drops.
 // Delivered is counted once per flush instead of once per frame, which is
 // where the pump path spent its per-message mutex hits.
 func (sh *shard) flushDir(sess *session, dst net.Conn, frames [][]byte) {
 	if len(frames) == 0 {
 		return
 	}
-	var werr error
-	written, pending := 0, 0
-	buf := sh.flush[:0]
-	flushBuf := func() {
-		if werr != nil || len(buf) == 0 {
-			return
-		}
-		if _, err := dst.Write(buf); err != nil {
-			werr = err
-		} else {
-			written += pending
-		}
-		pending = 0
-		buf = buf[:0]
-	}
-	for _, fr := range frames {
-		if werr == nil {
-			if len(buf) > 0 && len(buf)+len(fr) > flushChunk {
-				flushBuf()
-			}
-			if werr == nil {
-				buf = append(buf, fr...)
-				pending++
-			}
-		}
-		openflow.PutBuffer(fr)
-	}
-	flushBuf()
-	sh.flush = buf[:0]
+	written, werr := sh.out.Flush(dst, frames, openflow.PutBuffer)
 	if written > 0 {
 		n := uint64(written)
 		if sess.stats != nil {
@@ -446,13 +342,7 @@ func (sh *shard) flushDir(sess *session, dst net.Conn, frames [][]byte) {
 // blocked producers, and recycle everything still queued or pending so
 // pooled buffers are not leaked across an injector restart.
 func (sh *shard) drainShutdown() {
-	sh.mu.Lock()
-	sh.stopped = true
-	intake := sh.intake
-	sh.intake = nil
-	sh.mu.Unlock()
-	sh.space.Broadcast()
-	for _, ev := range intake {
+	for _, ev := range sh.q.Close() {
 		switch ev.kind {
 		case EventMessage:
 			openflow.PutBuffer(ev.raw)

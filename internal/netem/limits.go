@@ -1,0 +1,16 @@
+package netem
+
+import (
+	"errors"
+	"syscall"
+)
+
+// IsFDExhausted reports whether err indicates the process or system ran
+// out of file descriptors (EMFILE/ENFILE) — the failure mode of TCP
+// transports at fabric scale. Large fabrics check dial errors with this
+// to fail bring-up fast with a clear message (switch to the in-memory
+// transport or raise ulimit -n) instead of silently retrying a connect
+// loop that can never succeed.
+func IsFDExhausted(err error) bool {
+	return errors.Is(err, syscall.EMFILE) || errors.Is(err, syscall.ENFILE)
+}

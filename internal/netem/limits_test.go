@@ -1,0 +1,32 @@
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestIsFDExhausted(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("dial tcp: timeout"), false},
+		{syscall.EMFILE, true},
+		{syscall.ENFILE, true},
+		// The shapes real dials produce: syscall errors wrapped in
+		// net.OpError/os.SyscallError, possibly wrapped again by callers.
+		{&net.OpError{Op: "dial", Err: os.NewSyscallError("socket", syscall.EMFILE)}, true},
+		{fmt.Errorf("dial controller: %w", &net.OpError{Op: "dial", Err: syscall.ENFILE}), true},
+		{fmt.Errorf("dial controller: %w", syscall.ECONNREFUSED), false},
+	}
+	for _, tc := range cases {
+		if got := IsFDExhausted(tc.err); got != tc.want {
+			t.Errorf("IsFDExhausted(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}

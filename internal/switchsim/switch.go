@@ -74,6 +74,13 @@ type Config struct {
 	// transition, and packet-in trace events plus per-switch counters. Nil
 	// disables collection.
 	Telemetry *telemetry.Telemetry
+	// OnConnError, when non-nil, is called with dial and handshake
+	// failures from the controller connection path (both the goroutine
+	// connLoop and the shard-hosted Admit path). Fabric bring-up uses it
+	// to fail fast on resource exhaustion (fd limits) instead of silently
+	// retrying forever. Called from connection goroutines; must be
+	// safe for concurrent use.
+	OnConnError func(error)
 	// EmergencyFlows enables OpenFlow 1.0 §4.3 emergency flow entries
 	// (OFPFF_EMERG): flow mods flagged emergency populate a separate
 	// cache; on control-channel loss in fail-secure mode the normal
@@ -138,7 +145,7 @@ type Switch struct {
 	mu        sync.Mutex
 	ports     map[uint16]*swPort
 	macTable  map[netaddr.MAC]uint16 // standalone learning table
-	conn      *ctrlConn
+	conn      ctrlChan
 	connected bool
 	stats     Stats
 
@@ -278,7 +285,7 @@ func (s *Switch) SetLinkDown(portNo uint16, down bool) {
 	s.mu.Lock()
 	p := s.ports[portNo]
 	var (
-		conn *ctrlConn
+		conn ctrlChan
 		desc openflow.PhyPort
 	)
 	if p != nil {
@@ -487,6 +494,22 @@ func (s *Switch) nextXid() uint32 { return s.xid.Add(1) }
 
 // ---- Controller channel ----
 
+// ctrlChan abstracts the switch's view of its control connection: the
+// goroutine path implements it with *ctrlConn (a write-pump goroutine per
+// connection), the shard-hosted path with *hostedConn (writes queued to
+// the owning shard loop and coalesced per batch). All message handlers
+// dispatch through this interface, so the datapath logic is identical in
+// both modes.
+type ctrlChan interface {
+	// send queues a message, blocking while there is room; net.ErrClosed
+	// once the channel is down.
+	send(xid uint32, msg openflow.Message) error
+	// sendAsync queues a message without blocking, reporting success.
+	sendAsync(xid uint32, msg openflow.Message) bool
+	// close tears the channel down (idempotent).
+	close()
+}
+
 // ctrlConn wraps one control connection with a write pump so data-path
 // sends never block behind a slow peer.
 type ctrlConn struct {
@@ -592,7 +615,7 @@ func (s *Switch) connLoop() {
 	}
 }
 
-func (s *Switch) setConnected(up bool, conn *ctrlConn) {
+func (s *Switch) setConnected(up bool, conn ctrlChan) {
 	s.mu.Lock()
 	wasUp := s.connected
 	s.connected = up
@@ -624,13 +647,21 @@ func (s *Switch) setConnected(up bool, conn *ctrlConn) {
 func (s *Switch) runSession() error {
 	raw, err := s.cfg.Transport.Dial(s.cfg.ControllerAddr)
 	if err != nil {
-		return fmt.Errorf("dial controller: %w", err)
+		err = fmt.Errorf("dial controller: %w", err)
+		if s.cfg.OnConnError != nil {
+			s.cfg.OnConnError(err)
+		}
+		return err
 	}
 	conn := newCtrlConn(raw, s.clk.Now())
 	defer conn.close()
 
 	if err := s.handshake(conn); err != nil {
-		return fmt.Errorf("handshake: %w", err)
+		err = fmt.Errorf("handshake: %w", err)
+		if s.cfg.OnConnError != nil {
+			s.cfg.OnConnError(err)
+		}
+		return err
 	}
 	s.setConnected(true, conn)
 	defer s.setConnected(false, nil)
@@ -702,7 +733,7 @@ func (s *Switch) handshake(conn *ctrlConn) error {
 }
 
 // handleControl dispatches one controller-to-switch message.
-func (s *Switch) handleControl(conn *ctrlConn, hdr openflow.Header, msg openflow.Message) {
+func (s *Switch) handleControl(conn ctrlChan, hdr openflow.Header, msg openflow.Message) {
 	switch m := msg.(type) {
 	case *openflow.EchoRequest:
 		_ = conn.send(hdr.Xid, &openflow.EchoReply{Data: m.Data})
@@ -739,7 +770,7 @@ func (s *Switch) handleControl(conn *ctrlConn, hdr openflow.Header, msg openflow
 
 // handlePortMod applies OFPPC_PORT_DOWN changes and notifies the
 // controller with PORT_STATUS.
-func (s *Switch) handlePortMod(conn *ctrlConn, pm *openflow.PortMod) {
+func (s *Switch) handlePortMod(conn ctrlChan, pm *openflow.PortMod) {
 	if pm.Mask&openflow.PortConfigPortDown == 0 {
 		return
 	}
@@ -779,7 +810,7 @@ func (s *Switch) featuresReply() *openflow.FeaturesReply {
 	return fr
 }
 
-func (s *Switch) handleFlowMod(conn *ctrlConn, hdr openflow.Header, fm *openflow.FlowMod) {
+func (s *Switch) handleFlowMod(conn ctrlChan, hdr openflow.Header, fm *openflow.FlowMod) {
 	now := s.clk.Now()
 	table := s.table
 	if fm.Flags&openflow.FlowModFlagEmergency != 0 {
@@ -884,7 +915,7 @@ func (s *Switch) handlePacketOut(po *openflow.PacketOut) {
 	s.applyActions(po.Actions, inPort, frame)
 }
 
-func (s *Switch) handleStatsRequest(conn *ctrlConn, hdr openflow.Header, req *openflow.StatsRequest) {
+func (s *Switch) handleStatsRequest(conn ctrlChan, hdr openflow.Header, req *openflow.StatsRequest) {
 	var body openflow.StatsBody
 	switch b := req.Body.(type) {
 	case openflow.DescStatsRequest:
@@ -940,7 +971,7 @@ func (s *Switch) handleStatsRequest(conn *ctrlConn, hdr openflow.Header, req *op
 	_ = conn.send(hdr.Xid, &openflow.StatsReply{Body: body})
 }
 
-func (s *Switch) notifyFlowRemoved(conn *ctrlConn, e *Entry, reason openflow.FlowRemovedReason, now time.Time) {
+func (s *Switch) notifyFlowRemoved(conn ctrlChan, e *Entry, reason openflow.FlowRemovedReason, now time.Time) {
 	if e.Flags&openflow.FlowModFlagSendFlowRem == 0 || conn == nil {
 		return
 	}
@@ -959,22 +990,25 @@ func (s *Switch) expiryLoop() {
 		case <-s.stop:
 			return
 		case <-s.clk.After(s.cfg.ExpiryInterval):
-			now := s.clk.Now()
-			expired := s.table.Expire(now)
-			if len(expired) == 0 {
-				continue
-			}
 			s.mu.Lock()
 			conn := s.conn
 			s.mu.Unlock()
-			for _, ex := range expired {
-				s.ctrs.flowModsEvicted.Inc()
-				s.tele.Emit(telemetry.Event{
-					Layer: telemetry.LayerSwitch, Kind: telemetry.KindEvict,
-					Node: s.cfg.Name, Detail: ex.Reason.String(),
-				})
-				s.notifyFlowRemoved(conn, ex.Entry, ex.Reason, now)
-			}
+			s.expireOnce(s.clk.Now(), conn)
 		}
+	}
+}
+
+// expireOnce runs one flow-timeout sweep, notifying the controller over
+// conn. Shared by the goroutine expiryLoop and the shard-hosted tick path
+// (which passes the hosted connection and its batch timestamp).
+func (s *Switch) expireOnce(now time.Time, conn ctrlChan) {
+	expired := s.table.Expire(now)
+	for _, ex := range expired {
+		s.ctrs.flowModsEvicted.Inc()
+		s.tele.Emit(telemetry.Event{
+			Layer: telemetry.LayerSwitch, Kind: telemetry.KindEvict,
+			Node: s.cfg.Name, Detail: ex.Reason.String(),
+		})
+		s.notifyFlowRemoved(conn, ex.Entry, ex.Reason, now)
 	}
 }

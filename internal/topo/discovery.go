@@ -9,6 +9,7 @@ import (
 	"attain/internal/clock"
 	"attain/internal/controller"
 	"attain/internal/dataplane"
+	"attain/internal/evloop"
 	"attain/internal/netaddr"
 	"attain/internal/openflow"
 	"attain/internal/telemetry"
@@ -159,6 +160,11 @@ type Discovery struct {
 	inner controller.App
 	tel   *telemetry.Telemetry
 
+	// intake, when non-nil (StartBatching), routes LLDP observations to a
+	// drain loop instead of taking the table lock inside controller
+	// dispatch. Set once before the controller starts; read-only after.
+	intake *evloop.Queue[DiscLink]
+
 	mu         sync.Mutex
 	links      map[DiscLink]struct{}
 	portEvents uint64
@@ -172,11 +178,47 @@ func NewDiscovery(app controller.App, tel *telemetry.Telemetry) *Discovery {
 // Name identifies the wrapped profile plus the discovery layer.
 func (d *Discovery) Name() string { return d.inner.Name() + "+discovery" }
 
+// StartBatching switches LLDP observation handling to batch mode: the
+// PacketIn path enqueues links on the returned queue and the caller owns
+// a drain loop that applies them via absorb — one table lock and one
+// clock read per batch instead of per probe frame. Must be called before
+// the controller starts dispatching.
+func (d *Discovery) StartBatching() *evloop.Queue[DiscLink] {
+	d.intake = evloop.NewQueue[DiscLink](evloop.Config{
+		Depth: d.tel.Gauge("fabric.discovery.queue_depth"),
+	})
+	return d.intake
+}
+
+// absorb applies one drained batch of LLDP observations at the given
+// observation time, emitting one discovery event per newly learned link.
+func (d *Discovery) absorb(batch []DiscLink, now time.Time) {
+	var fresh []DiscLink
+	d.mu.Lock()
+	for _, link := range batch {
+		if _, known := d.links[link]; !known {
+			d.links[link] = struct{}{}
+			fresh = append(fresh, link)
+		}
+	}
+	d.mu.Unlock()
+	for _, link := range fresh {
+		d.tel.EmitAt(telemetry.Event{
+			Layer: telemetry.LayerFabric, Kind: telemetry.KindLink,
+			Node: fmt.Sprintf("%#x", link.DstDPID), Detail: "discovered " + link.String(),
+		}, now)
+	}
+}
+
 // PacketIn consumes LLDP frames into the link table and delegates the
 // rest to the wrapped application.
 func (d *Discovery) PacketIn(sw *controller.SwitchConn, pi *openflow.PacketIn) {
 	if dpid, port, ok := UnmarshalLLDP(pi.Data); ok {
 		link := DiscLink{SrcDPID: dpid, SrcPort: port, DstDPID: sw.DPID(), DstPort: pi.InPort}
+		if d.intake != nil {
+			d.intake.PushNoWait(link)
+			return
+		}
 		d.mu.Lock()
 		_, known := d.links[link]
 		if !known {

@@ -1,8 +1,10 @@
 package topo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +14,7 @@ import (
 	"attain/internal/core/inject"
 	"attain/internal/core/lang"
 	"attain/internal/core/model"
+	"attain/internal/evloop"
 	"attain/internal/netem"
 	"attain/internal/openflow"
 	"attain/internal/switchsim"
@@ -38,6 +41,10 @@ const (
 // DirectThreshold is the switch count at which LinkAuto switches from
 // netem links to direct delivery.
 const DirectThreshold = 200
+
+// fabricRingSize is the per-direction buffer of shard-hosted control
+// channels (see the Transport default in NewFabric).
+const fabricRingSize = 16 << 10
 
 // FabricConfig describes one fabric instantiation.
 type FabricConfig struct {
@@ -85,6 +92,17 @@ type FabricConfig struct {
 	EchoInterval time.Duration
 	// StochasticSeed seeds the injector's probabilistic rules.
 	StochasticSeed int64
+	// Shards, when > 0, runs every switch on a shard-hosted event loop
+	// (switchsim.Host) instead of per-switch goroutine pumps, and passes
+	// the same shard count to the injector core. This is the fabric-scale
+	// mode: 5,000 switches need ~Shards loops plus one reader per
+	// control channel instead of ~5 goroutines per switch. 0 keeps the
+	// legacy goroutine-per-switch mode.
+	Shards int
+	// WaveSize bounds how many control-channel handshakes are in flight
+	// at once during shard-hosted bring-up (default 256). Only meaningful
+	// with Shards > 0; legacy mode starts every switch at once.
+	WaveSize int
 }
 
 // ControllerAddr is the fabric controller's control-plane address on
@@ -112,6 +130,21 @@ type Fabric struct {
 	// toggle for scripted churn.
 	flappers [][2]flapEnd
 
+	// host runs every switch's control session on shared shard loops
+	// when cfg.Shards > 0; nil in legacy goroutine mode.
+	host *switchsim.Host
+	// discQ batches LLDP link observations out of controller dispatch in
+	// shard-hosted mode; nil in legacy mode.
+	discQ *evloop.Queue[DiscLink]
+	mode  LinkMode
+
+	bringupWaves   atomic.Uint64
+	peakGoroutines atomic.Int64
+	goroutineGauge *telemetry.Gauge
+
+	errMu      sync.Mutex
+	bringupErr error
+
 	hostFrames atomic.Uint64
 	started    bool
 	stop       chan struct{}
@@ -135,8 +168,25 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = clock.New()
 	}
+	if cfg.Shards < 0 {
+		cfg.Shards = 0
+	}
+	if cfg.WaveSize <= 0 {
+		cfg.WaveSize = 256
+	}
 	if cfg.Transport == nil {
-		cfg.Transport = netem.NewMemTransport()
+		if cfg.Shards > 0 {
+			// Shard loops flush coalesced write batches; the buffered
+			// transport decouples those bursts from reader pace where the
+			// synchronous rendezvous transport would serialize them. The
+			// rings are deliberately small: control frames are tiny, and
+			// every (re)dial allocates and zeroes two rings — at 5,000
+			// switches the 64KiB default turns reconnect churn into a
+			// measurable allocation storm.
+			cfg.Transport = netem.NewBufferedMemTransport(fabricRingSize)
+		} else {
+			cfg.Transport = netem.NewMemTransport()
+		}
 	}
 	if cfg.Profile == 0 {
 		cfg.Profile = controller.ProfileFloodlight
@@ -179,11 +229,19 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		graph:    cfg.Graph,
 		sys:      cfg.Graph.System(),
 		switches: make(map[string]*switchsim.Switch, len(cfg.Graph.Switches)),
+		mode:     mode,
 		stop:     make(chan struct{}),
 	}
 	f.sys.Controllers[0].ListenAddr = ControllerAddr
+	f.goroutineGauge = cfg.Telemetry.Gauge("fabric.goroutines.peak")
 
 	f.Disc = NewDiscovery(controller.NewLearningSwitch(cfg.Profile), cfg.Telemetry)
+	if cfg.Shards > 0 {
+		// Batch LLDP observations out of controller dispatch: PacketIn
+		// enqueues, one drain loop locks once and reads the clock once per
+		// batch instead of per probe.
+		f.discQ = f.Disc.StartBatching()
+	}
 	f.Ctrl = controller.New(controller.Config{
 		Name:            "c1",
 		ListenAddr:      ControllerAddr,
@@ -213,6 +271,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 			Templates:      cfg.Templates,
 			LeanLog:        true,
 			Detection:      cfg.Detection,
+			Shards:         cfg.Shards,
 		})
 		if err != nil {
 			return nil, err
@@ -221,6 +280,16 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 		ctrlAddrFor = inj.ProxyAddrFor
 	}
 
+	var onConnErr func(error)
+	if cfg.Shards > 0 {
+		f.host = switchsim.NewHost(switchsim.HostConfig{
+			Shards:    cfg.Shards,
+			Seed:      cfg.StochasticSeed,
+			Clock:     f.clk,
+			Telemetry: cfg.Telemetry,
+		})
+		onConnErr = f.noteBringupErr
+	}
 	for _, sw := range f.graph.Switches {
 		conn := model.Conn{Controller: "c1", Switch: model.NodeID(sw.Name)}
 		f.switches[sw.Name] = switchsim.New(switchsim.Config{
@@ -230,6 +299,7 @@ func NewFabric(cfg FabricConfig) (*Fabric, error) {
 			Transport:      f.tr,
 			EchoInterval:   cfg.EchoInterval,
 			Telemetry:      cfg.Telemetry,
+			OnConnError:    onConnErr,
 		}, f.clk)
 	}
 
@@ -289,8 +359,16 @@ func (f *Fabric) Switch(name string) *switchsim.Switch { return f.switches[name]
 func (f *Fabric) HostFrames() uint64 { return f.hostFrames.Load() }
 
 // Start brings the fabric up: controller, injector (if any), every
-// switch, and the LLDP probe loop.
-func (f *Fabric) Start() error {
+// switch, and the LLDP probe loop. Equivalent to StartContext with a
+// background context.
+func (f *Fabric) Start() error { return f.StartContext(context.Background()) }
+
+// StartContext brings the fabric up. In shard-hosted mode (Shards > 0)
+// switch admission runs in bounded waves in the background; cancelling
+// ctx abandons the waves not yet started — already-admitted switches
+// keep running until Stop. Legacy mode starts every switch at once and
+// ignores ctx.
+func (f *Fabric) StartContext(ctx context.Context) error {
 	if err := f.Ctrl.Start(); err != nil {
 		return fmt.Errorf("topo: start controller: %w", err)
 	}
@@ -300,8 +378,15 @@ func (f *Fabric) Start() error {
 			return fmt.Errorf("topo: start injector: %w", err)
 		}
 	}
-	for _, sw := range f.switches {
-		sw.Start()
+	if f.host != nil {
+		f.host.Start()
+		f.wg.Add(2)
+		go f.admitAll(ctx)
+		go f.discoveryDrain()
+	} else {
+		for _, sw := range f.switches {
+			sw.Start()
+		}
 	}
 	f.started = true
 	f.wg.Add(1)
@@ -314,6 +399,9 @@ func (f *Fabric) Start() error {
 func (f *Fabric) Stop() {
 	close(f.stop)
 	f.wg.Wait()
+	if f.host != nil {
+		f.host.Stop()
+	}
 	for _, sw := range f.switches {
 		sw.Stop()
 	}
@@ -326,6 +414,114 @@ func (f *Fabric) Stop() {
 	}
 }
 
+// admitAll hands every switch to the shard host in bounded waves of
+// WaveSize concurrent handshakes. Unbounded admission at 5,000 switches
+// means 5,000 simultaneous dials and handshake buffers; waves cap the
+// transient goroutine and memory spike without serializing bring-up.
+func (f *Fabric) admitAll(ctx context.Context) {
+	defer f.wg.Done()
+	waves := f.cfg.Telemetry.Counter("fabric.bringup.waves")
+	admitted := f.cfg.Telemetry.Counter("fabric.bringup.admitted")
+	failures := f.cfg.Telemetry.Counter("fabric.bringup.failures")
+	sws := f.graph.Switches
+	for start := 0; start < len(sws); start += f.cfg.WaveSize {
+		select {
+		case <-ctx.Done():
+			return
+		case <-f.stop:
+			return
+		default:
+		}
+		end := start + f.cfg.WaveSize
+		if end > len(sws) {
+			end = len(sws)
+		}
+		var wg sync.WaitGroup
+		for _, gsw := range sws[start:end] {
+			sw := f.switches[gsw.Name]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := f.host.Admit(sw); err != nil {
+					failures.Inc()
+					f.noteBringupErr(err)
+					// Transient failures retry on the host's reconnect
+					// path; fd exhaustion is terminal and fails
+					// WaitConnected fast instead.
+					if !netem.IsFDExhausted(err) {
+						f.host.RetryLater(sw)
+					}
+				} else {
+					admitted.Inc()
+				}
+			}()
+		}
+		wg.Wait()
+		waves.Inc()
+		f.bringupWaves.Add(1)
+		f.sampleGoroutines()
+	}
+}
+
+// discoveryDrain applies batched LLDP observations: one clock read and
+// one Discovery lock round per drained batch, however many probes the
+// controller dispatched meanwhile.
+func (f *Fabric) discoveryDrain() {
+	defer f.wg.Done()
+	for {
+		batch := f.discQ.Drain(f.stop)
+		if batch == nil {
+			return
+		}
+		f.Disc.absorb(batch, f.clk.Now())
+	}
+}
+
+// noteBringupErr records the first bring-up error for WaitConnected to
+// surface; fd exhaustion overwrites earlier transient errors because it
+// is terminal and has a specific remedy.
+func (f *Fabric) noteBringupErr(err error) {
+	f.errMu.Lock()
+	if f.bringupErr == nil || (netem.IsFDExhausted(err) && !netem.IsFDExhausted(f.bringupErr)) {
+		f.bringupErr = err
+	}
+	f.errMu.Unlock()
+}
+
+func (f *Fabric) loadBringupErr() error {
+	f.errMu.Lock()
+	defer f.errMu.Unlock()
+	return f.bringupErr
+}
+
+// sampleGoroutines tracks the peak goroutine count — the headline
+// resource metric for the shard-hosted refactor.
+func (f *Fabric) sampleGoroutines() {
+	n := int64(runtime.NumGoroutine())
+	for {
+		cur := f.peakGoroutines.Load()
+		if n <= cur {
+			return
+		}
+		if f.peakGoroutines.CompareAndSwap(cur, n) {
+			f.goroutineGauge.Set(n)
+			return
+		}
+	}
+}
+
+// BringupWaves returns how many admission waves have completed (0 in
+// legacy mode).
+func (f *Fabric) BringupWaves() uint64 { return f.bringupWaves.Load() }
+
+// PeakGoroutines returns the highest goroutine count sampled during
+// bring-up and probing.
+func (f *Fabric) PeakGoroutines() int64 { return f.peakGoroutines.Load() }
+
+// DataPlaneMode returns the resolved link realization (LinkNetem or
+// LinkDirect — never LinkAuto).
+func (f *Fabric) DataPlaneMode() LinkMode { return f.mode }
+
 // WaitConnected blocks until every switch completes its control-channel
 // handshake, returning the virtual-clock duration it took. The timeout is
 // wall time.
@@ -333,7 +529,7 @@ func (f *Fabric) WaitConnected(timeout time.Duration) (time.Duration, error) {
 	start := f.clk.Now()
 	deadline := time.Now().Add(timeout)
 	for {
-		if len(f.Ctrl.Switches()) == len(f.switches) {
+		if f.Ctrl.SwitchCount() == len(f.switches) {
 			d := f.clk.Now().Sub(start)
 			f.cfg.Telemetry.Emit(telemetry.Event{
 				Layer: telemetry.LayerFabric, Kind: telemetry.KindConverge,
@@ -341,9 +537,18 @@ func (f *Fabric) WaitConnected(timeout time.Duration) (time.Duration, error) {
 			})
 			return d, nil
 		}
+		if err := f.loadBringupErr(); netem.IsFDExhausted(err) {
+			return 0, fmt.Errorf("topo: bring-up out of file descriptors with %d/%d switches connected "+
+				"(raise ulimit -n or use the in-memory transport): %w",
+				f.Ctrl.SwitchCount(), len(f.switches), err)
+		}
 		if time.Now().After(deadline) {
+			if err := f.loadBringupErr(); err != nil {
+				return 0, fmt.Errorf("topo: %d/%d switches connected after %s (last bring-up error: %w)",
+					f.Ctrl.SwitchCount(), len(f.switches), timeout, err)
+			}
 			return 0, fmt.Errorf("topo: %d/%d switches connected after %s",
-				len(f.Ctrl.Switches()), len(f.switches), timeout)
+				f.Ctrl.SwitchCount(), len(f.switches), timeout)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
@@ -420,35 +625,55 @@ func (f *Fabric) probeLoop() {
 	slots := uint64(f.cfg.ProbeSlots)
 	rounds := f.cfg.Telemetry.Counter("fabric.probe.slots")
 	frames := f.cfg.Telemetry.Counter("fabric.probe.frames")
+	batchHist := f.cfg.Telemetry.Histogram("fabric.probe.batch")
+	// Reused across rounds: the switch listing and the per-switch probe
+	// batch. At 5,000 switches re-allocating either every 200ms slot is
+	// measurable garbage.
+	var conns []*controller.SwitchConn
+	var batch []openflow.Message
 	wheel := NewProbeWheel(f.clk, f.cfg.ProbeInterval, f.cfg.ProbeSlots, func(slot int) {
 		rounds.Inc()
-		for dpid, sw := range f.Ctrl.Switches() {
+		conns = f.Ctrl.SwitchesInto(conns)
+		var slotFrames uint64
+		for _, sw := range conns {
+			dpid := sw.DPID()
 			if dpid%slots != uint64(slot) {
 				continue
 			}
-			frames.Add(f.probeSwitch(dpid, sw))
+			n, b := f.probeSwitch(dpid, sw, batch)
+			batch = b
+			slotFrames += n
 		}
+		frames.Add(slotFrames)
+		batchHist.Observe(int64(slotFrames))
+		f.sampleGoroutines()
 	})
 	wheel.Run(f.stop)
 }
 
-// probeSwitch sends one LLDP PACKET_OUT per physical port of sw and
-// returns the number of probes sent.
-func (f *Fabric) probeSwitch(dpid uint64, sw *controller.SwitchConn) uint64 {
-	var sent uint64
+// probeSwitch emits one LLDP PACKET_OUT per physical port of sw as a
+// single batched write on the control channel — one marshal buffer, one
+// lock round, one transport write per switch per round instead of one
+// of each per port. Returns the probe count and the (recycled) batch
+// slice.
+func (f *Fabric) probeSwitch(dpid uint64, sw *controller.SwitchConn, batch []openflow.Message) (uint64, []openflow.Message) {
+	batch = batch[:0]
 	for _, p := range sw.Ports() {
 		if p.PortNo >= openflow.PortMax {
 			continue
 		}
-		_ = sw.Send(&openflow.PacketOut{
+		batch = append(batch, &openflow.PacketOut{
 			BufferID: openflow.NoBuffer,
 			InPort:   openflow.PortNone,
 			Actions:  []openflow.Action{openflow.ActionOutput{Port: p.PortNo, MaxLen: 0xffff}},
 			Data:     MarshalLLDP(dpid, p.PortNo, p.HWAddr),
 		})
-		sent++
 	}
-	return sent
+	if len(batch) == 0 {
+		return 0, batch
+	}
+	_ = sw.SendBatch(batch)
+	return uint64(len(batch)), batch
 }
 
 // FullAttackerModel grants every capability on every control-plane

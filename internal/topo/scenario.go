@@ -78,6 +78,12 @@ type ScenarioConfig struct {
 	// programs may legitimately flatline the control channel; a synth
 	// campaign wants that recorded, not retried.
 	TolerateDisruption bool
+	// Shards > 0 runs every switch (and the injector, if any) on that
+	// many shard-hosted event loops; 0 keeps goroutine-per-switch mode.
+	Shards int
+	// WaveSize bounds concurrent handshakes during shard-hosted bring-up
+	// (default 256).
+	WaveSize int
 }
 
 // FabricResult is the outcome of one fabric scenario: topology shape,
@@ -127,6 +133,11 @@ type FabricResult struct {
 	// churn, correct fingerprint extraction)?
 	Deviation bool   `json:"deviation"`
 	Detail    string `json:"detail,omitempty"`
+
+	// BringupWaves and PeakGoroutines describe shard-hosted bring-up
+	// (both zero in legacy goroutine mode).
+	BringupWaves   uint64 `json:"bringup_waves,omitempty"`
+	PeakGoroutines int64  `json:"peak_goroutines,omitempty"`
 }
 
 // RunScenario generates the topology, brings the fabric up, waits for
@@ -172,6 +183,8 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 		ProbeInterval:  cfg.ProbeInterval,
 		EchoInterval:   cfg.EchoInterval,
 		StochasticSeed: cfg.Seed,
+		Shards:         cfg.Shards,
+		WaveSize:       cfg.WaveSize,
 	}
 	if cfg.Program != nil {
 		// Scenario synthesis: the caller compiled an attack program; the
@@ -232,6 +245,8 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 		res.Detail = "control plane never converged: " + err.Error()
 		res.Deviation = f.Inj != nil
 		finishInjectorObservations(f, cfg.Detector, res)
+		res.BringupWaves = f.BringupWaves()
+		res.PeakGoroutines = f.PeakGoroutines()
 		return res, nil
 	}
 	res.Connected = true
@@ -309,6 +324,8 @@ func RunScenario(cfg ScenarioConfig) (*FabricResult, error) {
 	res.DiscoveredLinks, res.PhantomLinks, res.MissingLinks = f.Disc.Audit(g)
 	res.PortStatusEvents = f.Disc.PortStatusEvents()
 	finishInjectorObservations(f, cfg.Detector, res)
+	res.BringupWaves = f.BringupWaves()
+	res.PeakGoroutines = f.PeakGoroutines()
 
 	if cfg.Program != nil {
 		// A generated program deviates when the injector observably
